@@ -1,0 +1,327 @@
+package kncube_test
+
+// Benchmark harness regenerating the paper's evaluation. One benchmark per
+// figure panel (Figures 1 and 2, h = 20/40/70%) plus the ablation studies
+// from DESIGN.md. Each panel benchmark sweeps the paper's traffic axis,
+// evaluating the analytical model and the flit-level simulator at every
+// point, and logs the regenerated figure data (run with -v to see it).
+//
+// Shapes to expect (EXPERIMENTS.md records a full run): latency flat at
+// light load, knee, saturation; saturation rate decreasing in h and Lm;
+// model within a few percent of simulation at light load and conservative
+// (higher) toward the knee.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"kncube"
+	"kncube/internal/core"
+	"kncube/internal/experiments"
+	"kncube/internal/topology"
+	"kncube/internal/traffic"
+)
+
+// benchBudget keeps a full six-panel regeneration affordable inside the
+// benchmark harness; cmd/khs-figures uses the larger default budget.
+func benchBudget() experiments.SimBudget {
+	return experiments.SimBudget{
+		WarmupCycles: 5000, MaxCycles: 120000, MinMeasured: 1500, Seed: 1,
+	}
+}
+
+func benchmarkPanel(b *testing.B, id string) {
+	panel, err := experiments.PanelByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.RunPanel(panel, benchBudget(), core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var sb strings.Builder
+			title := panel.Figure + " " + panel.Label
+			if err := experiments.WriteTable(&sb, title, points); err != nil {
+				b.Fatal(err)
+			}
+			b.Log("\n" + sb.String())
+		}
+	}
+}
+
+func BenchmarkFigure1H20(b *testing.B) { benchmarkPanel(b, "fig1-h20") }
+func BenchmarkFigure1H40(b *testing.B) { benchmarkPanel(b, "fig1-h40") }
+func BenchmarkFigure1H70(b *testing.B) { benchmarkPanel(b, "fig1-h70") }
+func BenchmarkFigure2H20(b *testing.B) { benchmarkPanel(b, "fig2-h20") }
+func BenchmarkFigure2H40(b *testing.B) { benchmarkPanel(b, "fig2-h40") }
+func BenchmarkFigure2H70(b *testing.B) { benchmarkPanel(b, "fig2-h70") }
+
+// BenchmarkAblationEntrance compares the entrance-index policies for the
+// service-time recursions (DESIGN.md §4.6): how the OCR-ambiguous S_{·,k}
+// subscript is resolved.
+func BenchmarkAblationEntrance(b *testing.B) {
+	panel, _ := experiments.PanelByID("fig1-h20")
+	policies := map[string]core.EntrancePolicy{
+		"mean-distance": core.EntranceMeanDistance,
+		"kbar":          core.EntranceKBar,
+		"worst-case":    core.EntranceWorstCase,
+	}
+	for i := 0; i < b.N; i++ {
+		for name, pol := range policies {
+			pts := experiments.ModelCurve(panel, core.Options{Entrance: pol})
+			if i == 0 {
+				b.Logf("entrance=%s: %s", name, summarise(pts))
+			}
+		}
+	}
+}
+
+// BenchmarkAblationBlocking compares the blocking-delay compositions
+// (DESIGN.md §4.7): the calibrated VC-occupancy form against the literal
+// Eq. 26 readings and the multi-server pool.
+func BenchmarkAblationBlocking(b *testing.B) {
+	panel, _ := experiments.PanelByID("fig1-h40")
+	forms := map[string]core.BlockingForm{
+		"vc-occupancy": core.BlockingVCOccupancy,
+		"paper-eq26":   core.BlockingPaper,
+		"wait-only":    core.BlockingWaitOnly,
+		"multi-server": core.BlockingMultiServer,
+		"bandwidth":    core.BlockingBandwidth,
+	}
+	for i := 0; i < b.N; i++ {
+		for name, form := range forms {
+			pts := experiments.ModelCurve(panel, core.Options{Blocking: form})
+			if i == 0 {
+				b.Logf("blocking=%s: %s", name, summarise(pts))
+			}
+		}
+	}
+}
+
+// BenchmarkAblationVariance compares the service-time variance treatments
+// (DESIGN.md §4.7): the paper's (S-Lm)² approximation against
+// deterministic service.
+func BenchmarkAblationVariance(b *testing.B) {
+	panel, _ := experiments.PanelByID("fig1-h70")
+	for i := 0; i < b.N; i++ {
+		for name, v := range map[string]core.VarianceForm{
+			"zero":  core.VarianceZero,
+			"paper": core.VariancePaper,
+		} {
+			pts := experiments.ModelCurve(panel, core.Options{Variance: v})
+			if i == 0 {
+				b.Logf("variance=%s: %s", name, summarise(pts))
+			}
+		}
+	}
+}
+
+// BenchmarkAblationEjection contrasts the paper's contention-free ejection
+// (assumption (iv)) with a single 1-flit/cycle ejection channel.
+func BenchmarkAblationEjection(b *testing.B) {
+	cube := topology.MustNew(8, 2)
+	hs, err := traffic.NewHotSpot(cube, 27, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for name, contention := range map[string]bool{"free": false, "contended": true} {
+			nw, err := kncube.NewSimulator(kncube.SimConfig{
+				K: 8, Dims: 2, VCs: 2, MsgLen: 16, Lambda: 1.5e-3,
+				Pattern: hs, Seed: 3, EjectionContention: contention,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := nw.Run(kncube.SimRunOptions{
+				WarmupCycles: 5000, MaxCycles: 150000, MinMeasured: 2000,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.Logf("ejection=%s: latency %.1f (hot %.1f)", name, res.MeanLatency, res.MeanHot)
+			}
+		}
+	}
+}
+
+// BenchmarkExtensionBursty exercises the paper's future-work direction:
+// MMPP (bursty) generation at the same mean rate as Poisson.
+func BenchmarkExtensionBursty(b *testing.B) {
+	cube := topology.MustNew(8, 2)
+	hs, err := traffic.NewHotSpot(cube, 36, 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const lambda = 1.5e-3
+	factories := map[string]func(topology.NodeID) traffic.Arrivals{
+		"poisson": func(topology.NodeID) traffic.Arrivals {
+			p, _ := traffic.NewPoisson(lambda)
+			return p
+		},
+		"mmpp-4x": func(topology.NodeID) traffic.Arrivals {
+			m, _ := traffic.NewMMPP(4*lambda, lambda/50, 4000*(lambda-lambda/50)/(4*lambda-lambda), 4000)
+			return m
+		},
+	}
+	for i := 0; i < b.N; i++ {
+		for name, f := range factories {
+			nw, err := kncube.NewSimulator(kncube.SimConfig{
+				K: 8, Dims: 2, VCs: 2, MsgLen: 16,
+				Pattern: hs, ArrivalsFactory: f, Seed: 9,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := nw.Run(kncube.SimRunOptions{
+				WarmupCycles: 10000, MaxCycles: 200000, MinMeasured: 2000,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.Logf("arrivals=%s: latency %.1f saturated=%v", name, res.MeanLatency, res.Saturated)
+			}
+		}
+	}
+}
+
+// BenchmarkExtensionBidirectional exercises the bidirectional-channel
+// generalisation (Section 2's "easily extended" remark): model and
+// simulator, against their unidirectional counterparts at equal load.
+func BenchmarkExtensionBidirectional(b *testing.B) {
+	const lambda = 1.2e-3
+	params := kncube.ModelParams{K: 8, V: 2, Lm: 16, H: 0.3, Lambda: lambda}
+	cube := topology.MustNew(8, 2)
+	hs, err := traffic.NewHotSpot(cube, 36, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		uniModel, err := kncube.SolveModel(params, kncube.ModelOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		biModel, err := kncube.SolveBidirectionalModel(params, kncube.ModelOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sims [2]kncube.SimResult
+		for idx, bi := range []bool{false, true} {
+			nw, err := kncube.NewSimulator(kncube.SimConfig{
+				K: 8, Dims: 2, VCs: 2, MsgLen: 16, Lambda: lambda,
+				Pattern: hs, Seed: 2, Bidirectional: bi,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := nw.Run(kncube.SimRunOptions{
+				WarmupCycles: 5000, MaxCycles: 150000, MinMeasured: 2000,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sims[idx] = res
+		}
+		if i == 0 {
+			b.Logf("unidirectional: model %.1f, sim %.1f", uniModel.Latency, sims[0].MeanLatency)
+			b.Logf("bidirectional:  model %.1f, sim %.1f", biModel.Latency, sims[1].MeanLatency)
+		}
+	}
+}
+
+// BenchmarkExtensionAdaptive reproduces the observation behind the paper's
+// focus on deterministic routing (its ref [22]): under hot-spot traffic
+// the destination fan-in dominates, so adaptive routing's advantage largely
+// vanishes — while on permutation traffic it is substantial.
+func BenchmarkExtensionAdaptive(b *testing.B) {
+	cube := topology.MustNew(8, 2)
+	hs, err := traffic.NewHotSpot(cube, 36, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	workloads := map[string]traffic.Pattern{
+		"hotspot-50%": hs,
+		"transpose":   traffic.Transpose{Cube: cube},
+	}
+	lambdas := map[string]float64{"hotspot-50%": 8e-4, "transpose": 4e-3}
+	for i := 0; i < b.N; i++ {
+		for name, pat := range workloads {
+			var lat [2]float64
+			for idx, routing := range []kncube.Routing{kncube.RoutingDimensionOrder, kncube.RoutingAdaptive} {
+				nw, err := kncube.NewSimulator(kncube.SimConfig{
+					K: 8, Dims: 2, VCs: 4, MsgLen: 16, Lambda: lambdas[name],
+					Pattern: pat, Seed: 6, Routing: routing,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := nw.Run(kncube.SimRunOptions{
+					WarmupCycles: 5000, MaxCycles: 200000, MinMeasured: 2500,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				lat[idx] = res.MeanLatency
+			}
+			if i == 0 {
+				b.Logf("%s: deterministic %.1f vs adaptive %.1f (ratio %.2f)",
+					name, lat[0], lat[1], lat[0]/lat[1])
+			}
+		}
+	}
+}
+
+// BenchmarkModelSolve measures the cost of one analytical evaluation — the
+// model's selling point over simulation (milliseconds vs. minutes).
+func BenchmarkModelSolve(b *testing.B) {
+	p := kncube.ModelParams{K: 16, V: 2, Lm: 32, H: 0.4, Lambda: 2e-4}
+	for i := 0; i < b.N; i++ {
+		if _, err := kncube.SolveModel(p, kncube.ModelOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorStep measures the simulator's cycle throughput on the
+// paper's 256-node network under moderate hot-spot load.
+func BenchmarkSimulatorStep(b *testing.B) {
+	cube := topology.MustNew(16, 2)
+	hs, err := traffic.NewHotSpot(cube, 136, 0.4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw, err := kncube.NewSimulator(kncube.SimConfig{
+		K: 16, Dims: 2, VCs: 2, MsgLen: 32, Lambda: 2e-4,
+		Pattern: hs, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the network into steady state before timing.
+	for i := 0; i < 20000; i++ {
+		nw.Step()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Step()
+	}
+}
+
+// summarise renders a model curve as a compact latency sequence with "sat"
+// marking saturated points.
+func summarise(pts []experiments.Point) string {
+	parts := make([]string, 0, len(pts))
+	for _, pt := range pts {
+		if pt.ModelSaturated {
+			parts = append(parts, "sat")
+		} else {
+			parts = append(parts, fmt.Sprintf("%.1f", pt.Model))
+		}
+	}
+	return strings.Join(parts, " ")
+}

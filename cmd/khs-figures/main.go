@@ -1,0 +1,88 @@
+// Command khs-figures regenerates the evaluation figures of the paper:
+// model-vs-simulation latency curves for every panel of Figures 1 and 2.
+//
+// Usage:
+//
+//	khs-figures                        # all six panels, tables + plots
+//	khs-figures -panel fig1-h40        # one panel
+//	khs-figures -csv -outdir results/  # write CSV files
+//	khs-figures -fast                  # reduced simulation budget
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"kncube/internal/core"
+	"kncube/internal/experiments"
+)
+
+func main() {
+	var (
+		panelID = flag.String("panel", "", "run only this panel (e.g. fig1-h20); empty = all")
+		csv     = flag.Bool("csv", false, "write CSV files instead of tables")
+		outdir  = flag.String("outdir", ".", "directory for CSV output")
+		fast    = flag.Bool("fast", false, "reduced simulation budget (quick look)")
+		noPlot  = flag.Bool("no-plot", false, "suppress the ASCII plots")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	budget := experiments.DefaultSimBudget()
+	if *fast {
+		budget = experiments.SimBudget{
+			WarmupCycles: 10000, MaxCycles: 150000, MinMeasured: 1500,
+		}
+	}
+	budget.Seed = *seed
+	opts := core.Options{}
+
+	panels := experiments.Figures()
+	if *panelID != "" {
+		p, err := experiments.PanelByID(*panelID)
+		if err != nil {
+			fatal(err)
+		}
+		panels = []experiments.Panel{p}
+	}
+
+	for _, p := range panels {
+		fmt.Fprintf(os.Stderr, "running %s (%s, %s)...\n", p.ID, p.Figure, p.Label)
+		points, err := experiments.RunPanel(p, budget, opts)
+		if err != nil {
+			fatal(err)
+		}
+		title := fmt.Sprintf("%s %s — N=%d, V=%d, Lm=%d", p.Figure, p.Label, p.K*p.K, p.V, p.Lm)
+		if *csv {
+			path := filepath.Join(*outdir, p.ID+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := experiments.WriteCSV(f, points); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+			continue
+		}
+		if err := experiments.WriteTable(os.Stdout, title, points); err != nil {
+			fatal(err)
+		}
+		if !*noPlot {
+			if err := experiments.AsciiPlot(os.Stdout, title, points, 64, 16); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "khs-figures:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,111 @@
+// Command khs-model evaluates the analytical hot-spot latency model of
+// Loucif, Ould-Khaoua, Min (IPDPS 2005) for a k-ary 2-cube.
+//
+// Usage:
+//
+//	khs-model -k 16 -v 2 -lm 32 -h 0.2 -lambda 0.0002
+//	khs-model -k 16 -v 2 -lm 32 -h 0.2 -sweep 0.0006 -points 12
+//	khs-model -k 16 -v 2 -lm 32 -h 0.2 -saturation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kncube"
+)
+
+func main() {
+	var (
+		k       = flag.Int("k", 16, "radix (N = k*k nodes)")
+		v       = flag.Int("v", 2, "virtual channels per physical channel")
+		lm      = flag.Int("lm", 32, "message length in flits")
+		h       = flag.Float64("h", 0.2, "hot-spot fraction in [0,1)")
+		lambda  = flag.Float64("lambda", 1e-4, "generation rate, messages/node/cycle")
+		sweep   = flag.Float64("sweep", 0, "sweep lambda from 0 to this value instead of a single point")
+		points  = flag.Int("points", 10, "number of sweep points")
+		sat     = flag.Bool("saturation", false, "locate the saturation rate by bisection")
+		uniform = flag.Bool("uniform", false, "also evaluate the uniform-traffic baseline")
+		worst   = flag.Bool("worst-case-entrance", false, "use the worst-case entrance policy (ablation A)")
+		paperB  = flag.Bool("paper-blocking", false, "use the per-VC M/G/1 blocking form of Eq. 26 (ablation B)")
+		bi      = flag.Bool("bidirectional", false, "evaluate the bidirectional-channel extension")
+	)
+	flag.Parse()
+
+	opts := kncube.ModelOptions{}
+	if *worst {
+		opts.Entrance = kncube.EntranceWorstCase
+	}
+	if *paperB {
+		opts.Blocking = kncube.BlockingPaper
+	}
+	params := func(lam float64) kncube.ModelParams {
+		return kncube.ModelParams{K: *k, V: *v, Lm: *lm, H: *h, Lambda: lam}
+	}
+
+	if *bi {
+		r, err := kncube.SolveBidirectionalModel(params(*lambda), opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("bidirectional torus, mean latency %10.2f cycles\n", r.Latency)
+		fmt.Printf("  regular %10.2f, hot-spot %10.2f, source wait %.2f\n",
+			r.Regular, r.Hot, r.WsRegular)
+		fmt.Printf("  mean path %.2f hops, Vx=%.3f Vhy=%.3f, %d iterations\n",
+			r.MeanDistance, r.VX, r.VHy, r.Iterations)
+		return
+	}
+
+	switch {
+	case *sat:
+		rate, err := kncube.SaturationLambda(func(lam float64) error {
+			_, err := kncube.SolveModel(params(lam), opts)
+			return err
+		}, 1e-8, 0, 1e-4)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saturation rate: %.6g messages/node/cycle\n", rate)
+	case *sweep > 0:
+		fmt.Println("lambda,latency,regular,hot,ws,vx,vhy,max_util")
+		for i := 1; i <= *points; i++ {
+			lam := *sweep * float64(i) / float64(*points)
+			r, err := kncube.SolveModel(params(lam), opts)
+			if err != nil {
+				fmt.Printf("%.6g,saturated,,,,,,\n", lam)
+				continue
+			}
+			fmt.Printf("%.6g,%.2f,%.2f,%.2f,%.2f,%.3f,%.3f,%.3f\n",
+				lam, r.Latency, r.Regular, r.Hot, r.WsRegular, r.VX, r.VHy, r.MaxUtilisation)
+		}
+	default:
+		r, err := kncube.SolveModel(params(*lambda), opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("mean latency      %10.2f cycles\n", r.Latency)
+		fmt.Printf("  regular         %10.2f cycles\n", r.Regular)
+		fmt.Printf("  hot-spot        %10.2f cycles\n", r.Hot)
+		fmt.Printf("source waiting    %10.2f cycles\n", r.WsRegular)
+		fmt.Printf("multiplexing      Vx=%.3f Vhy=%.3f Vhybar=%.3f\n", r.VX, r.VHy, r.VHyBar)
+		fmt.Printf("max channel util  %10.3f\n", r.MaxUtilisation)
+		fmt.Printf("iterations        %10d\n", r.Iterations)
+	}
+
+	if *uniform {
+		u, err := kncube.SolveUniform(kncube.UniformParams{
+			K: *k, Dims: 2, V: *v, Lm: *lm, Lambda: *lambda,
+		})
+		if err != nil {
+			fatal(fmt.Errorf("uniform baseline: %w", err))
+		}
+		fmt.Printf("uniform baseline  %10.2f cycles (network %.2f, V̄ %.3f)\n",
+			u.Latency, u.Network, u.Multiplexing)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "khs-model:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,101 @@
+// Command khs-sim runs the flit-level wormhole simulator on a k-ary n-cube
+// with hot-spot (or uniform) traffic and reports the measured latency.
+//
+// Usage:
+//
+//	khs-sim -k 16 -n 2 -v 2 -lm 32 -h 0.2 -lambda 0.0002 -cycles 400000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kncube"
+)
+
+func main() {
+	var (
+		k        = flag.Int("k", 16, "radix")
+		n        = flag.Int("n", 2, "dimensions")
+		v        = flag.Int("v", 2, "virtual channels per physical channel")
+		lm       = flag.Int("lm", 32, "message length in flits")
+		h        = flag.Float64("h", 0.2, "hot-spot fraction (0 = uniform)")
+		lambda   = flag.Float64("lambda", 1e-4, "generation rate, messages/node/cycle")
+		seed     = flag.Int64("seed", 1, "random seed")
+		warmup   = flag.Int64("warmup", 20000, "warm-up cycles")
+		cycles   = flag.Int64("cycles", 400000, "maximum simulated cycles")
+		measured = flag.Int64("measured", 5000, "minimum measured messages")
+		eject    = flag.Bool("ejection-contention", false, "model a single 1-flit/cycle ejection channel")
+		pattern  = flag.String("pattern", "hotspot", "traffic pattern: hotspot, uniform, transpose, bitreversal")
+	)
+	flag.Parse()
+
+	cube, err := kncube.NewCube(*k, *n)
+	if err != nil {
+		fatal(err)
+	}
+	var pat kncube.Pattern
+	switch *pattern {
+	case "hotspot":
+		hot := cube.FromCoords(centre(*k, *n))
+		pat, err = kncube.NewHotSpot(cube, hot, *h)
+		if err != nil {
+			fatal(err)
+		}
+	case "uniform":
+		pat = kncube.UniformPattern(cube)
+	case "transpose":
+		pat = kncube.TransposePattern(cube)
+	case "bitreversal":
+		pat = kncube.BitReversalPattern(cube)
+	default:
+		fatal(fmt.Errorf("unknown pattern %q", *pattern))
+	}
+
+	nw, err := kncube.NewSimulator(kncube.SimConfig{
+		K: *k, Dims: *n, VCs: *v, MsgLen: *lm,
+		Lambda: *lambda, Pattern: pat, Seed: *seed,
+		EjectionContention: *eject,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	res, err := nw.Run(kncube.SimRunOptions{
+		WarmupCycles: *warmup, MaxCycles: *cycles, MinMeasured: *measured,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("pattern            %s\n", pat)
+	fmt.Printf("mean latency       %10.2f ± %.2f cycles (95%% CI)\n", res.MeanLatency, res.CI95)
+	fmt.Printf("  regular          %10.2f cycles\n", res.MeanRegular)
+	fmt.Printf("  hot-spot         %10.2f cycles\n", res.MeanHot)
+	fmt.Printf("  network          %10.2f cycles\n", res.MeanNetwork)
+	fmt.Printf("  source wait      %10.2f cycles\n", res.MeanSourceWait)
+	fmt.Printf("mean hops          %10.2f\n", res.MeanHops)
+	fmt.Printf("messages           injected %d, delivered %d, measured %d\n",
+		res.Injected, res.Delivered, res.Measured)
+	fmt.Printf("cycles             %10d (steady=%v, saturated=%v)\n",
+		res.Cycles, res.Steady, res.Saturated)
+	fmt.Printf("throughput         %10.6f msgs/node/cycle\n", res.Throughput)
+	fmt.Printf("channel util       mean %.4f, max %.4f\n",
+		res.ChannelUtilisation, res.MaxChannelUtilisation)
+	fmt.Printf("VC multiplexing    %10.3f\n", res.VCMultiplexing)
+	if res.Saturated {
+		os.Exit(2)
+	}
+}
+
+func centre(k, n int) []int {
+	c := make([]int, n)
+	for i := range c {
+		c[i] = k / 2
+	}
+	return c
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "khs-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+package kncube_test
+
+// Godoc examples with verified output. The model is deterministic, the
+// simulator seeded, so both print stable values.
+
+import (
+	"fmt"
+
+	"kncube"
+)
+
+func ExampleSolveModel() {
+	res, err := kncube.SolveModel(kncube.ModelParams{
+		K: 16, V: 2, Lm: 32, H: 0.2, Lambda: 1e-4,
+	}, kncube.ModelOptions{})
+	if err != nil {
+		fmt.Println("saturated:", err)
+		return
+	}
+	fmt.Printf("latency %.0f cycles (regular %.0f, hot %.0f)\n",
+		res.Latency, res.Regular, res.Hot)
+	// Output:
+	// latency 51 cycles (regular 50, hot 55)
+}
+
+func ExampleSolveModel_saturated() {
+	_, err := kncube.SolveModel(kncube.ModelParams{
+		K: 16, V: 2, Lm: 32, H: 0.2, Lambda: 0.01,
+	}, kncube.ModelOptions{})
+	fmt.Println(err != nil)
+	// Output:
+	// true
+}
+
+func ExampleSolveUniform() {
+	res, err := kncube.SolveUniform(kncube.UniformParams{
+		K: 16, Dims: 2, V: 2, Lm: 32, Lambda: 1e-3,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("latency %.0f cycles at channel rate %.4f\n", res.Latency, res.ChannelRate)
+	// Output:
+	// latency 118 cycles at channel rate 0.0075
+}
+
+func ExampleNewSimulator() {
+	cube, _ := kncube.NewCube(8, 2)
+	pattern, _ := kncube.NewHotSpot(cube, cube.FromCoords([]int{4, 4}), 0.3)
+	nw, _ := kncube.NewSimulator(kncube.SimConfig{
+		K: 8, Dims: 2, VCs: 2, MsgLen: 16, Lambda: 5e-4,
+		Pattern: pattern, Seed: 1,
+	})
+	res, _ := nw.Run(kncube.SimRunOptions{
+		WarmupCycles: 5000, MaxCycles: 200000, MinMeasured: 2000,
+	})
+	fmt.Println(res.Measured >= 2000, res.Saturated)
+	// Output:
+	// true false
+}
+
+func ExampleSaturationLambda() {
+	sat, _ := kncube.SaturationLambda(func(lambda float64) error {
+		_, err := kncube.SolveModel(kncube.ModelParams{
+			K: 16, V: 2, Lm: 32, H: 0.4, Lambda: lambda,
+		}, kncube.ModelOptions{})
+		return err
+	}, 1e-6, 0, 1e-3)
+	fmt.Printf("saturation near %.1e msgs/node/cycle\n", sat)
+	// Output:
+	// saturation near 3.0e-04 msgs/node/cycle
+}

@@ -1,0 +1,71 @@
+// Barrier: the global-synchronisation scenario from the paper's
+// introduction. Every node sends a synchronisation message to one
+// distinguished coordinator node — the textbook producer of hot-spot
+// traffic [Xu et al.]. This example sweeps the fraction of barrier traffic
+// and shows how quickly the coordinator's column saturates, comparing the
+// analytical prediction with simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kncube"
+)
+
+func main() {
+	const (
+		k      = 8 // 64-node machine
+		v      = 2
+		lm     = 8    // short synchronisation messages
+		lambda = 2e-3 // background + barrier generation rate
+	)
+
+	cube, err := kncube.NewCube(k, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	coordinator := cube.FromCoords([]int{k / 2, k / 2})
+
+	fmt.Printf("barrier coordinator at node %d on a %v\n", coordinator, cube)
+	fmt.Printf("%-10s %-14s %-18s %-12s\n", "barrier%", "model(cycles)", "sim(cycles)", "sim hot msg")
+
+	for _, h := range []float64{0, 0.1, 0.25, 0.5, 0.75} {
+		modelCell := "saturated"
+		if h < 1 {
+			m, err := kncube.SolveModel(
+				kncube.ModelParams{K: k, V: v, Lm: lm, H: h, Lambda: lambda},
+				kncube.ModelOptions{},
+			)
+			if err == nil {
+				modelCell = fmt.Sprintf("%.1f", m.Latency)
+			}
+		}
+
+		pattern, err := kncube.NewHotSpot(cube, coordinator, h)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nw, err := kncube.NewSimulator(kncube.SimConfig{
+			K: k, Dims: 2, VCs: v, MsgLen: lm, Lambda: lambda,
+			Pattern: pattern, Seed: 7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := nw.Run(kncube.SimRunOptions{
+			WarmupCycles: 10000, MaxCycles: 300000, MinMeasured: 4000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		simCell := fmt.Sprintf("%.1f ± %.1f", res.MeanLatency, res.CI95)
+		if res.Saturated {
+			simCell += " (sat)"
+		}
+		fmt.Printf("%-10.0f %-14s %-18s %.1f\n", h*100, modelCell, simCell, res.MeanHot)
+	}
+	fmt.Println("\nhot-spot latency rises steeply with the barrier fraction: the")
+	fmt.Println("coordinator's column is the bottleneck long before the rest of the")
+	fmt.Println("network is loaded — the effect the paper's model quantifies.")
+}

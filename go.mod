@@ -1,0 +1,3 @@
+module kncube
+
+go 1.22

@@ -1,0 +1,491 @@
+package core
+
+// Bidirectional extension of the hot-spot model. Section 2 of the paper
+// analyses the unidirectional torus and notes that the analysis "can be
+// easily extended to deal with [the] bi-directional case"; this file is
+// that extension, kept structurally parallel to the unidirectional model
+// of hotspot.go so the two can be read side by side.
+//
+// With bidirectional links each dimension consists of two disjoint
+// unidirectional rings (positive and negative) and minimal deterministic
+// routing sends a message along the shorter one, ties to the positive ring
+// (matching the simulator). For radix k the positive ring carries offsets
+// 1..floor(k/2) and the negative ring offsets 1..ceil(k/2)-1, so the two
+// direction classes have maximum hop counts
+//
+//	D+ = floor(k/2),  D- = ceil(k/2) - 1,
+//
+// and every equation of Section 3 splits per direction class: per-channel
+// regular rates (Eq. 3), hot-spot channel populations (Eqs. 4-7), the
+// service-time recursions (Eqs. 16-25), the blocking averages, the source
+// queue (Eq. 32) and the multiplexing degrees (Eqs. 33-37).
+
+import (
+	"errors"
+	"fmt"
+
+	"kncube/internal/fixpoint"
+	"kncube/internal/queueing"
+	"kncube/internal/vcmodel"
+)
+
+// BiResult is the solved bidirectional model.
+type BiResult struct {
+	// Latency is the mean message latency (Eq. 10).
+	Latency float64
+	// Regular and Hot are the class-conditional latencies.
+	Regular, Hot float64
+	// WsRegular is the mean source-queue waiting time.
+	WsRegular float64
+	// VX and VHy are the mean multiplexing degrees over x-channels and
+	// hot-column channels (both directions pooled).
+	VX, VHy float64
+	// MeanDistance is the mean minimal path length of uniform traffic.
+	MeanDistance float64
+	// Iterations is the fixed-point iteration count.
+	Iterations int
+}
+
+// biModel carries the direction-split constants.
+type biModel struct {
+	p  Params
+	o  Options
+	lm float64
+	d  [2]int       // max hops per direction class: {floor(k/2), ceil(k/2)-1}
+	lr [2]float64   // regular per-channel rate per direction class
+	hx [2][]float64 // hot rate on x-channels, [dir][1..d[dir]]
+	hy [2][]float64 // hot rate on hot-column channels, [dir][1..d[dir]]
+
+	pHy, pHyB, pX   float64
+	cXo, cXHy, cXHb float64
+	rows            []biRow // the k x-rings classified by y direction/distance
+}
+
+// biRow classifies one x-ring relative to the hot node: dir/dist of the
+// y-leg its hot-spot messages take after reaching the hot column; hotRow
+// marks the hot node's own ring (no y-leg).
+type biRow struct {
+	hotRow bool
+	dir    int // y direction class (0 = positive, 1 = negative)
+	dist   int // y hops remaining, 1..d[dir]
+}
+
+func newBiModel(p Params, o Options) *biModel {
+	k := p.K
+	m := &biModel{p: p, o: o, lm: float64(p.Lm)}
+	m.d[0] = k / 2
+	m.d[1] = (k+1)/2 - 1
+	for i := 0; i < 2; i++ {
+		sum := 0
+		for j := 1; j <= m.d[i]; j++ {
+			sum += j
+		}
+		m.lr[i] = p.Lambda * (1 - p.H) * float64(sum) / float64(k)
+		m.hx[i] = make([]float64, m.d[i]+1)
+		m.hy[i] = make([]float64, m.d[i]+1)
+		for j := 1; j <= m.d[i]; j++ {
+			// Sources at direction-i distance >= j cross channel j.
+			count := float64(m.d[i] - j + 1)
+			m.hx[i][j] = p.Lambda * p.H * count
+			m.hy[i][j] = p.Lambda * p.H * float64(k) * count
+		}
+	}
+	kf := float64(k)
+	m.pHy = 1 / (kf * (kf + 1))
+	m.pHyB = (kf - 1) / (kf * (kf + 1))
+	m.pX = kf / (kf + 1)
+	m.cXo = 1 / kf
+	m.cXHy = (kf - 1) / (kf * kf)
+	m.cXHb = (kf - 1) * (kf - 1) / (kf * kf)
+	// Rows: hot row first, then positive-direction rows by distance, then
+	// negative-direction rows.
+	m.rows = append(m.rows, biRow{hotRow: true})
+	for i := 0; i < 2; i++ {
+		for t := 1; t <= m.d[i]; t++ {
+			m.rows = append(m.rows, biRow{dir: i, dist: t})
+		}
+	}
+	return m
+}
+
+// biState holds the direction-split service-time vectors (all 1-indexed by
+// remaining hops).
+type biState struct {
+	shybar, shy, sx, sxhy, sxhybar, shoty [2][]float64
+	shotx                                 [2][][]float64 // [dir][row][j]
+}
+
+func (m *biModel) newState() *biState {
+	st := &biState{}
+	for i := 0; i < 2; i++ {
+		n := m.d[i] + 1
+		st.shybar[i] = make([]float64, n)
+		st.shy[i] = make([]float64, n)
+		st.sx[i] = make([]float64, n)
+		st.sxhy[i] = make([]float64, n)
+		st.sxhybar[i] = make([]float64, n)
+		st.shoty[i] = make([]float64, n)
+		st.shotx[i] = make([][]float64, len(m.rows))
+		for r := range m.rows {
+			st.shotx[i][r] = make([]float64, n)
+		}
+	}
+	return st
+}
+
+// flatten/unflatten map the state to the fixpoint vector.
+func (m *biModel) flatten(st *biState, out []float64) []float64 {
+	out = out[:0]
+	for i := 0; i < 2; i++ {
+		for j := 1; j <= m.d[i]; j++ {
+			out = append(out, st.shybar[i][j], st.shy[i][j], st.sx[i][j],
+				st.sxhy[i][j], st.sxhybar[i][j], st.shoty[i][j])
+		}
+		for r := range m.rows {
+			for j := 1; j <= m.d[i]; j++ {
+				out = append(out, st.shotx[i][r][j])
+			}
+		}
+	}
+	return out
+}
+
+func (m *biModel) unflatten(in []float64, st *biState) {
+	pos := 0
+	for i := 0; i < 2; i++ {
+		for j := 1; j <= m.d[i]; j++ {
+			st.shybar[i][j] = in[pos]
+			st.shy[i][j] = in[pos+1]
+			st.sx[i][j] = in[pos+2]
+			st.sxhy[i][j] = in[pos+3]
+			st.sxhybar[i][j] = in[pos+4]
+			st.shoty[i][j] = in[pos+5]
+			pos += 6
+		}
+		for r := range m.rows {
+			for j := 1; j <= m.d[i]; j++ {
+				st.shotx[i][r][j] = in[pos]
+				pos++
+			}
+		}
+	}
+}
+
+// entrance averages a pair of direction-split vectors over the k-1
+// equally-likely destination offsets.
+func (m *biModel) entrance(v [2][]float64) float64 {
+	sum := 0.0
+	for i := 0; i < 2; i++ {
+		for j := 1; j <= m.d[i]; j++ {
+			sum += v[i][j]
+		}
+	}
+	return sum / float64(m.p.K-1)
+}
+
+func (m *biModel) blocking(lr, sr, lh, sh float64) (float64, error) {
+	return blockingDelay(m.o, m.p.V, m.lm, lr, sr, lh, sh)
+}
+
+// yNext returns the service continuation after the final x hop for a hot
+// message generated in row r.
+func (m *biModel) yNext(st *biState, r int) float64 {
+	row := m.rows[r]
+	if row.hotRow {
+		return m.lm
+	}
+	return st.shoty[row.dir][row.dist]
+}
+
+// iterate re-evaluates the direction-split recursions.
+func (m *biModel) iterate(in, out []float64) error {
+	k := m.p.K
+	st := m.newState()
+	m.unflatten(in, st)
+
+	entHyB := m.entrance(st.shybar)
+	entHy := m.entrance(st.shy)
+	entXmix := m.cXo*m.entrance(st.sx) + m.cXHy*m.entrance(st.sxhy) + m.cXHb*m.entrance(st.sxhybar)
+
+	var bHyB, bHy, bX [2]float64
+	for i := 0; i < 2; i++ {
+		b, err := m.blocking(m.lr[i], entHyB, 0, 0)
+		if err != nil {
+			return fmt.Errorf("%w (bi non-hot y, dir %d)", ErrSaturated, i)
+		}
+		bHyB[i] = b
+		// Hot-column blocking averaged over the ring's k channels of this
+		// direction (positions beyond d[i] carry regular traffic only).
+		sum := 0.0
+		for l := 1; l <= m.d[i]; l++ {
+			b, err := m.blocking(m.lr[i], entHy, m.hy[i][l], st.shoty[i][l])
+			if err != nil {
+				return fmt.Errorf("%w (bi hot column, dir %d ch %d)", ErrSaturated, i, l)
+			}
+			sum += b
+		}
+		bQuiet, err := m.blocking(m.lr[i], entHy, 0, 0)
+		if err != nil {
+			return fmt.Errorf("%w (bi hot column quiet, dir %d)", ErrSaturated, i)
+		}
+		bHy[i] = (sum + float64(k-m.d[i])*bQuiet) / float64(k)
+		// x-channel blocking averaged over the k rows and k positions.
+		sum = 0.0
+		for r := range m.rows {
+			for l := 1; l <= m.d[i]; l++ {
+				b, err := m.blocking(m.lr[i], entXmix, m.hx[i][l], st.shotx[i][r][l])
+				if err != nil {
+					return fmt.Errorf("%w (bi x, dir %d row %d ch %d)", ErrSaturated, i, r, l)
+				}
+				sum += b
+			}
+		}
+		bQuietX, err := m.blocking(m.lr[i], entXmix, 0, 0)
+		if err != nil {
+			return fmt.Errorf("%w (bi x quiet, dir %d)", ErrSaturated, i)
+		}
+		bX[i] = (sum + float64(len(m.rows)*(k-m.d[i]))*bQuietX) / float64(len(m.rows)*k)
+	}
+
+	next := m.newState()
+	for i := 0; i < 2; i++ {
+		for j := 1; j <= m.d[i]; j++ {
+			prev := func(v []float64, base float64) float64 {
+				if j == 1 {
+					return base
+				}
+				return v[j-1]
+			}
+			next.shybar[i][j] = 1 + bHyB[i] + prev(st.shybar[i], m.lm)
+			next.shy[i][j] = 1 + bHy[i] + prev(st.shy[i], m.lm)
+			next.sx[i][j] = 1 + bX[i] + prev(st.sx[i], m.lm)
+			next.sxhy[i][j] = 1 + bX[i] + prev(st.sxhy[i], entHy)
+			next.sxhybar[i][j] = 1 + bX[i] + prev(st.sxhybar[i], entHyB)
+
+			b, err := m.blocking(m.lr[i], entHy, m.hy[i][j], st.shoty[i][j])
+			if err != nil {
+				return fmt.Errorf("%w (bi hot y recursion, dir %d ch %d)", ErrSaturated, i, j)
+			}
+			next.shoty[i][j] = 1 + b + prev(st.shoty[i], m.lm)
+		}
+		for r := range m.rows {
+			for j := 1; j <= m.d[i]; j++ {
+				b, err := m.blocking(m.lr[i], entXmix, m.hx[i][j], st.shotx[i][r][j])
+				if err != nil {
+					return fmt.Errorf("%w (bi hot x recursion, dir %d row %d ch %d)", ErrSaturated, i, r, j)
+				}
+				base := m.yNext(st, r)
+				if j > 1 {
+					base = st.shotx[i][r][j-1]
+				}
+				next.shotx[i][r][j] = 1 + b + base
+			}
+		}
+	}
+	m.flatten(next, out[:0])
+	return nil
+}
+
+// SolveBidirectional evaluates the bidirectional-torus extension of the
+// hot-spot model.
+func SolveBidirectional(p Params, o Options) (*BiResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := newBiModel(p, o)
+
+	// Zero-load initial state.
+	st := m.newState()
+	for i := 0; i < 2; i++ {
+		for j := 1; j <= m.d[i]; j++ {
+			st.shybar[i][j] = m.lm + float64(j)
+			st.shy[i][j] = m.lm + float64(j)
+			st.sx[i][j] = m.lm + float64(j)
+			st.sxhy[i][j] = m.lm + float64(j) + float64(m.p.K)/4
+			st.sxhybar[i][j] = m.lm + float64(j) + float64(m.p.K)/4
+			st.shoty[i][j] = m.lm + float64(j)
+		}
+		for r := range m.rows {
+			extra := 0.0
+			if !m.rows[r].hotRow {
+				extra = float64(m.rows[r].dist)
+			}
+			for j := 1; j <= m.d[i]; j++ {
+				st.shotx[i][r][j] = m.lm + float64(j) + extra
+			}
+		}
+	}
+	state := m.flatten(st, nil)
+
+	fpOpts := o.FixPoint
+	if fpOpts.MaxIterations == 0 && fpOpts.Tolerance == 0 && fpOpts.Damping == 0 {
+		fpOpts = fixpoint.Options{Tolerance: 1e-9, MaxIterations: 20000, Damping: 0.5}
+	}
+	res, err := fixpoint.Solve(state, m.iterate, fpOpts)
+	if err != nil {
+		if errors.Is(err, fixpoint.ErrDiverged) || errors.Is(err, fixpoint.ErrMaxIterations) {
+			return nil, fmt.Errorf("%w: %v", ErrSaturated, err)
+		}
+		return nil, err
+	}
+	m.unflatten(state, st)
+	return m.assemble(st, res.Iterations)
+}
+
+func (m *biModel) assemble(st *biState, iters int) (*BiResult, error) {
+	p, k := m.p, m.p.K
+	entHyB := m.entrance(st.shybar)
+	entHy := m.entrance(st.shy)
+	entXmix := m.cXo*m.entrance(st.sx) + m.cXHy*m.entrance(st.sxhy) + m.cXHb*m.entrance(st.sxhybar)
+	sr := m.pHy*entHy + m.pHyB*entHyB + m.pX*entXmix
+
+	lv := p.Lambda / float64(p.V)
+	wait := func(s float64) (float64, error) {
+		return queueing.MG1Wait(lv, s, serviceVariance(m.o, m.lm, s))
+	}
+
+	// Source waits: hot node, hot-column nodes, and the rest.
+	wsSum, err := wait(sr)
+	if err != nil {
+		return nil, fmt.Errorf("%w (bi source queue, hot node)", ErrSaturated)
+	}
+	wsY := [2][]float64{make([]float64, m.d[0]+1), make([]float64, m.d[1]+1)}
+	for i := 0; i < 2; i++ {
+		for t := 1; t <= m.d[i]; t++ {
+			w, err := wait((1-p.H)*sr + p.H*st.shoty[i][t])
+			if err != nil {
+				return nil, fmt.Errorf("%w (bi source queue, hot column)", ErrSaturated)
+			}
+			wsY[i][t] = w
+			wsSum += w
+		}
+	}
+	wsX := make([][2][]float64, len(m.rows))
+	for r := range m.rows {
+		for i := 0; i < 2; i++ {
+			wsX[r][i] = make([]float64, m.d[i]+1)
+			for j := 1; j <= m.d[i]; j++ {
+				w, err := wait((1-p.H)*sr + p.H*st.shotx[i][r][j])
+				if err != nil {
+					return nil, fmt.Errorf("%w (bi source queue, row %d)", ErrSaturated, r)
+				}
+				wsX[r][i][j] = w
+				wsSum += w
+			}
+		}
+	}
+	n := float64(p.N())
+	wsReg := wsSum / n
+
+	// Multiplexing degrees (Eqs. 33-37, per direction class).
+	vHyAt := [2][]float64{make([]float64, k+1), make([]float64, k+1)}
+	vHySum := 0.0
+	for i := 0; i < 2; i++ {
+		for l := 1; l <= k; l++ {
+			lh, sh := 0.0, 0.0
+			if l <= m.d[i] {
+				lh, sh = m.hy[i][l], st.shoty[i][l]
+			}
+			tot := m.lr[i] + lh
+			sBar := queueing.WeightedService(m.lr[i], entHy, lh, sh)
+			deg, err := vcmodel.Degree(p.V, tot, sBar)
+			if err != nil {
+				return nil, err
+			}
+			vHyAt[i][l] = deg
+			vHySum += deg
+		}
+	}
+	vHy := vHySum / float64(2*k)
+
+	vXAt := make([][2][]float64, len(m.rows))
+	vXSum := 0.0
+	for r := range m.rows {
+		for i := 0; i < 2; i++ {
+			vXAt[r][i] = make([]float64, k+1)
+			for l := 1; l <= k; l++ {
+				lh, sh := 0.0, 0.0
+				if l <= m.d[i] {
+					lh, sh = m.hx[i][l], st.shotx[i][r][l]
+				}
+				tot := m.lr[i] + lh
+				sBar := queueing.WeightedService(m.lr[i], entXmix, lh, sh)
+				deg, err := vcmodel.Degree(p.V, tot, sBar)
+				if err != nil {
+					return nil, err
+				}
+				vXAt[r][i][l] = deg
+				vXSum += deg
+			}
+		}
+	}
+	vX := vXSum / float64(len(m.rows)*2*k)
+
+	vHyB0, err := vcmodel.Degree(p.V, m.lr[0], entHyB)
+	if err != nil {
+		return nil, err
+	}
+	vHyB1, err := vcmodel.Degree(p.V, m.lr[1], entHyB)
+	if err != nil {
+		return nil, err
+	}
+	vHyB := (vHyB0 + vHyB1) / 2
+
+	sRegular := m.pHy*(entHy+wsReg)*vHy +
+		m.pHyB*(entHyB+wsReg)*vHyB +
+		m.pX*(entXmix+wsReg)*vX
+
+	// Hot-spot latency over the N-1 source positions, path-averaged V̄.
+	var hotSum float64
+	for i := 0; i < 2; i++ {
+		for t := 1; t <= m.d[i]; t++ {
+			vp := 0.0
+			for l := 1; l <= t; l++ {
+				vp += vHyAt[i][l]
+			}
+			vp /= float64(t)
+			hotSum += (st.shoty[i][t] + wsY[i][t]) * vp
+		}
+	}
+	for r, row := range m.rows {
+		for i := 0; i < 2; i++ {
+			for j := 1; j <= m.d[i]; j++ {
+				vsum, cnt := 0.0, 0
+				for l := 1; l <= j; l++ {
+					vsum += vXAt[r][i][l]
+					cnt++
+				}
+				if !row.hotRow {
+					for l := 1; l <= row.dist; l++ {
+						vsum += vHyAt[row.dir][l]
+						cnt++
+					}
+				}
+				hotSum += (st.shotx[i][r][j] + wsX[r][i][j]) * (vsum / float64(cnt))
+			}
+		}
+	}
+	sHot := hotSum / (n - 1)
+
+	// Mean minimal distance of uniform traffic for diagnostics.
+	sumMin := 0
+	for i := 0; i < k; i++ {
+		d := i
+		if k-i < d {
+			d = k - i
+		}
+		sumMin += d
+	}
+	meanDist := 2 * float64(sumMin) / float64(k)
+
+	return &BiResult{
+		Latency:      (1-p.H)*sRegular + p.H*sHot,
+		Regular:      sRegular,
+		Hot:          sHot,
+		WsRegular:    wsReg,
+		VX:           vX,
+		VHy:          vHy,
+		MeanDistance: meanDist,
+		Iterations:   iters,
+	}, nil
+}

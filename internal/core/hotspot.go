@@ -1,0 +1,739 @@
+// Package core implements the paper's primary contribution: the analytical
+// model of mean message latency in a deterministically-routed, wormhole-
+// switched 2-D torus (k-ary 2-cube) carrying hot-spot traffic
+// (Loucif, Ould-Khaoua, Min; IPDPS 2005, Section 3), together with
+// uniform-traffic baseline models.
+//
+// Model structure (equation numbers follow the paper):
+//
+//   - traffic rates: regular traffic is uniform over channels (Eq. 3);
+//     hot-spot traffic concentrates on the channels of the "hot y-ring"
+//     (the column of the hot node) and decays with distance from it
+//     (Eqs. 4-9);
+//   - service times: position-indexed recursions S_j = 1 + B_j + S_{j-1}
+//     with terminal value Lm (body drain), for five regular-message path
+//     classes (Eqs. 11-20) and two hot-spot path classes (Eqs. 21-25);
+//   - blocking: B = Pb * wc with Pb the channel utilisation and wc an
+//     M/G/1 waiting time with variance approximation (S-Lm)^2 (Eqs. 26-30);
+//   - source queue: M/G/1 with arrival rate lambda/V and node-position-
+//     dependent service time (Eqs. 31-32);
+//   - virtual channels: Dally's multiplexing degree V̄ scales the final
+//     latencies (Eqs. 33-37);
+//   - the interdependent equations are solved by damped fixed-point
+//     iteration (the paper's "iterative techniques").
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"kncube/internal/fixpoint"
+	"kncube/internal/queueing"
+	"kncube/internal/vcmodel"
+)
+
+// ErrSaturated reports an offered load at or beyond the model's saturation
+// point: some channel or source queue reaches utilisation 1 and the latency
+// diverges.
+var ErrSaturated = errors.New("core: network saturated at this load")
+
+// Params are the network and workload parameters of the model. The model
+// covers the 2-D torus (n = 2) with unidirectional channels, matching the
+// paper's analysis.
+type Params struct {
+	// K is the radix; the network has N = K*K nodes.
+	K int
+	// V is the number of virtual channels per physical channel (>= 2).
+	V int
+	// Lm is the message length in flits.
+	Lm int
+	// H is the hot-spot fraction in [0, 1).
+	H float64
+	// Lambda is the per-node generation rate in messages/cycle.
+	Lambda float64
+}
+
+// Validate reports the first problem with the parameters.
+func (p Params) Validate() error {
+	if p.K < 2 {
+		return fmt.Errorf("core: K = %d, want >= 2", p.K)
+	}
+	if p.V < 2 {
+		return fmt.Errorf("core: V = %d, want >= 2", p.V)
+	}
+	if p.Lm < 1 {
+		return fmt.Errorf("core: Lm = %d, want >= 1", p.Lm)
+	}
+	if p.H < 0 || p.H >= 1 || math.IsNaN(p.H) {
+		return fmt.Errorf("core: H = %v, want [0, 1)", p.H)
+	}
+	if p.Lambda <= 0 || math.IsNaN(p.Lambda) || math.IsInf(p.Lambda, 0) {
+		return fmt.Errorf("core: Lambda = %v, want > 0", p.Lambda)
+	}
+	return nil
+}
+
+// N returns the node count K².
+func (p Params) N() int { return p.K * p.K }
+
+// KBar returns k̄ = (K-1)/2, the mean unidirectional ring distance (Eq. 1).
+func (p Params) KBar() float64 { return float64(p.K-1) / 2 }
+
+// MeanDistance returns d = 2·k̄ (Eq. 2 with n = 2).
+func (p Params) MeanDistance() float64 { return 2 * p.KBar() }
+
+// EntrancePolicy selects how the entrance service time of a regular message
+// (the OCR-ambiguous S_{·,k} subscript of Eqs. 12-20) is computed from the
+// per-position recursion; see DESIGN.md §4.6.
+type EntrancePolicy int
+
+const (
+	// EntranceMeanDistance averages S(b) over the uniform destination ring
+	// distance b in {1..k-1} — the default, reducing to the classic uniform
+	// treatment at H = 0.
+	EntranceMeanDistance EntrancePolicy = iota
+	// EntranceKBar evaluates the recursion at round(k̄) hops.
+	EntranceKBar
+	// EntranceWorstCase evaluates the recursion at k-1 hops (the literal
+	// OCR reading).
+	EntranceWorstCase
+)
+
+// BlockingForm selects the blocking-delay composition (ablation B).
+type BlockingForm int
+
+const (
+	// BlockingVCOccupancy (the zero-value default) composes Eq. 26's
+	// B = Pb·wc with: Pb from the paper's own virtual-channel occupancy
+	// chain (Eqs. 33-34) — a header is blocked only when all V virtual
+	// channels of the link are held, evaluated at the holding-time
+	// utilisation of Eq. 27 — and wc from an M/G/1 whose service is the
+	// physical link's flit transmission time Lm+1 (while a header stalls
+	// the link serves other virtual channels, so link bandwidth bounds
+	// the queue). Its stability boundary coincides with the flit
+	// capacity, which is where the paper's figures place saturation; see
+	// DESIGN.md §4.7 and EXPERIMENTS.md for the calibration against the
+	// simulator.
+	BlockingVCOccupancy BlockingForm = iota
+	// BlockingPaper is the literal reading of Eq. 26: B = Pb·wc on a
+	// per-virtual-channel M/G/1 (rates divided by V unless NoVCSplit),
+	// with Pb the channel utilisation. Its blocking feedback is strongly
+	// superlinear, so it saturates at roughly half the simulator's knee
+	// (ablation B).
+	BlockingPaper
+	// BlockingWaitOnly uses B = wc (plain M/G/1 waiting, no extra Pb
+	// factor).
+	BlockingWaitOnly
+	// BlockingMultiServer treats the V virtual channels as an M/G/V
+	// server pool: a header waits for any free virtual channel, so the
+	// blocking delay is the Erlang-C (Lee-Longton) M/G/c waiting time at
+	// the aggregate channel rate. The most accurate form at light and
+	// moderate load, but it too loses its fixed point early.
+	BlockingMultiServer
+	// BlockingBandwidth is BlockingVCOccupancy with the cruder Eq. 27
+	// utilisation as the blocking probability.
+	BlockingBandwidth
+)
+
+// VarianceForm selects the service-time variance used in the waiting-time
+// formulas (ablation D).
+type VarianceForm int
+
+const (
+	// VarianceZero (the zero-value default) treats service as
+	// deterministic (M/D/·). The quadratic (S-Lm)² term of Eq. 28 is a
+	// dominant superlinearity in the blocking feedback; disabling it
+	// keeps the model finite across the paper's plotted load ranges.
+	VarianceZero VarianceForm = iota
+	// VariancePaper approximates Var[S] = (S - Lm)² (Eq. 28, after
+	// Draper-Ghosh; ablation D).
+	VariancePaper
+)
+
+// Options tune the model's reconstruction knobs and its solver.
+type Options struct {
+	Entrance EntrancePolicy
+	Blocking BlockingForm
+	Variance VarianceForm
+	// NoVCSplit disables dividing channel arrival rates by V in the
+	// per-channel M/G/1 blocking treatment. The paper splits the source
+	// queue's rate by V "since the physical channel is split into V
+	// virtual channels" (Eq. 32); applying the same split at network
+	// channels — a message competes for one virtual channel, and the
+	// bandwidth sharing between busy virtual channels is charged
+	// separately through the V̄ scaling of Eqs. 33-37 — is what lets the
+	// model remain finite up to near the physical flit capacity, as the
+	// paper's figures do. Setting NoVCSplit recovers the serialised
+	// whole-channel M/G/1 (ablation C), which saturates several times
+	// earlier.
+	NoVCSplit bool
+	// FixPoint configures the iteration; zero values use
+	// fixpoint.Defaults().
+	FixPoint fixpoint.Options
+}
+
+// Result is the solved model.
+type Result struct {
+	// Latency is the mean message latency in cycles (Eq. 10).
+	Latency float64
+	// Regular and Hot are the class-conditional mean latencies (the S̄r
+	// and S̄h of Eqs. 11 and 21, including source waiting and virtual-
+	// channel multiplexing).
+	Regular, Hot float64
+	// NetworkRegular and NetworkHot are the corresponding mean network
+	// latencies without source waiting or multiplexing scaling.
+	NetworkRegular, NetworkHot float64
+	// WsRegular is the mean source-queue waiting time of Eq. 32.
+	WsRegular float64
+	// VX, VHy, VHyBar are the mean multiplexing degrees of x-channels, hot
+	// y-ring channels and non-hot y-ring channels (Eqs. 36-37).
+	VX, VHy, VHyBar float64
+	// MaxUtilisation is the highest channel holding-time utilisation in
+	// the network (the hot ring's last channel, at j = 1, unless H = 0).
+	// Because wormhole holding times include stalls, this can exceed 1
+	// near saturation; the flit-capacity bound is enforced separately.
+	MaxUtilisation float64
+	// Iterations is the fixed-point iteration count.
+	Iterations int
+
+	// Raw service-time vectors (1-indexed by remaining hops; index 0
+	// unused) for inspection and tests.
+	SHotY   []float64   // hot-spot messages in the hot ring (Eq. 23)
+	SHotX   [][]float64 // hot-spot messages starting at (t, j) (Eq. 25)
+	SRegHy  []float64   // regular, hot y-ring only (Eq. 17)
+	SRegHyB []float64   // regular, non-hot y-ring only (Eq. 16)
+	SRegX   []float64   // regular, x only (Eq. 18)
+}
+
+// state indexes the flattened fixed-point vector.
+type layout struct {
+	k       int
+	shybar  int // k-1 values: regular, non-hot y-ring
+	shy     int // k-1: regular, hot y-ring
+	sx      int // k-1: regular, x only
+	sxhy    int // k-1: regular, x then hot y-ring
+	sxhybar int // k-1: regular, x then non-hot y-ring
+	shoty   int // k-1: hot-spot in hot ring
+	shotx   int // k*(k-1): hot-spot starting in row t, column distance j
+	size    int
+}
+
+func newLayout(k int) layout {
+	m := k - 1
+	l := layout{k: k}
+	l.shybar = 0
+	l.shy = l.shybar + m
+	l.sx = l.shy + m
+	l.sxhy = l.sx + m
+	l.sxhybar = l.sxhy + m
+	l.shoty = l.sxhybar + m
+	l.shotx = l.shoty + m
+	l.size = l.shotx + k*m
+	return l
+}
+
+// shotxIdx returns the index of S^h_x for row distance t (1..k) and column
+// distance j (1..k-1).
+func (l layout) shotxIdx(t, j int) int { return l.shotx + (t-1)*(l.k-1) + (j - 1) }
+
+type model struct {
+	p    Params
+	o    Options
+	l    layout
+	lm   float64
+	lr   float64   // Eq. 3
+	lhy  []float64 // Eq. 7, index j = 1..k (j = k is zero)
+	lhx  []float64 // Eq. 6, index j = 1..k (j = k is zero)
+	pHy  float64   // case probabilities (Eqs. 11-15); see DESIGN.md §4.4
+	pHyB float64
+	pX   float64
+	cXo  float64 // P(x only | via x)
+	cXHy float64 // P(x then hot y | via x)
+	cXHb float64 // P(x then non-hot y | via x)
+}
+
+func newModel(p Params, o Options) *model {
+	k := p.K
+	m := &model{p: p, o: o, l: newLayout(k), lm: float64(p.Lm)}
+	m.lr = p.Lambda * (1 - p.H) * p.KBar()
+	m.lhy = make([]float64, k+1)
+	m.lhx = make([]float64, k+1)
+	for j := 1; j <= k; j++ {
+		m.lhy[j] = p.Lambda * p.H * float64(k) * float64(k-j)
+		m.lhx[j] = p.Lambda * p.H * float64(k-j)
+	}
+	kf := float64(k)
+	m.pHy = 1 / (kf * (kf + 1))
+	m.pHyB = (kf - 1) / (kf * (kf + 1))
+	m.pX = kf / (kf + 1)
+	m.cXo = 1 / kf
+	m.cXHy = (kf - 1) / (kf * kf)
+	m.cXHb = (kf - 1) * (kf - 1) / (kf * kf)
+	return m
+}
+
+// entrance reduces a 1-indexed service vector (remaining hops 1..k-1) to
+// the mean service time seen at ring entry, per the configured policy.
+func (m *model) entrance(s []float64) float64 {
+	k := m.p.K
+	switch m.o.Entrance {
+	case EntranceKBar:
+		j := int(math.Round(m.p.KBar()))
+		if j < 1 {
+			j = 1
+		}
+		if j > k-1 {
+			j = k - 1
+		}
+		return s[j]
+	case EntranceWorstCase:
+		return s[k-1]
+	default: // EntranceMeanDistance
+		sum := 0.0
+		for j := 1; j <= k-1; j++ {
+			sum += s[j]
+		}
+		return sum / float64(k-1)
+	}
+}
+
+// serviceVariance returns the service-time variance for the waiting-time
+// formulas under the configured VarianceForm.
+func serviceVariance(o Options, lm, sBar float64) float64 {
+	if o.Variance == VarianceZero {
+		return 0
+	}
+	dev := sBar - lm
+	return dev * dev
+}
+
+// blockingDelay composes Eqs. 26-30 under the configured form, for a
+// channel with v virtual channels carrying regular traffic (lr, sr) and
+// hot-spot traffic (lh, sh), message length lm. For the per-VC M/G/1 forms
+// the class rates are divided by V unless NoVCSplit is set: the header
+// competes for one of the V virtual channels, each seeing 1/V of the
+// channel's traffic.
+func blockingDelay(o Options, v int, lm, lr, sr, lh, sh float64) (float64, error) {
+	// The physical channel moves at most one flit per cycle; beyond that
+	// flit capacity no queueing treatment is meaningful.
+	if (lr+lh)*lm >= 1 {
+		return 0, queueing.ErrUnstable
+	}
+	total := lr + lh
+	if total == 0 {
+		return 0, nil
+	}
+	sBar := queueing.WeightedService(lr, sr, lh, sh)
+	variance := serviceVariance(o, lm, sBar)
+	switch o.Blocking {
+	case BlockingMultiServer:
+		return queueing.MGcWait(total, sBar, variance, v)
+	case BlockingBandwidth:
+		w, err := queueing.MG1Wait(total, lm+1, variance)
+		if err != nil {
+			return 0, err
+		}
+		return queueing.BlockingProbability(lr, sr, lh, sh) * w, nil
+	case BlockingVCOccupancy:
+		w, err := queueing.MG1Wait(total, lm+1, variance)
+		if err != nil {
+			return 0, err
+		}
+		rho := lr*sr + lh*sh // holding-time utilisation (Eq. 27)
+		if rho > 1 {
+			rho = 1
+		}
+		occ := vcmodel.Occupancy(v, rho*(1-1e-12)) // Eqs. 33-34
+		return occ[v] * w, nil
+	case BlockingWaitOnly:
+		if !o.NoVCSplit {
+			total /= float64(v)
+		}
+		return queueing.MG1Wait(total, sBar, variance)
+	default: // BlockingPaper, Eq. 26: B = Pb·wc
+		if !o.NoVCSplit {
+			vf := float64(v)
+			lr /= vf
+			lh /= vf
+			total /= vf
+		}
+		w, err := queueing.MG1Wait(total, sBar, variance)
+		if err != nil {
+			return 0, err
+		}
+		return queueing.BlockingProbability(lr, sr, lh, sh) * w, nil
+	}
+}
+
+// variance and blocking keep the model methods thin wrappers over the
+// shared composition.
+func (m *model) variance(sBar float64) float64 { return serviceVariance(m.o, m.lm, sBar) }
+
+func (m *model) blocking(lr, sr, lh, sh float64) (float64, error) {
+	return blockingDelay(m.o, m.p.V, m.lm, lr, sr, lh, sh)
+}
+
+// unpack gives named 1-indexed views (position 0 unused) over the state.
+type view struct {
+	shybar, shy, sx, sxhy, sxhybar, shoty []float64
+	shotx                                 [][]float64 // [t][j], 1-indexed
+}
+
+func (m *model) view(x []float64) view {
+	k := m.p.K
+	take := func(off int) []float64 {
+		s := make([]float64, k)
+		copy(s[1:], x[off:off+k-1])
+		return s
+	}
+	v := view{
+		shybar:  take(m.l.shybar),
+		shy:     take(m.l.shy),
+		sx:      take(m.l.sx),
+		sxhy:    take(m.l.sxhy),
+		sxhybar: take(m.l.sxhybar),
+		shoty:   take(m.l.shoty),
+	}
+	v.shotx = make([][]float64, k+1)
+	for t := 1; t <= k; t++ {
+		v.shotx[t] = make([]float64, k)
+		for j := 1; j <= k-1; j++ {
+			v.shotx[t][j] = x[m.l.shotxIdx(t, j)]
+		}
+	}
+	return v
+}
+
+// iterate is the fixed-point map: out = F(in), the simultaneous
+// re-evaluation of Eqs. 16-20, 23 and 25.
+func (m *model) iterate(in, out []float64) error {
+	k := m.p.K
+	v := m.view(in)
+
+	entHyB := m.entrance(v.shybar)
+	entHy := m.entrance(v.shy)
+	// Mixture service of regular traffic on x-channels (the S^r_{x,k̄} of
+	// Eqs. 18-20): weighted over the three onward-path classes.
+	entXmix := m.cXo*m.entrance(v.sx) + m.cXHy*m.entrance(v.sxhy) + m.cXHb*m.entrance(v.sxhybar)
+
+	// Blocking on non-hot y-ring channels (Eq. 16): regular traffic only.
+	bHyB, err := m.blocking(m.lr, entHyB, 0, 0)
+	if err != nil {
+		return fmt.Errorf("%w (non-hot y-ring)", ErrSaturated)
+	}
+	// Blocking seen by a regular message on the hot y-ring (Eq. 17):
+	// position-averaged over the k channels of the ring.
+	bHy := 0.0
+	for l := 1; l <= k; l++ {
+		sh := 0.0
+		if l <= k-1 {
+			sh = v.shoty[l]
+		}
+		b, err := m.blocking(m.lr, entHy, m.lhy[l], sh)
+		if err != nil {
+			return fmt.Errorf("%w (hot y-ring, channel %d)", ErrSaturated, l)
+		}
+		bHy += b
+	}
+	bHy /= float64(k)
+	// Blocking seen by a regular message on an x-channel (Eqs. 18-20):
+	// averaged over the k x-rings and k channel positions.
+	bX := 0.0
+	for t := 1; t <= k; t++ {
+		for l := 1; l <= k; l++ {
+			sh := 0.0
+			if l <= k-1 {
+				sh = v.shotx[t][l]
+			}
+			b, err := m.blocking(m.lr, entXmix, m.lhx[l], sh)
+			if err != nil {
+				return fmt.Errorf("%w (x-ring %d, channel %d)", ErrSaturated, t, l)
+			}
+			bX += b
+		}
+	}
+	bX /= float64(k * k)
+
+	put := func(off, j int, val float64) { out[off+j-1] = val }
+	// Regular recursions. Terminal value Lm is the body drain through the
+	// ejection channel; each hop adds 1 cycle of header transfer plus the
+	// class blocking delay.
+	for j := 1; j <= k-1; j++ {
+		prev := func(s []float64) float64 {
+			if j == 1 {
+				return m.lm
+			}
+			return s[j-1]
+		}
+		put(m.l.shybar, j, 1+bHyB+prev(v.shybar))
+		put(m.l.shy, j, 1+bHy+prev(v.shy))
+		put(m.l.sx, j, 1+bX+prev(v.sx))
+		// Eq. 19: after the last x hop the message enters the hot y-ring.
+		if j == 1 {
+			put(m.l.sxhy, j, 1+bX+entHy)
+			put(m.l.sxhybar, j, 1+bX+entHyB)
+		} else {
+			put(m.l.sxhy, j, 1+bX+v.sxhy[j-1])
+			put(m.l.sxhybar, j, 1+bX+v.sxhybar[j-1])
+		}
+	}
+
+	// Hot-spot recursion in the hot ring (Eq. 23): position j is also the
+	// remaining hop count, so the blocking uses the position's own rates.
+	for j := 1; j <= k-1; j++ {
+		b, err := m.blocking(m.lr, entHy, m.lhy[j], v.shoty[j])
+		if err != nil {
+			return fmt.Errorf("%w (hot message, hot ring channel %d)", ErrSaturated, j)
+		}
+		next := m.lm
+		if j > 1 {
+			next = v.shoty[j-1]
+		}
+		put(m.l.shoty, j, 1+b+next)
+	}
+	// Hot-spot recursion on x-rings (Eq. 25).
+	for t := 1; t <= k; t++ {
+		for j := 1; j <= k-1; j++ {
+			b, err := m.blocking(m.lr, entXmix, m.lhx[j], v.shotx[t][j])
+			if err != nil {
+				return fmt.Errorf("%w (hot message, x-ring %d channel %d)", ErrSaturated, t, j)
+			}
+			var next float64
+			switch {
+			case j > 1:
+				next = v.shotx[t][j-1]
+			case t == k: // hot row: the last x hop arrives at the hot node
+				next = m.lm
+			default: // enter the hot ring t hops from the hot node
+				next = v.shoty[t]
+			}
+			out[m.l.shotxIdx(t, j)] = 1 + b + next
+		}
+	}
+	return nil
+}
+
+// initState fills the zero-load (blocking-free) service times.
+func (m *model) initState() []float64 {
+	k := m.p.K
+	x := make([]float64, m.l.size)
+	for j := 1; j <= k-1; j++ {
+		base := m.lm + float64(j)
+		x[m.l.shybar+j-1] = base
+		x[m.l.shy+j-1] = base
+		x[m.l.sx+j-1] = base
+		x[m.l.shoty+j-1] = base
+	}
+	// x-then-y classes terminate into the entrance of a y-ring.
+	var entY float64
+	switch m.o.Entrance {
+	case EntranceWorstCase:
+		entY = m.lm + float64(k-1)
+	case EntranceKBar:
+		entY = m.lm + math.Round(m.p.KBar())
+	default:
+		entY = m.lm + float64(k)/2
+	}
+	for j := 1; j <= k-1; j++ {
+		x[m.l.sxhy+j-1] = entY + float64(j)
+		x[m.l.sxhybar+j-1] = entY + float64(j)
+	}
+	for t := 1; t <= k; t++ {
+		for j := 1; j <= k-1; j++ {
+			y := float64(t)
+			if t == k {
+				y = 0
+			}
+			x[m.l.shotxIdx(t, j)] = m.lm + float64(j) + y
+		}
+	}
+	return x
+}
+
+// Solve evaluates the model.
+func Solve(p Params, o Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := newModel(p, o)
+	state := m.initState()
+	fpOpts := o.FixPoint
+	if fpOpts.MaxIterations == 0 && fpOpts.Tolerance == 0 && fpOpts.Damping == 0 {
+		fpOpts = fixpoint.Options{Tolerance: 1e-9, MaxIterations: 20000, Damping: 0.5}
+	}
+	res, err := fixpoint.Solve(state, m.iterate, fpOpts)
+	if err != nil {
+		if errors.Is(err, fixpoint.ErrDiverged) || errors.Is(err, fixpoint.ErrMaxIterations) {
+			return nil, fmt.Errorf("%w: %v", ErrSaturated, err)
+		}
+		return nil, err
+	}
+	return m.assemble(state, res.Iterations)
+}
+
+// assemble computes Eqs. 10-15, 21-24 and 31-37 from the converged service
+// times.
+func (m *model) assemble(x []float64, iters int) (*Result, error) {
+	p, k := m.p, m.p.K
+	v := m.view(x)
+	kf := float64(k)
+	n := float64(p.N())
+
+	entHyB := m.entrance(v.shybar)
+	entHy := m.entrance(v.shy)
+	entXmix := m.cXo*m.entrance(v.sx) + m.cXHy*m.entrance(v.sxhy) + m.cXHb*m.entrance(v.sxhybar)
+
+	// Eq. 31: the mean network latency of a regular message.
+	sr := m.pHy*entHy + m.pHyB*entHyB + m.pX*entXmix
+
+	// Eq. 32: source-queue waiting averaged over node positions; the
+	// per-VC arrival rate is lambda/V.
+	lv := p.Lambda / float64(p.V)
+	wait := func(s float64) (float64, error) {
+		return queueing.MG1Wait(lv, s, m.variance(s))
+	}
+	wsHot := func(sHot float64) (float64, error) {
+		return wait((1-p.H)*sr + p.H*sHot)
+	}
+	wsSum, err := wait(sr) // the hot node generates only regular traffic
+	if err != nil {
+		return nil, fmt.Errorf("%w (source queue, hot node)", ErrSaturated)
+	}
+	wsY := make([]float64, k) // 1-indexed source waits in the hot ring
+	for j := 1; j <= k-1; j++ {
+		w, err := wsHot(v.shoty[j])
+		if err != nil {
+			return nil, fmt.Errorf("%w (source queue, hot ring %d)", ErrSaturated, j)
+		}
+		wsY[j] = w
+		wsSum += w
+	}
+	wsX := make([][]float64, k+1) // [t][j]
+	for t := 1; t <= k; t++ {
+		wsX[t] = make([]float64, k)
+		for j := 1; j <= k-1; j++ {
+			w, err := wsHot(v.shotx[t][j])
+			if err != nil {
+				return nil, fmt.Errorf("%w (source queue, node %d,%d)", ErrSaturated, t, j)
+			}
+			wsX[t][j] = w
+			wsSum += w
+		}
+	}
+	wsReg := wsSum / n
+
+	// Eqs. 33-37: virtual-channel multiplexing degrees.
+	vHyB, err := vcmodel.Degree(p.V, m.lr, entHyB)
+	if err != nil {
+		return nil, err
+	}
+	vHyAt := make([]float64, k+1) // per hot-ring channel position
+	vHySum := 0.0
+	maxUtil := 0.0
+	for j := 1; j <= k; j++ {
+		sh := 0.0
+		if j <= k-1 {
+			sh = v.shoty[j]
+		}
+		tot := m.lr + m.lhy[j]
+		sBar := queueing.WeightedService(m.lr, entHy, m.lhy[j], sh)
+		if u := tot * sBar; u > maxUtil {
+			maxUtil = u
+		}
+		d, err := vcmodel.Degree(p.V, tot, sBar)
+		if err != nil {
+			return nil, err
+		}
+		vHyAt[j] = d
+		vHySum += d
+	}
+	vHy := vHySum / kf // Eq. 36
+
+	vXAt := make([][]float64, k+1)
+	vXSum := 0.0
+	for t := 1; t <= k; t++ {
+		vXAt[t] = make([]float64, k+1)
+		for j := 1; j <= k; j++ {
+			sh := 0.0
+			if j <= k-1 {
+				sh = v.shotx[t][j]
+			}
+			tot := m.lr + m.lhx[j]
+			sBar := queueing.WeightedService(m.lr, entXmix, m.lhx[j], sh)
+			if u := tot * sBar; u > maxUtil {
+				maxUtil = u
+			}
+			d, err := vcmodel.Degree(p.V, tot, sBar)
+			if err != nil {
+				return nil, err
+			}
+			vXAt[t][j] = d
+			vXSum += d
+		}
+	}
+	vX := vXSum / (kf * kf) // Eq. 37
+
+	// Eqs. 11-15: regular latency with per-case multiplexing scaling.
+	sRegular := m.pHy*(entHy+wsReg)*vHy +
+		m.pHyB*(entHyB+wsReg)*vHyB +
+		m.pX*(entXmix+wsReg)*vX
+
+	// Eqs. 21-24: hot-spot latency averaged over the N-1 source positions,
+	// scaled by the multiplexing degree averaged along the actual path
+	// (DESIGN.md §4.9).
+	pathVy := func(j int) float64 { // mean V̄ over hot-ring channels 1..j
+		s := 0.0
+		for l := 1; l <= j; l++ {
+			s += vHyAt[l]
+		}
+		return s / float64(j)
+	}
+	var hotSum, hotNetSum float64
+	for j := 1; j <= k-1; j++ {
+		hotSum += (v.shoty[j] + wsY[j]) * pathVy(j)
+		hotNetSum += v.shoty[j]
+	}
+	for t := 1; t <= k; t++ {
+		for j := 1; j <= k-1; j++ {
+			vsum, cnt := 0.0, 0
+			for l := 1; l <= j; l++ {
+				vsum += vXAt[t][l]
+				cnt++
+			}
+			if t < k {
+				for l := 1; l <= t; l++ {
+					vsum += vHyAt[l]
+					cnt++
+				}
+			}
+			vp := vsum / float64(cnt)
+			hotSum += (v.shotx[t][j] + wsX[t][j]) * vp
+			hotNetSum += v.shotx[t][j]
+		}
+	}
+	sHot := hotSum / (n - 1)
+	netHot := hotNetSum / (n - 1)
+
+	latency := (1-p.H)*sRegular + p.H*sHot // Eq. 10
+
+	res := &Result{
+		Latency:        latency,
+		Regular:        sRegular,
+		Hot:            sHot,
+		NetworkRegular: sr,
+		NetworkHot:     netHot,
+		WsRegular:      wsReg,
+		VX:             vX,
+		VHy:            vHy,
+		VHyBar:         vHyB,
+		MaxUtilisation: maxUtil,
+		Iterations:     iters,
+		SHotY:          v.shoty,
+		SHotX:          v.shotx[1:],
+		SRegHy:         v.shy,
+		SRegHyB:        v.shybar,
+		SRegX:          v.sx,
+	}
+	return res, nil
+}

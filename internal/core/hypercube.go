@@ -1,0 +1,278 @@
+package core
+
+// Hypercube hot-spot model, after the authors' own baseline: S. Loucif and
+// M. Ould-Khaoua, "Modelling latency in deterministic wormhole-routed
+// hypercubes under hot-spot traffic", J. Supercomputing 27(3), 2004 — the
+// paper's reference [12] and the model the IPDPS'05 torus analysis
+// generalises from. The hypercube is the 2-ary n-cube: N = 2^n nodes,
+// e-cube (dimension-order) routing, one channel per dimension per node
+// (with k = 2 the unidirectional and bidirectional networks coincide), V
+// virtual channels per channel.
+//
+// Structure, parallel to the torus model:
+//
+//   - a regular message crosses dimension d with probability 1/2, so the
+//     uniform per-channel rate is lambda*(1-h)/2;
+//   - hot-spot traffic aggregates along the e-cube tree: the dimension-d
+//     channel on the hot path (the one whose upstream node matches the hot
+//     address on all dimensions below d and differs on d) carries
+//     lambda*h*2^d — 2^d sources funnel through it; there are 2^(n-1-d)
+//     such channels;
+//   - service times follow the same 1 + B + next recursions, with the
+//     "next" averaged over the geometric distribution of the next
+//     differing dimension;
+//   - blocking, source queueing and virtual-channel multiplexing reuse the
+//     shared compositions (Eqs. 26-37 machinery).
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"kncube/internal/fixpoint"
+	"kncube/internal/queueing"
+	"kncube/internal/vcmodel"
+)
+
+// HypercubeParams parameterise the hypercube model.
+type HypercubeParams struct {
+	// N is the number of dimensions; the network has 2^N nodes.
+	N int
+	// V is the number of virtual channels per channel (>= 1; deterministic
+	// e-cube on a hypercube is deadlock-free without extra classes).
+	V int
+	// Lm is the message length in flits.
+	Lm int
+	// H is the hot-spot fraction in [0, 1).
+	H float64
+	// Lambda is the per-node generation rate, messages/cycle.
+	Lambda float64
+}
+
+// Validate reports the first problem with the parameters.
+func (p HypercubeParams) Validate() error {
+	if p.N < 1 || p.N > 30 {
+		return fmt.Errorf("core: hypercube N = %d, want 1..30", p.N)
+	}
+	if p.V < 1 {
+		return fmt.Errorf("core: hypercube V = %d, want >= 1", p.V)
+	}
+	if p.Lm < 1 {
+		return fmt.Errorf("core: hypercube Lm = %d, want >= 1", p.Lm)
+	}
+	if p.H < 0 || p.H >= 1 || math.IsNaN(p.H) {
+		return fmt.Errorf("core: hypercube H = %v, want [0, 1)", p.H)
+	}
+	if p.Lambda <= 0 || math.IsNaN(p.Lambda) || math.IsInf(p.Lambda, 0) {
+		return fmt.Errorf("core: hypercube Lambda = %v, want > 0", p.Lambda)
+	}
+	return nil
+}
+
+// Nodes returns 2^N.
+func (p HypercubeParams) Nodes() int { return 1 << p.N }
+
+// HypercubeResult is the solved hypercube model.
+type HypercubeResult struct {
+	// Latency is the mean message latency (the analogue of Eq. 10).
+	Latency float64
+	// Regular and Hot are the class-conditional latencies.
+	Regular, Hot float64
+	// WsRegular is the mean source-queue waiting time.
+	WsRegular float64
+	// V is the mean multiplexing degree over all channels.
+	V float64
+	// SHot[d] is the mean service time at the dimension-d hot channel.
+	SHot []float64
+	// Iterations is the fixed-point iteration count.
+	Iterations int
+}
+
+type hyperModel struct {
+	p  HypercubeParams
+	o  Options
+	lm float64
+	lu float64   // regular per-channel rate lambda(1-h)/2
+	lh []float64 // hot rate on the dim-d hot channel: lambda*h*2^d
+	// pNextFrom[d][d2] = P(next differing dimension after d is d2);
+	// pDoneFrom[d] = P(no differing dimension above d).
+	pHotChan []float64 // fraction of dim-d channels that are hot channels
+}
+
+func newHyperModel(p HypercubeParams, o Options) *hyperModel {
+	m := &hyperModel{p: p, o: o, lm: float64(p.Lm)}
+	m.lu = p.Lambda * (1 - p.H) / 2
+	m.lh = make([]float64, p.N)
+	m.pHotChan = make([]float64, p.N)
+	for d := 0; d < p.N; d++ {
+		m.lh[d] = p.Lambda * p.H * float64(int64(1)<<d)
+		// 2^(n-1-d) hot channels of 2^n dim-d channels.
+		m.pHotChan[d] = math.Pow(2, float64(-1-d))
+	}
+	return m
+}
+
+func (m *hyperModel) blocking(lr, sr, lh, sh float64) (float64, error) {
+	return blockingDelay(m.o, m.p.V, m.lm, lr, sr, lh, sh)
+}
+
+// nextDistribution gives, for a message at dimension d (having just crossed
+// it), the probability that the next crossed dimension is d2 > d, and the
+// probability that d was the last: each higher dimension differs
+// independently with probability 1/2 for uniform (and hot) destinations.
+func (m *hyperModel) nextWeights(d int) (next []float64, done float64) {
+	n := m.p.N
+	next = make([]float64, n)
+	rem := 1.0
+	for d2 := d + 1; d2 < n; d2++ {
+		next[d2] = rem / 2
+		rem /= 2
+	}
+	return next, rem
+}
+
+// state layout: [0..n): S^h_d (hot service at dim-d hot channel);
+// [n..2n): S^r_d (regular service at a dim-d channel).
+func (m *hyperModel) iterate(in, out []float64) error {
+	n := m.p.N
+	sh := in[:n]
+	sr := in[n : 2*n]
+
+	// Mean regular service over dimensions (used as the competing-class
+	// service on every channel).
+	srMean := 0.0
+	for d := 0; d < n; d++ {
+		srMean += sr[d]
+	}
+	srMean /= float64(n)
+
+	for d := 0; d < n; d++ {
+		next, done := m.nextWeights(d)
+		// Continuation after crossing dimension d.
+		contHot := done * m.lm
+		contReg := done * m.lm
+		for d2 := d + 1; d2 < n; d2++ {
+			contHot += next[d2] * sh[d2]
+			contReg += next[d2] * sr[d2]
+		}
+		// Hot channel of dimension d: regular competitors plus the
+		// aggregated hot flow.
+		bHot, err := m.blocking(m.lu, srMean, m.lh[d], sh[d])
+		if err != nil {
+			return fmt.Errorf("%w (hypercube hot channel, dim %d)", ErrSaturated, d)
+		}
+		out[d] = 1 + bHot + contHot
+		// A regular message crosses a hot channel of dim d with
+		// probability pHotChan[d]; otherwise the channel carries regular
+		// traffic only.
+		bShared, err := m.blocking(m.lu, srMean, m.lh[d], sh[d])
+		if err != nil {
+			return fmt.Errorf("%w (hypercube shared channel, dim %d)", ErrSaturated, d)
+		}
+		bQuiet, err := m.blocking(m.lu, srMean, 0, 0)
+		if err != nil {
+			return fmt.Errorf("%w (hypercube quiet channel, dim %d)", ErrSaturated, d)
+		}
+		bReg := m.pHotChan[d]*bShared + (1-m.pHotChan[d])*bQuiet
+		out[n+d] = 1 + bReg + contReg
+	}
+	return nil
+}
+
+// SolveHypercube evaluates the hypercube hot-spot model.
+func SolveHypercube(p HypercubeParams, o Options) (*HypercubeResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := newHyperModel(p, o)
+	n := p.N
+	state := make([]float64, 2*n)
+	for d := 0; d < n; d++ {
+		// Zero-load: mean remaining path from dimension d is 1 + half the
+		// higher dimensions.
+		rem := 1 + float64(n-1-d)/2
+		state[d] = m.lm + rem
+		state[n+d] = m.lm + rem
+	}
+	fpOpts := o.FixPoint
+	if fpOpts.MaxIterations == 0 && fpOpts.Tolerance == 0 && fpOpts.Damping == 0 {
+		fpOpts = fixpoint.Options{Tolerance: 1e-9, MaxIterations: 20000, Damping: 0.5}
+	}
+	res, err := fixpoint.Solve(state, m.iterate, fpOpts)
+	if err != nil {
+		if errors.Is(err, fixpoint.ErrDiverged) || errors.Is(err, fixpoint.ErrMaxIterations) {
+			return nil, fmt.Errorf("%w: %v", ErrSaturated, err)
+		}
+		return nil, err
+	}
+	return m.assemble(state, res.Iterations)
+}
+
+func (m *hyperModel) assemble(state []float64, iters int) (*HypercubeResult, error) {
+	n := m.p.N
+	sh := state[:n]
+	sr := state[n : 2*n]
+	nodes := float64(m.p.Nodes())
+
+	// Entrance service times: the first crossed dimension of a uniform (or
+	// hot) destination is dimension d with probability 2^-(d+1),
+	// conditioned on at least one dimension differing.
+	pFirst := make([]float64, n)
+	rem := 1.0
+	for d := 0; d < n; d++ {
+		pFirst[d] = rem / 2
+		rem /= 2
+	}
+	norm := 1 - rem // = P(dst != src)
+	entHot, entReg := 0.0, 0.0
+	for d := 0; d < n; d++ {
+		entHot += pFirst[d] / norm * sh[d]
+		entReg += pFirst[d] / norm * sr[d]
+	}
+
+	srMean := 0.0
+	for d := 0; d < n; d++ {
+		srMean += sr[d]
+	}
+	srMean /= float64(n)
+
+	// Source queue: rate lambda/V, service = class mix of entrances.
+	lv := m.p.Lambda / float64(m.p.V)
+	mix := (1-m.p.H)*entReg + m.p.H*entHot
+	ws, err := queueing.MG1Wait(lv, mix, serviceVariance(m.o, m.lm, mix))
+	if err != nil {
+		return nil, fmt.Errorf("%w (hypercube source queue)", ErrSaturated)
+	}
+
+	// Multiplexing degree averaged over all channels.
+	vSum := 0.0
+	for d := 0; d < n; d++ {
+		sBarHot := queueing.WeightedService(m.lu, srMean, m.lh[d], sh[d])
+		vHot, err := vcmodel.Degree(m.p.V, m.lu+m.lh[d], sBarHot)
+		if err != nil {
+			return nil, err
+		}
+		vQuiet, err := vcmodel.Degree(m.p.V, m.lu, srMean)
+		if err != nil {
+			return nil, err
+		}
+		vSum += m.pHotChan[d]*vHot + (1-m.pHotChan[d])*vQuiet
+	}
+	vBar := vSum / float64(n)
+
+	regular := (entReg + ws) * vBar
+	hot := (entHot + ws) * vBar
+	latency := (1-m.p.H)*regular + m.p.H*hot
+
+	out := &HypercubeResult{
+		Latency:    latency,
+		Regular:    regular,
+		Hot:        hot,
+		WsRegular:  ws,
+		V:          vBar,
+		SHot:       append([]float64(nil), sh...),
+		Iterations: iters,
+	}
+	_ = nodes
+	return out, nil
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestHypercubeParamsValidate(t *testing.T) {
+	good := HypercubeParams{N: 6, V: 2, Lm: 16, H: 0.2, Lambda: 1e-3}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good params rejected: %v", err)
+	}
+	bad := []HypercubeParams{
+		{N: 0, V: 2, Lm: 16, H: 0.2, Lambda: 1e-3},
+		{N: 31, V: 2, Lm: 16, H: 0.2, Lambda: 1e-3},
+		{N: 6, V: 0, Lm: 16, H: 0.2, Lambda: 1e-3},
+		{N: 6, V: 2, Lm: 0, H: 0.2, Lambda: 1e-3},
+		{N: 6, V: 2, Lm: 16, H: 1, Lambda: 1e-3},
+		{N: 6, V: 2, Lm: 16, H: -0.1, Lambda: 1e-3},
+		{N: 6, V: 2, Lm: 16, H: 0.2, Lambda: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+	if (HypercubeParams{N: 8}).Nodes() != 256 {
+		t.Error("Nodes() wrong")
+	}
+	if _, err := SolveHypercube(HypercubeParams{}, Options{}); err == nil {
+		t.Error("SolveHypercube accepted zero params")
+	}
+}
+
+func TestHypercubeZeroLoad(t *testing.T) {
+	p := HypercubeParams{N: 6, V: 2, Lm: 16, H: 0.2, Lambda: 1e-9}
+	r, err := SolveHypercube(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean hops of a uniform non-self destination: (n/2)/(1-2^-n).
+	wantReg := 16 + 3.0/(1-math.Pow(2, -6))
+	if math.Abs(r.Regular-wantReg) > 0.2 {
+		t.Errorf("zero-load regular %v, want ~%v", r.Regular, wantReg)
+	}
+	if r.WsRegular > 0.01 || r.V > 1.001 {
+		t.Errorf("zero-load ws %v V %v", r.WsRegular, r.V)
+	}
+	if len(r.SHot) != 6 {
+		t.Errorf("SHot has %d entries", len(r.SHot))
+	}
+}
+
+func TestHypercubeMonotoneInLambda(t *testing.T) {
+	prev := 0.0
+	for _, lam := range []float64{1e-5, 1e-4, 5e-4, 1e-3} {
+		r, err := SolveHypercube(HypercubeParams{N: 8, V: 2, Lm: 32, H: 0.2, Lambda: lam}, Options{})
+		if err != nil {
+			t.Fatalf("lambda=%v: %v", lam, err)
+		}
+		if r.Latency <= prev {
+			t.Fatalf("latency not increasing at %v", lam)
+		}
+		prev = r.Latency
+	}
+}
+
+func TestHypercubeSaturation(t *testing.T) {
+	// The dim-(n-1) hot channel carries lambda*h*2^(n-1): for n=8, h=0.2,
+	// Lm=32 capacity is ~1/(0.2*128*32) = 1.2e-3 at the last channel.
+	_, err := SolveHypercube(HypercubeParams{N: 8, V: 2, Lm: 32, H: 0.2, Lambda: 5e-3}, Options{})
+	if !errors.Is(err, ErrSaturated) {
+		t.Errorf("err = %v, want ErrSaturated", err)
+	}
+}
+
+func TestHypercubeSaturationFallsWithH(t *testing.T) {
+	sat := func(h float64) float64 {
+		s, err := SaturationLambda(func(lam float64) error {
+			_, e := SolveHypercube(HypercubeParams{N: 8, V: 2, Lm: 32, H: h, Lambda: lam}, Options{})
+			return e
+		}, 1e-7, 0, 1e-3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	if s2, s7 := sat(0.2), sat(0.7); s7 >= s2 {
+		t.Errorf("saturation not decreasing in h: %v vs %v", s2, s7)
+	}
+}
+
+func TestHypercubeHotServiceShape(t *testing.T) {
+	// At vanishing load the dim-d hot service is the zero-load remaining
+	// path: Lm + 1 + (n-1-d)/2.
+	r, err := SolveHypercube(HypercubeParams{N: 8, V: 2, Lm: 32, H: 0.3, Lambda: 1e-9}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 8; d++ {
+		want := 32 + 1 + float64(8-1-d)/2
+		if math.Abs(r.SHot[d]-want) > 0.01 {
+			t.Errorf("zero-load SHot[%d] = %v, want %v", d, r.SHot[d], want)
+		}
+	}
+	// Under load every hot channel's service grows, and the first-crossed
+	// (dim 0) channel still reflects the longest remaining path among the
+	// low dimensions.
+	r2, err := SolveHypercube(HypercubeParams{N: 8, V: 2, Lm: 32, H: 0.3, Lambda: 3e-4}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 8; d++ {
+		if r2.SHot[d] <= r.SHot[d] {
+			t.Errorf("loaded SHot[%d]=%v not above zero-load %v", d, r2.SHot[d], r.SHot[d])
+		}
+	}
+	if r2.SHot[0] <= r2.SHot[4] {
+		t.Errorf("SHot[0]=%v should exceed SHot[4]=%v (longer remaining path)",
+			r2.SHot[0], r2.SHot[4])
+	}
+}
+
+func TestHypercubeHotAboveRegular(t *testing.T) {
+	r, err := SolveHypercube(HypercubeParams{N: 8, V: 2, Lm: 32, H: 0.3, Lambda: 5e-4}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hot <= r.Regular {
+		t.Errorf("hot %v not above regular %v", r.Hot, r.Regular)
+	}
+}

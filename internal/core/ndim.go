@@ -1,0 +1,317 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"kncube/internal/fixpoint"
+	"kncube/internal/queueing"
+	"kncube/internal/vcmodel"
+)
+
+// General k-ary n-cube hot-spot model. The paper's analysis (Section 3)
+// fixes n = 2; its title and network model (Section 2) are for general n.
+// This file generalises the analysis to arbitrary dimensionality under the
+// same assumptions, recovering the structure of the 2-D model when n = 2
+// (with the per-row resolution of Eq. 25 replaced by suffix averaging).
+//
+// Geometry. Deterministic routing corrects dimensions in increasing order
+// on unidirectional rings. A hot-spot message that is traversing dimension
+// d has already matched the hot node's address on dimensions < d, so the
+// hot-spot traffic forms a tree rooted at the hot node: the dimension-d
+// channel at ring distance j from the hot node's coordinate (within the
+// subcube where dimensions < d equal the hot address) carries
+//
+//	lambda_h(d, j) = lambda·h·k^d·(k-j),   j = 1..k-1,
+//
+// k^d source prefixes times the (k-j) ring positions at distance >= j —
+// Eqs. 6-7 are the n = 2 instances (d = 0 gives lambda·h·(k-j), d = 1
+// gives lambda·h·k·(k-j)). There are k^(n-1-d) such channels per (d, j),
+// a fraction k^-(d+1) of all dimension-d channels. Regular traffic loads
+// every channel at lambda·(1-h)·k̄ (Eq. 3).
+//
+// Service times. S^h_d(j): hot-spot service at the dimension-d hot channel
+// j hops from the hot coordinate; S^r_d(b): regular service at a
+// dimension-d channel with b hops left in that dimension. Both follow the
+// paper's 1 + B + next recursions; the continuation into the next
+// dimension averages over the geometric first-differing-dimension
+// distribution of a uniform address suffix.
+type NDimParams struct {
+	// K is the radix, N the dimension count; the network has K^N nodes.
+	K, N int
+	// V is the virtual channel count per physical channel (>= 2).
+	V int
+	// Lm is the message length in flits.
+	Lm int
+	// H is the hot-spot fraction in [0, 1).
+	H float64
+	// Lambda is the per-node generation rate in messages/cycle.
+	Lambda float64
+}
+
+// Validate reports the first problem with the parameters.
+func (p NDimParams) Validate() error {
+	if p.K < 2 {
+		return fmt.Errorf("core: ndim K = %d, want >= 2", p.K)
+	}
+	if p.N < 1 {
+		return fmt.Errorf("core: ndim N = %d, want >= 1", p.N)
+	}
+	if math.Pow(float64(p.K), float64(p.N)) > 1<<30 {
+		return fmt.Errorf("core: ndim K^N too large (K=%d, N=%d)", p.K, p.N)
+	}
+	if p.V < 2 {
+		return fmt.Errorf("core: ndim V = %d, want >= 2", p.V)
+	}
+	if p.Lm < 1 {
+		return fmt.Errorf("core: ndim Lm = %d, want >= 1", p.Lm)
+	}
+	if p.H < 0 || p.H >= 1 || math.IsNaN(p.H) {
+		return fmt.Errorf("core: ndim H = %v, want [0, 1)", p.H)
+	}
+	if p.Lambda <= 0 || math.IsNaN(p.Lambda) || math.IsInf(p.Lambda, 0) {
+		return fmt.Errorf("core: ndim Lambda = %v, want > 0", p.Lambda)
+	}
+	return nil
+}
+
+// Nodes returns K^N.
+func (p NDimParams) Nodes() int {
+	n := 1
+	for i := 0; i < p.N; i++ {
+		n *= p.K
+	}
+	return n
+}
+
+// NDimResult is the solved general model.
+type NDimResult struct {
+	// Latency, Regular, Hot as in Result.
+	Latency, Regular, Hot float64
+	// WsRegular is the mean source waiting time.
+	WsRegular float64
+	// VBar is the channel-averaged multiplexing degree.
+	VBar float64
+	// SHot[d][j] is the hot service time at the dimension-d hot channel j
+	// hops from the hot coordinate (j 1-indexed).
+	SHot [][]float64
+	// Iterations is the fixed-point iteration count.
+	Iterations int
+}
+
+type ndimModel struct {
+	p  NDimParams
+	o  Options
+	lm float64
+	lr float64     // Eq. 3
+	lh [][]float64 // lh[d][j] = lambda·h·k^d·(k-j)
+}
+
+func newNDimModel(p NDimParams, o Options) *ndimModel {
+	m := &ndimModel{p: p, o: o, lm: float64(p.Lm)}
+	m.lr = p.Lambda * (1 - p.H) * float64(p.K-1) / 2
+	m.lh = make([][]float64, p.N)
+	kd := 1.0
+	for d := 0; d < p.N; d++ {
+		m.lh[d] = make([]float64, p.K+1)
+		for j := 1; j <= p.K; j++ {
+			m.lh[d][j] = p.Lambda * p.H * kd * float64(p.K-j)
+		}
+		kd *= float64(p.K)
+	}
+	return m
+}
+
+func (m *ndimModel) blocking(lr, sr, lh, sh float64) (float64, error) {
+	return blockingDelay(m.o, m.p.V, m.lm, lr, sr, lh, sh)
+}
+
+// state layout: hot services [d][j] then regular services [d][b], both
+// j,b = 1..k-1, flattened d-major.
+func (m *ndimModel) hotIdx(d, j int) int { return d*(m.p.K-1) + (j - 1) }
+func (m *ndimModel) regIdx(d, b int) int {
+	return m.p.N*(m.p.K-1) + d*(m.p.K-1) + (b - 1)
+}
+
+// contHot returns the expected continuation service after finishing
+// dimension d for a hot-spot (hot = true) or regular message, given the
+// current state.
+func (m *ndimModel) cont(in []float64, d int, hot bool) float64 {
+	k, n := m.p.K, m.p.N
+	// The message's remaining address digits are uniform; the next crossed
+	// dimension is the first one among d+1..n-1 with a nonzero offset.
+	val := 0.0
+	pSame := 1.0
+	for d2 := d + 1; d2 < n; d2++ {
+		// Offset in dimension d2 is nonzero with probability (k-1)/k; each
+		// distance 1..k-1 equally likely.
+		for t := 1; t <= k-1; t++ {
+			var s float64
+			if hot {
+				s = in[m.hotIdx(d2, t)]
+			} else {
+				s = in[m.regIdx(d2, t)]
+			}
+			val += pSame * (1.0 / float64(k)) * s
+		}
+		pSame /= float64(k)
+	}
+	return val + pSame*m.lm
+}
+
+// regEntrance returns the mean regular service over a dimension's
+// positions (the competing-class service used in the blocking terms).
+func (m *ndimModel) regEntrance(in []float64, d int) float64 {
+	sum := 0.0
+	for b := 1; b <= m.p.K-1; b++ {
+		sum += in[m.regIdx(d, b)]
+	}
+	return sum / float64(m.p.K-1)
+}
+
+func (m *ndimModel) iterate(in, out []float64) error {
+	k, n := m.p.K, m.p.N
+	for d := 0; d < n; d++ {
+		entReg := m.regEntrance(in, d)
+		// Hot recursion.
+		for j := 1; j <= k-1; j++ {
+			b, err := m.blocking(m.lr, entReg, m.lh[d][j], in[m.hotIdx(d, j)])
+			if err != nil {
+				return fmt.Errorf("%w (ndim hot, dim %d ch %d)", ErrSaturated, d, j)
+			}
+			next := m.cont(in, d, true)
+			if j > 1 {
+				next = in[m.hotIdx(d, j-1)]
+			}
+			out[m.hotIdx(d, j)] = 1 + b + next
+		}
+		// Regular recursion: the blocking is the hot-tree-weighted average
+		// over the dimension's channels (a fraction k^-(d+1) of them sit
+		// at each hot position j).
+		pHot := math.Pow(float64(k), -float64(d+1))
+		bAvg := 0.0
+		for j := 1; j <= k-1; j++ {
+			b, err := m.blocking(m.lr, entReg, m.lh[d][j], in[m.hotIdx(d, j)])
+			if err != nil {
+				return fmt.Errorf("%w (ndim shared, dim %d ch %d)", ErrSaturated, d, j)
+			}
+			bAvg += pHot * b
+		}
+		bQuiet, err := m.blocking(m.lr, entReg, 0, 0)
+		if err != nil {
+			return fmt.Errorf("%w (ndim quiet, dim %d)", ErrSaturated, d)
+		}
+		bAvg += (1 - float64(k-1)*pHot) * bQuiet
+		for b := 1; b <= k-1; b++ {
+			next := m.cont(in, d, false)
+			if b > 1 {
+				next = in[m.regIdx(d, b-1)]
+			}
+			out[m.regIdx(d, b)] = 1 + bAvg + next
+		}
+	}
+	return nil
+}
+
+// SolveNDim evaluates the general k-ary n-cube hot-spot model.
+func SolveNDim(p NDimParams, o Options) (*NDimResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := newNDimModel(p, o)
+	k, n := p.K, p.N
+	state := make([]float64, 2*n*(k-1))
+	for d := 0; d < n; d++ {
+		// Zero-load: j hops in this dimension plus the expected remaining
+		// path (half ring per remaining dimension, roughly).
+		rem := float64(n-1-d) * float64(k-1) / 2 / 2
+		for j := 1; j <= k-1; j++ {
+			state[m.hotIdx(d, j)] = m.lm + float64(j) + rem
+			state[m.regIdx(d, j)] = m.lm + float64(j) + rem
+		}
+	}
+	fpOpts := o.FixPoint
+	if fpOpts.MaxIterations == 0 && fpOpts.Tolerance == 0 && fpOpts.Damping == 0 {
+		fpOpts = fixpoint.Options{Tolerance: 1e-9, MaxIterations: 20000, Damping: 0.5}
+	}
+	res, err := fixpoint.Solve(state, m.iterate, fpOpts)
+	if err != nil {
+		if errors.Is(err, fixpoint.ErrDiverged) || errors.Is(err, fixpoint.ErrMaxIterations) {
+			return nil, fmt.Errorf("%w: %v", ErrSaturated, err)
+		}
+		return nil, err
+	}
+	return m.assemble(state, res.Iterations)
+}
+
+func (m *ndimModel) assemble(state []float64, iters int) (*NDimResult, error) {
+	k, n := m.p.K, m.p.N
+
+	// Entrance distributions: the first crossed dimension of a uniform
+	// non-self destination is d with probability (k-1)/k · k^-d,
+	// normalised by 1 - k^-n; the entry distance is uniform on 1..k-1.
+	norm := 1 - math.Pow(float64(k), -float64(n))
+	entReg, entHot := 0.0, 0.0
+	pPrefix := 1.0
+	for d := 0; d < n; d++ {
+		for j := 1; j <= k-1; j++ {
+			pdj := pPrefix * (1.0 / float64(k)) / norm
+			entReg += pdj * state[m.regIdx(d, j)]
+			entHot += pdj * state[m.hotIdx(d, j)]
+		}
+		pPrefix /= float64(k)
+	}
+
+	// Source queue.
+	lv := m.p.Lambda / float64(m.p.V)
+	mix := (1-m.p.H)*entReg + m.p.H*entHot
+	ws, err := queueing.MG1Wait(lv, mix, serviceVariance(m.o, m.lm, mix))
+	if err != nil {
+		return nil, fmt.Errorf("%w (ndim source queue)", ErrSaturated)
+	}
+
+	// Channel-averaged multiplexing degree.
+	vSum := 0.0
+	for d := 0; d < n; d++ {
+		entRegD := m.regEntrance(state, d)
+		pHot := math.Pow(float64(k), -float64(d+1))
+		acc := 0.0
+		for j := 1; j <= k-1; j++ {
+			sBar := queueing.WeightedService(m.lr, entRegD, m.lh[d][j], state[m.hotIdx(d, j)])
+			deg, err := vcmodel.Degree(m.p.V, m.lr+m.lh[d][j], sBar)
+			if err != nil {
+				return nil, err
+			}
+			acc += pHot * deg
+		}
+		quiet, err := vcmodel.Degree(m.p.V, m.lr, entRegD)
+		if err != nil {
+			return nil, err
+		}
+		acc += (1 - float64(k-1)*pHot) * quiet
+		vSum += acc
+	}
+	vBar := vSum / float64(n)
+
+	regular := (entReg + ws) * vBar
+	hot := (entHot + ws) * vBar
+	latency := (1-m.p.H)*regular + m.p.H*hot
+
+	shot := make([][]float64, n)
+	for d := 0; d < n; d++ {
+		shot[d] = make([]float64, k)
+		for j := 1; j <= k-1; j++ {
+			shot[d][j] = state[m.hotIdx(d, j)]
+		}
+	}
+	return &NDimResult{
+		Latency:    latency,
+		Regular:    regular,
+		Hot:        hot,
+		WsRegular:  ws,
+		VBar:       vBar,
+		SHot:       shot,
+		Iterations: iters,
+	}, nil
+}

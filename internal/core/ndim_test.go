@@ -1,0 +1,123 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNDimParamsValidate(t *testing.T) {
+	good := NDimParams{K: 8, N: 3, V: 2, Lm: 16, H: 0.2, Lambda: 1e-4}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good params rejected: %v", err)
+	}
+	bad := []NDimParams{
+		{K: 1, N: 3, V: 2, Lm: 16, H: 0.2, Lambda: 1e-4},
+		{K: 8, N: 0, V: 2, Lm: 16, H: 0.2, Lambda: 1e-4},
+		{K: 8, N: 3, V: 1, Lm: 16, H: 0.2, Lambda: 1e-4},
+		{K: 8, N: 3, V: 2, Lm: 0, H: 0.2, Lambda: 1e-4},
+		{K: 8, N: 3, V: 2, Lm: 16, H: 1, Lambda: 1e-4},
+		{K: 8, N: 3, V: 2, Lm: 16, H: 0.2, Lambda: 0},
+		{K: 1000, N: 30, V: 2, Lm: 16, H: 0.2, Lambda: 1e-4},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+	if (NDimParams{K: 4, N: 3}).Nodes() != 64 {
+		t.Error("Nodes() wrong")
+	}
+	if _, err := SolveNDim(NDimParams{}, Options{}); err == nil {
+		t.Error("SolveNDim accepted zero params")
+	}
+}
+
+func TestNDimZeroLoad(t *testing.T) {
+	p := NDimParams{K: 8, N: 3, V: 2, Lm: 16, H: 0.2, Lambda: 1e-9}
+	r, err := SolveNDim(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean hops of a uniform non-self destination in a k-ary n-cube:
+	// n·(k-1)/2 normalised for the self-exclusion.
+	wantHops := 3 * 3.5 / (1 - math.Pow(8, -3))
+	if math.Abs(r.Regular-(16+wantHops)) > 0.3 {
+		t.Errorf("zero-load regular %v, want ~%v", r.Regular, 16+wantHops)
+	}
+	if r.WsRegular > 0.01 || r.VBar > 1.001 {
+		t.Errorf("zero-load ws %v VBar %v", r.WsRegular, r.VBar)
+	}
+}
+
+func TestNDimMatchesTwoDimModelAtLightLoad(t *testing.T) {
+	// For n = 2 the general model must agree with the paper's 2-D model at
+	// light load (they differ only in suffix-averaging granularity).
+	for _, lam := range []float64{1e-5, 5e-5, 1e-4} {
+		nd, err := SolveNDim(NDimParams{K: 16, N: 2, V: 2, Lm: 32, H: 0.2, Lambda: lam}, Options{})
+		if err != nil {
+			t.Fatalf("ndim: %v", err)
+		}
+		td := solveOK(t, Params{K: 16, V: 2, Lm: 32, H: 0.2, Lambda: lam}, Options{})
+		rel := math.Abs(nd.Latency-td.Latency) / td.Latency
+		if rel > 0.05 {
+			t.Errorf("lambda=%v: ndim %v vs 2-D %v (rel %.3f)", lam, nd.Latency, td.Latency, rel)
+		}
+	}
+}
+
+func TestNDimMonotoneInLambda(t *testing.T) {
+	prev := 0.0
+	for _, lam := range []float64{1e-5, 5e-5, 1e-4, 2e-4} {
+		r, err := SolveNDim(NDimParams{K: 8, N: 3, V: 2, Lm: 32, H: 0.3, Lambda: lam}, Options{})
+		if err != nil {
+			t.Fatalf("lambda=%v: %v", lam, err)
+		}
+		if r.Latency <= prev {
+			t.Fatalf("latency not increasing at %v", lam)
+		}
+		prev = r.Latency
+	}
+}
+
+func TestNDimSaturation(t *testing.T) {
+	// The busiest hot channel (last dimension, j = 1) carries
+	// lambda·h·k^(n-1)·(k-1): capacity ~ 1/(0.3·64·7·33) for k=8, n=3.
+	_, err := SolveNDim(NDimParams{K: 8, N: 3, V: 2, Lm: 32, H: 0.3, Lambda: 1e-3}, Options{})
+	if !errors.Is(err, ErrSaturated) {
+		t.Errorf("err = %v, want ErrSaturated", err)
+	}
+}
+
+func TestNDimSaturationFallsWithN(t *testing.T) {
+	// At fixed k and h, more dimensions concentrate more hot traffic on
+	// the last dimension's channels (k^(n-1) prefixes), so saturation
+	// falls with n.
+	sat := func(n int) float64 {
+		s, err := SaturationLambda(func(lam float64) error {
+			_, e := SolveNDim(NDimParams{K: 4, N: n, V: 2, Lm: 16, H: 0.3, Lambda: lam}, Options{})
+			return e
+		}, 1e-8, 0, 1e-3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s2, s3, s4 := sat(2), sat(3), sat(4)
+	if !(s2 > s3 && s3 > s4) {
+		t.Errorf("saturation not decreasing in n: %v %v %v", s2, s3, s4)
+	}
+}
+
+func TestNDimHotAboveRegular(t *testing.T) {
+	r, err := SolveNDim(NDimParams{K: 8, N: 3, V: 2, Lm: 32, H: 0.3, Lambda: 1.5e-4}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hot <= r.Regular {
+		t.Errorf("hot %v not above regular %v", r.Hot, r.Regular)
+	}
+	if len(r.SHot) != 3 || len(r.SHot[0]) != 8 {
+		t.Errorf("SHot dims %dx%d", len(r.SHot), len(r.SHot[0]))
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"kncube/internal/queueing"
+	"kncube/internal/vcmodel"
+)
+
+// UniformParams describe a k-ary n-cube under uniform traffic for the
+// baseline model.
+type UniformParams struct {
+	// K is the radix, Dims the dimension count n.
+	K, Dims int
+	// V is the virtual channel count per physical channel.
+	V int
+	// Lm is the message length in flits.
+	Lm int
+	// Lambda is the per-node generation rate in messages/cycle.
+	Lambda float64
+}
+
+// Validate reports the first problem with the parameters.
+func (p UniformParams) Validate() error {
+	if p.K < 2 {
+		return fmt.Errorf("core: uniform K = %d, want >= 2", p.K)
+	}
+	if p.Dims < 1 {
+		return fmt.Errorf("core: uniform Dims = %d, want >= 1", p.Dims)
+	}
+	if p.V < 1 {
+		return fmt.Errorf("core: uniform V = %d, want >= 1", p.V)
+	}
+	if p.Lm < 1 {
+		return fmt.Errorf("core: uniform Lm = %d, want >= 1", p.Lm)
+	}
+	if p.Lambda <= 0 || math.IsNaN(p.Lambda) || math.IsInf(p.Lambda, 0) {
+		return fmt.Errorf("core: uniform Lambda = %v, want > 0", p.Lambda)
+	}
+	return nil
+}
+
+// UniformResult is the solved uniform-traffic baseline.
+type UniformResult struct {
+	// Latency is the mean message latency in cycles, including source
+	// waiting and virtual-channel multiplexing.
+	Latency float64
+	// Network is the mean network latency S (no source wait, no V̄).
+	Network float64
+	// SourceWait is the M/G/1 source-queue waiting time.
+	SourceWait float64
+	// Multiplexing is Dally's V̄ at the mean channel load.
+	Multiplexing float64
+	// ChannelRate is the per-channel message rate lambda·k̄.
+	ChannelRate float64
+	// Blocking is the per-channel mean blocking delay.
+	Blocking float64
+	// Iterations is the scalar fixed-point iteration count.
+	Iterations int
+}
+
+// SolveUniform evaluates the classic uniform-traffic baseline
+// (Dally-1990/Draper-Ghosh style, adapted to the unidirectional torus with
+// the same blocking and variance approximations as the hot-spot model):
+// the mean network latency satisfies the scalar fixed point
+//
+//	S = Lm + d̄ + d̄·B(λc, S)
+//
+// with d̄ = n(k-1)/2 the mean path length and λc = λ·k̄ the uniform
+// per-channel rate; the final latency is (S + Ws)·V̄ exactly as in the
+// hot-spot model's assembly.
+func SolveUniform(p UniformParams) (*UniformResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	kbar := float64(p.K-1) / 2
+	dbar := float64(p.Dims) * kbar
+	lm := float64(p.Lm)
+	lc := p.Lambda * kbar
+
+	s := lm + dbar // zero-load starting point
+	var b float64
+	const (
+		tol     = 1e-10
+		maxIter = 100000
+	)
+	if lc*lm >= 1 { // physical flit capacity
+		return nil, fmt.Errorf("%w: channel flit load %v >= 1", ErrSaturated, lc*lm)
+	}
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		// The same calibrated blocking composition as the hot-spot
+		// model's default (BlockingVCOccupancy): the blocking probability
+		// is P_V of the virtual-channel occupancy chain at the holding
+		// utilisation, the waiting time a bandwidth-centric M/G/1 at the
+		// flit service time.
+		w, err := queueing.MG1Wait(lc, lm+1, 0)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSaturated, err)
+		}
+		rho := lc * s
+		if rho > 1 {
+			rho = 1
+		}
+		occ := vcmodel.Occupancy(p.V, rho*(1-1e-12))
+		nb := occ[p.V] * w
+		ns := lm + dbar + dbar*nb
+		ns = 0.5*s + 0.5*ns // damping, matching the hot-spot solver
+		if math.IsInf(ns, 0) || math.IsNaN(ns) {
+			return nil, fmt.Errorf("%w: diverged", ErrSaturated)
+		}
+		done := math.Abs(ns-s) <= tol*math.Max(1, s)
+		s, b = ns, nb
+		if done {
+			break
+		}
+	}
+	if iters == maxIter {
+		return nil, fmt.Errorf("%w: no fixed point", ErrSaturated)
+	}
+	ws, err := queueing.PaperWait(p.Lambda/float64(p.V), s, lm)
+	if err != nil {
+		return nil, fmt.Errorf("%w (source queue)", ErrSaturated)
+	}
+	vbar, err := vcmodel.Degree(p.V, lc, s)
+	if err != nil {
+		return nil, err
+	}
+	return &UniformResult{
+		Latency:      (s + ws) * vbar,
+		Network:      s,
+		SourceWait:   ws,
+		Multiplexing: vbar,
+		ChannelRate:  lc,
+		Blocking:     b,
+		Iterations:   iters + 1,
+	}, nil
+}
+
+// SaturationLambda locates the model's saturation rate by bisection: the
+// largest lambda (within relTol) for which solve succeeds. solve is called
+// with increasing/decreasing rates; lo must succeed and hi fail (the caller
+// may pass hi = 0 to auto-bracket).
+func SaturationLambda(solve func(lambda float64) error, lo, hi, relTol float64) (float64, error) {
+	if lo <= 0 {
+		return 0, errors.New("core: SaturationLambda needs lo > 0")
+	}
+	if err := solve(lo); err != nil {
+		return 0, fmt.Errorf("core: lower bracket %v already saturated: %w", lo, err)
+	}
+	if hi <= lo {
+		hi = lo * 2
+		for i := 0; i < 60; i++ {
+			if solve(hi) != nil {
+				break
+			}
+			lo = hi
+			hi *= 2
+		}
+		if solve(hi) == nil {
+			return 0, errors.New("core: could not bracket saturation")
+		}
+	} else if solve(hi) == nil {
+		return 0, fmt.Errorf("core: upper bracket %v not saturated", hi)
+	}
+	if relTol <= 0 {
+		relTol = 1e-3
+	}
+	for (hi-lo)/lo > relTol {
+		mid := (hi + lo) / 2
+		if solve(mid) == nil {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestUniformParamsValidate(t *testing.T) {
+	good := UniformParams{K: 16, Dims: 2, V: 2, Lm: 32, Lambda: 1e-3}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good params rejected: %v", err)
+	}
+	bad := []UniformParams{
+		{K: 1, Dims: 2, V: 2, Lm: 32, Lambda: 1e-3},
+		{K: 16, Dims: 0, V: 2, Lm: 32, Lambda: 1e-3},
+		{K: 16, Dims: 2, V: 0, Lm: 32, Lambda: 1e-3},
+		{K: 16, Dims: 2, V: 2, Lm: 0, Lambda: 1e-3},
+		{K: 16, Dims: 2, V: 2, Lm: 32, Lambda: 0},
+		{K: 16, Dims: 2, V: 2, Lm: 32, Lambda: math.NaN()},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+	if _, err := SolveUniform(UniformParams{}); err == nil {
+		t.Error("SolveUniform accepted zero params")
+	}
+}
+
+func TestUniformZeroLoad(t *testing.T) {
+	r, err := SolveUniform(UniformParams{K: 16, Dims: 2, V: 2, Lm: 32, Lambda: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 32.0 + 15.0 // Lm + n(k-1)/2
+	if math.Abs(r.Network-want) > 0.01 {
+		t.Errorf("zero-load network latency %v, want %v", r.Network, want)
+	}
+	if math.Abs(r.Latency-want) > 0.1 {
+		t.Errorf("zero-load latency %v, want ~%v", r.Latency, want)
+	}
+	if r.Multiplexing > 1.0001 {
+		t.Errorf("zero-load multiplexing %v", r.Multiplexing)
+	}
+}
+
+func TestUniformMonotoneInLambda(t *testing.T) {
+	prev := 0.0
+	for _, lam := range []float64{1e-4, 5e-4, 1e-3, 1.5e-3, 2e-3} {
+		r, err := SolveUniform(UniformParams{K: 16, Dims: 2, V: 2, Lm: 32, Lambda: lam})
+		if err != nil {
+			t.Fatalf("lambda=%v: %v", lam, err)
+		}
+		if r.Latency <= prev {
+			t.Fatalf("latency not increasing at %v", lam)
+		}
+		prev = r.Latency
+	}
+}
+
+func TestUniformSaturates(t *testing.T) {
+	// Per-channel load k̄·lambda·S >= 1 must fail: with k̄ = 7.5, S >= 47,
+	// lambda = 0.004 gives utilisation > 1.4.
+	_, err := SolveUniform(UniformParams{K: 16, Dims: 2, V: 2, Lm: 32, Lambda: 0.004})
+	if !errors.Is(err, ErrSaturated) {
+		t.Errorf("err = %v, want ErrSaturated", err)
+	}
+}
+
+func TestUniformSaturationNearChannelCapacity(t *testing.T) {
+	s, err := SaturationLambda(func(lam float64) error {
+		_, e := SolveUniform(UniformParams{K: 16, Dims: 2, V: 2, Lm: 32, Lambda: lam})
+		return e
+	}, 1e-5, 0, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Channel capacity bound: lambda_sat <= 1/(k̄·Lm) = 1/240.
+	if s > 1/240.0 {
+		t.Errorf("saturation %v above channel capacity bound %v", s, 1/240.0)
+	}
+	if s < 1/240.0/10 {
+		t.Errorf("saturation %v implausibly low", s)
+	}
+}
+
+func TestUniformDimsScaling(t *testing.T) {
+	// More dimensions at the same radix mean longer paths and higher
+	// latency at equal lambda.
+	r2, err := SolveUniform(UniformParams{K: 8, Dims: 2, V: 2, Lm: 32, Lambda: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := SolveUniform(UniformParams{K: 8, Dims: 3, V: 2, Lm: 32, Lambda: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Latency <= r2.Latency {
+		t.Errorf("3-D latency %v not above 2-D %v", r3.Latency, r2.Latency)
+	}
+}
+
+func TestSaturationLambdaValidation(t *testing.T) {
+	alwaysOK := func(float64) error { return nil }
+	alwaysSat := func(float64) error { return ErrSaturated }
+	if _, err := SaturationLambda(alwaysOK, 0, 0, 1e-3); err == nil {
+		t.Error("lo=0 accepted")
+	}
+	if _, err := SaturationLambda(alwaysSat, 1e-3, 0, 1e-3); err == nil {
+		t.Error("saturated lower bracket accepted")
+	}
+	if _, err := SaturationLambda(alwaysOK, 1e-3, 0, 1e-3); err == nil {
+		t.Error("unbracketable function accepted")
+	}
+	if _, err := SaturationLambda(alwaysOK, 1e-3, 2e-3, 1e-3); err == nil {
+		t.Error("non-saturated upper bracket accepted")
+	}
+}
+
+func TestSaturationLambdaBisection(t *testing.T) {
+	threshold := 0.37
+	solve := func(lam float64) error {
+		if lam >= threshold {
+			return ErrSaturated
+		}
+		return nil
+	}
+	got, err := SaturationLambda(solve, 0.01, 0, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-threshold)/threshold > 2e-4 {
+		t.Errorf("bisection found %v, want ~%v", got, threshold)
+	}
+}

@@ -1,0 +1,115 @@
+// Package fixpoint solves the systems of mutually-dependent nonlinear
+// equations that analytical interconnect models produce. The paper (Section
+// 3, final paragraph) notes that a closed-form solution of the
+// interdependencies is intractable and resorts to iterative techniques;
+// this package provides that machinery: damped successive substitution with
+// convergence and divergence detection.
+package fixpoint
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDiverged reports that the iteration produced a non-finite value. In
+// latency models this corresponds to operating beyond the saturation point.
+var ErrDiverged = errors.New("fixpoint: iteration diverged (non-finite value)")
+
+// ErrMaxIterations reports that the iteration failed to converge within the
+// configured budget.
+var ErrMaxIterations = errors.New("fixpoint: maximum iterations exceeded")
+
+// Options configure a Solve run. The zero value is replaced by Defaults.
+type Options struct {
+	// Tolerance is the maximum relative change of any variable between two
+	// successive iterations for the state to count as converged.
+	Tolerance float64
+	// MaxIterations bounds the number of substitution rounds.
+	MaxIterations int
+	// Damping in (0, 1] mixes the new iterate with the previous one:
+	// x' = (1-Damping)*x + Damping*F(x). 1 is plain substitution; smaller
+	// values trade speed for robustness near saturation.
+	Damping float64
+}
+
+// Defaults returns the options used when a zero Options is supplied.
+func Defaults() Options {
+	return Options{Tolerance: 1e-6, MaxIterations: 10000, Damping: 0.5}
+}
+
+func (o Options) withDefaults() (Options, error) {
+	d := Defaults()
+	if o.Tolerance == 0 {
+		o.Tolerance = d.Tolerance
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = d.MaxIterations
+	}
+	if o.Damping == 0 {
+		o.Damping = d.Damping
+	}
+	if o.Tolerance < 0 {
+		return o, fmt.Errorf("fixpoint: negative tolerance %v", o.Tolerance)
+	}
+	if o.MaxIterations < 1 {
+		return o, fmt.Errorf("fixpoint: MaxIterations %d < 1", o.MaxIterations)
+	}
+	if o.Damping < 0 || o.Damping > 1 {
+		return o, fmt.Errorf("fixpoint: damping %v outside (0, 1]", o.Damping)
+	}
+	return o, nil
+}
+
+// Result reports how a Solve run ended.
+type Result struct {
+	// Iterations is the number of substitution rounds performed.
+	Iterations int
+	// Residual is the final maximum relative change.
+	Residual float64
+}
+
+// Map evaluates one substitution round: given the current state it writes
+// the next state into out (len(out) == len(in)). It may return an error to
+// abort; the error is propagated to Solve's caller (models use this to
+// signal saturation).
+type Map func(in, out []float64) error
+
+// Solve iterates x <- (1-d)x + d F(x) from the given initial state until the
+// maximum relative change falls below the tolerance. The state slice is
+// modified in place and also returned.
+func Solve(state []float64, f Map, opts Options) (Result, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	next := make([]float64, len(state))
+	var res Result
+	for iter := 1; iter <= o.MaxIterations; iter++ {
+		res.Iterations = iter
+		if err := f(state, next); err != nil {
+			return res, err
+		}
+		maxRel := 0.0
+		for i := range state {
+			nv := (1-o.Damping)*state[i] + o.Damping*next[i]
+			if math.IsNaN(nv) || math.IsInf(nv, 0) {
+				return res, ErrDiverged
+			}
+			den := math.Abs(state[i])
+			if den < 1 {
+				den = 1
+			}
+			rel := math.Abs(nv-state[i]) / den
+			if rel > maxRel {
+				maxRel = rel
+			}
+			state[i] = nv
+		}
+		res.Residual = maxRel
+		if maxRel <= o.Tolerance {
+			return res, nil
+		}
+	}
+	return res, ErrMaxIterations
+}

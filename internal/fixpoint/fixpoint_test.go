@@ -1,0 +1,152 @@
+package fixpoint
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestSolveLinearContraction(t *testing.T) {
+	// x = 0.5x + 3 has fixed point 6.
+	f := func(in, out []float64) error {
+		out[0] = 0.5*in[0] + 3
+		return nil
+	}
+	state := []float64{0}
+	res, err := Solve(state, f, Options{Tolerance: 1e-10, MaxIterations: 1000, Damping: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(state[0]-6) > 1e-8 {
+		t.Errorf("fixed point %v, want 6 (res %+v)", state[0], res)
+	}
+}
+
+func TestSolveCoupledSystem(t *testing.T) {
+	// x = (y+1)/2, y = (x+1)/2 has fixed point (1, 1).
+	f := func(in, out []float64) error {
+		out[0] = (in[1] + 1) / 2
+		out[1] = (in[0] + 1) / 2
+		return nil
+	}
+	state := []float64{0, 10}
+	if _, err := Solve(state, f, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(state[0]-1) > 1e-5 || math.Abs(state[1]-1) > 1e-5 {
+		t.Errorf("fixed point %v, want (1,1)", state)
+	}
+}
+
+func TestSolveNonlinear(t *testing.T) {
+	// x = cos(x): Dottie number 0.739085...
+	f := func(in, out []float64) error {
+		out[0] = math.Cos(in[0])
+		return nil
+	}
+	state := []float64{0}
+	if _, err := Solve(state, f, Options{Tolerance: 1e-9}); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(state[0]-0.7390851332) > 1e-6 {
+		t.Errorf("Dottie number: got %v", state[0])
+	}
+}
+
+func TestDampingStabilisesOscillation(t *testing.T) {
+	// x = -x + 2 oscillates under plain substitution from x=0 (0,2,0,2,...)
+	// but converges to 1 with damping 0.5 in one step.
+	f := func(in, out []float64) error {
+		out[0] = -in[0] + 2
+		return nil
+	}
+	state := []float64{0}
+	if _, err := Solve(state, f, Options{Damping: 0.5, Tolerance: 1e-9}); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(state[0]-1) > 1e-6 {
+		t.Errorf("oscillator fixed point %v, want 1", state[0])
+	}
+}
+
+func TestSolveDivergenceDetected(t *testing.T) {
+	f := func(in, out []float64) error {
+		out[0] = in[0]*in[0] + 1e30
+		return nil
+	}
+	state := []float64{1}
+	_, err := Solve(state, f, Options{MaxIterations: 100, Damping: 1})
+	if !errors.Is(err, ErrDiverged) {
+		t.Errorf("err = %v, want ErrDiverged", err)
+	}
+}
+
+func TestSolveMaxIterations(t *testing.T) {
+	// Growth without overflow within the budget: hits the iteration cap.
+	f := func(in, out []float64) error {
+		out[0] = in[0] + 1
+		return nil
+	}
+	state := []float64{0}
+	res, err := Solve(state, f, Options{MaxIterations: 50, Damping: 1})
+	if !errors.Is(err, ErrMaxIterations) {
+		t.Fatalf("err = %v, want ErrMaxIterations", err)
+	}
+	if res.Iterations != 50 {
+		t.Errorf("iterations = %d, want 50", res.Iterations)
+	}
+}
+
+func TestSolvePropagatesMapError(t *testing.T) {
+	sentinel := errors.New("saturated")
+	f := func(in, out []float64) error { return sentinel }
+	_, err := Solve([]float64{0}, f, Options{})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want sentinel", err)
+	}
+}
+
+func TestSolveOptionValidation(t *testing.T) {
+	ok := func(in, out []float64) error { copy(out, in); return nil }
+	if _, err := Solve([]float64{0}, ok, Options{Damping: 1.5}); err == nil {
+		t.Error("damping > 1 accepted")
+	}
+	if _, err := Solve([]float64{0}, ok, Options{Damping: -0.1}); err == nil {
+		t.Error("negative damping accepted")
+	}
+	if _, err := Solve([]float64{0}, ok, Options{Tolerance: -1}); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+	if _, err := Solve([]float64{0}, ok, Options{MaxIterations: -5}); err == nil {
+		t.Error("negative MaxIterations accepted")
+	}
+}
+
+func TestSolveIdentityConvergesImmediately(t *testing.T) {
+	f := func(in, out []float64) error { copy(out, in); return nil }
+	state := []float64{3, 4, 5}
+	res, err := Solve(state, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 1 {
+		t.Errorf("identity took %d iterations", res.Iterations)
+	}
+	if res.Residual != 0 {
+		t.Errorf("identity residual %v", res.Residual)
+	}
+}
+
+func TestSolveEmptyState(t *testing.T) {
+	f := func(in, out []float64) error { return nil }
+	if _, err := Solve(nil, f, Options{}); err != nil {
+		t.Errorf("empty state: %v", err)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	d := Defaults()
+	if d.Tolerance <= 0 || d.MaxIterations <= 0 || d.Damping <= 0 || d.Damping > 1 {
+		t.Errorf("bad defaults: %+v", d)
+	}
+}

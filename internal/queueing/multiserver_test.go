@@ -1,0 +1,201 @@
+package queueing
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestErlangBKnownValues(t *testing.T) {
+	// Classic table values.
+	cases := []struct {
+		c    int
+		a    float64
+		want float64
+	}{
+		{1, 1, 0.5},
+		{2, 1, 0.2},
+		{2, 2, 0.4},
+		{3, 2, 4.0 / 19.0},
+	}
+	for _, c := range cases {
+		if got := ErlangB(c.c, c.a); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("ErlangB(%d,%v) = %v, want %v", c.c, c.a, got, c.want)
+		}
+	}
+}
+
+func TestErlangBEdge(t *testing.T) {
+	if ErlangB(0, 1) != 0 || ErlangB(2, 0) != 0 || ErlangB(2, -1) != 0 {
+		t.Error("edge cases should return 0")
+	}
+}
+
+func TestErlangBDecreasesWithServers(t *testing.T) {
+	prev := 1.1
+	for c := 1; c <= 10; c++ {
+		b := ErlangB(c, 3)
+		if b >= prev {
+			t.Fatalf("ErlangB not decreasing at c=%d", c)
+		}
+		prev = b
+	}
+}
+
+func TestErlangCKnownValues(t *testing.T) {
+	// M/M/1: C = rho.
+	if got := ErlangC(1, 0.3); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("ErlangC(1,0.3) = %v, want 0.3", got)
+	}
+	// M/M/2 with a=1 (rho=0.5): C = B/(1-rho(1-B)) with B=0.2: 0.2/0.6=1/3.
+	if got := ErlangC(2, 1); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Errorf("ErlangC(2,1) = %v, want 1/3", got)
+	}
+}
+
+func TestErlangCSaturates(t *testing.T) {
+	if got := ErlangC(2, 2); got != 1 {
+		t.Errorf("ErlangC at a=c = %v, want 1", got)
+	}
+	if got := ErlangC(2, 5); got != 1 {
+		t.Errorf("ErlangC beyond capacity = %v, want 1", got)
+	}
+}
+
+func TestErlangCBounds(t *testing.T) {
+	for c := 1; c <= 8; c++ {
+		for a := 0.1; a < float64(c); a += 0.1 {
+			got := ErlangC(c, a)
+			if got < 0 || got > 1 {
+				t.Fatalf("ErlangC(%d,%v) = %v outside [0,1]", c, a, got)
+			}
+			if b := ErlangB(c, a); got < b {
+				t.Fatalf("ErlangC(%d,%v)=%v below ErlangB=%v", c, a, got, b)
+			}
+		}
+	}
+}
+
+func TestMGcWaitReducesToMG1(t *testing.T) {
+	lambda, s, v := 0.01, 40.0, 100.0
+	w1, err1 := MG1Wait(lambda, s, v)
+	wc, errc := MGcWait(lambda, s, v, 1)
+	if err1 != nil || errc != nil {
+		t.Fatal(err1, errc)
+	}
+	if math.Abs(w1-wc) > 1e-9 {
+		t.Errorf("MGcWait(c=1) %v != MG1Wait %v", wc, w1)
+	}
+}
+
+func TestMGcWaitValidation(t *testing.T) {
+	if _, err := MGcWait(-1, 1, 0, 2); err == nil {
+		t.Error("negative lambda accepted")
+	}
+	if _, err := MGcWait(0.1, 1, 0, 0); err == nil {
+		t.Error("c=0 accepted")
+	}
+	if w, err := MGcWait(0, 5, 0, 2); err != nil || w != 0 {
+		t.Error("idle queue should wait 0")
+	}
+}
+
+func TestMGcWaitUnstable(t *testing.T) {
+	_, err := MGcWait(0.1, 30, 0, 2) // a = 3 > 2
+	if !errors.Is(err, ErrUnstable) {
+		t.Errorf("err = %v, want ErrUnstable", err)
+	}
+}
+
+func TestMGcPoolBeatsSplitQueues(t *testing.T) {
+	// Pooling c servers always beats c separate queues each fed lambda/c.
+	lambda, s := 0.04, 40.0
+	for _, c := range []int{2, 4} {
+		pool, err := MGcWait(lambda, s, 0, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		split, err := MG1Wait(lambda/float64(c), s, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pool >= split {
+			t.Errorf("c=%d: pool wait %v not below split wait %v", c, pool, split)
+		}
+	}
+}
+
+func TestMGcWaitMonotoneInLoad(t *testing.T) {
+	prev := -1.0
+	for lambda := 0.001; lambda*40 < 1.95; lambda += 0.001 {
+		w, err := MGcWait(lambda, 40, 64, 2)
+		if err != nil {
+			t.Fatalf("lambda=%v: %v", lambda, err)
+		}
+		if w < prev {
+			t.Fatalf("wait decreased at lambda=%v", lambda)
+		}
+		prev = w
+	}
+}
+
+func TestPaperWaitMulti(t *testing.T) {
+	// Equals MGcWait with variance (s-lm)^2.
+	w1, err1 := PaperWaitMulti(0.01, 50, 32, 2)
+	w2, err2 := MGcWait(0.01, 50, 18*18, 2)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if w1 != w2 {
+		t.Errorf("PaperWaitMulti %v != MGcWait %v", w1, w2)
+	}
+	if w, err := PaperWaitMulti(0.01, 0, 32, 2); err != nil || w != 0 {
+		t.Error("zero service should wait 0")
+	}
+}
+
+func TestBlockingMulti(t *testing.T) {
+	if b, err := BlockingMulti(0, 0, 0, 0, 32, 2); err != nil || b != 0 {
+		t.Error("idle channel should block 0")
+	}
+	b, err := BlockingMulti(0.001, 40, 0.004, 50, 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b <= 0 {
+		t.Errorf("blocking %v, want > 0", b)
+	}
+	// Symmetric in class order.
+	b2, err := BlockingMulti(0.004, 50, 0.001, 40, 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b-b2) > 1e-12 {
+		t.Errorf("not symmetric: %v vs %v", b, b2)
+	}
+}
+
+func TestBlockingBandwidthStableToFlitCapacity(t *testing.T) {
+	// Holding-time utilisation may exceed 1 while the flit load stays
+	// below capacity: the bandwidth form must remain finite there.
+	lm := 32.0
+	lr, sr := 0.0, 0.0
+	lh, sh := 0.025, 200.0 // holding utilisation 5, flit load 0.83
+	b, err := BlockingBandwidth(lr, sr, lh, sh, lm)
+	if err != nil {
+		t.Fatalf("unexpected saturation: %v", err)
+	}
+	if b <= 0 {
+		t.Errorf("blocking %v", b)
+	}
+	// Beyond flit capacity it must fail.
+	if _, err := BlockingBandwidth(0, 0, 0.031, 200, lm); !errors.Is(err, ErrUnstable) {
+		t.Errorf("err = %v, want ErrUnstable beyond capacity", err)
+	}
+}
+
+func TestBlockingBandwidthIdle(t *testing.T) {
+	if b, err := BlockingBandwidth(0, 0, 0, 0, 32); err != nil || b != 0 {
+		t.Error("idle channel should block 0")
+	}
+}

@@ -1,0 +1,232 @@
+// Package queueing provides the queueing-theoretic building blocks of the
+// analytical model: the M/G/1 waiting-time formula with the service-time
+// variance approximation used throughout the wormhole-modelling literature
+// (Draper-Ghosh 1994), and the channel blocking-delay composition of
+// Eqs. 26-30 of Loucif, Ould-Khaoua, Min (IPDPS 2005).
+//
+// All times are in network cycles and all rates in messages/cycle.
+package queueing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrUnstable reports a queue whose utilisation is at or above 1, i.e. the
+// offered load exceeds the service capacity and the waiting time diverges.
+// The analytical model maps this condition to network saturation.
+var ErrUnstable = errors.New("queueing: utilisation >= 1 (saturated)")
+
+// MG1Wait returns the mean waiting time of an M/G/1 queue with arrival rate
+// lambda, mean service time s and service-time variance variance
+// (Pollaczek-Khinchine):
+//
+//	W = lambda * E[S^2] / (2 (1 - lambda s)),  E[S^2] = s^2 + Var[S].
+//
+// It returns ErrUnstable when lambda*s >= 1.
+func MG1Wait(lambda, s, variance float64) (float64, error) {
+	if lambda < 0 || s < 0 || variance < 0 {
+		return 0, fmt.Errorf("queueing: negative argument MG1Wait(%v,%v,%v)", lambda, s, variance)
+	}
+	if lambda == 0 || s == 0 {
+		return 0, nil
+	}
+	rho := lambda * s
+	if rho >= 1 {
+		return 0, ErrUnstable
+	}
+	return lambda * (s*s + variance) / (2 * (1 - rho)), nil
+}
+
+// MM1Wait returns the mean waiting time of an M/M/1 queue (service-time
+// variance = s^2). Used as a cross-check for MG1Wait in tests.
+func MM1Wait(lambda, s float64) (float64, error) {
+	return MG1Wait(lambda, s, s*s)
+}
+
+// MD1Wait returns the mean waiting time of an M/D/1 queue (deterministic
+// service, variance 0).
+func MD1Wait(lambda, s float64) (float64, error) {
+	return MG1Wait(lambda, s, 0)
+}
+
+// PaperWait returns the waiting-time approximation of Eq. 28 of the paper:
+// an M/G/1 queue whose service-time variance is approximated by
+// (s - Lm)^2, where Lm is the message length in flits. The term (s - Lm)
+// is the variable part of the service time (path delay and blocking), and
+// treating it as the standard deviation is the approximation the paper
+// inherits from Draper-Ghosh:
+//
+//	W = lambda s^2 (1 + (s-Lm)^2/s^2) / (2 (1 - lambda s)).
+func PaperWait(lambda, s, lm float64) (float64, error) {
+	if s == 0 {
+		return 0, nil
+	}
+	dev := s - lm
+	return MG1Wait(lambda, s, dev*dev)
+}
+
+// WeightedService returns the rate-weighted mean service time of two
+// traffic classes (Eq. 30): (lr*sr + lh*sh) / (lr + lh). It returns 0 when
+// both rates are zero.
+func WeightedService(lr, sr, lh, sh float64) float64 {
+	total := lr + lh
+	if total == 0 {
+		return 0
+	}
+	return (lr*sr + lh*sh) / total
+}
+
+// BlockingProbability returns Eq. 27: the probability that an arriving
+// header finds the channel busy, taken as the channel utilisation
+// lr*sr + lh*sh, clamped to [0, 1].
+func BlockingProbability(lr, sr, lh, sh float64) float64 {
+	p := lr*sr + lh*sh
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Blocking returns the mean blocking delay B(lr, sr, lh, sh) of Eq. 26: the
+// product of the blocking probability (Eq. 27) and the mean time to acquire
+// the channel (Eqs. 28-30), where the channel is treated as an M/G/1 server
+// with the aggregate rate and the weighted service time, and lm is the
+// message length used by the variance approximation.
+//
+// It returns ErrUnstable when the aggregate utilisation reaches 1.
+func Blocking(lr, sr, lh, sh, lm float64) (float64, error) {
+	total := lr + lh
+	if total == 0 {
+		return 0, nil
+	}
+	sBar := WeightedService(lr, sr, lh, sh)
+	w, err := PaperWait(total, sBar, lm)
+	if err != nil {
+		return 0, err
+	}
+	return BlockingProbability(lr, sr, lh, sh) * w, nil
+}
+
+// BlockingBandwidth is the bandwidth-centric channel blocking delay: the
+// blocking probability is the channel occupancy computed from the full
+// wormhole holding times (Eq. 27, rates lr/lh with remaining-path service
+// times sr/sh), while the waiting time treats the physical channel as an
+// M/G/1 server whose per-message service is the flit transmission time
+// lm + 1 — during a header stall the link serves other virtual channels, so
+// link bandwidth, not holding time, bounds throughput. The service-time
+// variance keeps the paper's (S̄ - lm)² approximation with S̄ the weighted
+// holding time, so path-length variability still widens the wait. The queue
+// destabilises exactly at the physical flit capacity (lr+lh)(lm+1) -> 1.
+func BlockingBandwidth(lr, sr, lh, sh, lm float64) (float64, error) {
+	total := lr + lh
+	if total == 0 {
+		return 0, nil
+	}
+	sBar := WeightedService(lr, sr, lh, sh)
+	dev := sBar - lm
+	w, err := MG1Wait(total, lm+1, dev*dev)
+	if err != nil {
+		return 0, err
+	}
+	return BlockingProbability(lr, sr, lh, sh) * w, nil
+}
+
+// ErlangB returns the Erlang-B blocking probability for offered load a
+// (erlangs) on c servers, computed with the stable recurrence.
+func ErlangB(c int, a float64) float64 {
+	if c < 1 || a <= 0 {
+		return 0
+	}
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	return b
+}
+
+// ErlangC returns the probability that an arrival must wait in an M/M/c
+// queue with offered load a = lambda*s erlangs; requires a < c for a finite
+// queue (returns 1 when a >= c).
+func ErlangC(c int, a float64) float64 {
+	if c < 1 || a <= 0 {
+		return 0
+	}
+	if a >= float64(c) {
+		return 1
+	}
+	b := ErlangB(c, a)
+	rho := a / float64(c)
+	return b / (1 - rho*(1-b))
+}
+
+// MGcWait returns the standard approximation of the mean waiting time in an
+// M/G/c queue (Lee-Longton): the M/M/c waiting time scaled by (1+SCV)/2,
+//
+//	W ≈ ErlangC(c, a) · s/(c(1-rho)) · (1+Var/s²)/2,  a = lambda·s.
+//
+// This models a header waiting for any free virtual channel of a class of c
+// channels. Returns ErrUnstable when a >= c.
+func MGcWait(lambda, s, variance float64, c int) (float64, error) {
+	if lambda < 0 || s < 0 || variance < 0 {
+		return 0, fmt.Errorf("queueing: negative argument MGcWait(%v,%v,%v)", lambda, s, variance)
+	}
+	if c < 1 {
+		return 0, fmt.Errorf("queueing: MGcWait with %d servers", c)
+	}
+	if lambda == 0 || s == 0 {
+		return 0, nil
+	}
+	a := lambda * s
+	if a >= float64(c) {
+		return 0, ErrUnstable
+	}
+	rho := a / float64(c)
+	scv := variance / (s * s)
+	return ErlangC(c, a) * s / (float64(c) * (1 - rho)) * (1 + scv) / 2, nil
+}
+
+// PaperWaitMulti is PaperWait generalised to a c-server virtual-channel
+// pool, keeping the paper's (s-Lm)² variance approximation.
+func PaperWaitMulti(lambda, s, lm float64, c int) (float64, error) {
+	if s == 0 {
+		return 0, nil
+	}
+	dev := s - lm
+	return MGcWait(lambda, s, dev*dev, c)
+}
+
+// BlockingMulti is the channel blocking delay with the two traffic classes
+// of Blocking but treating the c virtual channels as a server pool: the
+// blocking delay is the unconditional M/G/c waiting time at the aggregate
+// rate and weighted service time.
+func BlockingMulti(lr, sr, lh, sh, lm float64, c int) (float64, error) {
+	total := lr + lh
+	if total == 0 {
+		return 0, nil
+	}
+	sBar := WeightedService(lr, sr, lh, sh)
+	return PaperWaitMulti(total, sBar, lm, c)
+}
+
+// Utilisation returns lambda*s, the offered load of a single-server queue.
+func Utilisation(lambda, s float64) float64 { return lambda * s }
+
+// Stable reports whether a queue with the given arrival rate and mean
+// service time has utilisation strictly below 1 - margin.
+func Stable(lambda, s, margin float64) bool {
+	return lambda*s < 1-margin
+}
+
+// SquaredCoefficientOfVariation returns Var/S^2, the SCV used to sanity-check
+// the variance approximation in tests. Returns NaN for s == 0.
+func SquaredCoefficientOfVariation(s, variance float64) float64 {
+	if s == 0 {
+		return math.NaN()
+	}
+	return variance / (s * s)
+}

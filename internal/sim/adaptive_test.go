@@ -1,0 +1,194 @@
+package sim
+
+// Tests of minimal adaptive routing with Duato-style escape channels — the
+// alternative the paper's introduction weighs deterministic routing
+// against (its refs [7, 22]).
+
+import (
+	"testing"
+
+	"kncube/internal/topology"
+	"kncube/internal/traffic"
+)
+
+func TestAdaptiveConfigValidation(t *testing.T) {
+	bad := Config{K: 4, Dims: 2, VCs: 2, MsgLen: 8, Lambda: 0.001, Routing: RoutingAdaptive}
+	if err := bad.Validate(); err == nil {
+		t.Error("adaptive with 2 VCs accepted (needs escape + adaptive)")
+	}
+	good := bad
+	good.VCs = 3
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid adaptive config rejected: %v", err)
+	}
+}
+
+func TestAdaptiveSingleMessageMinimalPath(t *testing.T) {
+	cube := topology.MustNew(5, 2)
+	cases := []struct{ src, dst topology.NodeID }{
+		{cube.FromCoords([]int{0, 0}), cube.FromCoords([]int{2, 3})},
+		{cube.FromCoords([]int{4, 4}), cube.FromCoords([]int{1, 2})},
+		{cube.FromCoords([]int{0, 2}), cube.FromCoords([]int{0, 4})},
+	}
+	for _, c := range cases {
+		cfg := singleMessageConfig(5, 2, 6, c.src, c.dst)
+		cfg.VCs = 4
+		cfg.Routing = RoutingAdaptive
+		msg := runSingle(t, cfg)
+		hops := cube.Distance(c.src, c.dst)
+		if int(msg.Hops) != hops {
+			t.Errorf("src=%d dst=%d: hops %d, want minimal %d", c.src, c.dst, msg.Hops, hops)
+		}
+		if want := int64(hops + 6 + 1); msg.Latency() != want {
+			t.Errorf("src=%d dst=%d: latency %d, want %d", c.src, c.dst, msg.Latency(), want)
+		}
+	}
+}
+
+func TestAdaptiveNoDeadlockUniformHighLoad(t *testing.T) {
+	drainAfterLoad(t, Config{
+		K: 4, Dims: 2, VCs: 3, MsgLen: 8, Lambda: 0.06,
+		Seed: 61, Routing: RoutingAdaptive, CheckInvariants: true,
+	}, 25000)
+}
+
+func TestAdaptiveNoDeadlockHotSpot(t *testing.T) {
+	cube := topology.MustNew(4, 2)
+	hs, _ := traffic.NewHotSpot(cube, 9, 0.8)
+	drainAfterLoad(t, Config{
+		K: 4, Dims: 2, VCs: 3, MsgLen: 8, Lambda: 0.03,
+		Pattern: hs, Seed: 62, Routing: RoutingAdaptive, CheckInvariants: true,
+	}, 25000)
+}
+
+func TestAdaptiveNoDeadlockBidirectional(t *testing.T) {
+	drainAfterLoad(t, Config{
+		K: 5, Dims: 2, VCs: 4, MsgLen: 8, Lambda: 0.05,
+		Seed: 63, Routing: RoutingAdaptive, Bidirectional: true, CheckInvariants: true,
+	}, 25000)
+}
+
+func TestAdaptiveNoDeadlockWrapHeavy(t *testing.T) {
+	cube := topology.MustNew(4, 2)
+	drainAfterLoad(t, Config{
+		K: 4, Dims: 2, VCs: 3, MsgLen: 8, Lambda: 0.06,
+		Pattern: traffic.BitReversal{Cube: cube}, Seed: 64,
+		Routing: RoutingAdaptive, CheckInvariants: true,
+	}, 25000)
+}
+
+func TestAdaptiveComparableToDeterministicOnPermutation(t *testing.T) {
+	// The observation motivating the paper's focus on deterministic
+	// routing (its ref [22]): with the same virtual-channel budget,
+	// deterministic routing performs comparably to minimal adaptive
+	// routing on realistic permutation traffic — the adaptive design pays
+	// for flexibility by reserving escape channels.
+	cube := topology.MustNew(8, 2)
+	run := func(routing Routing, lambda float64) float64 {
+		nw, err := New(Config{
+			K: 8, Dims: 2, VCs: 4, MsgLen: 16, Lambda: lambda,
+			Pattern: traffic.Transpose{Cube: cube}, Seed: 65, Routing: routing,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := nw.Run(RunOptions{WarmupCycles: 5000, MaxCycles: 250000, MinMeasured: 3000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanLatency
+	}
+	for _, lambda := range []float64{4e-3, 6e-3} {
+		det, ad := run(RoutingDimensionOrder, lambda), run(RoutingAdaptive, lambda)
+		ratio := det / ad
+		if ratio < 0.7 || ratio > 1.4 {
+			t.Errorf("lambda=%v: deterministic %v vs adaptive %v (ratio %.2f, want comparable)",
+				lambda, det, ad, ratio)
+		}
+	}
+}
+
+func TestAdaptiveDoesNotHelpHotSpotFanIn(t *testing.T) {
+	// The paper's motivating observation (ref [22]): the hot node's input
+	// channels are the bottleneck regardless of routing flexibility, so
+	// deterministic routing remains competitive under hot-spot traffic.
+	cube := topology.MustNew(8, 2)
+	run := func(routing Routing) float64 {
+		hs, _ := traffic.NewHotSpot(cube, 36, 0.5)
+		nw, err := New(Config{
+			K: 8, Dims: 2, VCs: 4, MsgLen: 16, Lambda: 8e-4,
+			Pattern: hs, Seed: 66, Routing: routing,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := nw.Run(RunOptions{WarmupCycles: 5000, MaxCycles: 250000, MinMeasured: 3000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanHot
+	}
+	det, ad := run(RoutingDimensionOrder), run(RoutingAdaptive)
+	ratio := det / ad
+	if ratio > 1.35 {
+		t.Errorf("adaptive hot latency %v much better than deterministic %v (ratio %.2f): fan-in should dominate",
+			ad, det, ratio)
+	}
+	if ratio < 0.6 {
+		t.Errorf("adaptive hot latency %v much worse than deterministic %v", ad, det)
+	}
+}
+
+func TestAdaptiveConservation(t *testing.T) {
+	nw, err := New(Config{
+		K: 4, Dims: 2, VCs: 4, MsgLen: 6, Lambda: 0.01,
+		Seed: 67, Routing: RoutingAdaptive, CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	escaped := 0
+	nw.OnDeliver(func(m *Message) {
+		if m.Escaped {
+			escaped++
+		}
+	})
+	for i := 0; i < 30000; i++ {
+		nw.Step()
+	}
+	if !nw.Drain(300000) {
+		t.Fatalf("drain failed: backlog %d", nw.Backlog())
+	}
+	if nw.Injected() != nw.Delivered() {
+		t.Errorf("injected %d != delivered %d", nw.Injected(), nw.Delivered())
+	}
+	if escaped == 0 {
+		t.Log("note: no message used the escape network at this load")
+	}
+}
+
+func TestAdaptiveEscapeUsedUnderPressure(t *testing.T) {
+	// With a single adaptive VC and heavy load, some messages must fall
+	// back to the escape network.
+	cube := topology.MustNew(4, 2)
+	hs, _ := traffic.NewHotSpot(cube, 9, 0.7)
+	nw, err := New(Config{
+		K: 4, Dims: 2, VCs: 3, MsgLen: 8, Lambda: 0.03,
+		Pattern: hs, Seed: 68, Routing: RoutingAdaptive,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	escaped := 0
+	nw.OnDeliver(func(m *Message) {
+		if m.Escaped {
+			escaped++
+		}
+	})
+	for i := 0; i < 40000; i++ {
+		nw.Step()
+	}
+	if escaped == 0 {
+		t.Error("no message ever used the escape network under heavy hot-spot load")
+	}
+}

@@ -1,0 +1,230 @@
+package sim
+
+// Tests of the bidirectional-channel extension (Section 2 of the paper
+// notes the analysis extends to this case; the simulator implements it).
+
+import (
+	"testing"
+
+	"kncube/internal/topology"
+	"kncube/internal/traffic"
+)
+
+func biSingleMessageConfig(k, dims, msgLen int, src, dst topology.NodeID) Config {
+	cfg := singleMessageConfig(k, dims, msgLen, src, dst)
+	cfg.Bidirectional = true
+	return cfg
+}
+
+func TestBiSingleMessageLatencyUsesShortestDirection(t *testing.T) {
+	cube := topology.MustNew(8, 2)
+	cases := []struct{ src, dst topology.NodeID }{
+		// 0->6 in x: 2 hops backward instead of 6 forward.
+		{cube.FromCoords([]int{0, 0}), cube.FromCoords([]int{6, 0})},
+		// Mixed: x forward 2, y backward 3.
+		{cube.FromCoords([]int{1, 7}), cube.FromCoords([]int{3, 4})},
+		// Tie in x (4 hops either way) resolves positive.
+		{cube.FromCoords([]int{0, 0}), cube.FromCoords([]int{4, 1})},
+	}
+	for _, c := range cases {
+		msg := runSingle(t, biSingleMessageConfig(8, 2, 6, c.src, c.dst))
+		hops := cube.BiDistance(c.src, c.dst)
+		if int(msg.Hops) != hops {
+			t.Errorf("src=%d dst=%d: hops %d, want BiDistance %d", c.src, c.dst, msg.Hops, hops)
+		}
+		if want := int64(hops + 6 + 1); msg.Latency() != want {
+			t.Errorf("src=%d dst=%d: latency %d, want %d", c.src, c.dst, msg.Latency(), want)
+		}
+	}
+}
+
+func TestBiSingleMessageFollowsBiPath(t *testing.T) {
+	cube := topology.MustNew(8, 2)
+	src := cube.FromCoords([]int{7, 2})
+	dst := cube.FromCoords([]int{1, 6})
+	msg := runSingle(t, biSingleMessageConfig(8, 2, 4, src, dst))
+	want := cube.BiPath(src, dst)
+	if len(msg.Path) != len(want) {
+		t.Fatalf("path %v, want %v", msg.Path, want)
+	}
+	for i := range want {
+		if msg.Path[i] != want[i] {
+			t.Fatalf("path %v, want %v", msg.Path, want)
+		}
+	}
+}
+
+func TestBiNoDeadlockUniform(t *testing.T) {
+	drainAfterLoad(t, Config{
+		K: 4, Dims: 2, VCs: 2, MsgLen: 8, Lambda: 0.05,
+		Seed: 41, Bidirectional: true, CheckInvariants: true,
+	}, 20000)
+}
+
+func TestBiNoDeadlockHotSpot(t *testing.T) {
+	cube := topology.MustNew(5, 2)
+	hs, err := traffic.NewHotSpot(cube, 12, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainAfterLoad(t, Config{
+		K: 5, Dims: 2, VCs: 2, MsgLen: 8, Lambda: 0.03,
+		Pattern: hs, Seed: 42, Bidirectional: true, CheckInvariants: true,
+	}, 20000)
+}
+
+func TestBiNoDeadlockWrapHeavy(t *testing.T) {
+	cube := topology.MustNew(4, 2)
+	drainAfterLoad(t, Config{
+		K: 4, Dims: 2, VCs: 2, MsgLen: 8, Lambda: 0.05,
+		Pattern: traffic.BitReversal{Cube: cube}, Seed: 43,
+		Bidirectional: true, CheckInvariants: true,
+	}, 20000)
+}
+
+func TestBiNoDeadlockThreeDims(t *testing.T) {
+	drainAfterLoad(t, Config{
+		K: 3, Dims: 3, VCs: 2, MsgLen: 4, Lambda: 0.04,
+		Seed: 44, Bidirectional: true, CheckInvariants: true,
+	}, 15000)
+}
+
+func TestBiLatencyBelowUnidirectional(t *testing.T) {
+	// Same offered load: bidirectional links halve mean distance and
+	// double bisection bandwidth, so latency must drop.
+	run := func(bi bool) float64 {
+		nw, err := New(Config{
+			K: 8, Dims: 2, VCs: 2, MsgLen: 16, Lambda: 1.5e-3,
+			Seed: 45, Bidirectional: bi,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := nw.Run(RunOptions{WarmupCycles: 5000, MaxCycles: 200000, MinMeasured: 3000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Saturated {
+			t.Fatalf("bi=%v saturated", bi)
+		}
+		return res.MeanLatency
+	}
+	uni, bi := run(false), run(true)
+	if bi >= uni {
+		t.Errorf("bidirectional latency %v not below unidirectional %v", bi, uni)
+	}
+}
+
+func TestBiMeanHopsMatchesBiDistance(t *testing.T) {
+	nw, err := New(Config{
+		K: 8, Dims: 2, VCs: 2, MsgLen: 8, Lambda: 1e-3,
+		Seed: 46, Bidirectional: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.Run(RunOptions{WarmupCycles: 2000, MaxCycles: 150000, MinMeasured: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform mean bidirectional distance: 2 * mean-min-ring-distance.
+	want := 2 * topology.MustNew(8, 2).MeanBiRingDistance()
+	if res.MeanHops < want*0.93 || res.MeanHops > want*1.07 {
+		t.Errorf("mean hops %v, want ~%v", res.MeanHops, want)
+	}
+}
+
+func TestBiConservation(t *testing.T) {
+	nw, err := New(Config{
+		K: 5, Dims: 2, VCs: 3, MsgLen: 8, Lambda: 0.004,
+		Seed: 47, Bidirectional: true, CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		nw.Step()
+	}
+	if !nw.Drain(200000) {
+		t.Fatalf("drain failed: backlog %d", nw.Backlog())
+	}
+	if nw.Injected() != nw.Delivered() {
+		t.Errorf("injected %d != delivered %d", nw.Injected(), nw.Delivered())
+	}
+}
+
+func TestBiBothDirectionsCarryTraffic(t *testing.T) {
+	nw, err := New(Config{
+		K: 6, Dims: 2, VCs: 2, MsgLen: 8, Lambda: 2e-3, Seed: 48,
+		Bidirectional: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.OutputChannels() != 4 {
+		t.Fatalf("OutputChannels = %d, want 4", nw.OutputChannels())
+	}
+	for i := 0; i < 50000; i++ {
+		nw.Step()
+	}
+	var perChannel [4]int64
+	for n := 0; n < nw.Cube().Nodes(); n++ {
+		for ch := 0; ch < 4; ch++ {
+			perChannel[ch] += nw.ChannelFlits(n, ch)
+		}
+	}
+	for ch, f := range perChannel {
+		if f == 0 {
+			t.Errorf("channel class %d carried no traffic", ch)
+		}
+	}
+	// Uniform traffic loads positive and negative rings almost equally
+	// (ties go positive, so expect a small positive bias for even k).
+	for d := 0; d < 2; d++ {
+		pos, neg := float64(perChannel[2*d]), float64(perChannel[2*d+1])
+		if neg > pos {
+			t.Errorf("dim %d: negative ring %v busier than positive %v", d, neg, pos)
+		}
+		if pos > 2.5*neg {
+			t.Errorf("dim %d: direction imbalance %v vs %v", d, pos, neg)
+		}
+	}
+}
+
+func TestBiVCClassMatchesWrapStatePerDirection(t *testing.T) {
+	nw, err := New(Config{
+		K: 5, Dims: 2, VCs: 4, MsgLen: 6, Lambda: 0.01, Seed: 49,
+		Bidirectional: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := nw.cfg.VCs / 2
+	for step := 0; step < 20000; step++ {
+		nw.Step()
+		if step%64 != 0 {
+			continue
+		}
+		sweepVCs(nw, func(node topology.NodeID, ch, idx int, v *vc) {
+			if v.msg == nil {
+				return
+			}
+			d := ch / nw.dirs
+			c := nw.cube.Coord(node, d)
+			s := nw.cube.Coord(v.msg.Src, d)
+			var wrapped bool
+			if ch%nw.dirs == 0 { // positive ring
+				wrapped = c < s
+			} else { // negative ring
+				wrapped = c > s
+			}
+			if c == s {
+				t.Fatalf("dim-%d input VC holds message with unchanged coordinate", d)
+			}
+			if class0 := idx >= half; wrapped != class0 {
+				t.Fatalf("class violation: node %d ch %d vc %d wrapped=%v (msg src %d dst %d)",
+					node, ch, idx, wrapped, v.msg.Src, v.msg.Dst)
+			}
+		})
+	}
+}

@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"fmt"
+
+	"kncube/internal/stats"
+)
+
+// Result summarises a measurement run.
+type Result struct {
+	// MeanLatency is the mean end-to-end message latency in cycles
+	// (generation to tail delivery) over measured messages.
+	MeanLatency float64
+	// CI95 is the 95% confidence half-width of MeanLatency.
+	CI95 float64
+	// MeanRegular and MeanHot split the latency by message class; MeanHot
+	// is 0 when the pattern generates no hot-spot messages.
+	MeanRegular float64
+	MeanHot     float64
+	// MeanNetwork is the mean network latency (injection-VC acquisition to
+	// delivery); MeanSourceWait the mean time in the source queue.
+	MeanNetwork    float64
+	MeanSourceWait float64
+	// MeanHops is the average channel count crossed per measured message.
+	MeanHops float64
+	// LatencyP50, LatencyP95 and LatencyP99 are latency percentiles of the
+	// measured messages (bucket upper bounds, 1-cycle resolution).
+	LatencyP50, LatencyP95, LatencyP99 float64
+
+	// Injected/Delivered/Measured are message counters over the whole run.
+	Injected, Delivered, Measured int64
+	// Cycles is the number of simulated cycles.
+	Cycles int64
+	// Steady reports whether the batch-means detector declared steady
+	// state before the cycle budget ran out.
+	Steady bool
+	// Saturated reports the backlog-growth heuristic: the network could
+	// not drain the offered load.
+	Saturated bool
+	// Throughput is delivered messages per node per cycle during the
+	// measurement phase.
+	Throughput float64
+	// ChannelUtilisation is the mean fraction of cycles each network
+	// channel spent moving a flit during the whole run.
+	ChannelUtilisation float64
+	// MaxChannelUtilisation is the busiest channel's flit rate.
+	MaxChannelUtilisation float64
+	// VCMultiplexing is the sampled mean number of busy virtual channels
+	// per busy physical channel (compare with the model's V̄).
+	VCMultiplexing float64
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("latency=%.1f±%.1f (reg %.1f, hot %.1f) cycles=%d measured=%d steady=%v saturated=%v",
+		r.MeanLatency, r.CI95, r.MeanRegular, r.MeanHot, r.Cycles, r.Measured, r.Steady, r.Saturated)
+}
+
+// Run simulates until steady state (after the warm-up and minimum sample
+// budget) or until MaxCycles, and returns the measured statistics.
+func (nw *Network) Run(opts RunOptions) (Result, error) {
+	if err := opts.Validate(); err != nil {
+		return Result{}, err
+	}
+	opts = opts.withDefaults()
+	nw.measureFrom = nw.cycle + opts.WarmupCycles
+	nw.measuring = false
+	nw.batch = stats.NewBatchMeans(opts.BatchSize, opts.Window, opts.RelTol)
+
+	end := nw.cycle + opts.MaxCycles
+	var backlogAtMeasure, injectedAtMeasure, deliveredAtMeasure int64
+	steady := false
+	for nw.cycle < end {
+		if !nw.measuring && nw.cycle >= nw.measureFrom {
+			nw.measuring = true
+			backlogAtMeasure = nw.Backlog()
+			injectedAtMeasure = nw.injected
+			deliveredAtMeasure = nw.delivered
+		}
+		nw.Step()
+		if nw.measuring && nw.measured >= opts.MinMeasured && nw.batch.Steady() {
+			steady = true
+			break
+		}
+	}
+	if !nw.measuring {
+		// Degenerate budget: measurement never started.
+		nw.measuring = true
+		backlogAtMeasure = nw.Backlog()
+		injectedAtMeasure = nw.injected
+		deliveredAtMeasure = nw.delivered
+	}
+
+	res := Result{
+		MeanLatency:    nw.latAll.Mean(),
+		CI95:           nw.latAll.CI95(),
+		MeanRegular:    nw.latReg.Mean(),
+		MeanHot:        nw.latHot.Mean(),
+		MeanNetwork:    nw.netAll.Mean(),
+		MeanSourceWait: nw.waitSrc.Mean(),
+		Injected:       nw.injected,
+		Delivered:      nw.delivered,
+		Measured:       nw.measured,
+		Cycles:         nw.cycle,
+		Steady:         steady,
+	}
+	if nw.measured > 0 {
+		res.MeanHops = float64(nw.hopsTotal) / float64(nw.measured)
+		res.LatencyP50 = nw.latHist.Quantile(0.50)
+		res.LatencyP95 = nw.latHist.Quantile(0.95)
+		res.LatencyP99 = nw.latHist.Quantile(0.99)
+	}
+	measCycles := nw.cycle - nw.measureFrom
+	if measCycles > 0 {
+		res.Throughput = float64(nw.delivered-deliveredAtMeasure) /
+			float64(measCycles) / float64(nw.cube.Nodes())
+	}
+	// Saturation heuristic: the backlog grew by more than 10% of the
+	// messages injected during measurement (and by a non-trivial count).
+	growth := nw.Backlog() - backlogAtMeasure
+	injMeas := nw.injected - injectedAtMeasure
+	res.Saturated = growth > 100 && float64(growth) > 0.10*float64(injMeas)
+
+	var totalFlits, maxFlits int64
+	for _, f := range nw.chanFlits {
+		totalFlits += f
+		if f > maxFlits {
+			maxFlits = f
+		}
+	}
+	if nw.cycle > 0 {
+		res.ChannelUtilisation = float64(totalFlits) / float64(nw.cycle) / float64(len(nw.chanFlits))
+		res.MaxChannelUtilisation = float64(maxFlits) / float64(nw.cycle)
+	}
+	if nw.busyChanSamples > 0 {
+		res.VCMultiplexing = float64(nw.busyVCCt) / float64(nw.busyChanSamples)
+	}
+	return res, nil
+}
+
+// Drain runs without generating new traffic until every in-flight message
+// is delivered or the cycle budget is exhausted; it reports whether the
+// network fully drained. Used by conservation and deadlock-freedom tests.
+func (nw *Network) Drain(maxCycles int64) bool {
+	// Push all generation times beyond the horizon.
+	if !nw.step.inited {
+		nw.initStep()
+	}
+	horizon := nw.cycle + maxCycles + 1
+	for i := range nw.routers {
+		nw.routers[i].nextGen = horizon
+	}
+	for i := range nw.step.gen.when {
+		nw.step.gen.when[i] = horizon
+	}
+	end := nw.cycle + maxCycles
+	for nw.cycle < end && nw.Backlog() > 0 {
+		nw.Step()
+	}
+	return nw.Backlog() == 0
+}
+
+// ChannelFlits returns the number of flits that crossed output channel ch
+// of the given node (testing aid for the traffic-rate equations). In the
+// unidirectional network ch is the dimension index; with bidirectional
+// links ch = 2*dim selects the positive ring and ch = 2*dim+1 the negative
+// ring.
+func (nw *Network) ChannelFlits(node, ch int) int64 {
+	return nw.chanFlits[node*nw.outputs+ch]
+}
+
+// OutputChannels returns the number of network output channels per node
+// (dimensions times ring directions).
+func (nw *Network) OutputChannels() int { return nw.outputs }

@@ -1,0 +1,114 @@
+package sim
+
+// Randomised configuration sweep: across arbitrary legal configurations the
+// simulator must conserve messages (everything injected eventually drains)
+// and respect its structural invariants. This is the broad net behind the
+// targeted deadlock tests.
+
+import (
+	"math/rand"
+	"testing"
+
+	"kncube/internal/topology"
+	"kncube/internal/traffic"
+)
+
+func TestRandomConfigurationsConserveMessages(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260704))
+	trials := 25
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		k := 2 + rng.Intn(5)     // 2..6
+		dims := 1 + rng.Intn(3)  // 1..3
+		vcs := 2 + rng.Intn(3)   // 2..4
+		depth := 1 + rng.Intn(3) // 1..3
+		lm := 1 + rng.Intn(12)   // 1..12
+		bi := rng.Intn(2) == 1
+		eject := rng.Intn(2) == 1
+		lambda := 0.001 + rng.Float64()*0.02
+
+		cube := topology.MustNew(k, dims)
+		var pattern traffic.Pattern
+		switch rng.Intn(3) {
+		case 0:
+			pattern = traffic.Uniform{Cube: cube}
+		case 1:
+			hs, err := traffic.NewHotSpot(cube, topology.NodeID(rng.Intn(cube.Nodes())), rng.Float64())
+			if err != nil {
+				t.Fatal(err)
+			}
+			pattern = hs
+		default:
+			pattern = traffic.BitReversal{Cube: cube}
+		}
+
+		cfg := Config{
+			K: k, Dims: dims, VCs: vcs, BufDepth: depth, MsgLen: lm,
+			Lambda: lambda, Pattern: pattern, Seed: rng.Int63(),
+			Bidirectional: bi, EjectionContention: eject,
+			CheckInvariants: true,
+		}
+		nw, err := New(cfg)
+		if err != nil {
+			t.Fatalf("trial %d: %v (cfg %+v)", trial, err, cfg)
+		}
+		for i := 0; i < 6000; i++ {
+			nw.Step()
+		}
+		if !nw.Drain(400000) {
+			t.Fatalf("trial %d: %d messages stuck (k=%d dims=%d vcs=%d depth=%d lm=%d bi=%v eject=%v lambda=%v)",
+				trial, nw.Backlog(), k, dims, vcs, depth, lm, bi, eject, lambda)
+		}
+		if nw.Injected() != nw.Delivered() {
+			t.Fatalf("trial %d: injected %d != delivered %d", trial, nw.Injected(), nw.Delivered())
+		}
+	}
+}
+
+func TestRandomConfigurationsDeliverCorrectPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		k := 3 + rng.Intn(4)
+		dims := 1 + rng.Intn(2)
+		bi := rng.Intn(2) == 1
+		cube := topology.MustNew(k, dims)
+		nw, err := New(Config{
+			K: k, Dims: dims, VCs: 2, MsgLen: 4, Lambda: 0.01,
+			Seed: rng.Int63(), Bidirectional: bi, RecordPaths: true,
+			CheckInvariants: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := 0
+		nw.OnDeliver(func(m *Message) {
+			var want []topology.NodeID
+			if bi {
+				want = cube.BiPath(m.Src, m.Dst)
+			} else {
+				want = cube.Path(m.Src, m.Dst)
+			}
+			if len(m.Path) != len(want) {
+				bad++
+				return
+			}
+			for i := range want {
+				if m.Path[i] != want[i] {
+					bad++
+					return
+				}
+			}
+		})
+		for i := 0; i < 8000; i++ {
+			nw.Step()
+		}
+		if nw.Delivered() == 0 {
+			t.Fatalf("trial %d: nothing delivered", trial)
+		}
+		if bad > 0 {
+			t.Fatalf("trial %d: %d messages took the wrong path (bi=%v)", trial, bad, bi)
+		}
+	}
+}

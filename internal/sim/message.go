@@ -1,0 +1,119 @@
+package sim
+
+import "kncube/internal/topology"
+
+// Message is one wormhole message: MsgLen flits that snake through the
+// network behind a header flit.
+type Message struct {
+	ID  int64
+	Src topology.NodeID
+	Dst topology.NodeID
+	// Hot records whether the destination was chosen as the hot-spot node
+	// by the traffic pattern (false for uniform patterns).
+	Hot bool
+	// Len is the message length in flits.
+	Len int32
+
+	// GenCycle is when the source PE generated the message (entered the
+	// infinite source queue).
+	GenCycle int64
+	// InjectCycle is when the message acquired an injection virtual
+	// channel (left the source queue head).
+	InjectCycle int64
+	// DeliverCycle is when the tail flit was consumed by the destination
+	// PE; -1 while in flight.
+	DeliverCycle int64
+
+	// Hops is the number of network channels the header crossed.
+	Hops int32
+	// Path, when Config.RecordPaths is set, lists the routers visited.
+	Path []topology.NodeID
+	// Measured marks messages generated after warm-up.
+	Measured bool
+	// Escaped marks a message that entered the dimension-order escape
+	// network under adaptive routing; it stays there until delivery.
+	Escaped bool
+}
+
+// Latency returns the end-to-end latency (generation to tail delivery) in
+// cycles; call only after delivery.
+func (m *Message) Latency() int64 { return m.DeliverCycle - m.GenCycle }
+
+// SourceWait returns the time spent in the source queue before acquiring an
+// injection virtual channel.
+func (m *Message) SourceWait() int64 { return m.InjectCycle - m.GenCycle }
+
+// vc is one input virtual channel: a flit FIFO plus the wormhole state of
+// the message currently holding it. Because flits of a single message pass
+// through a virtual channel in order and a virtual channel is held by one
+// message at a time, the buffer is represented by counters rather than a
+// queue of flit objects.
+type vc struct {
+	msg *Message // holder; nil = free
+
+	occ   int32 // flits currently buffered
+	recvd int32 // flits received into this VC for msg (injection: from PE)
+	sent  int32 // flits forwarded out of this VC (or consumed by ejection)
+
+	// outPort is the allocated output for msg: a dimension index, the
+	// ejection marker, or -1 before route/VC allocation.
+	outPort int8
+	// outVC is the downstream virtual-channel index claimed for msg.
+	outVC int8
+
+	// in/out count flits that entered/left during cycle; touch() lazily
+	// resets them at each new cycle so that conservative eligibility can be
+	// computed without a global per-cycle sweep:
+	//   avail = occ - in   (flits present since the cycle started)
+	//   space = depth - occ - out (slots free since the cycle started)
+	cycle int64
+	in    int32
+	out   int32
+}
+
+const noPort = int8(-1)
+
+func (v *vc) reset() {
+	v.msg = nil
+	v.occ, v.recvd, v.sent = 0, 0, 0
+	v.outPort, v.outVC = noPort, noPort
+}
+
+func (v *vc) touch(cycle int64) {
+	if v.cycle != cycle {
+		v.cycle, v.in, v.out = cycle, 0, 0
+	}
+}
+
+// avail returns the number of flits eligible to leave this cycle.
+func (v *vc) avail(cycle int64) int32 {
+	v.touch(cycle)
+	return v.occ - v.in
+}
+
+// space returns the number of flits that may still be accepted this cycle
+// under conservative (start-of-cycle) credit accounting.
+func (v *vc) space(cycle int64, depth int32) int32 {
+	v.touch(cycle)
+	return depth - v.occ - v.out
+}
+
+// headerReady reports whether the header flit is buffered and not yet
+// allocated an output.
+func (v *vc) headerReady(cycle int64) bool {
+	return v.msg != nil && v.outPort == noPort && v.sent == 0 && v.avail(cycle) > 0
+}
+
+func (v *vc) moveIn(cycle int64) {
+	v.touch(cycle)
+	v.occ++
+	v.in++
+	v.recvd++
+}
+
+func (v *vc) moveOut(cycle int64) {
+	v.touch(cycle)
+	v.occ--
+	v.out++
+	v.sent++
+}

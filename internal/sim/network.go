@@ -1,0 +1,292 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kncube/internal/stats"
+	"kncube/internal/topology"
+	"kncube/internal/traffic"
+)
+
+// router holds the per-node state: input ports (one per dimension plus the
+// injection port), the infinite source queue, the arrival process, and
+// round-robin arbitration pointers.
+type router struct {
+	node topology.NodeID
+
+	// in[p][v]: input virtual channel v of port p. Network ports are
+	// indexed d*dirs+dir: in the unidirectional network (dirs = 1) port d
+	// receives from the dimension-d predecessor; with bidirectional links
+	// (dirs = 2) port 2d receives positive-direction traffic and port
+	// 2d+1 negative-direction traffic. The last port is the injection
+	// port fed by the local PE.
+	in [][]vc
+
+	// srcQ is the infinite injection queue (FIFO; head index qHead avoids
+	// O(n) pops).
+	srcQ  []*Message
+	qHead int
+
+	arr     traffic.Arrivals
+	nextGen int64
+
+	// rrOut[ch] is the round-robin pointer (flattened port*VCs+vc) for
+	// output channel ch; rrEj for the ejection channel; rrAlloc rotates
+	// the virtual-channel allocation scan so competing headers (e.g.
+	// through-traffic vs. local injection) share fairly.
+	rrOut   []int
+	rrEj    int
+	rrInj   int
+	rrAlloc int
+
+	// busyVCs counts held input VCs; the router is skipped entirely when
+	// it has no held VCs and an empty queue.
+	busyVCs int
+}
+
+func (r *router) queueLen() int { return len(r.srcQ) - r.qHead }
+
+func (r *router) popQueue() *Message {
+	m := r.srcQ[r.qHead]
+	r.srcQ[r.qHead] = nil
+	r.qHead++
+	if r.qHead > 1024 && r.qHead*2 >= len(r.srcQ) {
+		n := copy(r.srcQ, r.srcQ[r.qHead:])
+		r.srcQ = r.srcQ[:n]
+		r.qHead = 0
+	}
+	return m
+}
+
+// Network is one instantiated simulation. Create with New, advance with
+// Step or Run.
+type Network struct {
+	cfg     Config
+	cube    *topology.Cube
+	pattern traffic.Pattern
+	rng     *rand.Rand
+	routers []router
+	cycle   int64
+	nextID  int64
+
+	dirs    int   // ring directions per dimension: 1 or 2
+	outputs int   // network output channels per node: Dims*dirs
+	injPort int   // index of the injection port (= outputs)
+	depth   int32 // buffer depth
+	msgLen  int32
+
+	step        stepState
+	measureFrom int64
+	measuring   bool
+
+	// statistics
+	injected, delivered       int64
+	measured                  int64
+	latAll, latReg, latHot    stats.Running
+	netAll                    stats.Running // header-injection to delivery
+	waitSrc                   stats.Running
+	latHist                   *stats.Histogram
+	batch                     *stats.BatchMeans
+	chanFlits                 []int64 // flits moved per (node*Dims+dim) channel
+	busyChanSamples, busyVCCt int64   // multiplexing-degree sampling
+	hopsTotal                 int64
+
+	delivCb func(*Message)
+}
+
+// New builds a network from the configuration.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	cube, err := topology.New(cfg.K, cfg.Dims)
+	if err != nil {
+		return nil, err
+	}
+	pattern := cfg.Pattern
+	if pattern == nil {
+		pattern = traffic.Uniform{Cube: cube}
+	}
+	dirs := 1
+	if cfg.Bidirectional {
+		dirs = 2
+	}
+	outputs := cfg.Dims * dirs
+	nw := &Network{
+		cfg:     cfg,
+		cube:    cube,
+		pattern: pattern,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		routers: make([]router, cube.Nodes()),
+		dirs:    dirs,
+		outputs: outputs,
+		injPort: outputs,
+		depth:   int32(cfg.BufDepth),
+		msgLen:  int32(cfg.MsgLen),
+		latHist: stats.NewHistogram(1),
+		batch:   stats.NewBatchMeans(500, 4, 0.05),
+	}
+	nw.chanFlits = make([]int64, cube.Nodes()*outputs)
+	for i := range nw.routers {
+		r := &nw.routers[i]
+		r.node = topology.NodeID(i)
+		r.in = make([][]vc, outputs+1)
+		for p := range r.in {
+			r.in[p] = make([]vc, cfg.VCs)
+			for v := range r.in[p] {
+				r.in[p][v].reset()
+			}
+		}
+		r.rrOut = make([]int, outputs)
+		if cfg.ArrivalsFactory != nil {
+			r.arr = cfg.ArrivalsFactory(r.node)
+		} else {
+			p, err := traffic.NewPoisson(cfg.Lambda)
+			if err != nil {
+				return nil, err
+			}
+			r.arr = p
+		}
+		r.nextGen = int64(r.arr.Next(nw.rng))
+	}
+	return nw, nil
+}
+
+// Cube exposes the underlying topology.
+func (nw *Network) Cube() *topology.Cube { return nw.cube }
+
+// Cycle returns the current simulation time.
+func (nw *Network) Cycle() int64 { return nw.cycle }
+
+// Injected and Delivered return message counters.
+func (nw *Network) Injected() int64  { return nw.injected }
+func (nw *Network) Delivered() int64 { return nw.delivered }
+
+// Backlog returns the total number of messages waiting in source queues or
+// in flight.
+func (nw *Network) Backlog() int64 { return nw.injected - nw.delivered }
+
+// OnDeliver registers a callback invoked for every delivered message
+// (testing and tracing aid).
+func (nw *Network) OnDeliver(cb func(*Message)) { nw.delivCb = cb }
+
+// vcClassRange returns the half-open virtual-channel index range [lo, hi)
+// of the Dally-Seitz class for the next hop of msg at node cur using
+// output channel ch. Class 1 ("high", indices [0, V/2)) is used until the
+// message crosses the ring's wrap-around link; class 0 ("low", [V/2, V))
+// afterwards. Each (dimension, direction) ring has its own disjoint channel
+// set, so the two-class argument applies per ring. Injection VCs are
+// outside the ring dependency cycle, so this applies only to network hops.
+func (nw *Network) vcClassRange(msg *Message, cur topology.NodeID, ch int) (int, int) {
+	v := nw.cfg.VCs
+	half := v / 2
+	if nw.wrappedAfter(msg, cur, ch) {
+		return half, v // class 0
+	}
+	return 0, half // class 1
+}
+
+// wrappedAfter reports whether, after taking output channel ch at cur, msg
+// will have crossed the wrap-around link of ch's ring. Minimal routing
+// moves each dimension monotonically in one direction, so the source and
+// current coordinates determine the answer regardless of dimension
+// interleaving.
+func (nw *Network) wrappedAfter(msg *Message, cur topology.NodeID, ch int) bool {
+	d := ch / nw.dirs
+	c := nw.cube.Coord(cur, d)
+	s := nw.cube.Coord(msg.Src, d)
+	if ch%nw.dirs == 0 {
+		// Positive ring: the wrap link is k-1 -> 0; having moved only
+		// forward, the message has wrapped iff it is now below its source
+		// coordinate.
+		return c == nw.cfg.K-1 || c < s
+	}
+	// Negative ring: the wrap link is 0 -> k-1; moving only backward,
+	// wrapped iff now above the source coordinate.
+	return c == 0 || c > s
+}
+
+// escapeVC returns the escape virtual channel index for msg taking output
+// ch under adaptive routing: VC 0 holds escape class 1, VC 1 escape
+// class 0.
+func (nw *Network) escapeVC(msg *Message, cur topology.NodeID, ch int) int {
+	if nw.wrappedAfter(msg, cur, ch) {
+		return 1
+	}
+	return 0
+}
+
+// adaptiveCandidate scans the productive (minimal) outputs of msg at cur
+// for a free adaptive virtual channel (indices 2..V-1), preferring the
+// dimension with the most remaining hops.
+func (nw *Network) adaptiveCandidate(msg *Message, cur topology.NodeID) (ch, dv int, ok bool) {
+	bestCh, bestDv, bestDist := -1, -1, 0
+	for d := 0; d < nw.cfg.Dims; d++ {
+		if nw.cube.Coord(cur, d) == nw.cube.Coord(msg.Dst, d) {
+			continue
+		}
+		var out, dist int
+		if nw.dirs == 1 {
+			out = d
+			dist = nw.cube.RingDistance(cur, msg.Dst, d)
+		} else {
+			if nw.cube.BiDirection(cur, msg.Dst, d) > 0 {
+				out = d * nw.dirs
+			} else {
+				out = d*nw.dirs + 1
+			}
+			dist = nw.cube.BiRingDistance(cur, msg.Dst, d)
+		}
+		if dist <= bestDist {
+			continue
+		}
+		down := nw.downRouter(cur, out)
+		for v := 2; v < nw.cfg.VCs; v++ {
+			if down.in[out][v].msg == nil {
+				bestCh, bestDv, bestDist = out, v, dist
+				break
+			}
+		}
+	}
+	if bestCh < 0 {
+		return 0, 0, false
+	}
+	return bestCh, bestDv, true
+}
+
+// downRouter returns the router reached through output channel ch of node.
+func (nw *Network) downRouter(node topology.NodeID, ch int) *router {
+	d := ch / nw.dirs
+	if ch%nw.dirs == 0 {
+		return &nw.routers[nw.cube.Neighbor(node, d)]
+	}
+	return &nw.routers[nw.cube.Prev(node, d)]
+}
+
+// route returns the output channel for the header of msg standing at node
+// cur: the first dimension (in increasing order) whose coordinate differs
+// from the destination (taking the shorter direction when the network is
+// bidirectional, ties positive), or the ejection marker when cur == dst.
+func (nw *Network) route(msg *Message, cur topology.NodeID) int8 {
+	for d := 0; d < nw.cfg.Dims; d++ {
+		if nw.cube.Coord(cur, d) == nw.cube.Coord(msg.Dst, d) {
+			continue
+		}
+		if nw.dirs == 1 {
+			return int8(d)
+		}
+		if nw.cube.BiDirection(cur, msg.Dst, d) > 0 {
+			return int8(d * nw.dirs)
+		}
+		return int8(d*nw.dirs + 1)
+	}
+	return int8(nw.injPort) // ejection marker (same index as injection port)
+}
+
+func (nw *Network) invariant(cond bool, format string, args ...any) {
+	if nw.cfg.CheckInvariants && !cond {
+		panic("sim: invariant violated: " + fmt.Sprintf(format, args...))
+	}
+}

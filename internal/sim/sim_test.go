@@ -1,0 +1,518 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kncube/internal/topology"
+	"kncube/internal/traffic"
+)
+
+// oneShot fires a single generation at the given cycle.
+type oneShot struct {
+	at    int64
+	fired bool
+}
+
+func (o *oneShot) Next(*rand.Rand) int {
+	if !o.fired {
+		o.fired = true
+		return int(o.at)
+	}
+	return 1 << 40
+}
+func (o *oneShot) Rate() float64 { return 1e-12 }
+
+// never generates nothing within any practical horizon.
+type never struct{}
+
+func (never) Next(*rand.Rand) int { return 1 << 40 }
+func (never) Rate() float64       { return 1e-12 }
+
+// fixedDst always routes to one destination.
+type fixedDst struct{ dst topology.NodeID }
+
+func (f fixedDst) Destination(src topology.NodeID, _ *rand.Rand) topology.NodeID { return f.dst }
+func (f fixedDst) String() string                                                { return "fixed" }
+
+func singleMessageConfig(k, dims, msgLen int, src, dst topology.NodeID) Config {
+	return Config{
+		K: k, Dims: dims, VCs: 2, MsgLen: msgLen,
+		Pattern: fixedDst{dst: dst},
+		ArrivalsFactory: func(n topology.NodeID) traffic.Arrivals {
+			if n == src {
+				return &oneShot{at: 3}
+			}
+			return never{}
+		},
+		RecordPaths:     true,
+		CheckInvariants: true,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{K: 4, Dims: 2, VCs: 2, MsgLen: 8, Lambda: 0.001}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := []Config{
+		{K: 1, Dims: 2, VCs: 2, MsgLen: 8, Lambda: 0.001},
+		{K: 4, Dims: 0, VCs: 2, MsgLen: 8, Lambda: 0.001},
+		{K: 4, Dims: 2, VCs: 1, MsgLen: 8, Lambda: 0.001},
+		{K: 4, Dims: 2, VCs: 200, MsgLen: 8, Lambda: 0.001},
+		{K: 4, Dims: 2, VCs: 2, MsgLen: 0, Lambda: 0.001},
+		{K: 4, Dims: 2, VCs: 2, MsgLen: 8},
+		{K: 4, Dims: 2, VCs: 2, MsgLen: 8, Lambda: 0.001, BufDepth: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestRunOptionsValidate(t *testing.T) {
+	if err := (RunOptions{MaxCycles: 100}).Validate(); err != nil {
+		t.Errorf("good options rejected: %v", err)
+	}
+	bad := []RunOptions{
+		{},
+		{MaxCycles: 100, WarmupCycles: 100},
+		{MaxCycles: 100, WarmupCycles: -1},
+		{MaxCycles: 100, MinMeasured: -1},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("bad options %d accepted", i)
+		}
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New accepted zero config")
+	}
+}
+
+// runSingle injects one message and returns it after delivery.
+func runSingle(t *testing.T, cfg Config) *Message {
+	t.Helper()
+	nw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got *Message
+	nw.OnDeliver(func(m *Message) { got = m })
+	for i := 0; i < 5000 && got == nil; i++ {
+		nw.Step()
+	}
+	if got == nil {
+		t.Fatal("message not delivered within 5000 cycles")
+	}
+	return got
+}
+
+func TestSingleMessageZeroLoadLatency(t *testing.T) {
+	cube := topology.MustNew(4, 2)
+	cases := []struct{ src, dst topology.NodeID }{
+		{cube.FromCoords([]int{0, 0}), cube.FromCoords([]int{1, 0})},
+		{cube.FromCoords([]int{0, 0}), cube.FromCoords([]int{2, 1})},
+		{cube.FromCoords([]int{0, 0}), cube.FromCoords([]int{0, 3})},
+		{cube.FromCoords([]int{3, 3}), cube.FromCoords([]int{1, 2})}, // both dims wrap
+		{cube.FromCoords([]int{2, 2}), cube.FromCoords([]int{1, 1})},
+	}
+	for _, c := range cases {
+		for _, lm := range []int{1, 4, 16} {
+			msg := runSingle(t, singleMessageConfig(4, 2, lm, c.src, c.dst))
+			hops := cube.Distance(c.src, c.dst)
+			// Zero-load pipeline: 1 cycle into the injection buffer per
+			// flit, 1 cycle per hop, 1 cycle of ejection accounting.
+			want := int64(hops + lm + 1)
+			if msg.Latency() != want {
+				t.Errorf("src=%d dst=%d lm=%d: latency %d, want %d",
+					c.src, c.dst, lm, msg.Latency(), want)
+			}
+			if int(msg.Hops) != hops {
+				t.Errorf("src=%d dst=%d: hops %d, want %d", c.src, c.dst, msg.Hops, hops)
+			}
+		}
+	}
+}
+
+func TestSingleMessageFollowsDimensionOrderPath(t *testing.T) {
+	cube := topology.MustNew(5, 2)
+	src := cube.FromCoords([]int{4, 1})
+	dst := cube.FromCoords([]int{1, 4})
+	msg := runSingle(t, singleMessageConfig(5, 2, 4, src, dst))
+	want := cube.Path(src, dst)
+	if len(msg.Path) != len(want) {
+		t.Fatalf("path %v, want %v", msg.Path, want)
+	}
+	for i := range want {
+		if msg.Path[i] != want[i] {
+			t.Fatalf("path %v, want %v", msg.Path, want)
+		}
+	}
+}
+
+func TestSingleMessageThreeDims(t *testing.T) {
+	cube := topology.MustNew(3, 3)
+	src := cube.FromCoords([]int{0, 0, 0})
+	dst := cube.FromCoords([]int{2, 1, 2})
+	msg := runSingle(t, singleMessageConfig(3, 3, 8, src, dst))
+	hops := cube.Distance(src, dst)
+	if msg.Latency() != int64(hops+8+1) {
+		t.Errorf("3-D latency %d, want %d", msg.Latency(), hops+8+1)
+	}
+}
+
+func TestConservationAndDrain(t *testing.T) {
+	nw, err := New(Config{
+		K: 4, Dims: 2, VCs: 2, MsgLen: 8, Lambda: 0.002,
+		Seed: 42, CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		nw.Step()
+	}
+	if nw.Injected() == 0 {
+		t.Fatal("no messages injected")
+	}
+	if !nw.Drain(100000) {
+		t.Fatalf("network failed to drain: backlog %d", nw.Backlog())
+	}
+	if nw.Injected() != nw.Delivered() {
+		t.Errorf("injected %d != delivered %d", nw.Injected(), nw.Delivered())
+	}
+}
+
+func TestDeliveredMessagesComplete(t *testing.T) {
+	nw, err := New(Config{
+		K: 4, Dims: 2, VCs: 2, MsgLen: 6, Lambda: 0.003,
+		Seed: 7, RecordPaths: true, CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube := nw.Cube()
+	checked := 0
+	nw.OnDeliver(func(m *Message) {
+		checked++
+		if m.DeliverCycle < m.InjectCycle || m.InjectCycle < m.GenCycle {
+			t.Errorf("message %d: inconsistent times gen=%d inject=%d deliver=%d",
+				m.ID, m.GenCycle, m.InjectCycle, m.DeliverCycle)
+		}
+		if int(m.Hops) != cube.Distance(m.Src, m.Dst) {
+			t.Errorf("message %d: hops %d, want %d", m.ID, m.Hops, cube.Distance(m.Src, m.Dst))
+		}
+		if m.Path[len(m.Path)-1] != m.Dst {
+			t.Errorf("message %d: path ends at %d, want %d", m.ID, m.Path[len(m.Path)-1], m.Dst)
+		}
+	})
+	for i := 0; i < 15000; i++ {
+		nw.Step()
+	}
+	if checked == 0 {
+		t.Fatal("no deliveries observed")
+	}
+}
+
+// drainAfterLoad drives cfg for cycles, then drains; failure means deadlock
+// or livelock.
+func drainAfterLoad(t *testing.T, cfg Config, cycles int64) {
+	t.Helper()
+	nw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < cycles; i++ {
+		nw.Step()
+	}
+	if !nw.Drain(500000) {
+		t.Fatalf("deadlock: %d messages stuck (injected %d)", nw.Backlog(), nw.Injected())
+	}
+}
+
+func TestNoDeadlockUniformHighLoad(t *testing.T) {
+	drainAfterLoad(t, Config{
+		K: 4, Dims: 2, VCs: 2, MsgLen: 8, Lambda: 0.05,
+		Seed: 1, CheckInvariants: true,
+	}, 20000)
+}
+
+func TestNoDeadlockHotSpotExtreme(t *testing.T) {
+	cube := topology.MustNew(4, 2)
+	hs, err := traffic.NewHotSpot(cube, 5, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainAfterLoad(t, Config{
+		K: 4, Dims: 2, VCs: 2, MsgLen: 8, Lambda: 0.02,
+		Pattern: hs, Seed: 2, CheckInvariants: true,
+	}, 20000)
+}
+
+func TestNoDeadlockWrapHeavyPattern(t *testing.T) {
+	cube := topology.MustNew(4, 2)
+	drainAfterLoad(t, Config{
+		K: 4, Dims: 2, VCs: 2, MsgLen: 8, Lambda: 0.05,
+		Pattern: traffic.BitReversal{Cube: cube}, Seed: 3, CheckInvariants: true,
+	}, 20000)
+}
+
+func TestNoDeadlockManyVCsDeeperBuffers(t *testing.T) {
+	drainAfterLoad(t, Config{
+		K: 4, Dims: 2, VCs: 4, BufDepth: 4, MsgLen: 16, Lambda: 0.03,
+		Seed: 4, CheckInvariants: true,
+	}, 20000)
+}
+
+func TestNoDeadlockEjectionContention(t *testing.T) {
+	cube := topology.MustNew(4, 2)
+	hs, _ := traffic.NewHotSpot(cube, 0, 0.5)
+	drainAfterLoad(t, Config{
+		K: 4, Dims: 2, VCs: 2, MsgLen: 8, Lambda: 0.02,
+		Pattern: hs, Seed: 5, EjectionContention: true, CheckInvariants: true,
+	}, 20000)
+}
+
+func TestNoDeadlockBufDepthOne(t *testing.T) {
+	drainAfterLoad(t, Config{
+		K: 4, Dims: 2, VCs: 2, BufDepth: 1, MsgLen: 8, Lambda: 0.03,
+		Seed: 6, CheckInvariants: true,
+	}, 20000)
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) Result {
+		nw, err := New(Config{
+			K: 4, Dims: 2, VCs: 2, MsgLen: 8, Lambda: 0.005, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := nw.Run(RunOptions{WarmupCycles: 1000, MaxCycles: 20000, MinMeasured: 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(11), run(11)
+	if a != b {
+		t.Errorf("same seed produced different results:\n%+v\n%+v", a, b)
+	}
+	c := run(12)
+	if a.MeanLatency == c.MeanLatency && a.Injected == c.Injected {
+		t.Error("different seeds produced identical runs (suspicious)")
+	}
+}
+
+func TestRunBasicStatistics(t *testing.T) {
+	nw, err := New(Config{
+		K: 4, Dims: 2, VCs: 2, MsgLen: 8, Lambda: 0.004, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.Run(RunOptions{WarmupCycles: 2000, MaxCycles: 200000, MinMeasured: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Measured < 2000 {
+		t.Fatalf("measured only %d messages", res.Measured)
+	}
+	// Zero-load latency is hops + Lm + 1 ≈ 3 + 9; at this light load the
+	// mean must be near but above the unloaded mean and far from silly.
+	if res.MeanLatency < 9 || res.MeanLatency > 40 {
+		t.Errorf("mean latency %v outside sane range", res.MeanLatency)
+	}
+	if res.MeanHops < 2.5 || res.MeanHops > 3.5 {
+		t.Errorf("mean hops %v, want ~3 (2 dims × (k-1)/2)", res.MeanHops)
+	}
+	if res.Saturated {
+		t.Error("light load flagged saturated")
+	}
+	if res.MeanNetwork <= 0 || res.MeanNetwork > res.MeanLatency {
+		t.Errorf("network latency %v vs total %v", res.MeanNetwork, res.MeanLatency)
+	}
+	if res.Throughput <= 0 {
+		t.Error("zero throughput")
+	}
+	if res.VCMultiplexing < 1 || res.VCMultiplexing > 2 {
+		t.Errorf("VC multiplexing %v outside [1, V]", res.VCMultiplexing)
+	}
+}
+
+func TestWarmupExcludesEarlyMessages(t *testing.T) {
+	nw, err := New(Config{K: 4, Dims: 2, VCs: 2, MsgLen: 8, Lambda: 0.01, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.Run(RunOptions{WarmupCycles: 5000, MaxCycles: 20000, MinMeasured: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Measured >= res.Delivered {
+		t.Errorf("measured %d should be < delivered %d with warmup", res.Measured, res.Delivered)
+	}
+}
+
+func TestLatencyIncreasesWithLoad(t *testing.T) {
+	mean := func(lambda float64) float64 {
+		nw, err := New(Config{K: 4, Dims: 2, VCs: 2, MsgLen: 8, Lambda: lambda, Seed: 13})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := nw.Run(RunOptions{WarmupCycles: 3000, MaxCycles: 300000, MinMeasured: 3000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanLatency
+	}
+	low, mid, high := mean(0.001), mean(0.01), mean(0.03)
+	if !(low < mid && mid < high) {
+		t.Errorf("latency not increasing with load: %v, %v, %v", low, mid, high)
+	}
+}
+
+func TestSaturationDetected(t *testing.T) {
+	// Far beyond capacity: per-node 0.2 msgs/cycle × 8 flits × 3 mean hops
+	// >> channel bandwidth.
+	nw, err := New(Config{K: 4, Dims: 2, VCs: 2, MsgLen: 8, Lambda: 0.2, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.Run(RunOptions{WarmupCycles: 1000, MaxCycles: 30000, MinMeasured: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Saturated {
+		t.Errorf("overload not flagged saturated: %+v", res)
+	}
+}
+
+func TestHotSpotMessagesClassified(t *testing.T) {
+	cube := topology.MustNew(4, 2)
+	hs, _ := traffic.NewHotSpot(cube, 6, 0.5)
+	nw, err := New(Config{
+		K: 4, Dims: 2, VCs: 2, MsgLen: 4, Lambda: 0.005, Pattern: hs, Seed: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hot, reg int
+	nw.OnDeliver(func(m *Message) {
+		if m.Hot {
+			hot++
+			if m.Dst != 6 {
+				t.Errorf("hot message to %d", m.Dst)
+			}
+		} else {
+			reg++
+		}
+	})
+	for i := 0; i < 30000; i++ {
+		nw.Step()
+	}
+	if hot == 0 || reg == 0 {
+		t.Fatalf("classes missing: hot=%d reg=%d", hot, reg)
+	}
+	frac := float64(hot) / float64(hot+reg)
+	if math.Abs(frac-0.53) > 0.08 { // 0.5 + uniform share 0.5/15
+		t.Errorf("hot fraction %v, want ~0.53", frac)
+	}
+	res, err := nw.Run(RunOptions{WarmupCycles: 0, MaxCycles: 20000, MinMeasured: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanHot == 0 || res.MeanRegular == 0 {
+		t.Errorf("per-class latencies missing: %+v", res)
+	}
+}
+
+func TestEjectionContentionSlowsHotTraffic(t *testing.T) {
+	cube := topology.MustNew(4, 2)
+	run := func(contention bool) float64 {
+		hs, _ := traffic.NewHotSpot(cube, 5, 0.8)
+		nw, err := New(Config{
+			K: 4, Dims: 2, VCs: 2, MsgLen: 8, Lambda: 0.006,
+			Pattern: hs, Seed: 16, EjectionContention: contention,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := nw.Run(RunOptions{WarmupCycles: 3000, MaxCycles: 150000, MinMeasured: 2000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanLatency
+	}
+	free, contended := run(false), run(true)
+	if contended < free {
+		t.Errorf("ejection contention reduced latency: %v < %v", contended, free)
+	}
+}
+
+func TestChannelFlitCountsMatchDeliveredFlits(t *testing.T) {
+	nw, err := New(Config{K: 4, Dims: 2, VCs: 2, MsgLen: 8, Lambda: 0.002, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hopsDelivered int64
+	nw.OnDeliver(func(m *Message) { hopsDelivered += int64(m.Hops) })
+	for i := 0; i < 20000; i++ {
+		nw.Step()
+	}
+	if !nw.Drain(100000) {
+		t.Fatal("drain failed")
+	}
+	var total int64
+	for node := 0; node < nw.Cube().Nodes(); node++ {
+		for d := 0; d < 2; d++ {
+			total += nw.ChannelFlits(node, d)
+		}
+	}
+	want := hopsDelivered * 8 // every hop moves all Lm flits
+	if total != want {
+		t.Errorf("channel flits %d, want %d", total, want)
+	}
+}
+
+func TestBernoulliArrivalsSupported(t *testing.T) {
+	nw, err := New(Config{
+		K: 4, Dims: 2, VCs: 2, MsgLen: 8, Seed: 18,
+		ArrivalsFactory: func(topology.NodeID) traffic.Arrivals {
+			b, _ := traffic.NewBernoulli(0.004)
+			return b
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.Run(RunOptions{WarmupCycles: 1000, MaxCycles: 100000, MinMeasured: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Measured < 1000 {
+		t.Fatalf("Bernoulli arrivals produced too few messages: %+v", res)
+	}
+}
+
+func TestRunRejectsBadOptions(t *testing.T) {
+	nw, err := New(Config{K: 4, Dims: 2, VCs: 2, MsgLen: 8, Lambda: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Run(RunOptions{}); err == nil {
+		t.Error("Run accepted zero options")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	if (Result{}).String() == "" {
+		t.Error("empty Result.String()")
+	}
+}

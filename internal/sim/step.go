@@ -1,0 +1,405 @@
+package sim
+
+import (
+	"container/heap"
+
+	"kncube/internal/topology"
+)
+
+// genHeap orders routers by their next generation time.
+type genHeap struct {
+	when []int64
+	node []int32
+}
+
+func (h *genHeap) Len() int           { return len(h.when) }
+func (h *genHeap) Less(i, j int) bool { return h.when[i] < h.when[j] }
+func (h *genHeap) Swap(i, j int) {
+	h.when[i], h.when[j] = h.when[j], h.when[i]
+	h.node[i], h.node[j] = h.node[j], h.node[i]
+}
+func (h *genHeap) Push(x any) {
+	p := x.([2]int64)
+	h.when = append(h.when, p[0])
+	h.node = append(h.node, int32(p[1]))
+}
+func (h *genHeap) Pop() any {
+	n := len(h.when) - 1
+	v := [2]int64{h.when[n], int64(h.node[n])}
+	h.when, h.node = h.when[:n], h.node[:n]
+	return v
+}
+
+// stepState holds the per-Network mutable scheduling structures that Step
+// uses; it is initialised lazily on the first Step call.
+type stepState struct {
+	gen      genHeap
+	active   []int32
+	isActive []bool
+	inited   bool
+}
+
+func (nw *Network) initStep() {
+	st := &nw.step
+	st.isActive = make([]bool, len(nw.routers))
+	st.gen.when = make([]int64, 0, len(nw.routers))
+	st.gen.node = make([]int32, 0, len(nw.routers))
+	for i := range nw.routers {
+		st.gen.when = append(st.gen.when, nw.routers[i].nextGen)
+		st.gen.node = append(st.gen.node, int32(i))
+	}
+	heap.Init(&st.gen)
+	st.inited = true
+}
+
+func (nw *Network) activate(i int32) {
+	st := &nw.step
+	if !st.isActive[i] {
+		st.isActive[i] = true
+		st.active = append(st.active, i)
+	}
+}
+
+// Step advances the simulation by one network cycle. The phase order within
+// a cycle is: output-VC allocation for ready headers, ejection, network and
+// injection channel arbitration (one flit per physical channel), message
+// generation, and source-queue binding to free injection virtual channels.
+// Eligibility uses start-of-cycle buffer state, so a flit crosses at most
+// one channel per cycle.
+func (nw *Network) Step() {
+	if !nw.step.inited {
+		nw.initStep()
+	}
+	st := &nw.step
+	cyc := nw.cycle
+
+	// Snapshot of currently active routers; routers activated during this
+	// cycle (downstream claims, new messages) join from the next cycle.
+	snapshot := st.active
+
+	// Phase 1: route computation and output virtual-channel allocation.
+	for _, ri := range snapshot {
+		nw.allocate(&nw.routers[ri], cyc)
+	}
+	// Phase 2: ejection.
+	for _, ri := range snapshot {
+		nw.eject(&nw.routers[ri], cyc)
+	}
+	// Phase 3: network channel arbitration (one flit per output channel).
+	for _, ri := range snapshot {
+		nw.forward(&nw.routers[ri], cyc)
+	}
+	// Phase 4: injection channel arbitration (one flit from the PE).
+	for _, ri := range snapshot {
+		nw.inject(&nw.routers[ri], cyc)
+	}
+	// Phase 5: message generation.
+	for st.gen.Len() > 0 && st.gen.when[0] <= cyc {
+		node := st.gen.node[0]
+		nw.generate(&nw.routers[node], cyc)
+		r := &nw.routers[node]
+		st.gen.when[0] = r.nextGen
+		heap.Fix(&st.gen, 0)
+		nw.activate(node)
+	}
+	// Phase 6: bind queued messages to free injection virtual channels.
+	for _, ri := range st.active {
+		nw.bind(&nw.routers[ri], cyc)
+	}
+
+	// Compact the active list.
+	keep := st.active[:0]
+	for _, ri := range st.active {
+		r := &nw.routers[ri]
+		if r.busyVCs > 0 || r.queueLen() > 0 {
+			keep = append(keep, ri)
+		} else {
+			st.isActive[ri] = false
+		}
+	}
+	st.active = keep
+
+	if nw.cycle%64 == 0 {
+		nw.sampleMultiplexing()
+	}
+	nw.cycle++
+}
+
+// allocate assigns an output port and claims a downstream virtual channel
+// for every input VC whose header flit is ready. The scan starts at a
+// rotating offset and advances past the last grant, so headers competing
+// for the same scarce downstream virtual channel take turns instead of the
+// lowest-numbered port winning every time.
+func (nw *Network) allocate(r *router, cyc int64) {
+	nVC := nw.cfg.VCs
+	total := (nw.outputs + 1) * nVC
+	lastGrant := -1
+	for off := 0; off < total; off++ {
+		idx := (r.rrAlloc + off) % total
+		in := &r.in[idx/nVC][idx%nVC]
+		if !in.headerReady(cyc) {
+			continue
+		}
+		msg := in.msg
+		out := nw.route(msg, r.node)
+		if int(out) == nw.injPort { // arrived: mark for ejection
+			in.outPort = out
+			continue
+		}
+		claim := func(ch, dv int) {
+			down := nw.downRouter(r.node, ch)
+			dvc := &down.in[ch][dv]
+			dvc.msg = msg
+			dvc.outPort, dvc.outVC = noPort, noPort
+			down.busyVCs++
+			nw.activate(int32(down.node))
+			in.outPort, in.outVC = int8(ch), int8(dv)
+			lastGrant = idx
+		}
+		if nw.cfg.Routing == RoutingAdaptive && !msg.Escaped {
+			// Try an adaptive virtual channel on any productive output.
+			if ch, dv, ok := nw.adaptiveCandidate(msg, r.node); ok {
+				claim(ch, dv)
+				continue
+			}
+			// Fall back to the escape network on the dimension-order
+			// output; the message then stays on escape channels.
+			ch := int(out)
+			dv := nw.escapeVC(msg, r.node, ch)
+			if nw.downRouter(r.node, ch).in[ch][dv].msg == nil {
+				msg.Escaped = true
+				claim(ch, dv)
+			}
+			continue
+		}
+		ch := int(out)
+		if nw.cfg.Routing == RoutingAdaptive {
+			// Escaped message: only its escape-class virtual channel.
+			dv := nw.escapeVC(msg, r.node, ch)
+			if nw.downRouter(r.node, ch).in[ch][dv].msg == nil {
+				claim(ch, dv)
+			}
+			continue
+		}
+		down := nw.downRouter(r.node, ch)
+		lo, hi := nw.vcClassRange(msg, r.node, ch)
+		for dv := lo; dv < hi; dv++ {
+			if down.in[ch][dv].msg == nil {
+				claim(ch, dv)
+				break
+			}
+		}
+	}
+	if lastGrant >= 0 {
+		r.rrAlloc = (lastGrant + 1) % total
+	}
+}
+
+// eject consumes flits that have reached their destination.
+func (nw *Network) eject(r *router, cyc int64) {
+	if nw.cfg.EjectionContention {
+		// One ejection channel: a single flit per cycle, round-robin.
+		nVC := nw.cfg.VCs
+		total := (nw.outputs + 1) * nVC
+		for off := 0; off < total; off++ {
+			idx := (r.rrEj + off) % total
+			in := &r.in[idx/nVC][idx%nVC]
+			if in.msg != nil && int(in.outPort) == nw.injPort && in.avail(cyc) > 0 {
+				nw.consume(r, in, cyc, 1)
+				r.rrEj = (idx + 1) % total
+				return
+			}
+		}
+		return
+	}
+	// Contention-free ejection (assumption (iv)): drain everything that
+	// arrived by the start of the cycle.
+	for p := range r.in {
+		for v := range r.in[p] {
+			in := &r.in[p][v]
+			if in.msg != nil && int(in.outPort) == nw.injPort {
+				if n := in.avail(cyc); n > 0 {
+					nw.consume(r, in, cyc, n)
+				}
+			}
+		}
+	}
+}
+
+// consume removes n buffered flits of the message holding in, completing
+// delivery when the tail is consumed.
+func (nw *Network) consume(r *router, in *vc, cyc int64, n int32) {
+	msg := in.msg
+	for i := int32(0); i < n; i++ {
+		in.moveOut(cyc)
+	}
+	nw.invariant(in.occ >= 0, "negative occupancy at node %d", r.node)
+	if in.sent == nw.msgLen {
+		in.reset()
+		r.busyVCs--
+		nw.deliver(msg, cyc)
+	}
+}
+
+// forward arbitrates each outgoing network channel of r and moves at most
+// one flit across it.
+func (nw *Network) forward(r *router, cyc int64) {
+	nVC := nw.cfg.VCs
+	total := (nw.outputs + 1) * nVC
+	for ch := 0; ch < nw.outputs; ch++ {
+		var granted *vc
+		var grantIdx int
+		var down *router
+		for off := 0; off < total; off++ {
+			idx := (r.rrOut[ch] + off) % total
+			in := &r.in[idx/nVC][idx%nVC]
+			if in.msg == nil || int(in.outPort) != ch || in.avail(cyc) <= 0 {
+				continue
+			}
+			dn := nw.downRouter(r.node, ch)
+			dvc := &dn.in[ch][in.outVC]
+			if dvc.space(cyc, nw.depth) <= 0 {
+				continue
+			}
+			granted, grantIdx, down = in, idx, dn
+			break
+		}
+		if granted == nil {
+			continue
+		}
+		r.rrOut[ch] = (grantIdx + 1) % total
+		dvc := &down.in[ch][granted.outVC]
+		nw.invariant(dvc.msg == granted.msg, "downstream VC stolen at node %d channel %d", r.node, ch)
+		granted.moveOut(cyc)
+		dvc.moveIn(cyc)
+		nw.chanFlits[int(r.node)*nw.outputs+ch]++
+		msg := granted.msg
+		if dvc.recvd == 1 { // header crossed this channel
+			msg.Hops++
+			if nw.cfg.RecordPaths {
+				msg.Path = append(msg.Path, down.node)
+			}
+		}
+		if granted.sent == nw.msgLen { // tail left: release this VC
+			granted.reset()
+			r.busyVCs--
+		}
+	}
+}
+
+// inject moves at most one flit from the PE into a bound injection VC.
+func (nw *Network) inject(r *router, cyc int64) {
+	nVC := nw.cfg.VCs
+	for off := 0; off < nVC; off++ {
+		idx := (r.rrInj + off) % nVC
+		in := &r.in[nw.injPort][idx]
+		if in.msg == nil || in.recvd >= nw.msgLen || in.space(cyc, nw.depth) <= 0 {
+			continue
+		}
+		in.moveIn(cyc)
+		r.rrInj = (idx + 1) % nVC
+		return
+	}
+}
+
+// generate creates the messages scheduled at or before cyc for router r.
+func (nw *Network) generate(r *router, cyc int64) {
+	for r.nextGen <= cyc {
+		dst := nw.pattern.Destination(r.node, nw.rng)
+		nw.invariant(dst != r.node, "pattern returned source %d", r.node)
+		msg := &Message{
+			ID:           nw.nextID,
+			Src:          r.node,
+			Dst:          dst,
+			Len:          nw.msgLen,
+			GenCycle:     r.nextGen,
+			DeliverCycle: -1,
+			Measured:     r.nextGen >= nw.measureFrom && nw.measuring,
+		}
+		if hc, ok := nw.pattern.(hotClassifier); ok {
+			msg.Hot = hc.IsHot(dst)
+		}
+		if nw.cfg.RecordPaths {
+			msg.Path = append(msg.Path, r.node)
+		}
+		nw.nextID++
+		nw.injected++
+		r.srcQ = append(r.srcQ, msg)
+		r.nextGen += int64(r.arr.Next(nw.rng))
+	}
+}
+
+// hotClassifier is implemented by traffic patterns that can identify
+// hot-spot destinations (traffic.HotSpot).
+type hotClassifier interface {
+	IsHot(topology.NodeID) bool
+}
+
+// bind attaches queued messages to free injection virtual channels.
+func (nw *Network) bind(r *router, cyc int64) {
+	for r.queueLen() > 0 {
+		var free *vc
+		for v := range r.in[nw.injPort] {
+			if r.in[nw.injPort][v].msg == nil {
+				free = &r.in[nw.injPort][v]
+				break
+			}
+		}
+		if free == nil {
+			return
+		}
+		msg := r.popQueue()
+		free.reset()
+		free.msg = msg
+		r.busyVCs++
+		msg.InjectCycle = cyc
+	}
+}
+
+// deliver finalises a message and records statistics.
+func (nw *Network) deliver(msg *Message, cyc int64) {
+	msg.DeliverCycle = cyc
+	nw.delivered++
+	if nw.delivCb != nil {
+		nw.delivCb(msg)
+	}
+	if !msg.Measured {
+		return
+	}
+	nw.measured++
+	lat := float64(msg.Latency())
+	nw.latAll.Add(lat)
+	nw.latHist.Add(lat)
+	nw.batch.Add(lat)
+	nw.netAll.Add(float64(msg.DeliverCycle - msg.InjectCycle))
+	nw.waitSrc.Add(float64(msg.SourceWait()))
+	nw.hopsTotal += int64(msg.Hops)
+	if msg.Hot {
+		nw.latHot.Add(lat)
+	} else {
+		nw.latReg.Add(lat)
+	}
+}
+
+// sampleMultiplexing samples the number of busy virtual channels on busy
+// physical channels to estimate the empirical multiplexing degree.
+func (nw *Network) sampleMultiplexing() {
+	for ri := range nw.routers {
+		r := &nw.routers[ri]
+		if r.busyVCs == 0 {
+			continue
+		}
+		for d := 0; d < nw.outputs; d++ {
+			busy := int64(0)
+			for v := range r.in[d] {
+				if r.in[d][v].msg != nil {
+					busy++
+				}
+			}
+			if busy > 0 {
+				nw.busyChanSamples++
+				nw.busyVCCt += busy
+			}
+		}
+	}
+}

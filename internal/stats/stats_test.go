@@ -1,0 +1,298 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if r.Count() != 0 || r.Mean() != 0 || r.Variance() != 0 || r.StdErr() != 0 {
+		t.Errorf("zero value not neutral: %+v", r)
+	}
+}
+
+func TestRunningKnownValues(t *testing.T) {
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.Count() != 8 {
+		t.Errorf("count %d", r.Count())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Errorf("mean %v, want 5", r.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance 32/7.
+	if math.Abs(r.Variance()-32.0/7.0) > 1e-12 {
+		t.Errorf("variance %v, want %v", r.Variance(), 32.0/7.0)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("min/max %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestRunningSingleObservation(t *testing.T) {
+	var r Running
+	r.Add(42)
+	if r.Mean() != 42 || r.Variance() != 0 || r.Min() != 42 || r.Max() != 42 {
+		t.Errorf("single obs: %+v", r)
+	}
+}
+
+func TestRunningMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var r Running
+	xs := make([]float64, 0, 500)
+	for i := 0; i < 500; i++ {
+		x := rng.NormFloat64()*10 + 100
+		xs = append(xs, x)
+		r.Add(x)
+	}
+	mean := MeanOf(xs)
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	naiveVar := ss / float64(len(xs)-1)
+	if math.Abs(r.Mean()-mean) > 1e-9 {
+		t.Errorf("mean %v vs naive %v", r.Mean(), mean)
+	}
+	if math.Abs(r.Variance()-naiveVar) > 1e-9 {
+		t.Errorf("variance %v vs naive %v", r.Variance(), naiveVar)
+	}
+}
+
+func TestRunningMergeEqualsSequential(t *testing.T) {
+	// Constrain magnitudes so squared deviations stay finite.
+	clamp := func(x float64) float64 {
+		if math.IsNaN(x) {
+			return 0
+		}
+		return math.Mod(x, 1e6)
+	}
+	f := func(a, b []float64) bool {
+		var all, left, right Running
+		for _, x := range a {
+			all.Add(clamp(x))
+			left.Add(clamp(x))
+		}
+		for _, x := range b {
+			all.Add(clamp(x))
+			right.Add(clamp(x))
+		}
+		left.Merge(&right)
+		if all.Count() != left.Count() {
+			return false
+		}
+		if all.Count() == 0 {
+			return true
+		}
+		return math.Abs(all.Mean()-left.Mean()) < 1e-9 &&
+			math.Abs(all.Variance()-left.Variance()) < 1e-6*(1+all.Variance())
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunningMergeEmpty(t *testing.T) {
+	var a, b Running
+	a.Add(1)
+	a.Add(3)
+	a.Merge(&b) // no-op
+	if a.Count() != 2 || a.Mean() != 2 {
+		t.Errorf("merge with empty changed state: %+v", a)
+	}
+	b.Merge(&a)
+	if b.Count() != 2 || b.Mean() != 2 {
+		t.Errorf("merge into empty wrong: %+v", b)
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var small, large Running
+	for i := 0; i < 100; i++ {
+		small.Add(rng.NormFloat64())
+	}
+	for i := 0; i < 10000; i++ {
+		large.Add(rng.NormFloat64())
+	}
+	if large.CI95() >= small.CI95() {
+		t.Errorf("CI did not shrink: %v vs %v", large.CI95(), small.CI95())
+	}
+}
+
+func TestRunningString(t *testing.T) {
+	var r Running
+	r.Add(1)
+	if r.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestBatchMeansSteadyOnStationaryStream(t *testing.T) {
+	b := NewBatchMeans(100, 4, 0.05)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 2000; i++ {
+		b.Add(50 + rng.Float64()) // tiny noise around 50
+	}
+	if !b.Steady() {
+		t.Fatal("stationary stream not detected as steady")
+	}
+	if m := b.SteadyMean(); math.Abs(m-50.5) > 0.2 {
+		t.Errorf("steady mean %v, want ~50.5", m)
+	}
+}
+
+func TestBatchMeansNotSteadyOnTrend(t *testing.T) {
+	b := NewBatchMeans(100, 4, 0.05)
+	for i := 0; i < 2000; i++ {
+		b.Add(float64(i)) // strong upward trend
+	}
+	if b.Steady() {
+		t.Fatal("trending stream declared steady")
+	}
+}
+
+func TestBatchMeansNeedsWindow(t *testing.T) {
+	b := NewBatchMeans(10, 5, 0.05)
+	for i := 0; i < 30; i++ { // only 3 batches < window 5
+		b.Add(1)
+	}
+	if b.Steady() {
+		t.Error("steady with fewer batches than window")
+	}
+	if b.Batches() != 3 {
+		t.Errorf("batches = %d, want 3", b.Batches())
+	}
+}
+
+func TestBatchMeansDefaults(t *testing.T) {
+	b := NewBatchMeans(0, 0, 0)
+	if b.BatchSize != 1000 || b.Window != 5 || b.RelTol != 0.05 {
+		t.Errorf("defaults: %+v", b)
+	}
+}
+
+func TestBatchMeansAddSignalsBatchCompletion(t *testing.T) {
+	b := NewBatchMeans(3, 2, 0.1)
+	completions := 0
+	for i := 0; i < 10; i++ {
+		if b.Add(1) {
+			completions++
+		}
+	}
+	if completions != 3 {
+		t.Errorf("completions = %d, want 3", completions)
+	}
+}
+
+func TestBatchMeansZeroMeanSteady(t *testing.T) {
+	b := NewBatchMeans(10, 2, 0.05)
+	for i := 0; i < 40; i++ {
+		b.Add(0)
+	}
+	if !b.Steady() {
+		t.Error("all-zero stream should be steady")
+	}
+}
+
+func TestBatchMeansSliceCopy(t *testing.T) {
+	b := NewBatchMeans(2, 2, 0.05)
+	for i := 0; i < 6; i++ {
+		b.Add(float64(i))
+	}
+	s := b.BatchMeansSlice()
+	if len(s) != 3 {
+		t.Fatalf("slice length %d", len(s))
+	}
+	s[0] = 999
+	if b.BatchMeansSlice()[0] == 999 {
+		t.Error("BatchMeansSlice leaks internal storage")
+	}
+}
+
+func TestBatchMeansSteadyMeanBeforeAnyBatch(t *testing.T) {
+	b := NewBatchMeans(100, 2, 0.05)
+	b.Add(7)
+	if m := b.SteadyMean(); m != 7 {
+		t.Errorf("SteadyMean with partial batch = %v, want 7", m)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(10)
+	for _, x := range []float64{1, 5, 15, 25, 25, 95} {
+		h.Add(x)
+	}
+	if h.Count() != 6 {
+		t.Errorf("count %d", h.Count())
+	}
+	if math.Abs(h.Mean()-166.0/6.0) > 1e-12 {
+		t.Errorf("mean %v", h.Mean())
+	}
+	if got := h.Quantile(0.5); got != 20 { // 3rd of 6 obs (15) is in bucket [10,20)
+		t.Errorf("median bucket edge %v, want 20", got)
+	}
+	if h.Median() != h.Quantile(0.5) {
+		t.Error("Median != Quantile(0.5)")
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram(1)
+	h.Add(-5)
+	if h.Count() != 1 || h.Quantile(1) != 1 {
+		t.Errorf("negative obs: count=%d q1=%v", h.Count(), h.Quantile(1))
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := NewHistogram(1)
+	if h.Quantile(0.9) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram should return zeros")
+	}
+}
+
+func TestHistogramQuantileClampsQ(t *testing.T) {
+	h := NewHistogram(1)
+	h.Add(0.5)
+	if h.Quantile(-1) != h.Quantile(0) {
+		t.Error("q<0 not clamped")
+	}
+	if h.Quantile(2) != h.Quantile(1) {
+		t.Error("q>1 not clamped")
+	}
+}
+
+func TestHistogramDefaultWidth(t *testing.T) {
+	h := NewHistogram(0)
+	if h.Width != 1 {
+		t.Errorf("width %v, want fallback 1", h.Width)
+	}
+}
+
+func TestMeanOfMedianOf(t *testing.T) {
+	if MeanOf(nil) != 0 || MedianOf(nil) != 0 {
+		t.Error("empty slices should yield 0")
+	}
+	if MeanOf([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Error("MeanOf wrong")
+	}
+	if MedianOf([]float64{3, 1, 2}) != 2 {
+		t.Error("odd MedianOf wrong")
+	}
+	if MedianOf([]float64{4, 1, 3, 2}) != 2.5 {
+		t.Error("even MedianOf wrong")
+	}
+	xs := []float64{9, 1, 5}
+	MedianOf(xs)
+	if xs[0] != 9 {
+		t.Error("MedianOf mutated input")
+	}
+}

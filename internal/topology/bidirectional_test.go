@@ -1,0 +1,141 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBiRingDistanceBounds(t *testing.T) {
+	cube := MustNew(8, 2)
+	f := func(a, b uint) bool {
+		x := NodeID(a % uint(cube.Nodes()))
+		y := NodeID(b % uint(cube.Nodes()))
+		for d := 0; d < 2; d++ {
+			bi := cube.BiRingDistance(x, y, d)
+			uni := cube.RingDistance(x, y, d)
+			if bi > uni || bi > cube.K()/2 || bi < 0 {
+				return false
+			}
+			// Symmetric, unlike the unidirectional distance.
+			if bi != cube.BiRingDistance(y, x, d) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBiRingDistanceValues(t *testing.T) {
+	cube := MustNew(8, 1)
+	cases := []struct{ s, d, want int }{
+		{0, 1, 1}, {0, 7, 1}, {0, 4, 4}, {0, 5, 3}, {3, 0, 3}, {6, 2, 4},
+	}
+	for _, c := range cases {
+		if got := cube.BiRingDistance(NodeID(c.s), NodeID(c.d), 0); got != c.want {
+			t.Errorf("BiRingDistance(%d,%d) = %d, want %d", c.s, c.d, got, c.want)
+		}
+	}
+}
+
+func TestBiDirection(t *testing.T) {
+	cube := MustNew(8, 1)
+	if cube.BiDirection(0, 3, 0) != 1 {
+		t.Error("0->3 should go positive")
+	}
+	if cube.BiDirection(0, 6, 0) != -1 {
+		t.Error("0->6 should go negative (2 hops back vs 6 forward)")
+	}
+	if cube.BiDirection(0, 4, 0) != 1 {
+		t.Error("ties must resolve positive")
+	}
+	if cube.BiDirection(5, 5, 0) != 0 {
+		t.Error("no movement should return 0")
+	}
+}
+
+func TestBiNeighbor(t *testing.T) {
+	cube := MustNew(5, 2)
+	id := cube.FromCoords([]int{0, 3})
+	if got := cube.BiNeighbor(id, 0, 1); got != cube.FromCoords([]int{1, 3}) {
+		t.Errorf("positive neighbor = %d", got)
+	}
+	if got := cube.BiNeighbor(id, 0, -1); got != cube.FromCoords([]int{4, 3}) {
+		t.Errorf("negative neighbor = %d", got)
+	}
+}
+
+func TestBiPathLengthAndEndpoints(t *testing.T) {
+	cube := MustNew(7, 2)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 300; trial++ {
+		src := NodeID(rng.Intn(cube.Nodes()))
+		dst := NodeID(rng.Intn(cube.Nodes()))
+		path := cube.BiPath(src, dst)
+		if path[0] != src || path[len(path)-1] != dst {
+			t.Fatalf("endpoints %v", path)
+		}
+		if len(path)-1 != cube.BiDistance(src, dst) {
+			t.Fatalf("path length %d != BiDistance %d", len(path)-1, cube.BiDistance(src, dst))
+		}
+		// Every step is a bidirectional channel and dimensions are
+		// visited in order.
+		lastDim := -1
+		for i := 1; i < len(path); i++ {
+			stepDim := -1
+			for d := 0; d < cube.N(); d++ {
+				if cube.Neighbor(path[i-1], d) == path[i] || cube.Prev(path[i-1], d) == path[i] {
+					stepDim = d
+					break
+				}
+			}
+			if stepDim < 0 {
+				t.Fatalf("illegal step %d -> %d", path[i-1], path[i])
+			}
+			if stepDim < lastDim {
+				t.Fatalf("dimension order violated")
+			}
+			lastDim = stepDim
+		}
+	}
+}
+
+func TestBiDistanceNeverExceedsUnidirectional(t *testing.T) {
+	cube := MustNew(9, 2)
+	for a := NodeID(0); int(a) < cube.Nodes(); a += 7 {
+		for b := NodeID(0); int(b) < cube.Nodes(); b += 5 {
+			if cube.BiDistance(a, b) > cube.Distance(a, b) {
+				t.Fatalf("BiDistance(%d,%d) exceeds unidirectional", a, b)
+			}
+		}
+	}
+}
+
+func TestMeanBiRingDistance(t *testing.T) {
+	// k=8: offsets 0..7 -> min distances 0,1,2,3,4,3,2,1; mean = 16/8 = 2.
+	if got := MustNew(8, 2).MeanBiRingDistance(); got != 2 {
+		t.Errorf("MeanBiRingDistance(8) = %v, want 2", got)
+	}
+	// k=5: 0,1,2,2,1 -> 6/5.
+	if got := MustNew(5, 2).MeanBiRingDistance(); got != 1.2 {
+		t.Errorf("MeanBiRingDistance(5) = %v, want 1.2", got)
+	}
+	// Exhaustive cross-check.
+	for _, k := range []int{2, 3, 6, 16} {
+		cube := MustNew(k, 1)
+		sum, cnt := 0, 0
+		for a := NodeID(0); int(a) < k; a++ {
+			for b := NodeID(0); int(b) < k; b++ {
+				sum += cube.BiRingDistance(a, b, 0)
+				cnt++
+			}
+		}
+		want := float64(sum) / float64(cnt)
+		if got := cube.MeanBiRingDistance(); got != want {
+			t.Errorf("k=%d: MeanBiRingDistance %v, exhaustive %v", k, got, want)
+		}
+	}
+}

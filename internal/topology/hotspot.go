@@ -1,0 +1,120 @@
+package topology
+
+// This file implements the hot-spot geometry of the paper for the 2-D torus
+// (dimensions are called x = dimension 0 and y = dimension 1). The network is
+// viewed as k x-rings (rows, fixed y) and k y-rings (columns, fixed x). The
+// "hot y-ring" is the column containing the hot-spot node; hot-spot messages
+// route x-first into that column and then along it to the hot node.
+//
+// Position conventions follow Section 3 of the paper:
+//
+//   - A y-channel of the hot y-ring is j hops away from the hot-spot node,
+//     1 <= j <= k, when it is the outgoing y-channel of the node at
+//     unidirectional y-distance j from the hot node; j = k means the outgoing
+//     channel of the hot-spot node itself (which carries no hot-spot traffic).
+//   - An x-channel is j hops away from the hot y-ring, 1 <= j <= k, when it
+//     is the outgoing x-channel of a node at x-distance j from the hot
+//     column; j = k means an outgoing channel of a hot-column node (which
+//     carries no hot-spot traffic).
+//   - An x-ring (row) is t hops away from the hot node, 1 <= t <= k, by the
+//     y-distance of its nodes to the hot node; t = k is the hot node's own
+//     row.
+
+// HotSpot describes the geometry of a network relative to one hot node.
+type HotSpot struct {
+	Cube *Cube
+	Node NodeID
+}
+
+// dimX and dimY are the dimension indices of the 2-D torus as used by the
+// analytical model. The simulator supports any n; the model is 2-D.
+const (
+	DimX = 0
+	DimY = 1
+)
+
+// YRingDistance returns the paper's j-position of node id within the hot
+// y-ring geometry: the unidirectional y-distance from id to the hot node,
+// mapped to k when the distance is zero (the hot node's own row position).
+func (h HotSpot) YRingDistance(id NodeID) int {
+	d := h.Cube.RingDistance(id, h.Node, DimY)
+	if d == 0 {
+		return h.Cube.K()
+	}
+	return d
+}
+
+// XRingDistance returns the paper's j-position of node id relative to the
+// hot y-ring: the unidirectional x-distance from id to the hot column,
+// mapped to k when the node is in the hot column.
+func (h HotSpot) XRingDistance(id NodeID) int {
+	d := h.Cube.RingDistance(id, h.Node, DimX)
+	if d == 0 {
+		return h.Cube.K()
+	}
+	return d
+}
+
+// InHotColumn reports whether node id lies on the hot y-ring.
+func (h HotSpot) InHotColumn(id NodeID) bool {
+	return h.Cube.Coord(id, DimX) == h.Cube.Coord(h.Node, DimX)
+}
+
+// InHotRow reports whether node id lies on the hot node's x-ring.
+func (h HotSpot) InHotRow(id NodeID) bool {
+	return h.Cube.Coord(id, DimY) == h.Cube.Coord(h.Node, DimY)
+}
+
+// Position classifies node id as the paper's (t, j) pair: j is the
+// x-distance position relative to the hot column (k if in the hot column)
+// and t is the x-ring position relative to the hot node's row (k if in the
+// hot row). The hot node itself is (k, k).
+func (h HotSpot) Position(id NodeID) (t, j int) {
+	return h.YRingDistance(id), h.XRingDistance(id)
+}
+
+// HotPathXHops returns the number of x-channels a hot-spot message from src
+// crosses, which equals the x-distance of src to the hot column.
+func (h HotSpot) HotPathXHops(src NodeID) int {
+	return h.Cube.RingDistance(src, h.Node, DimX)
+}
+
+// HotPathYHops returns the number of y-channels a hot-spot message from src
+// crosses: the y-distance of src's row to the hot node.
+func (h HotSpot) HotPathYHops(src NodeID) int {
+	return h.Cube.RingDistance(src, h.Node, DimY)
+}
+
+// SourcesCrossingHotYChannel counts the nodes whose hot-spot messages cross
+// the y-channel of the hot ring that is j hops away from the hot node
+// (1 <= j <= k). Used to verify Eq. 5 of the paper: the count is k(k-j).
+func (h HotSpot) SourcesCrossingHotYChannel(j int) int {
+	count := 0
+	for id := NodeID(0); int(id) < h.Cube.Nodes(); id++ {
+		if id == h.Node {
+			continue
+		}
+		if h.HotPathYHops(id) >= j {
+			count++
+		}
+	}
+	return count
+}
+
+// SourcesCrossingXChannel counts the nodes of one x-ring whose hot-spot
+// messages cross that ring's x-channel j hops away from the hot column
+// (1 <= j <= k), for the x-ring containing node ref. Used to verify Eq. 4:
+// the count is k-j for every row.
+func (h HotSpot) SourcesCrossingXChannel(ref NodeID, j int) int {
+	count := 0
+	ring := h.Cube.RingNodes(DimX, h.Cube.RingIndex(ref, DimX))
+	for _, id := range ring {
+		if id == h.Node {
+			continue
+		}
+		if h.HotPathXHops(id) >= j {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,162 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func newHS(k int, hx, hy int) HotSpot {
+	cube := MustNew(k, 2)
+	return HotSpot{Cube: cube, Node: cube.FromCoords([]int{hx, hy})}
+}
+
+func TestYRingDistance(t *testing.T) {
+	hs := newHS(8, 3, 5)
+	cube := hs.Cube
+	// Node directly "before" the hot node on the y ring: distance 1.
+	n1 := cube.FromCoords([]int{0, 4})
+	if got := hs.YRingDistance(n1); got != 1 {
+		t.Errorf("YRingDistance = %d, want 1", got)
+	}
+	// Same row as hot node: mapped to k.
+	n2 := cube.FromCoords([]int{6, 5})
+	if got := hs.YRingDistance(n2); got != 8 {
+		t.Errorf("YRingDistance same-row = %d, want k=8", got)
+	}
+	// Wrap case: y=6 -> y=5 takes 7 hops on the unidirectional ring.
+	n3 := cube.FromCoords([]int{0, 6})
+	if got := hs.YRingDistance(n3); got != 7 {
+		t.Errorf("YRingDistance wrap = %d, want 7", got)
+	}
+}
+
+func TestXRingDistance(t *testing.T) {
+	hs := newHS(8, 3, 5)
+	cube := hs.Cube
+	n1 := cube.FromCoords([]int{2, 0})
+	if got := hs.XRingDistance(n1); got != 1 {
+		t.Errorf("XRingDistance = %d, want 1", got)
+	}
+	n2 := cube.FromCoords([]int{3, 7})
+	if got := hs.XRingDistance(n2); got != 8 {
+		t.Errorf("XRingDistance hot-column = %d, want k=8", got)
+	}
+}
+
+func TestInHotColumnRow(t *testing.T) {
+	hs := newHS(4, 1, 2)
+	cube := hs.Cube
+	if !hs.InHotColumn(cube.FromCoords([]int{1, 0})) {
+		t.Error("node (1,0) should be in hot column")
+	}
+	if hs.InHotColumn(cube.FromCoords([]int{2, 2})) {
+		t.Error("node (2,2) should not be in hot column")
+	}
+	if !hs.InHotRow(cube.FromCoords([]int{3, 2})) {
+		t.Error("node (3,2) should be in hot row")
+	}
+	if hs.InHotRow(cube.FromCoords([]int{1, 1})) {
+		t.Error("node (1,1) should not be in hot row")
+	}
+}
+
+func TestPositionPartitionsNodes(t *testing.T) {
+	// The (t, j) classification must place exactly one node at each pair
+	// (t, j) in 1..k x 1..k, with (k, k) being the hot node.
+	for _, k := range []int{2, 3, 4, 8} {
+		hs := newHS(k, k/2, k-1)
+		seen := map[[2]int]NodeID{}
+		for id := NodeID(0); int(id) < hs.Cube.Nodes(); id++ {
+			tt, jj := hs.Position(id)
+			if tt < 1 || tt > k || jj < 1 || jj > k {
+				t.Fatalf("k=%d: Position(%d) = (%d,%d) out of range", k, id, tt, jj)
+			}
+			key := [2]int{tt, jj}
+			if prev, dup := seen[key]; dup {
+				t.Fatalf("k=%d: nodes %d and %d share position %v", k, prev, id, key)
+			}
+			seen[key] = id
+		}
+		if len(seen) != k*k {
+			t.Fatalf("k=%d: %d positions, want %d", k, len(seen), k*k)
+		}
+		if seen[[2]int{k, k}] != hs.Node {
+			t.Fatalf("k=%d: position (k,k) is node %d, want hot node %d",
+				k, seen[[2]int{k, k}], hs.Node)
+		}
+	}
+}
+
+func TestEq5HotYChannelCrossingCounts(t *testing.T) {
+	// Eq. 5: the number of nodes whose hot-spot path crosses the hot-ring
+	// y-channel j hops from the hot node is k(k-j).
+	for _, k := range []int{2, 4, 8, 16} {
+		hs := newHS(k, 1, 1)
+		for j := 1; j <= k; j++ {
+			want := k * (k - j)
+			if got := hs.SourcesCrossingHotYChannel(j); got != want {
+				t.Errorf("k=%d j=%d: crossing count %d, want %d", k, j, got, want)
+			}
+		}
+	}
+}
+
+func TestEq4XChannelCrossingCounts(t *testing.T) {
+	// Eq. 4: within any x-ring, the number of that ring's nodes whose
+	// hot-spot path crosses the x-channel j hops from the hot column is k-j.
+	for _, k := range []int{2, 4, 8, 16} {
+		hs := newHS(k, 2%k, 1)
+		for row := 0; row < k; row++ {
+			ref := hs.Cube.FromCoords([]int{0, row})
+			for j := 1; j <= k; j++ {
+				want := k - j
+				if row == hs.Cube.Coord(hs.Node, DimY) && j == k {
+					// The hot node itself is excluded from sources but it
+					// contributes no crossing anyway (j=k count is 0).
+					want = 0
+				}
+				if got := hs.SourcesCrossingXChannel(ref, j); got != want {
+					t.Errorf("k=%d row=%d j=%d: count %d, want %d", k, row, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestHotPathHopsMatchDeterministicPath(t *testing.T) {
+	// The per-dimension hop counts of the hot-spot path must agree with the
+	// dimension-order Path through the cube.
+	hs := newHS(8, 5, 2)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		src := NodeID(rng.Intn(hs.Cube.Nodes()))
+		if src == hs.Node {
+			continue
+		}
+		path := hs.Cube.Path(src, hs.Node)
+		want := len(path) - 1
+		if got := hs.HotPathXHops(src) + hs.HotPathYHops(src); got != want {
+			t.Fatalf("src %d: x+y hops = %d, path length %d", src, got, want)
+		}
+	}
+}
+
+func TestTotalHotTrafficConservation(t *testing.T) {
+	// Summing Eq. 5 counts over j=1..k must equal the total number of
+	// y-channel crossings by all hot paths; same for Eq. 4 in x.
+	hs := newHS(8, 3, 6)
+	k := hs.Cube.K()
+	sumY := 0
+	for j := 1; j <= k; j++ {
+		sumY += hs.SourcesCrossingHotYChannel(j)
+	}
+	wantY := 0
+	for id := NodeID(0); int(id) < hs.Cube.Nodes(); id++ {
+		if id != hs.Node {
+			wantY += hs.HotPathYHops(id)
+		}
+	}
+	if sumY != wantY {
+		t.Errorf("sum of y-channel crossings %d, want %d", sumY, wantY)
+	}
+}

@@ -1,0 +1,291 @@
+// Package topology models the k-ary n-cube interconnection network used by
+// both the analytical model and the flit-level simulator.
+//
+// A k-ary n-cube has N = k^n nodes arranged in n dimensions with k nodes per
+// dimension. Following the paper (Loucif, Ould-Khaoua, Min; IPDPS 2005) the
+// network uses unidirectional channels: in every dimension each node has one
+// outgoing channel to the next node along the ring (address +1 mod k) and one
+// incoming channel from the previous node. The network can therefore be seen
+// as k^(n-1) rings per dimension, each of length k.
+package topology
+
+import "fmt"
+
+// NodeID identifies a node as an integer in [0, N).
+type NodeID int
+
+// Cube describes a k-ary n-cube.
+//
+// The zero value is not usable; construct with New.
+type Cube struct {
+	k int // radix: nodes per dimension
+	n int // number of dimensions
+	// strides[d] is the id-distance between neighbours in dimension d:
+	// strides[0] = 1, strides[d] = k^d.
+	strides []int
+	nodes   int
+}
+
+// New returns a k-ary n-cube. k must be at least 2 and n at least 1.
+func New(k, n int) (*Cube, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("topology: radix k = %d, want k >= 2", k)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("topology: dimensions n = %d, want n >= 1", n)
+	}
+	nodes := 1
+	strides := make([]int, n)
+	for d := 0; d < n; d++ {
+		strides[d] = nodes
+		if nodes > (1<<31)/k {
+			return nil, fmt.Errorf("topology: k^n overflows: k=%d n=%d", k, n)
+		}
+		nodes *= k
+	}
+	return &Cube{k: k, n: n, strides: strides, nodes: nodes}, nil
+}
+
+// MustNew is New, panicking on error. Intended for tests and examples with
+// constant parameters.
+func MustNew(k, n int) *Cube {
+	c, err := New(k, n)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// K returns the radix (nodes per dimension).
+func (c *Cube) K() int { return c.k }
+
+// N returns the number of dimensions.
+func (c *Cube) N() int { return c.n }
+
+// Nodes returns the total node count k^n.
+func (c *Cube) Nodes() int { return c.nodes }
+
+// Channels returns the number of unidirectional network channels: one
+// outgoing channel per node per dimension.
+func (c *Cube) Channels() int { return c.nodes * c.n }
+
+// Valid reports whether id addresses a node of the cube.
+func (c *Cube) Valid(id NodeID) bool { return id >= 0 && int(id) < c.nodes }
+
+// Coord returns the digit of node id in dimension d, i.e. its position on
+// the dimension-d ring.
+func (c *Cube) Coord(id NodeID, d int) int {
+	return (int(id) / c.strides[d]) % c.k
+}
+
+// Coords returns all n digits of id, lowest dimension first.
+func (c *Cube) Coords(id NodeID) []int {
+	out := make([]int, c.n)
+	v := int(id)
+	for d := 0; d < c.n; d++ {
+		out[d] = v % c.k
+		v /= c.k
+	}
+	return out
+}
+
+// FromCoords returns the node with the given digits (lowest dimension
+// first). It is the inverse of Coords. Digits are reduced modulo k, so
+// callers may pass unnormalised ring positions.
+func (c *Cube) FromCoords(coords []int) NodeID {
+	if len(coords) != c.n {
+		panic(fmt.Sprintf("topology: FromCoords got %d coords, want %d", len(coords), c.n))
+	}
+	id := 0
+	for d := c.n - 1; d >= 0; d-- {
+		digit := coords[d] % c.k
+		if digit < 0 {
+			digit += c.k
+		}
+		id = id*c.k + digit
+	}
+	return NodeID(id)
+}
+
+// Neighbor returns the node reached by following the outgoing channel of
+// node id in dimension d (ring position +1 mod k).
+func (c *Cube) Neighbor(id NodeID, d int) NodeID {
+	pos := c.Coord(id, d)
+	if pos == c.k-1 {
+		// wrap-around link
+		return id - NodeID((c.k-1)*c.strides[d])
+	}
+	return id + NodeID(c.strides[d])
+}
+
+// Prev returns the node whose dimension-d outgoing channel arrives at id.
+func (c *Cube) Prev(id NodeID, d int) NodeID {
+	pos := c.Coord(id, d)
+	if pos == 0 {
+		return id + NodeID((c.k-1)*c.strides[d])
+	}
+	return id - NodeID(c.strides[d])
+}
+
+// RingDistance returns the number of hops needed in dimension d to travel
+// from node src to node dst using the unidirectional ring, in [0, k).
+func (c *Cube) RingDistance(src, dst NodeID, d int) int {
+	diff := c.Coord(dst, d) - c.Coord(src, d)
+	if diff < 0 {
+		diff += c.k
+	}
+	return diff
+}
+
+// Distance returns the total hop count of the deterministic dimension-order
+// path from src to dst (sum of per-dimension unidirectional ring distances).
+func (c *Cube) Distance(src, dst NodeID) int {
+	total := 0
+	for d := 0; d < c.n; d++ {
+		total += c.RingDistance(src, dst, d)
+	}
+	return total
+}
+
+// Path returns the sequence of nodes visited by the deterministic
+// dimension-order route from src to dst, crossing dimensions in increasing
+// order (dimension 0 first). The returned slice starts with src and ends
+// with dst.
+func (c *Cube) Path(src, dst NodeID) []NodeID {
+	path := []NodeID{src}
+	cur := src
+	for d := 0; d < c.n; d++ {
+		for c.Coord(cur, d) != c.Coord(dst, d) {
+			cur = c.Neighbor(cur, d)
+			path = append(path, cur)
+		}
+	}
+	return path
+}
+
+// CrossesWrap reports whether the dimension-order route from src to dst
+// crosses the wrap-around channel (from ring position k-1 to position 0) of
+// dimension d. This determines the Dally-Seitz virtual-channel class change.
+func (c *Cube) CrossesWrap(src, dst NodeID, d int) bool {
+	return c.Coord(src, d)+c.RingDistance(src, dst, d) >= c.k
+}
+
+// MeanRingDistance returns k̄ = (k-1)/2, the mean number of channels a
+// uniformly-destined message crosses in one dimension (Eq. 1 of the paper):
+// averaging distance i over the k equally likely ring offsets i = 0..k-1.
+func (c *Cube) MeanRingDistance() float64 {
+	return float64(c.k-1) / 2
+}
+
+// MeanDistance returns d = n·k̄, the mean path length of uniform traffic
+// (Eq. 2 of the paper).
+func (c *Cube) MeanDistance() float64 {
+	return float64(c.n) * c.MeanRingDistance()
+}
+
+// RingIndex identifies the dimension-d ring containing node id: the node's
+// coordinates with dimension d removed, folded into a single integer in
+// [0, k^(n-1)).
+func (c *Cube) RingIndex(id NodeID, d int) int {
+	lo := int(id) % c.strides[d]
+	hi := int(id) / (c.strides[d] * c.k)
+	return hi*c.strides[d] + lo
+}
+
+// RingNodes returns the k nodes of the dimension-d ring with the given ring
+// index, in ring-position order.
+func (c *Cube) RingNodes(d, ringIndex int) []NodeID {
+	lo := ringIndex % c.strides[d]
+	hi := ringIndex / c.strides[d]
+	base := hi*c.strides[d]*c.k + lo
+	out := make([]NodeID, c.k)
+	for p := 0; p < c.k; p++ {
+		out[p] = NodeID(base + p*c.strides[d])
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (c *Cube) String() string {
+	return fmt.Sprintf("%d-ary %d-cube (%d nodes)", c.k, c.n, c.nodes)
+}
+
+// --- Bidirectional variants --------------------------------------------------
+//
+// The paper analyses the unidirectional torus and notes the analysis "can be
+// easily extended to deal with [the] bi-directional case"; the simulator
+// implements that extension. With bidirectional links each dimension has a
+// positive (+1 mod k) and a negative (-1 mod k) ring and messages take the
+// shorter direction, ties resolved to the positive ring.
+
+// BiRingDistance returns the minimal hop count in dimension d with
+// bidirectional channels: min over the two directions.
+func (c *Cube) BiRingDistance(src, dst NodeID, d int) int {
+	fwd := c.RingDistance(src, dst, d)
+	if back := c.k - fwd; fwd > back {
+		return back
+	}
+	return fwd
+}
+
+// BiDirection returns the direction (+1 or -1) a minimally-routed message
+// takes in dimension d from src to dst, and 0 when no movement is needed.
+// Ties (distance exactly k/2) resolve to +1, keeping routing deterministic.
+func (c *Cube) BiDirection(src, dst NodeID, d int) int {
+	fwd := c.RingDistance(src, dst, d)
+	if fwd == 0 {
+		return 0
+	}
+	if fwd <= c.k-fwd {
+		return +1
+	}
+	return -1
+}
+
+// BiDistance returns the total minimal hop count of the dimension-order
+// path with bidirectional channels.
+func (c *Cube) BiDistance(src, dst NodeID) int {
+	total := 0
+	for d := 0; d < c.n; d++ {
+		total += c.BiRingDistance(src, dst, d)
+	}
+	return total
+}
+
+// BiNeighbor returns the node reached from id moving one hop in dimension d
+// in the given direction (+1 or -1).
+func (c *Cube) BiNeighbor(id NodeID, d, dir int) NodeID {
+	if dir >= 0 {
+		return c.Neighbor(id, d)
+	}
+	return c.Prev(id, d)
+}
+
+// BiPath returns the deterministic minimal dimension-order path with
+// bidirectional channels (ties to the positive direction).
+func (c *Cube) BiPath(src, dst NodeID) []NodeID {
+	path := []NodeID{src}
+	cur := src
+	for d := 0; d < c.n; d++ {
+		dir := c.BiDirection(cur, dst, d)
+		for c.Coord(cur, d) != c.Coord(dst, d) {
+			cur = c.BiNeighbor(cur, d, dir)
+			path = append(path, cur)
+		}
+	}
+	return path
+}
+
+// MeanBiRingDistance returns the mean minimal ring distance of uniform
+// traffic with bidirectional channels: (1/k)·Σ_{i=0..k-1} min(i, k-i).
+func (c *Cube) MeanBiRingDistance() float64 {
+	sum := 0
+	for i := 0; i < c.k; i++ {
+		d := i
+		if c.k-i < d {
+			d = c.k - i
+		}
+		sum += d
+	}
+	return float64(sum) / float64(c.k)
+}

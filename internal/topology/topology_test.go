@@ -1,0 +1,348 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		k, n int
+		ok   bool
+	}{
+		{2, 1, true},
+		{16, 2, true},
+		{4, 3, true},
+		{1, 2, false},
+		{0, 2, false},
+		{-3, 2, false},
+		{8, 0, false},
+		{8, -1, false},
+	}
+	for _, c := range cases {
+		_, err := New(c.k, c.n)
+		if (err == nil) != c.ok {
+			t.Errorf("New(%d,%d): err=%v, want ok=%v", c.k, c.n, err, c.ok)
+		}
+	}
+}
+
+func TestNewOverflow(t *testing.T) {
+	if _, err := New(1000, 8); err == nil {
+		t.Fatal("New(1000,8) should overflow int32 guard")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(1,1) did not panic")
+		}
+	}()
+	MustNew(1, 1)
+}
+
+func TestNodesAndChannels(t *testing.T) {
+	cases := []struct {
+		k, n, nodes int
+	}{
+		{2, 1, 2}, {4, 2, 16}, {16, 2, 256}, {8, 3, 512}, {3, 4, 81},
+	}
+	for _, c := range cases {
+		cube := MustNew(c.k, c.n)
+		if got := cube.Nodes(); got != c.nodes {
+			t.Errorf("(%d,%d).Nodes() = %d, want %d", c.k, c.n, got, c.nodes)
+		}
+		if got := cube.Channels(); got != c.nodes*c.n {
+			t.Errorf("(%d,%d).Channels() = %d, want %d", c.k, c.n, got, c.nodes*c.n)
+		}
+		if cube.K() != c.k || cube.N() != c.n {
+			t.Errorf("(%d,%d) accessors returned %d,%d", c.k, c.n, cube.K(), cube.N())
+		}
+	}
+}
+
+func TestCoordsRoundTrip(t *testing.T) {
+	for _, cfg := range [][2]int{{2, 1}, {4, 2}, {16, 2}, {5, 3}} {
+		cube := MustNew(cfg[0], cfg[1])
+		for id := NodeID(0); int(id) < cube.Nodes(); id++ {
+			coords := cube.Coords(id)
+			if got := cube.FromCoords(coords); got != id {
+				t.Fatalf("%v: FromCoords(Coords(%d)) = %d", cube, id, got)
+			}
+			for d := 0; d < cube.N(); d++ {
+				if coords[d] != cube.Coord(id, d) {
+					t.Fatalf("%v: Coords(%d)[%d] = %d, Coord = %d",
+						cube, id, d, coords[d], cube.Coord(id, d))
+				}
+			}
+		}
+	}
+}
+
+func TestFromCoordsNormalises(t *testing.T) {
+	cube := MustNew(4, 2)
+	if got := cube.FromCoords([]int{5, -1}); got != cube.FromCoords([]int{1, 3}) {
+		t.Errorf("FromCoords should reduce mod k: got %d", got)
+	}
+}
+
+func TestFromCoordsPanicsOnBadLength(t *testing.T) {
+	cube := MustNew(4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromCoords with wrong arity did not panic")
+		}
+	}()
+	cube.FromCoords([]int{1})
+}
+
+func TestNeighborWalksRing(t *testing.T) {
+	cube := MustNew(16, 2)
+	for d := 0; d < 2; d++ {
+		cur := NodeID(37)
+		for step := 0; step < 16; step++ {
+			cur = cube.Neighbor(cur, d)
+		}
+		if cur != 37 {
+			t.Errorf("dim %d: 16 neighbor steps from 37 landed on %d", d, cur)
+		}
+	}
+}
+
+func TestNeighborPrevInverse(t *testing.T) {
+	cube := MustNew(5, 3)
+	for id := NodeID(0); int(id) < cube.Nodes(); id++ {
+		for d := 0; d < cube.N(); d++ {
+			if got := cube.Prev(cube.Neighbor(id, d), d); got != id {
+				t.Fatalf("Prev(Neighbor(%d,%d)) = %d", id, d, got)
+			}
+			if got := cube.Neighbor(cube.Prev(id, d), d); got != id {
+				t.Fatalf("Neighbor(Prev(%d,%d)) = %d", id, d, got)
+			}
+		}
+	}
+}
+
+func TestNeighborChangesOnlyOneDigit(t *testing.T) {
+	cube := MustNew(4, 3)
+	for id := NodeID(0); int(id) < cube.Nodes(); id++ {
+		for d := 0; d < cube.N(); d++ {
+			nb := cube.Neighbor(id, d)
+			for dd := 0; dd < cube.N(); dd++ {
+				want := cube.Coord(id, dd)
+				if dd == d {
+					want = (want + 1) % cube.K()
+				}
+				if cube.Coord(nb, dd) != want {
+					t.Fatalf("Neighbor(%d,%d)=%d: coord %d = %d, want %d",
+						id, d, nb, dd, cube.Coord(nb, dd), want)
+				}
+			}
+		}
+	}
+}
+
+func TestRingDistance(t *testing.T) {
+	cube := MustNew(8, 2)
+	a := cube.FromCoords([]int{6, 3})
+	b := cube.FromCoords([]int{2, 3})
+	if got := cube.RingDistance(a, b, 0); got != 4 {
+		t.Errorf("RingDistance x 6->2 = %d, want 4 (wraps)", got)
+	}
+	if got := cube.RingDistance(b, a, 0); got != 4 {
+		t.Errorf("RingDistance x 2->6 = %d, want 4", got)
+	}
+	if got := cube.RingDistance(a, b, 1); got != 0 {
+		t.Errorf("RingDistance y = %d, want 0", got)
+	}
+}
+
+func TestRingDistanceUnidirectionalSum(t *testing.T) {
+	// For distinct ring positions, dist(a,b) + dist(b,a) == k on a
+	// unidirectional ring.
+	cube := MustNew(9, 2)
+	f := func(a, b uint) bool {
+		x := NodeID(a % uint(cube.Nodes()))
+		y := NodeID(b % uint(cube.Nodes()))
+		for d := 0; d < 2; d++ {
+			ab := cube.RingDistance(x, y, d)
+			ba := cube.RingDistance(y, x, d)
+			if ab == 0 || ba == 0 {
+				if ab != ba {
+					return false
+				}
+				continue
+			}
+			if ab+ba != cube.K() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceMatchesPathLength(t *testing.T) {
+	cube := MustNew(6, 2)
+	f := func(a, b uint) bool {
+		src := NodeID(a % uint(cube.Nodes()))
+		dst := NodeID(b % uint(cube.Nodes()))
+		path := cube.Path(src, dst)
+		return len(path)-1 == cube.Distance(src, dst)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathEndpointsAndSteps(t *testing.T) {
+	cube := MustNew(5, 3)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		src := NodeID(rng.Intn(cube.Nodes()))
+		dst := NodeID(rng.Intn(cube.Nodes()))
+		path := cube.Path(src, dst)
+		if path[0] != src || path[len(path)-1] != dst {
+			t.Fatalf("path endpoints %d..%d, want %d..%d",
+				path[0], path[len(path)-1], src, dst)
+		}
+		// Every step must follow an outgoing channel, and the dimension
+		// used must be non-decreasing (dimension-order routing).
+		lastDim := -1
+		for i := 1; i < len(path); i++ {
+			stepDim := -1
+			for d := 0; d < cube.N(); d++ {
+				if cube.Neighbor(path[i-1], d) == path[i] {
+					stepDim = d
+					break
+				}
+			}
+			if stepDim < 0 {
+				t.Fatalf("step %d->%d is not a channel", path[i-1], path[i])
+			}
+			if stepDim < lastDim {
+				t.Fatalf("path uses dim %d after dim %d", stepDim, lastDim)
+			}
+			lastDim = stepDim
+		}
+	}
+}
+
+func TestPathSelfIsSingleton(t *testing.T) {
+	cube := MustNew(4, 2)
+	p := cube.Path(5, 5)
+	if len(p) != 1 || p[0] != 5 {
+		t.Errorf("Path(5,5) = %v", p)
+	}
+}
+
+func TestCrossesWrap(t *testing.T) {
+	cube := MustNew(8, 2)
+	a := cube.FromCoords([]int{6, 0})
+	b := cube.FromCoords([]int{2, 0})
+	if !cube.CrossesWrap(a, b, 0) {
+		t.Error("6->2 must cross the x wrap-around")
+	}
+	if cube.CrossesWrap(b, a, 0) {
+		t.Error("2->6 must not cross the x wrap-around")
+	}
+	if cube.CrossesWrap(a, a, 0) {
+		t.Error("self route crosses no wrap")
+	}
+}
+
+func TestMeanDistances(t *testing.T) {
+	cube := MustNew(16, 2)
+	if got := cube.MeanRingDistance(); got != 7.5 {
+		t.Errorf("MeanRingDistance = %v, want 7.5", got)
+	}
+	if got := cube.MeanDistance(); got != 15 {
+		t.Errorf("MeanDistance = %v, want 15", got)
+	}
+}
+
+func TestMeanDistanceMatchesExhaustiveAverage(t *testing.T) {
+	// Eq. 1 averages over all k offsets including 0. Verify against the
+	// brute-force average of RingDistance over ordered pairs.
+	for _, k := range []int{2, 3, 8, 16} {
+		cube := MustNew(k, 2)
+		sum, cnt := 0, 0
+		for a := NodeID(0); int(a) < cube.Nodes(); a++ {
+			for b := NodeID(0); int(b) < cube.Nodes(); b++ {
+				sum += cube.RingDistance(a, b, 0)
+				cnt++
+			}
+		}
+		got := float64(sum) / float64(cnt)
+		if want := cube.MeanRingDistance(); got != want {
+			t.Errorf("k=%d: exhaustive mean %v, Eq.1 gives %v", k, got, want)
+		}
+	}
+}
+
+func TestRingIndexAndNodes(t *testing.T) {
+	cube := MustNew(4, 3)
+	for d := 0; d < 3; d++ {
+		seen := map[int]int{}
+		for id := NodeID(0); int(id) < cube.Nodes(); id++ {
+			seen[cube.RingIndex(id, d)]++
+		}
+		if len(seen) != cube.Nodes()/cube.K() {
+			t.Fatalf("dim %d: %d distinct rings, want %d", d, len(seen), cube.Nodes()/cube.K())
+		}
+		for idx, cnt := range seen {
+			if cnt != cube.K() {
+				t.Fatalf("dim %d ring %d has %d nodes", d, idx, cnt)
+			}
+			nodes := cube.RingNodes(d, idx)
+			if len(nodes) != cube.K() {
+				t.Fatalf("RingNodes(%d,%d) returned %d nodes", d, idx, len(nodes))
+			}
+			for p, id := range nodes {
+				if cube.RingIndex(id, d) != idx {
+					t.Fatalf("node %d not in ring %d of dim %d", id, idx, d)
+				}
+				if cube.Coord(id, d) != p {
+					t.Fatalf("RingNodes order: node %d at slot %d has coord %d",
+						id, p, cube.Coord(id, d))
+				}
+			}
+		}
+	}
+}
+
+func TestRingNodesConnected(t *testing.T) {
+	cube := MustNew(6, 2)
+	for d := 0; d < 2; d++ {
+		for idx := 0; idx < cube.Nodes()/cube.K(); idx++ {
+			nodes := cube.RingNodes(d, idx)
+			for p := range nodes {
+				next := nodes[(p+1)%len(nodes)]
+				if cube.Neighbor(nodes[p], d) != next {
+					t.Fatalf("dim %d ring %d: %d's neighbor is not %d",
+						d, idx, nodes[p], next)
+				}
+			}
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := MustNew(16, 2).String(); got != "16-ary 2-cube (256 nodes)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestValid(t *testing.T) {
+	cube := MustNew(4, 2)
+	if cube.Valid(-1) || cube.Valid(16) {
+		t.Error("out-of-range ids reported valid")
+	}
+	if !cube.Valid(0) || !cube.Valid(15) {
+		t.Error("in-range ids reported invalid")
+	}
+}

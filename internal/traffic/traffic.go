@@ -1,0 +1,279 @@
+// Package traffic generates the workloads the simulator offers to the
+// network: temporal arrival processes (Poisson, Bernoulli, and the bursty
+// MMPP process the paper names as future work) and spatial destination
+// patterns (the Pfister-Norton hot-spot model used throughout the paper,
+// uniform, transpose and bit-reversal permutations).
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"kncube/internal/topology"
+)
+
+// Arrivals decides, cycle by cycle, whether a node injects a new message.
+type Arrivals interface {
+	// Next returns the number of cycles until the next message generation,
+	// strictly positive.
+	Next(rng *rand.Rand) int
+	// Rate returns the long-run mean generation rate in messages/cycle.
+	Rate() float64
+}
+
+// Pattern chooses the destination for a newly generated message.
+type Pattern interface {
+	// Destination returns the destination node for a message generated at
+	// src. Implementations must never return src itself.
+	Destination(src topology.NodeID, rng *rand.Rand) topology.NodeID
+	// String describes the pattern.
+	String() string
+}
+
+// --- Arrival processes -----------------------------------------------------
+
+// Poisson generates exponentially distributed inter-arrival times with the
+// given mean rate (assumption (i) of the paper), discretised to whole cycles
+// by rounding up so that a generation never happens "now".
+type Poisson struct{ Lambda float64 }
+
+// NewPoisson returns a Poisson arrival process with rate lambda
+// messages/cycle. lambda must be positive.
+func NewPoisson(lambda float64) (Poisson, error) {
+	if lambda <= 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
+		return Poisson{}, fmt.Errorf("traffic: Poisson rate %v, want > 0", lambda)
+	}
+	return Poisson{Lambda: lambda}, nil
+}
+
+// Next implements Arrivals.
+func (p Poisson) Next(rng *rand.Rand) int {
+	gap := rng.ExpFloat64() / p.Lambda
+	n := int(math.Ceil(gap))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Rate implements Arrivals.
+func (p Poisson) Rate() float64 { return p.Lambda }
+
+// Bernoulli generates a message each cycle with probability P (geometric
+// inter-arrival times) — the standard discrete-time stand-in for Poisson
+// traffic in cycle-accurate simulators.
+type Bernoulli struct{ P float64 }
+
+// NewBernoulli returns a Bernoulli arrival process with per-cycle
+// probability p in (0, 1].
+func NewBernoulli(p float64) (Bernoulli, error) {
+	if p <= 0 || p > 1 || math.IsNaN(p) {
+		return Bernoulli{}, fmt.Errorf("traffic: Bernoulli probability %v, want (0,1]", p)
+	}
+	return Bernoulli{P: p}, nil
+}
+
+// Next implements Arrivals.
+func (b Bernoulli) Next(rng *rand.Rand) int {
+	// Geometric with success probability P, support {1, 2, ...}.
+	n := 1
+	for rng.Float64() >= b.P {
+		n++
+	}
+	return n
+}
+
+// Rate implements Arrivals.
+func (b Bernoulli) Rate() float64 { return b.P }
+
+// MMPP is a two-state Markov-modulated Poisson process producing bursty
+// traffic: the process alternates between a high-rate and a low-rate Poisson
+// state, switching state after exponentially distributed sojourns. This is
+// the "bursty, non-Poissonian" extension the paper's conclusion targets.
+type MMPP struct {
+	RateHigh, RateLow float64 // per-state generation rates (messages/cycle)
+	MeanHigh, MeanLow float64 // mean sojourn times in cycles
+	state             int     // 0 = high, 1 = low
+	stateLeft         float64 // cycles remaining in the current state
+}
+
+// NewMMPP returns a two-state MMPP. All four parameters must be positive.
+func NewMMPP(rateHigh, rateLow, meanHigh, meanLow float64) (*MMPP, error) {
+	for _, v := range []float64{rateHigh, rateLow, meanHigh, meanLow} {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("traffic: MMPP parameter %v, want > 0", v)
+		}
+	}
+	return &MMPP{RateHigh: rateHigh, RateLow: rateLow, MeanHigh: meanHigh, MeanLow: meanLow}, nil
+}
+
+// Next implements Arrivals.
+func (m *MMPP) Next(rng *rand.Rand) int {
+	total := 0.0
+	for {
+		if m.stateLeft <= 0 {
+			if m.state == 0 {
+				m.state = 1
+				m.stateLeft = rng.ExpFloat64() * m.MeanLow
+			} else {
+				m.state = 0
+				m.stateLeft = rng.ExpFloat64() * m.MeanHigh
+			}
+			continue
+		}
+		rate := m.RateHigh
+		if m.state == 1 {
+			rate = m.RateLow
+		}
+		gap := rng.ExpFloat64() / rate
+		if gap <= m.stateLeft {
+			m.stateLeft -= gap
+			total += gap
+			n := int(math.Ceil(total))
+			if n < 1 {
+				n = 1
+			}
+			return n
+		}
+		total += m.stateLeft
+		m.stateLeft = 0
+	}
+}
+
+// Rate implements Arrivals: the time-weighted average of the two state
+// rates.
+func (m *MMPP) Rate() float64 {
+	return (m.RateHigh*m.MeanHigh + m.RateLow*m.MeanLow) / (m.MeanHigh + m.MeanLow)
+}
+
+// Burstiness returns the ratio of the high-state rate to the mean rate, a
+// rough burstiness indicator (1 = Poisson-like).
+func (m *MMPP) Burstiness() float64 { return m.RateHigh / m.Rate() }
+
+// --- Spatial patterns --------------------------------------------------------
+
+// Uniform directs each message to a node drawn uniformly from all nodes
+// except the source.
+type Uniform struct{ Cube *topology.Cube }
+
+// Destination implements Pattern.
+func (u Uniform) Destination(src topology.NodeID, rng *rand.Rand) topology.NodeID {
+	n := u.Cube.Nodes()
+	d := topology.NodeID(rng.Intn(n - 1))
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// String implements Pattern.
+func (u Uniform) String() string { return "uniform" }
+
+// HotSpot implements the Pfister-Norton hot-spot model (assumption (ii) of
+// the paper): with probability H the destination is the hot node, otherwise
+// it is uniform. ExcludeHot additionally removes the hot node from the
+// uniform component (a sensitivity knob; the paper's convention keeps it).
+type HotSpot struct {
+	Cube       *topology.Cube
+	Hot        topology.NodeID
+	H          float64
+	ExcludeHot bool
+}
+
+// NewHotSpot validates and returns a hot-spot pattern.
+func NewHotSpot(cube *topology.Cube, hot topology.NodeID, h float64) (HotSpot, error) {
+	if !cube.Valid(hot) {
+		return HotSpot{}, fmt.Errorf("traffic: hot node %d outside %v", hot, cube)
+	}
+	if h < 0 || h > 1 || math.IsNaN(h) {
+		return HotSpot{}, fmt.Errorf("traffic: hot-spot fraction %v, want [0,1]", h)
+	}
+	return HotSpot{Cube: cube, Hot: hot, H: h}, nil
+}
+
+// Destination implements Pattern. Messages generated at the hot node itself
+// are always uniform (a node does not send to itself).
+func (hs HotSpot) Destination(src topology.NodeID, rng *rand.Rand) topology.NodeID {
+	if src != hs.Hot && rng.Float64() < hs.H {
+		return hs.Hot
+	}
+	n := hs.Cube.Nodes()
+	if hs.ExcludeHot && src != hs.Hot {
+		// Uniform over nodes that are neither src nor the hot node.
+		d := topology.NodeID(rng.Intn(n - 2))
+		lo, hi := src, hs.Hot
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if d >= lo {
+			d++
+		}
+		if d >= hi {
+			d++
+		}
+		return d
+	}
+	d := topology.NodeID(rng.Intn(n - 1))
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// IsHot reports whether dst is the hot node.
+func (hs HotSpot) IsHot(dst topology.NodeID) bool { return dst == hs.Hot }
+
+// String implements Pattern.
+func (hs HotSpot) String() string {
+	return fmt.Sprintf("hotspot(h=%.2f, node=%d)", hs.H, hs.Hot)
+}
+
+// Transpose sends from node (a0, a1, ..., a_{n-1}) to (a_{n-1}, ..., a1, a0)
+// — the matrix-transpose permutation. Nodes whose transpose is themselves
+// fall back to uniform so that Destination never returns src.
+type Transpose struct{ Cube *topology.Cube }
+
+// Destination implements Pattern.
+func (tp Transpose) Destination(src topology.NodeID, rng *rand.Rand) topology.NodeID {
+	coords := tp.Cube.Coords(src)
+	for i, j := 0, len(coords)-1; i < j; i, j = i+1, j-1 {
+		coords[i], coords[j] = coords[j], coords[i]
+	}
+	dst := tp.Cube.FromCoords(coords)
+	if dst == src {
+		return Uniform{Cube: tp.Cube}.Destination(src, rng)
+	}
+	return dst
+}
+
+// String implements Pattern.
+func (tp Transpose) String() string { return "transpose" }
+
+// BitReversal sends each message to the node whose index is the bit-reversal
+// of the source index (within ceil(log2 N) bits, reduced mod N). Self-routed
+// nodes fall back to uniform.
+type BitReversal struct{ Cube *topology.Cube }
+
+// Destination implements Pattern.
+func (br BitReversal) Destination(src topology.NodeID, rng *rand.Rand) topology.NodeID {
+	n := br.Cube.Nodes()
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	v := int(src)
+	r := 0
+	for i := 0; i < bits; i++ {
+		r = (r << 1) | (v & 1)
+		v >>= 1
+	}
+	dst := topology.NodeID(r % n)
+	if dst == src {
+		return Uniform{Cube: br.Cube}.Destination(src, rng)
+	}
+	return dst
+}
+
+// String implements Pattern.
+func (br BitReversal) String() string { return "bit-reversal" }

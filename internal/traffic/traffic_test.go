@@ -1,0 +1,348 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kncube/internal/topology"
+)
+
+func TestNewPoissonValidation(t *testing.T) {
+	for _, l := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewPoisson(l); err == nil {
+			t.Errorf("NewPoisson(%v) accepted", l)
+		}
+	}
+	if _, err := NewPoisson(0.001); err != nil {
+		t.Errorf("NewPoisson(0.001): %v", err)
+	}
+}
+
+func TestPoissonMeanRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p, _ := NewPoisson(0.01)
+	var total int
+	const msgs = 20000
+	for i := 0; i < msgs; i++ {
+		gap := p.Next(rng)
+		if gap < 1 {
+			t.Fatalf("non-positive gap %d", gap)
+		}
+		total += gap
+	}
+	// Discretisation (ceil) adds ~0.5 cycles to the mean gap of 100.
+	got := float64(msgs) / float64(total)
+	if math.Abs(got-0.01)/0.01 > 0.05 {
+		t.Errorf("empirical rate %v, want ~0.01", got)
+	}
+	if p.Rate() != 0.01 {
+		t.Errorf("Rate() = %v", p.Rate())
+	}
+}
+
+func TestBernoulliValidation(t *testing.T) {
+	for _, p := range []float64{0, -0.1, 1.1, math.NaN()} {
+		if _, err := NewBernoulli(p); err == nil {
+			t.Errorf("NewBernoulli(%v) accepted", p)
+		}
+	}
+	if _, err := NewBernoulli(1); err != nil {
+		t.Error("NewBernoulli(1) rejected")
+	}
+}
+
+func TestBernoulliGeometricGaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b, _ := NewBernoulli(0.25)
+	var total int
+	const msgs = 20000
+	for i := 0; i < msgs; i++ {
+		total += b.Next(rng)
+	}
+	mean := float64(total) / msgs
+	if math.Abs(mean-4) > 0.15 {
+		t.Errorf("mean gap %v, want ~4", mean)
+	}
+}
+
+func TestBernoulliRateOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b, _ := NewBernoulli(1)
+	for i := 0; i < 100; i++ {
+		if b.Next(rng) != 1 {
+			t.Fatal("p=1 must generate every cycle")
+		}
+	}
+}
+
+func TestMMPPValidation(t *testing.T) {
+	if _, err := NewMMPP(0.1, 0.01, 100, 100); err != nil {
+		t.Errorf("valid MMPP rejected: %v", err)
+	}
+	bad := [][4]float64{
+		{0, 0.01, 100, 100}, {0.1, 0, 100, 100},
+		{0.1, 0.01, 0, 100}, {0.1, 0.01, 100, -1},
+		{math.NaN(), 0.01, 100, 100},
+	}
+	for _, b := range bad {
+		if _, err := NewMMPP(b[0], b[1], b[2], b[3]); err == nil {
+			t.Errorf("NewMMPP(%v) accepted", b)
+		}
+	}
+}
+
+func TestMMPPMeanRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m, _ := NewMMPP(0.05, 0.001, 500, 500)
+	want := m.Rate()
+	if math.Abs(want-(0.05+0.001)/2) > 1e-12 {
+		t.Fatalf("analytic Rate() = %v", want)
+	}
+	var total int
+	const msgs = 30000
+	for i := 0; i < msgs; i++ {
+		gap := m.Next(rng)
+		if gap < 1 {
+			t.Fatalf("non-positive gap %d", gap)
+		}
+		total += gap
+	}
+	got := float64(msgs) / float64(total)
+	if math.Abs(got-want)/want > 0.15 {
+		t.Errorf("empirical rate %v, want ~%v", got, want)
+	}
+}
+
+func TestMMPPBurstiness(t *testing.T) {
+	m, _ := NewMMPP(0.05, 0.001, 500, 500)
+	if b := m.Burstiness(); b <= 1 {
+		t.Errorf("burstiness %v, want > 1", b)
+	}
+	// Bursty process: variance of gaps far exceeds exponential's.
+	rng := rand.New(rand.NewSource(5))
+	var gaps []float64
+	for i := 0; i < 20000; i++ {
+		gaps = append(gaps, float64(m.Next(rng)))
+	}
+	mean, ss := 0.0, 0.0
+	for _, g := range gaps {
+		mean += g
+	}
+	mean /= float64(len(gaps))
+	for _, g := range gaps {
+		ss += (g - mean) * (g - mean)
+	}
+	cv2 := ss / float64(len(gaps)) / (mean * mean)
+	if cv2 < 1.5 {
+		t.Errorf("squared CV of MMPP gaps = %v, want visibly > 1 (bursty)", cv2)
+	}
+}
+
+func TestUniformNeverSelf(t *testing.T) {
+	cube := topology.MustNew(4, 2)
+	u := Uniform{Cube: cube}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 2000; i++ {
+		src := topology.NodeID(rng.Intn(cube.Nodes()))
+		if u.Destination(src, rng) == src {
+			t.Fatal("uniform returned source")
+		}
+	}
+}
+
+func TestUniformCoversAllDestinations(t *testing.T) {
+	cube := topology.MustNew(4, 2)
+	u := Uniform{Cube: cube}
+	rng := rand.New(rand.NewSource(7))
+	src := topology.NodeID(5)
+	seen := map[topology.NodeID]int{}
+	const draws = 32000
+	for i := 0; i < draws; i++ {
+		seen[u.Destination(src, rng)]++
+	}
+	if len(seen) != cube.Nodes()-1 {
+		t.Fatalf("covered %d destinations, want %d", len(seen), cube.Nodes()-1)
+	}
+	want := float64(draws) / float64(cube.Nodes()-1)
+	for d, c := range seen {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("destination %d drawn %d times, want ~%.0f", d, c, want)
+		}
+	}
+}
+
+func TestNewHotSpotValidation(t *testing.T) {
+	cube := topology.MustNew(4, 2)
+	if _, err := NewHotSpot(cube, 99, 0.2); err == nil {
+		t.Error("invalid hot node accepted")
+	}
+	if _, err := NewHotSpot(cube, 3, -0.1); err == nil {
+		t.Error("negative h accepted")
+	}
+	if _, err := NewHotSpot(cube, 3, 1.5); err == nil {
+		t.Error("h > 1 accepted")
+	}
+	if _, err := NewHotSpot(cube, 3, math.NaN()); err == nil {
+		t.Error("NaN h accepted")
+	}
+}
+
+func TestHotSpotFraction(t *testing.T) {
+	cube := topology.MustNew(8, 2)
+	hs, err := NewHotSpot(cube, 17, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	src := topology.NodeID(3)
+	hot := 0
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		if hs.Destination(src, rng) == hs.Hot {
+			hot++
+		}
+	}
+	// Expect h plus the uniform share 1/(N-1) of (1-h).
+	want := 0.4 + (1-0.4)/float64(cube.Nodes()-1)
+	got := float64(hot) / draws
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("hot fraction %v, want ~%v", got, want)
+	}
+}
+
+func TestHotSpotExcludeHot(t *testing.T) {
+	cube := topology.MustNew(8, 2)
+	hs, _ := NewHotSpot(cube, 17, 0.4)
+	hs.ExcludeHot = true
+	rng := rand.New(rand.NewSource(9))
+	src := topology.NodeID(3)
+	hot, self := 0, 0
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		d := hs.Destination(src, rng)
+		if d == hs.Hot {
+			hot++
+		}
+		if d == src {
+			self++
+		}
+	}
+	if self != 0 {
+		t.Fatalf("%d self destinations", self)
+	}
+	got := float64(hot) / draws
+	if math.Abs(got-0.4) > 0.01 {
+		t.Errorf("hot fraction %v, want ~0.4 exactly (uniform excludes hot)", got)
+	}
+}
+
+func TestHotSpotSourceIsHotNode(t *testing.T) {
+	cube := topology.MustNew(4, 2)
+	hs, _ := NewHotSpot(cube, 5, 0.9)
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 2000; i++ {
+		if d := hs.Destination(hs.Hot, rng); d == hs.Hot {
+			t.Fatal("hot node sent a message to itself")
+		}
+	}
+}
+
+func TestHotSpotHZeroIsUniform(t *testing.T) {
+	cube := topology.MustNew(6, 2)
+	hs, _ := NewHotSpot(cube, 7, 0)
+	rng := rand.New(rand.NewSource(11))
+	src := topology.NodeID(2)
+	hot := 0
+	const draws = 40000
+	for i := 0; i < draws; i++ {
+		if hs.Destination(src, rng) == hs.Hot {
+			hot++
+		}
+	}
+	want := float64(draws) / float64(cube.Nodes()-1)
+	if math.Abs(float64(hot)-want) > 6*math.Sqrt(want) {
+		t.Errorf("h=0 hot draws %d, want ~%.0f", hot, want)
+	}
+}
+
+func TestHotSpotIsHotAndString(t *testing.T) {
+	cube := topology.MustNew(4, 2)
+	hs, _ := NewHotSpot(cube, 5, 0.2)
+	if !hs.IsHot(5) || hs.IsHot(4) {
+		t.Error("IsHot wrong")
+	}
+	if hs.String() == "" || (Uniform{}).String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestTransposePermutation(t *testing.T) {
+	cube := topology.MustNew(4, 2)
+	tp := Transpose{Cube: cube}
+	rng := rand.New(rand.NewSource(12))
+	src := cube.FromCoords([]int{1, 3})
+	want := cube.FromCoords([]int{3, 1})
+	for i := 0; i < 10; i++ {
+		if got := tp.Destination(src, rng); got != want {
+			t.Fatalf("transpose(%d) = %d, want %d", src, got, want)
+		}
+	}
+}
+
+func TestTransposeDiagonalFallsBack(t *testing.T) {
+	cube := topology.MustNew(4, 2)
+	tp := Transpose{Cube: cube}
+	rng := rand.New(rand.NewSource(13))
+	src := cube.FromCoords([]int{2, 2})
+	for i := 0; i < 100; i++ {
+		if tp.Destination(src, rng) == src {
+			t.Fatal("diagonal node routed to itself")
+		}
+	}
+}
+
+func TestBitReversalInvolution(t *testing.T) {
+	cube := topology.MustNew(4, 2) // 16 nodes, 4 bits: exact reversal
+	br := BitReversal{Cube: cube}
+	rng := rand.New(rand.NewSource(14))
+	for src := topology.NodeID(0); int(src) < cube.Nodes(); src++ {
+		d := br.Destination(src, rng)
+		if d == src {
+			t.Fatalf("bit-reversal returned source %d", src)
+		}
+		// For palindromic indices the fallback is uniform, skip the
+		// involution check there.
+		rev := func(v int) int {
+			r := 0
+			for i := 0; i < 4; i++ {
+				r = (r << 1) | (v & 1)
+				v >>= 1
+			}
+			return r
+		}
+		if rev(int(src)) != int(src) {
+			if got := rev(int(d)); got != int(src) {
+				t.Fatalf("reversal not involutive: %d -> %d -> %d", src, d, got)
+			}
+		}
+	}
+}
+
+func TestPatternsNeverSelf(t *testing.T) {
+	cube := topology.MustNew(4, 3)
+	rng := rand.New(rand.NewSource(15))
+	hs, _ := NewHotSpot(cube, 11, 0.3)
+	pats := []Pattern{
+		Uniform{Cube: cube}, hs,
+		Transpose{Cube: cube}, BitReversal{Cube: cube},
+	}
+	for _, p := range pats {
+		for i := 0; i < 3000; i++ {
+			src := topology.NodeID(rng.Intn(cube.Nodes()))
+			if p.Destination(src, rng) == src {
+				t.Fatalf("%s returned source", p)
+			}
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package kncube reproduces "Analytical Modelling of Hot-Spot Traffic in
+// Deterministically-Routed K-Ary N-Cubes" (S. Loucif, M. Ould-Khaoua,
+// G. Min; Proc. 19th IEEE IPDPS, 2005).
+//
+// The package offers:
+//
+//   - the paper's analytical model of mean message latency in a wormhole-
+//     switched 2-D torus with deterministic (dimension-order) routing,
+//     virtual channels, and Pfister-Norton hot-spot traffic (SolveModel),
+//     with a uniform-traffic baseline (SolveUniform);
+//   - validated generalisations: the bidirectional torus
+//     (SolveBidirectionalModel), the general k-ary n-cube (SolveNDim), and
+//     the hypercube baseline of the authors' predecessor paper
+//     (SolveHypercube);
+//   - the flit-level simulator the paper validates against (NewSimulator),
+//     supporting unidirectional and bidirectional channels and both
+//     deterministic and minimal-adaptive routing;
+//   - the experiment harness regenerating every panel of the paper's
+//     Figures 1 and 2 (see internal/experiments, cmd/khs-figures, and the
+//     benchmarks in bench_test.go).
+//
+// Quick start:
+//
+//	res, err := kncube.SolveModel(kncube.ModelParams{
+//		K: 16, V: 2, Lm: 32, H: 0.2, Lambda: 1e-4,
+//	}, kncube.ModelOptions{})
+//	if err != nil { ... }
+//	fmt.Println("mean latency:", res.Latency, "cycles")
+//
+// All times are network cycles (one flit per channel per cycle); all rates
+// are messages per node per cycle.
+package kncube
+
+import (
+	"kncube/internal/core"
+	"kncube/internal/sim"
+	"kncube/internal/topology"
+	"kncube/internal/traffic"
+)
+
+// --- Analytical models -------------------------------------------------------
+
+// ModelParams parameterise the hot-spot analytical model (2-D torus,
+// N = K² nodes).
+type ModelParams = core.Params
+
+// ModelOptions select the reconstruction knobs documented in DESIGN.md.
+type ModelOptions = core.Options
+
+// ModelResult is the solved model with diagnostics.
+type ModelResult = core.Result
+
+// Entrance policies for the service-time recursions (ablation A).
+const (
+	EntranceMeanDistance = core.EntranceMeanDistance
+	EntranceKBar         = core.EntranceKBar
+	EntranceWorstCase    = core.EntranceWorstCase
+)
+
+// Blocking-delay forms (ablations B and C). The zero value of ModelOptions
+// selects BlockingVCOccupancy with VarianceZero — the calibrated
+// reconstruction used by all harness tooling; the other forms are the
+// documented ablations.
+const (
+	BlockingPaper       = core.BlockingPaper
+	BlockingWaitOnly    = core.BlockingWaitOnly
+	BlockingMultiServer = core.BlockingMultiServer
+	BlockingBandwidth   = core.BlockingBandwidth
+	BlockingVCOccupancy = core.BlockingVCOccupancy
+)
+
+// Variance forms for the waiting-time formulas (ablation D).
+const (
+	VariancePaper = core.VariancePaper
+	VarianceZero  = core.VarianceZero
+)
+
+// ErrSaturated is returned by the models beyond their saturation load.
+var ErrSaturated = core.ErrSaturated
+
+// SolveModel evaluates the paper's hot-spot latency model (Eqs. 1-37).
+func SolveModel(p ModelParams, o ModelOptions) (*ModelResult, error) {
+	return core.Solve(p, o)
+}
+
+// UniformParams parameterise the uniform-traffic baseline model.
+type UniformParams = core.UniformParams
+
+// UniformResult is the solved baseline.
+type UniformResult = core.UniformResult
+
+// SolveUniform evaluates the classic uniform-traffic baseline model.
+func SolveUniform(p UniformParams) (*UniformResult, error) {
+	return core.SolveUniform(p)
+}
+
+// BiModelResult is the solved bidirectional-torus model.
+type BiModelResult = core.BiResult
+
+// SolveBidirectionalModel evaluates the bidirectional-channel extension of
+// the hot-spot model (the generalisation Section 2 of the paper mentions);
+// pair it with SimConfig.Bidirectional for validation.
+func SolveBidirectionalModel(p ModelParams, o ModelOptions) (*BiModelResult, error) {
+	return core.SolveBidirectional(p, o)
+}
+
+// NDimParams parameterise the general k-ary n-cube hot-spot model (the
+// paper analyses n = 2; this is the full-title generalisation).
+type NDimParams = core.NDimParams
+
+// NDimResult is the solved general model.
+type NDimResult = core.NDimResult
+
+// SolveNDim evaluates the general k-ary n-cube hot-spot model; it agrees
+// with SolveModel at n = 2 and extends the analysis to the 3-D tori the
+// paper's introduction motivates.
+func SolveNDim(p NDimParams, o ModelOptions) (*NDimResult, error) {
+	return core.SolveNDim(p, o)
+}
+
+// HypercubeParams parameterise the hypercube (2-ary n-cube) hot-spot model
+// — the authors' own predecessor model [12] included as a baseline.
+type HypercubeParams = core.HypercubeParams
+
+// HypercubeResult is the solved hypercube model.
+type HypercubeResult = core.HypercubeResult
+
+// SolveHypercube evaluates the hypercube hot-spot baseline model; validate
+// it against the simulator with SimConfig{K: 2, Dims: n}.
+func SolveHypercube(p HypercubeParams, o ModelOptions) (*HypercubeResult, error) {
+	return core.SolveHypercube(p, o)
+}
+
+// SaturationLambda bisects for the largest stable load of any solver.
+func SaturationLambda(solve func(lambda float64) error, lo, hi, relTol float64) (float64, error) {
+	return core.SaturationLambda(solve, lo, hi, relTol)
+}
+
+// --- Simulator ---------------------------------------------------------------
+
+// SimConfig configures the flit-level wormhole simulator.
+type SimConfig = sim.Config
+
+// SimRunOptions control a measurement run.
+type SimRunOptions = sim.RunOptions
+
+// SimResult summarises a run.
+type SimResult = sim.Result
+
+// Simulator is a flit-level network instance.
+type Simulator = sim.Network
+
+// Routing selects the simulator's routing algorithm: the paper's
+// deterministic dimension-order routing, or minimal adaptive routing with
+// Duato-style escape channels (the comparison point of the paper's
+// introduction).
+type Routing = sim.Routing
+
+// Routing algorithms.
+const (
+	RoutingDimensionOrder = sim.RoutingDimensionOrder
+	RoutingAdaptive       = sim.RoutingAdaptive
+)
+
+// Message is one simulated wormhole message (visible through delivery
+// callbacks).
+type Message = sim.Message
+
+// NewSimulator builds a simulator.
+func NewSimulator(cfg SimConfig) (*Simulator, error) { return sim.New(cfg) }
+
+// --- Topology and traffic ----------------------------------------------------
+
+// NodeID identifies a node.
+type NodeID = topology.NodeID
+
+// Cube is the k-ary n-cube topology.
+type Cube = topology.Cube
+
+// NewCube returns a k-ary n-cube.
+func NewCube(k, n int) (*Cube, error) { return topology.New(k, n) }
+
+// Arrivals is a temporal arrival process; Pattern a spatial destination
+// pattern.
+type (
+	Arrivals = traffic.Arrivals
+	Pattern  = traffic.Pattern
+)
+
+// Traffic constructors.
+var (
+	NewPoisson   = traffic.NewPoisson
+	NewBernoulli = traffic.NewBernoulli
+	NewMMPP      = traffic.NewMMPP
+	NewHotSpot   = traffic.NewHotSpot
+)
+
+// UniformPattern returns uniform destination traffic over cube.
+func UniformPattern(cube *Cube) Pattern { return traffic.Uniform{Cube: cube} }
+
+// TransposePattern returns the matrix-transpose permutation pattern.
+func TransposePattern(cube *Cube) Pattern { return traffic.Transpose{Cube: cube} }
+
+// BitReversalPattern returns the bit-reversal permutation pattern.
+func BitReversalPattern(cube *Cube) Pattern { return traffic.BitReversal{Cube: cube} }
