@@ -12,7 +12,9 @@ package kncube_test
 // (higher) toward the knee.
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -36,15 +38,18 @@ func benchmarkPanel(b *testing.B, id string) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// The sweep engine parallelises the panel's points across the machine;
+	// results are bit-identical to the sequential RunPanel.
+	sweep := experiments.Sweep{Jobs: runtime.NumCPU(), Budget: benchBudget()}
 	for i := 0; i < b.N; i++ {
-		points, err := experiments.RunPanel(panel, benchBudget(), core.Options{})
+		res, err := sweep.RunPanels(context.Background(), []experiments.Panel{panel})
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == 0 {
 			var sb strings.Builder
 			title := panel.Figure + " " + panel.Label
-			if err := experiments.WriteTable(&sb, title, points); err != nil {
+			if err := experiments.WriteTable(&sb, title, res[0].Points); err != nil {
 				b.Fatal(err)
 			}
 			b.Log("\n" + sb.String())
@@ -58,6 +63,31 @@ func BenchmarkFigure1H70(b *testing.B) { benchmarkPanel(b, "fig1-h70") }
 func BenchmarkFigure2H20(b *testing.B) { benchmarkPanel(b, "fig2-h20") }
 func BenchmarkFigure2H40(b *testing.B) { benchmarkPanel(b, "fig2-h40") }
 func BenchmarkFigure2H70(b *testing.B) { benchmarkPanel(b, "fig2-h70") }
+
+// BenchmarkFiguresSweep regenerates all six panels in one sweep — the
+// whole evaluation as a single worker-pool run, the way cmd/khs-figures
+// executes it. Compare against the sum of the per-panel benchmarks to see
+// the cross-panel parallelism win.
+func BenchmarkFiguresSweep(b *testing.B) {
+	sweep := experiments.Sweep{Jobs: runtime.NumCPU(), Budget: benchBudget()}
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.RunPanels(context.Background(), experiments.Figures())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, pr := range res {
+				sat := 0
+				for _, pt := range pr.Points {
+					if pt.ModelSaturated {
+						sat++
+					}
+				}
+				b.Logf("%s: %d points, %d model-saturated", pr.Panel.ID, len(pr.Points), sat)
+			}
+		}
+	}
+}
 
 // BenchmarkAblationEntrance compares the entrance-index policies for the
 // service-time recursions (DESIGN.md §4.6): how the OCR-ambiguous S_{·,k}

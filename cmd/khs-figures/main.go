@@ -1,19 +1,31 @@
 // Command khs-figures regenerates the evaluation figures of the paper:
 // model-vs-simulation latency curves for every panel of Figures 1 and 2.
 //
+// Points are simulated by the parallel sweep engine: every (panel, load,
+// replication) job runs on a bounded worker pool under a seed derived
+// deterministically from -seed and the job's identity, so output is
+// bit-identical for any -jobs value (see EXPERIMENTS.md for the seed
+// scheme).
+//
 // Usage:
 //
 //	khs-figures                        # all six panels, tables + plots
 //	khs-figures -panel fig1-h40        # one panel
 //	khs-figures -csv -outdir results/  # write CSV files
 //	khs-figures -fast                  # reduced simulation budget
+//	khs-figures -jobs 8                # worker-pool size (default NumCPU)
+//	khs-figures -reps 5                # pool 5 replications per point
+//	khs-figures -timeout 2m            # per-point simulation timeout
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"time"
 
 	"kncube/internal/core"
 	"kncube/internal/experiments"
@@ -26,7 +38,11 @@ func main() {
 		outdir  = flag.String("outdir", ".", "directory for CSV output")
 		fast    = flag.Bool("fast", false, "reduced simulation budget (quick look)")
 		noPlot  = flag.Bool("no-plot", false, "suppress the ASCII plots")
-		seed    = flag.Int64("seed", 1, "simulation seed")
+		seed    = flag.Int64("seed", 1, "base simulation seed (per-job seeds are derived from it)")
+		jobs    = flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers")
+		reps    = flag.Int("reps", 1, "independent replications pooled per point")
+		timeout = flag.Duration("timeout", 0, "per-point simulation timeout (0 = none)")
+		quiet   = flag.Bool("quiet", false, "suppress per-point progress lines")
 	)
 	flag.Parse()
 
@@ -48,12 +64,38 @@ func main() {
 		panels = []experiments.Panel{p}
 	}
 
-	for _, p := range panels {
-		fmt.Fprintf(os.Stderr, "running %s (%s, %s)...\n", p.ID, p.Figure, p.Label)
-		points, err := experiments.RunPanel(p, budget, opts)
-		if err != nil {
-			fatal(err)
+	sweep := experiments.Sweep{
+		Jobs:       *jobs,
+		Reps:       *reps,
+		JobTimeout: *timeout,
+		Budget:     budget,
+		Opts:       opts,
+	}
+	if !*quiet {
+		sweep.Progress = func(ev experiments.SweepProgress) {
+			note := ""
+			if ev.Result.Saturated {
+				note = " (saturated)"
+			}
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %s lambda=%-10.4g rep %d/%d  latency %.1f±%.1f%s\n",
+				ev.Done, ev.Total, ev.Panel.ID, ev.Panel.Lambdas[ev.LambdaIdx],
+				ev.Rep+1, *reps, ev.Result.MeanLatency, ev.Result.CI95, note)
 		}
+		fmt.Fprintf(os.Stderr, "sweeping %d panel(s) on %d worker(s), %d rep(s)/point, base seed %d...\n",
+			len(panels), *jobs, *reps, *seed)
+	}
+
+	start := time.Now()
+	results, err := sweep.RunPanels(context.Background(), panels)
+	if err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "sweep finished in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	for _, pr := range results {
+		p, points := pr.Panel, pr.Points
 		title := fmt.Sprintf("%s %s — N=%d, V=%d, Lm=%d", p.Figure, p.Label, p.K*p.K, p.V, p.Lm)
 		if *csv {
 			path := filepath.Join(*outdir, p.ID+".csv")

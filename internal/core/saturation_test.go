@@ -1,0 +1,65 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestSolversWrapErrSaturated drives every solver far beyond its saturation
+// load and requires the failure to satisfy errors.Is(err, ErrSaturated).
+// The experiments layer (and any API consumer) relies on this contract for
+// saturation detection — it must never depend on error message wording.
+func TestSolversWrapErrSaturated(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(lambda float64) error
+	}{
+		{"Solve", func(lambda float64) error {
+			_, err := Solve(Params{K: 8, V: 2, Lm: 32, H: 0.3, Lambda: lambda}, Options{})
+			return err
+		}},
+		{"SolveUniform", func(lambda float64) error {
+			_, err := SolveUniform(UniformParams{K: 8, Dims: 2, V: 2, Lm: 32, Lambda: lambda})
+			return err
+		}},
+		{"SolveBidirectional", func(lambda float64) error {
+			_, err := SolveBidirectional(Params{K: 8, V: 2, Lm: 32, H: 0.3, Lambda: lambda}, Options{})
+			return err
+		}},
+		{"SolveNDim", func(lambda float64) error {
+			_, err := SolveNDim(NDimParams{K: 8, N: 3, V: 2, Lm: 32, H: 0.3, Lambda: lambda}, Options{})
+			return err
+		}},
+		{"SolveHypercube", func(lambda float64) error {
+			_, err := SolveHypercube(HypercubeParams{N: 6, V: 2, Lm: 32, H: 0.3, Lambda: lambda}, Options{})
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Far beyond any of these networks' capacity.
+			err := tc.run(0.5)
+			if err == nil {
+				t.Fatal("no error at an absurd offered load")
+			}
+			if !errors.Is(err, ErrSaturated) {
+				t.Errorf("error does not wrap ErrSaturated: %v", err)
+			}
+			// Every ablation's blocking form must uphold the contract too
+			// (they take different error paths through the iterate step).
+			if tc.name == "Solve" {
+				for _, form := range []BlockingForm{BlockingPaper, BlockingWaitOnly,
+					BlockingMultiServer, BlockingBandwidth, BlockingVCOccupancy} {
+					_, err := Solve(Params{K: 8, V: 2, Lm: 32, H: 0.3, Lambda: 0.5},
+						Options{Blocking: form})
+					if err == nil {
+						t.Fatalf("blocking form %v: no error at an absurd load", form)
+					}
+					if !errors.Is(err, ErrSaturated) {
+						t.Errorf("blocking form %v: error does not wrap ErrSaturated: %v", form, err)
+					}
+				}
+			}
+		})
+	}
+}

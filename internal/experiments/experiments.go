@@ -4,6 +4,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -114,6 +115,12 @@ func RunModel(p Panel, lambda float64, opts core.Options) (float64, error) {
 // node is placed at the centre of the torus (its location is immaterial on
 // a torus; tests verify the symmetry).
 func RunSim(p Panel, lambda float64, budget SimBudget) (sim.Result, error) {
+	return RunSimContext(context.Background(), p, lambda, budget)
+}
+
+// RunSimContext is RunSim under a context: the run returns the context's
+// error promptly after cancellation or deadline expiry.
+func RunSimContext(ctx context.Context, p Panel, lambda float64, budget SimBudget) (sim.Result, error) {
 	cube, err := topology.New(p.K, 2)
 	if err != nil {
 		return sim.Result{}, err
@@ -131,42 +138,25 @@ func RunSim(p Panel, lambda float64, budget SimBudget) (sim.Result, error) {
 		return sim.Result{}, err
 	}
 	return nw.Run(sim.RunOptions{
+		Ctx:          ctx,
 		WarmupCycles: budget.WarmupCycles,
 		MaxCycles:    budget.MaxCycles,
 		MinMeasured:  budget.MinMeasured,
 	})
 }
 
-// RunPanel sweeps a panel: the analytical model and the simulator at every
-// axis point.
+// RunPanel sweeps a panel sequentially: the analytical model and the
+// simulator at every axis point. It is a thin wrapper over the Sweep engine
+// with one worker and one replication; each point simulates under its own
+// seed derived from budget.Seed (see JobSeed), so the points' RNG streams
+// are independent rather than correlated copies of one stream.
 func RunPanel(p Panel, budget SimBudget, opts core.Options) ([]Point, error) {
-	points := make([]Point, 0, len(p.Lambdas))
-	for _, lam := range p.Lambdas {
-		pt := Point{Lambda: lam}
-		m, err := RunModel(p, lam, opts)
-		if err == nil {
-			pt.Model = m
-		} else if isSaturation(err) {
-			pt.Model = math.NaN()
-			pt.ModelSaturated = true
-		} else {
-			return nil, err
-		}
-		sr, err := RunSim(p, lam, budget)
-		if err != nil {
-			return nil, err
-		}
-		pt.Sim = sr.MeanLatency
-		pt.SimCI = sr.CI95
-		pt.SimSaturated = sr.Saturated
-		pt.SimMeasured = sr.Measured
-		points = append(points, pt)
+	res, err := Sweep{Jobs: 1, Reps: 1, Budget: budget, Opts: opts}.
+		RunPanels(context.Background(), []Panel{p})
+	if err != nil {
+		return nil, err
 	}
-	return points, nil
-}
-
-func isSaturation(err error) bool {
-	return err != nil && strings.Contains(err.Error(), "saturated")
+	return res[0].Points, nil
 }
 
 // ModelCurve evaluates only the analytical side of a panel (cheap; used by
@@ -313,21 +303,29 @@ type ShapeReport struct {
 	LightPoints int
 	// ModelSaturation and SimKnee report where each side blows up: the
 	// first lambda at which the model saturates, and the first lambda at
-	// which the simulated latency exceeds 4x zero-load (0 if never).
+	// which the simulated latency exceeds 4x zero-load. Both are NaN when
+	// the event never happens — a real value always marks a genuine event,
+	// even one on the first axis point (a 0 sentinel could not tell the
+	// two apart). ModelSaturates and SimHasKnee carry the same distinction
+	// as booleans.
 	ModelSaturation float64
 	SimKnee         float64
+	ModelSaturates  bool
+	SimHasKnee      bool
 }
 
 // Shape summarises model-vs-sim agreement for a panel's points; zeroLoad is
 // the analytic zero-load latency used to split light from heavy load.
 func Shape(points []Point, zeroLoad float64) ShapeReport {
-	var rep ShapeReport
+	rep := ShapeReport{ModelSaturation: math.NaN(), SimKnee: math.NaN()}
 	var rels []float64
 	for _, pt := range points {
-		if pt.ModelSaturated && rep.ModelSaturation == 0 {
+		if pt.ModelSaturated && !rep.ModelSaturates {
+			rep.ModelSaturates = true
 			rep.ModelSaturation = pt.Lambda
 		}
-		if pt.Sim > 4*zeroLoad && rep.SimKnee == 0 {
+		if pt.Sim > 4*zeroLoad && !rep.SimHasKnee {
+			rep.SimHasKnee = true
 			rep.SimKnee = pt.Lambda
 		}
 		if !pt.ModelSaturated && pt.Sim > 0 && pt.Sim < 2*zeroLoad {

@@ -215,11 +215,11 @@ func TestShapeReport(t *testing.T) {
 	if rep.LightPoints != 2 {
 		t.Errorf("light points %d, want 2", rep.LightPoints)
 	}
-	if rep.ModelSaturation != 3e-4 {
-		t.Errorf("model saturation %v", rep.ModelSaturation)
+	if !rep.ModelSaturates || rep.ModelSaturation != 3e-4 {
+		t.Errorf("model saturation %v (saturates=%v)", rep.ModelSaturation, rep.ModelSaturates)
 	}
-	if rep.SimKnee != 4e-4 {
-		t.Errorf("sim knee %v", rep.SimKnee)
+	if !rep.SimHasKnee || rep.SimKnee != 4e-4 {
+		t.Errorf("sim knee %v (hasKnee=%v)", rep.SimKnee, rep.SimHasKnee)
 	}
 	if rep.MeanRelErrLight <= 0 || rep.MaxRelErrLight < rep.MeanRelErrLight {
 		t.Errorf("rel errors %v %v", rep.MeanRelErrLight, rep.MaxRelErrLight)
@@ -230,5 +230,34 @@ func TestShapeReportNoLightPoints(t *testing.T) {
 	rep := Shape([]Point{{Lambda: 1, Model: math.NaN(), ModelSaturated: true, Sim: 1000}}, 50)
 	if rep.LightPoints != 0 || rep.MeanRelErrLight != 0 {
 		t.Errorf("%+v", rep)
+	}
+}
+
+func TestShapeReportNoEvents(t *testing.T) {
+	// Neither side blows up: the positions must be NaN (not a value a real
+	// first-point event could produce) and the flags false.
+	pts := []Point{
+		{Lambda: 1e-4, Model: 52, Sim: 50},
+		{Lambda: 2e-4, Model: 60, Sim: 58},
+	}
+	rep := Shape(pts, 50)
+	if rep.ModelSaturates || !math.IsNaN(rep.ModelSaturation) {
+		t.Errorf("phantom model saturation: %v (saturates=%v)", rep.ModelSaturation, rep.ModelSaturates)
+	}
+	if rep.SimHasKnee || !math.IsNaN(rep.SimKnee) {
+		t.Errorf("phantom sim knee: %v (hasKnee=%v)", rep.SimKnee, rep.SimHasKnee)
+	}
+}
+
+func TestShapeReportFirstPointEvents(t *testing.T) {
+	// Events on the very first axis point must be distinguishable from
+	// "never happened" — the regression the 0-sentinel caused.
+	pts := []Point{{Lambda: 1e-4, Model: math.NaN(), ModelSaturated: true, Sim: 900}}
+	rep := Shape(pts, 50)
+	if !rep.ModelSaturates || rep.ModelSaturation != 1e-4 {
+		t.Errorf("first-point model saturation missed: %+v", rep)
+	}
+	if !rep.SimHasKnee || rep.SimKnee != 1e-4 {
+		t.Errorf("first-point sim knee missed: %+v", rep)
 	}
 }

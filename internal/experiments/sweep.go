@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"kncube/internal/core"
+	"kncube/internal/sim"
+	"kncube/internal/stats"
+)
+
+// JobSeed derives the deterministic simulator seed for one sweep job from
+// the base seed, the panel identity, the index of the load point on the
+// panel's axis, and the replication number. Every job of a sweep therefore
+// simulates an independent RNG stream (points on a curve no longer share
+// one stream, so their sampling errors are uncorrelated), yet the mapping
+// depends only on the job's identity — never on worker count or completion
+// order — so sweep results are bit-identical at any parallelism.
+//
+// The derivation is an FNV-1a 64-bit hash over (base, panelID, 0xff,
+// lambdaIdx, rep) with fixed-width little-endian integer encoding; the 0xff
+// byte terminates the panel ID (panel IDs are ASCII) so no two field
+// combinations collide by concatenation. The scheme is part of the
+// published-CSV reproducibility contract and is documented in
+// EXPERIMENTS.md; changing it invalidates recorded sweep data.
+func JobSeed(base int64, panelID string, lambdaIdx, rep int) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(base))
+	h.Write(buf[:])
+	h.Write([]byte(panelID))
+	h.Write([]byte{0xff})
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(lambdaIdx)))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(rep)))
+	h.Write(buf[:])
+	return int64(h.Sum64())
+}
+
+// SweepProgress describes one completed simulation job; see Sweep.Progress.
+type SweepProgress struct {
+	// Panel is the job's panel; LambdaIdx indexes Panel.Lambdas; Rep is the
+	// replication number in [0, Reps).
+	Panel     Panel
+	LambdaIdx int
+	Rep       int
+	// Done counts completed simulation jobs sweep-wide, Total the jobs the
+	// sweep was launched with.
+	Done, Total int
+	// Result is the job's simulator output.
+	Result sim.Result
+}
+
+// Sweep is the parallel sweep engine behind the figure harness: it expands
+// (panel x load point x replication) into independent simulation jobs,
+// executes them on a bounded worker pool, and pools replications into one
+// Point per load point. The zero value runs every job sequentially in the
+// calling goroutine's worker with a single replication.
+type Sweep struct {
+	// Jobs is the worker-pool size; <= 0 means runtime.NumCPU().
+	Jobs int
+	// Reps is the number of independent simulation replications pooled per
+	// load point (distinct derived seeds; see JobSeed); <= 0 means 1.
+	Reps int
+	// JobTimeout bounds each simulation job; a job exceeding it fails the
+	// sweep with an error wrapping context.DeadlineExceeded. 0 means no
+	// per-job limit.
+	JobTimeout time.Duration
+	// Budget is the per-replication simulation budget. Budget.Seed is the
+	// base seed every job's seed is derived from.
+	Budget SimBudget
+	// Opts are the analytical model options.
+	Opts core.Options
+	// Progress, when non-nil, is called serially after every completed
+	// simulation job (from worker goroutines, under the engine's lock —
+	// keep it light).
+	Progress func(SweepProgress)
+}
+
+// PanelResult pairs a panel with its swept points.
+type PanelResult struct {
+	Panel  Panel
+	Points []Point
+}
+
+// sweepJob identifies one simulation unit: a (panel, load point,
+// replication) triple, indexed into the RunPanels inputs.
+type sweepJob struct {
+	panel, point, rep int
+}
+
+// RunPanels sweeps the given panels: the analytical model once per load
+// point and Reps simulator replications per point, all on the worker pool.
+// Results are assembled in panel/axis order and are bit-identical for any
+// worker count. The first job failure cancels the remaining jobs and is
+// returned; cancelling ctx aborts the sweep promptly with ctx's error.
+func (s Sweep) RunPanels(ctx context.Context, panels []Panel) ([]PanelResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := s.Jobs
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	reps := s.Reps
+	if reps <= 0 {
+		reps = 1
+	}
+
+	total := 0
+	simRes := make([][][]sim.Result, len(panels))
+	modelVal := make([][]float64, len(panels))
+	modelSat := make([][]bool, len(panels))
+	for i, p := range panels {
+		total += len(p.Lambdas) * reps
+		simRes[i] = make([][]sim.Result, len(p.Lambdas))
+		for j := range simRes[i] {
+			simRes[i][j] = make([]sim.Result, reps)
+		}
+		modelVal[i] = make([]float64, len(p.Lambdas))
+		modelSat[i] = make([]bool, len(p.Lambdas))
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		done     int
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+
+	jobs := make(chan sweepJob)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range jobs {
+				if cctx.Err() != nil {
+					continue // sweep aborted: drain the queue
+				}
+				s.runJob(cctx, panels[jb.panel], jb, reps, total,
+					simRes, modelVal, modelSat, &mu, &done, fail)
+			}
+		}()
+	}
+
+feed:
+	for i, p := range panels {
+		for j := range p.Lambdas {
+			for r := 0; r < reps; r++ {
+				select {
+				case jobs <- sweepJob{panel: i, point: j, rep: r}:
+				case <-cctx.Done():
+					break feed
+				}
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	out := make([]PanelResult, len(panels))
+	for i, p := range panels {
+		points := make([]Point, len(p.Lambdas))
+		for j, lam := range p.Lambdas {
+			pt := Point{
+				Lambda:         lam,
+				Model:          modelVal[i][j],
+				ModelSaturated: modelSat[i][j],
+			}
+			if reps == 1 {
+				r := simRes[i][j][0]
+				pt.Sim = r.MeanLatency
+				pt.SimCI = r.CI95
+				pt.SimSaturated = r.Saturated
+				pt.SimMeasured = r.Measured
+			} else {
+				counts := make([]int64, reps)
+				means := make([]float64, reps)
+				cis := make([]float64, reps)
+				for r, res := range simRes[i][j] {
+					counts[r], means[r], cis[r] = res.Measured, res.MeanLatency, res.CI95
+					pt.SimSaturated = pt.SimSaturated || res.Saturated
+				}
+				pt.Sim, pt.SimCI, pt.SimMeasured = stats.PooledMean(counts, means, cis)
+			}
+			points[j] = pt
+		}
+		out[i] = PanelResult{Panel: p, Points: points}
+	}
+	return out, nil
+}
+
+// runJob executes one (panel, point, rep) unit: the replication-0 job also
+// evaluates the analytical model for its point (the model is deterministic,
+// so one evaluation per point suffices). Each writes only its own result
+// slot; completion counting and the Progress callback serialise on mu.
+func (s Sweep) runJob(ctx context.Context, p Panel, jb sweepJob, reps, total int,
+	simRes [][][]sim.Result, modelVal [][]float64, modelSat [][]bool,
+	mu *sync.Mutex, done *int, fail func(error)) {
+
+	lam := p.Lambdas[jb.point]
+	if jb.rep == 0 {
+		m, err := RunModel(p, lam, s.Opts)
+		switch {
+		case err == nil:
+			modelVal[jb.panel][jb.point] = m
+		case errors.Is(err, core.ErrSaturated):
+			modelVal[jb.panel][jb.point] = math.NaN()
+			modelSat[jb.panel][jb.point] = true
+		default:
+			fail(fmt.Errorf("experiments: model %s lambda=%g: %w", p.ID, lam, err))
+			return
+		}
+	}
+
+	budget := s.Budget
+	budget.Seed = JobSeed(s.Budget.Seed, p.ID, jb.point, jb.rep)
+	jctx := ctx
+	if s.JobTimeout > 0 {
+		var jcancel context.CancelFunc
+		jctx, jcancel = context.WithTimeout(ctx, s.JobTimeout)
+		defer jcancel()
+	}
+	res, err := RunSimContext(jctx, p, lam, budget)
+	if err != nil {
+		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			return // sweep-wide cancellation; the caller reports ctx's error
+		}
+		fail(fmt.Errorf("experiments: sim %s lambda=%g rep %d (seed %d): %w",
+			p.ID, lam, jb.rep, budget.Seed, err))
+		return
+	}
+	simRes[jb.panel][jb.point][jb.rep] = res
+
+	mu.Lock()
+	*done++
+	if s.Progress != nil {
+		s.Progress(SweepProgress{
+			Panel: p, LambdaIdx: jb.point, Rep: jb.rep,
+			Done: *done, Total: total, Result: res,
+		})
+	}
+	mu.Unlock()
+}

@@ -21,6 +21,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"kncube/internal/topology"
@@ -141,6 +142,10 @@ func (c Config) Validate() error {
 
 // RunOptions control a measurement run.
 type RunOptions struct {
+	// Ctx, when non-nil, is polled periodically during the run; Run returns
+	// the context's error as soon as cancellation or a deadline is observed
+	// (within ctxCheckInterval cycles). A nil Ctx never interrupts the run.
+	Ctx context.Context
 	// WarmupCycles are simulated before measurement starts; messages
 	// generated during warm-up are excluded from the statistics.
 	WarmupCycles int64

@@ -95,6 +95,44 @@ func (r *Running) Merge(o *Running) {
 	r.n = n
 }
 
+// FromMoments reconstructs an accumulator from summary moments: n
+// observations with the given mean and unbiased sample variance. The
+// individual observations are gone, so Min/Max report the mean; the
+// reconstructed accumulator merges exactly (Merge) with others built the
+// same way, which is how the sweep engine pools independent replications.
+func FromMoments(n int64, mean, variance float64) Running {
+	if n <= 0 {
+		return Running{}
+	}
+	r := Running{n: n, mean: mean, min: mean, max: mean}
+	if n > 1 && variance > 0 {
+		r.m2 = variance * float64(n-1)
+	}
+	return r
+}
+
+// PooledMean combines independent replication summaries — per-replication
+// observation counts, sample means, and 95% CI half-widths (as reported by
+// the simulator) — into one pooled mean and CI. The per-replication
+// variance is recovered from the CI half-width (ci = 1.96·sd/√n) and the
+// summaries are merged with the parallel Welford combination, so the pooled
+// mean is the observation-weighted mean and the pooled CI reflects both
+// within- and between-replication spread. Slices must have equal length;
+// empty input yields zeros.
+func PooledMean(counts []int64, means, ci95s []float64) (mean, ci95 float64, n int64) {
+	var acc Running
+	for i, c := range counts {
+		variance := 0.0
+		if c > 1 {
+			sd := ci95s[i] * math.Sqrt(float64(c)) / 1.96
+			variance = sd * sd
+		}
+		rep := FromMoments(c, means[i], variance)
+		acc.Merge(&rep)
+	}
+	return acc.Mean(), acc.CI95(), acc.Count()
+}
+
 // String implements fmt.Stringer.
 func (r *Running) String() string {
 	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g [%.4g, %.4g]",

@@ -296,3 +296,85 @@ func TestMeanOfMedianOf(t *testing.T) {
 		t.Error("MedianOf mutated input")
 	}
 }
+
+func TestFromMomentsRoundTrip(t *testing.T) {
+	var r Running
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		r.Add(rng.NormFloat64()*3 + 10)
+	}
+	re := FromMoments(r.Count(), r.Mean(), r.Variance())
+	if re.Count() != r.Count() {
+		t.Errorf("count %d, want %d", re.Count(), r.Count())
+	}
+	if math.Abs(re.Mean()-r.Mean()) > 1e-12 {
+		t.Errorf("mean %v, want %v", re.Mean(), r.Mean())
+	}
+	if math.Abs(re.Variance()-r.Variance()) > 1e-9 {
+		t.Errorf("variance %v, want %v", re.Variance(), r.Variance())
+	}
+}
+
+func TestFromMomentsDegenerate(t *testing.T) {
+	if r := FromMoments(0, 5, 2); r.Count() != 0 {
+		t.Errorf("n=0 should be empty, got %+v", r)
+	}
+	r := FromMoments(1, 5, 0)
+	if r.Count() != 1 || r.Mean() != 5 || r.Variance() != 0 {
+		t.Errorf("n=1 round-trip wrong: %+v", r)
+	}
+}
+
+func TestFromMomentsMergeMatchesStream(t *testing.T) {
+	// Pooling two reconstructed halves must match accumulating the whole
+	// stream directly (up to FP noise).
+	rng := rand.New(rand.NewSource(11))
+	var a, b, whole Running
+	for i := 0; i < 400; i++ {
+		x := rng.ExpFloat64() * 50
+		whole.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	ra := FromMoments(a.Count(), a.Mean(), a.Variance())
+	rb := FromMoments(b.Count(), b.Mean(), b.Variance())
+	ra.Merge(&rb)
+	if ra.Count() != whole.Count() {
+		t.Fatalf("count %d, want %d", ra.Count(), whole.Count())
+	}
+	if math.Abs(ra.Mean()-whole.Mean()) > 1e-9 {
+		t.Errorf("pooled mean %v, want %v", ra.Mean(), whole.Mean())
+	}
+	if math.Abs(ra.Variance()-whole.Variance()) > 1e-6*whole.Variance() {
+		t.Errorf("pooled variance %v, want %v", ra.Variance(), whole.Variance())
+	}
+}
+
+func TestPooledMean(t *testing.T) {
+	// Single replication: pooling must reproduce the inputs.
+	mean, ci, n := PooledMean([]int64{2000}, []float64{55.5}, []float64{0.8})
+	if n != 2000 || math.Abs(mean-55.5) > 1e-12 || math.Abs(ci-0.8) > 1e-9 {
+		t.Errorf("identity pooling: mean=%v ci=%v n=%d", mean, ci, n)
+	}
+	// Two identical replications: same mean, CI shrinks by ~1/sqrt(2).
+	mean2, ci2, n2 := PooledMean([]int64{2000, 2000}, []float64{55.5, 55.5}, []float64{0.8, 0.8})
+	if n2 != 4000 || math.Abs(mean2-55.5) > 1e-12 {
+		t.Errorf("equal pooling: mean=%v n=%d", mean2, n2)
+	}
+	want := 0.8 / math.Sqrt2
+	if math.Abs(ci2-want) > 0.01*want {
+		t.Errorf("pooled CI %v, want ~%v", ci2, want)
+	}
+	// Weighted mean for unequal counts.
+	mean3, _, _ := PooledMean([]int64{1000, 3000}, []float64{40, 60}, []float64{1, 1})
+	if math.Abs(mean3-55) > 1e-12 {
+		t.Errorf("weighted mean %v, want 55", mean3)
+	}
+	// Empty input is neutral.
+	if m, c, n := PooledMean(nil, nil, nil); m != 0 || c != 0 || n != 0 {
+		t.Errorf("empty pooling: %v %v %d", m, c, n)
+	}
+}
