@@ -317,6 +317,33 @@ func BenchmarkModelSolve(b *testing.B) {
 	}
 }
 
+// BenchmarkSolve measures every registered model variant through the
+// shared fixed-point driver, one sub-benchmark per registry name
+// (BenchmarkSolve/hotspot-2d, BenchmarkSolve/uniform, ...), at a common
+// light-load operating point each variant can represent.
+func BenchmarkSolve(b *testing.B) {
+	specs := map[string]kncube.ModelSpec{
+		"hotspot-2d":       {K: 16, Dims: 2, V: 2, Lm: 32, H: 0.2, Lambda: 7.5e-5},
+		"bidirectional-2d": {K: 16, Dims: 2, V: 2, Lm: 32, H: 0.2, Lambda: 7.5e-5},
+		"uniform":          {K: 16, Dims: 2, V: 2, Lm: 32, H: 0, Lambda: 7.5e-5},
+		"hypercube":        {K: 2, Dims: 8, V: 2, Lm: 32, H: 0.2, Lambda: 7.5e-5},
+		"ndim":             {K: 16, Dims: 2, V: 2, Lm: 32, H: 0.2, Lambda: 7.5e-5},
+	}
+	for _, name := range kncube.Models() {
+		spec, ok := specs[name]
+		if !ok {
+			b.Fatalf("no benchmark spec for registered solver %q — add one", name)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := kncube.Solve(name, spec, kncube.ModelOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSimulatorStep measures the simulator's cycle throughput on the
 // paper's 256-node network under moderate hot-spot load.
 func BenchmarkSimulatorStep(b *testing.B) {

@@ -16,6 +16,8 @@
 //	khs-figures -jobs 8                # worker-pool size (default NumCPU)
 //	khs-figures -reps 5                # pool 5 replications per point
 //	khs-figures -timeout 2m            # per-point simulation timeout
+//	khs-figures -model bidirectional-2d  # sweep another model variant
+//	                                     # (simulator channels follow the model)
 package main
 
 import (
@@ -38,6 +40,7 @@ func main() {
 		outdir  = flag.String("outdir", ".", "directory for CSV output")
 		fast    = flag.Bool("fast", false, "reduced simulation budget (quick look)")
 		noPlot  = flag.Bool("no-plot", false, "suppress the ASCII plots")
+		model   = flag.String("model", experiments.DefaultModel, "analytical model variant (a core registry name, e.g. hotspot-2d, bidirectional-2d)")
 		seed    = flag.Int64("seed", 1, "base simulation seed (per-job seeds are derived from it)")
 		jobs    = flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers")
 		reps    = flag.Int("reps", 1, "independent replications pooled per point")
@@ -69,6 +72,7 @@ func main() {
 		Reps:       *reps,
 		JobTimeout: *timeout,
 		Budget:     budget,
+		Model:      *model,
 		Opts:       opts,
 	}
 	if !*quiet {
@@ -98,7 +102,13 @@ func main() {
 		p, points := pr.Panel, pr.Points
 		title := fmt.Sprintf("%s %s — N=%d, V=%d, Lm=%d", p.Figure, p.Label, p.K*p.K, p.V, p.Lm)
 		if *csv {
-			path := filepath.Join(*outdir, p.ID+".csv")
+			// Non-default variants get their own files so they can never
+			// overwrite the published hotspot-2d reference CSVs.
+			base := p.ID
+			if *model != experiments.DefaultModel {
+				base += "-" + *model
+			}
+			path := filepath.Join(*outdir, base+".csv")
 			f, err := os.Create(path)
 			if err != nil {
 				fatal(err)

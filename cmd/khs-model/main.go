@@ -1,37 +1,91 @@
-// Command khs-model evaluates the analytical hot-spot latency model of
-// Loucif, Ould-Khaoua, Min (IPDPS 2005) for a k-ary 2-cube.
+// Command khs-model evaluates the analytical hot-spot latency models of
+// Loucif, Ould-Khaoua, Min (IPDPS 2005) for k-ary n-cubes.
+//
+// The -model flag selects any registered model variant (hotspot-2d,
+// bidirectional-2d, uniform, hypercube, ndim) and composes with every mode:
+// a single point (default), -sweep, and -saturation.
 //
 // Usage:
 //
 //	khs-model -k 16 -v 2 -lm 32 -h 0.2 -lambda 0.0002
-//	khs-model -k 16 -v 2 -lm 32 -h 0.2 -sweep 0.0006 -points 12
-//	khs-model -k 16 -v 2 -lm 32 -h 0.2 -saturation
+//	khs-model -model bidirectional-2d -k 16 -h 0.2 -sweep 0.0006 -points 12
+//	khs-model -model uniform -k 16 -saturation
+//	khs-model -model hypercube -k 2 -n 10 -h 0.1 -lambda 0.001
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"kncube"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "khs-model:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("khs-model", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		k       = flag.Int("k", 16, "radix (N = k*k nodes)")
-		v       = flag.Int("v", 2, "virtual channels per physical channel")
-		lm      = flag.Int("lm", 32, "message length in flits")
-		h       = flag.Float64("h", 0.2, "hot-spot fraction in [0,1)")
-		lambda  = flag.Float64("lambda", 1e-4, "generation rate, messages/node/cycle")
-		sweep   = flag.Float64("sweep", 0, "sweep lambda from 0 to this value instead of a single point")
-		points  = flag.Int("points", 10, "number of sweep points")
-		sat     = flag.Bool("saturation", false, "locate the saturation rate by bisection")
-		uniform = flag.Bool("uniform", false, "also evaluate the uniform-traffic baseline")
-		worst   = flag.Bool("worst-case-entrance", false, "use the worst-case entrance policy (ablation A)")
-		paperB  = flag.Bool("paper-blocking", false, "use the per-VC M/G/1 blocking form of Eq. 26 (ablation B)")
-		bi      = flag.Bool("bidirectional", false, "evaluate the bidirectional-channel extension")
+		model  = fs.String("model", "", "model variant: "+strings.Join(kncube.Models(), ", ")+" (default hotspot-2d)")
+		k      = fs.Int("k", 16, "radix (0 = the variant's default)")
+		n      = fs.Int("n", 2, "dimensions (used by hypercube/ndim; the 2-D variants require 2)")
+		v      = fs.Int("v", 2, "virtual channels per physical channel")
+		lm     = fs.Int("lm", 32, "message length in flits")
+		h      = fs.Float64("h", 0.2, "hot-spot fraction in [0,1)")
+		lambda = fs.Float64("lambda", 1e-4, "generation rate, messages/node/cycle")
+		sweep  = fs.Float64("sweep", 0, "sweep lambda from 0 to this value instead of a single point")
+		points = fs.Int("points", 10, "number of sweep points")
+		sat    = fs.Bool("saturation", false, "locate the saturation rate by bisection")
+		worst  = fs.Bool("worst-case-entrance", false, "use the worst-case entrance policy (ablation A)")
+		paperB = fs.Bool("paper-blocking", false, "use the per-VC M/G/1 blocking form of Eq. 26 (ablation B)")
+		// Deprecated aliases, kept for compatibility with pre-registry
+		// invocations.
+		bi      = fs.Bool("bidirectional", false, "deprecated: alias for -model bidirectional-2d")
+		uniform = fs.Bool("uniform", false, "deprecated: alias for -model uniform")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	name := *model
+	if *bi {
+		if name != "" && name != "bidirectional-2d" {
+			return fmt.Errorf("-bidirectional conflicts with -model %s", name)
+		}
+		name = "bidirectional-2d"
+		fmt.Fprintln(stderr, "khs-model: -bidirectional is deprecated; use -model bidirectional-2d")
+	}
+	if *uniform {
+		if name != "" && name != "uniform" {
+			return fmt.Errorf("-uniform conflicts with -model %s", name)
+		}
+		name = "uniform"
+		fmt.Fprintln(stderr, "khs-model: -uniform is deprecated; use -model uniform")
+	}
+	if name == "" {
+		name = "hotspot-2d"
+	}
+
+	// Flags the user did not set explicitly bend to the variant's natural
+	// defaults: the uniform baseline has no hot-spot class, and the
+	// hypercube is the 2-ary n-cube.
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if name == "uniform" && !explicit["h"] {
+		*h = 0
+	}
+	if name == "hypercube" && !explicit["k"] {
+		*k = 2
+	}
 
 	opts := kncube.ModelOptions{}
 	if *worst {
@@ -40,72 +94,59 @@ func main() {
 	if *paperB {
 		opts.Blocking = kncube.BlockingPaper
 	}
-	params := func(lam float64) kncube.ModelParams {
-		return kncube.ModelParams{K: *k, V: *v, Lm: *lm, H: *h, Lambda: lam}
-	}
-
-	if *bi {
-		r, err := kncube.SolveBidirectionalModel(params(*lambda), opts)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("bidirectional torus, mean latency %10.2f cycles\n", r.Latency)
-		fmt.Printf("  regular %10.2f, hot-spot %10.2f, source wait %.2f\n",
-			r.Regular, r.Hot, r.WsRegular)
-		fmt.Printf("  mean path %.2f hops, Vx=%.3f Vhy=%.3f, %d iterations\n",
-			r.MeanDistance, r.VX, r.VHy, r.Iterations)
-		return
+	spec := func(lam float64) kncube.ModelSpec {
+		return kncube.ModelSpec{K: *k, Dims: *n, V: *v, Lm: *lm, H: *h, Lambda: lam}
 	}
 
 	switch {
 	case *sat:
 		rate, err := kncube.SaturationLambda(func(lam float64) error {
-			_, err := kncube.SolveModel(params(lam), opts)
+			_, err := kncube.Solve(name, spec(lam), opts)
 			return err
 		}, 1e-8, 0, 1e-4)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("saturation rate: %.6g messages/node/cycle\n", rate)
+		fmt.Fprintf(stdout, "%s saturation rate: %.6g messages/node/cycle\n", name, rate)
 	case *sweep > 0:
-		fmt.Println("lambda,latency,regular,hot,ws,vx,vhy,max_util")
+		fmt.Fprintln(stdout, "lambda,latency,regular,hot,ws,vbar,iterations")
 		for i := 1; i <= *points; i++ {
 			lam := *sweep * float64(i) / float64(*points)
-			r, err := kncube.SolveModel(params(lam), opts)
-			if err != nil {
-				fmt.Printf("%.6g,saturated,,,,,,\n", lam)
+			r, err := kncube.Solve(name, spec(lam), opts)
+			if errors.Is(err, kncube.ErrSaturated) {
+				fmt.Fprintf(stdout, "%.6g,saturated,,,,,\n", lam)
 				continue
 			}
-			fmt.Printf("%.6g,%.2f,%.2f,%.2f,%.2f,%.3f,%.3f,%.3f\n",
-				lam, r.Latency, r.Regular, r.Hot, r.WsRegular, r.VX, r.VHy, r.MaxUtilisation)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "%.6g,%.2f,%.2f,%.2f,%.2f,%.3f,%d\n",
+				lam, r.Latency, r.Regular, r.Hot, r.SourceWait, r.VBar, r.Convergence.Iterations)
 		}
 	default:
-		r, err := kncube.SolveModel(params(*lambda), opts)
+		r, err := kncube.Solve(name, spec(*lambda), opts)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("mean latency      %10.2f cycles\n", r.Latency)
-		fmt.Printf("  regular         %10.2f cycles\n", r.Regular)
-		fmt.Printf("  hot-spot        %10.2f cycles\n", r.Hot)
-		fmt.Printf("source waiting    %10.2f cycles\n", r.WsRegular)
-		fmt.Printf("multiplexing      Vx=%.3f Vhy=%.3f Vhybar=%.3f\n", r.VX, r.VHy, r.VHyBar)
-		fmt.Printf("max channel util  %10.3f\n", r.MaxUtilisation)
-		fmt.Printf("iterations        %10d\n", r.Iterations)
-	}
-
-	if *uniform {
-		u, err := kncube.SolveUniform(kncube.UniformParams{
-			K: *k, Dims: 2, V: *v, Lm: *lm, Lambda: *lambda,
-		})
-		if err != nil {
-			fatal(fmt.Errorf("uniform baseline: %w", err))
+		fmt.Fprintf(stdout, "model             %s\n", name)
+		fmt.Fprintf(stdout, "mean latency      %10.2f cycles\n", r.Latency)
+		fmt.Fprintf(stdout, "  regular         %10.2f cycles\n", r.Regular)
+		fmt.Fprintf(stdout, "  hot-spot        %10.2f cycles\n", r.Hot)
+		fmt.Fprintf(stdout, "source waiting    %10.2f cycles\n", r.SourceWait)
+		fmt.Fprintf(stdout, "multiplexing      V̄=%.3f\n", r.VBar)
+		fmt.Fprintf(stdout, "convergence       %d iterations, residual %.3g\n",
+			r.Convergence.Iterations, r.Convergence.Residual)
+		switch d := r.Detail.(type) {
+		case *kncube.ModelResult:
+			fmt.Fprintf(stdout, "detail            Vx=%.3f Vhy=%.3f Vhybar=%.3f, max util %.3f\n",
+				d.VX, d.VHy, d.VHyBar, d.MaxUtilisation)
+		case *kncube.BiModelResult:
+			fmt.Fprintf(stdout, "detail            Vx=%.3f Vhy=%.3f, mean path %.2f hops\n",
+				d.VX, d.VHy, d.MeanDistance)
+		case *kncube.UniformResult:
+			fmt.Fprintf(stdout, "detail            network %.2f cycles, channel rate %.6g\n",
+				d.Network, d.ChannelRate)
 		}
-		fmt.Printf("uniform baseline  %10.2f cycles (network %.2f, V̄ %.3f)\n",
-			u.Latency, u.Network, u.Multiplexing)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "khs-model:", err)
-	os.Exit(1)
+	return nil
 }

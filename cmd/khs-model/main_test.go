@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, err error) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err = run(args, &out, &errb)
+	return out.String(), errb.String(), err
+}
+
+// The -model flag must compose with -sweep for every registered 2-D-capable
+// variant: the historical bug evaluated hotspot-2d regardless of the
+// selected model in the sweep and saturation paths.
+func TestSweepComposesWithModel(t *testing.T) {
+	for _, model := range []string{"hotspot-2d", "bidirectional-2d", "uniform", "ndim"} {
+		t.Run(model, func(t *testing.T) {
+			out, _, err := runCLI(t,
+				"-model", model, "-k", "8", "-lm", "16", "-h", "0.1",
+				"-sweep", "2e-4", "-points", "3")
+			if model == "uniform" {
+				// The baseline rejects H > 0; with -h explicitly set the
+				// factory's error must surface, not silently solve hotspot.
+				if err == nil {
+					t.Fatalf("uniform with -h 0.1 should fail, got output:\n%s", out)
+				}
+				out, _, err = runCLI(t,
+					"-model", model, "-k", "8", "-lm", "16",
+					"-sweep", "2e-4", "-points", "3")
+			}
+			if err != nil {
+				t.Fatalf("sweep with -model %s: %v", model, err)
+			}
+			lines := strings.Split(strings.TrimSpace(out), "\n")
+			if len(lines) != 4 {
+				t.Fatalf("want header + 3 sweep lines, got %d:\n%s", len(lines), out)
+			}
+			if lines[0] != "lambda,latency,regular,hot,ws,vbar,iterations" {
+				t.Fatalf("unexpected header %q", lines[0])
+			}
+			for _, ln := range lines[1:] {
+				if strings.Contains(ln, "saturated") {
+					t.Fatalf("light load saturated unexpectedly: %q", ln)
+				}
+			}
+		})
+	}
+}
+
+// Different models must actually produce different sweep numbers — guards
+// against the selection being ignored.
+func TestSweepModelSelectionMatters(t *testing.T) {
+	args := []string{"-k", "8", "-lm", "16", "-h", "0.1", "-sweep", "2e-4", "-points", "3"}
+	hot, _, err := runCLI(t, append([]string{"-model", "hotspot-2d"}, args...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi, _, err := runCLI(t, append([]string{"-model", "bidirectional-2d"}, args...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot == bi {
+		t.Fatalf("hotspot-2d and bidirectional-2d sweeps identical — model flag ignored:\n%s", hot)
+	}
+}
+
+func TestSaturationComposesWithModel(t *testing.T) {
+	rates := map[string]float64{}
+	for _, model := range []string{"hotspot-2d", "bidirectional-2d"} {
+		out, _, err := runCLI(t,
+			"-model", model, "-k", "8", "-lm", "16", "-h", "0.2", "-saturation")
+		if err != nil {
+			t.Fatalf("saturation with -model %s: %v", model, err)
+		}
+		if !strings.HasPrefix(out, model+" saturation rate:") {
+			t.Fatalf("unexpected output %q", out)
+		}
+		fields := strings.Fields(strings.TrimSpace(out))
+		rate, err := strconv.ParseFloat(fields[len(fields)-2], 64)
+		if err != nil || rate <= 0 {
+			t.Fatalf("bad rate in %q: %v", out, err)
+		}
+		rates[model] = rate
+	}
+	// Bidirectional channels halve path lengths, so the bidirectional model
+	// must saturate strictly later than the unidirectional one.
+	if rates["bidirectional-2d"] <= rates["hotspot-2d"] {
+		t.Fatalf("bidirectional saturation %g should exceed unidirectional %g",
+			rates["bidirectional-2d"], rates["hotspot-2d"])
+	}
+}
+
+func TestDeprecatedAliases(t *testing.T) {
+	args := []string{"-k", "8", "-lm", "16", "-h", "0.1", "-lambda", "1e-4"}
+	aliased, aliasedErr, err := runCLI(t, append([]string{"-bidirectional"}, args...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _, err := runCLI(t, append([]string{"-model", "bidirectional-2d"}, args...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aliased != direct {
+		t.Fatalf("-bidirectional output differs from -model bidirectional-2d:\n%s\nvs\n%s", aliased, direct)
+	}
+	if !strings.Contains(aliasedErr, "deprecated") {
+		t.Fatalf("want deprecation notice on stderr, got %q", aliasedErr)
+	}
+
+	// -uniform with no explicit -h defaults the hot-spot fraction to zero.
+	out, _, err := runCLI(t, "-uniform", "-k", "8", "-lm", "16", "-lambda", "1e-4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "model             uniform") {
+		t.Fatalf("-uniform did not select the uniform model:\n%s", out)
+	}
+}
+
+func TestModelAliasConflict(t *testing.T) {
+	if _, _, err := runCLI(t, "-uniform", "-model", "hotspot-2d", "-lambda", "1e-4"); err == nil {
+		t.Fatal("conflicting -uniform and -model should fail")
+	}
+	if _, _, err := runCLI(t, "-bidirectional", "-model", "uniform", "-lambda", "1e-4"); err == nil {
+		t.Fatal("conflicting -bidirectional and -model should fail")
+	}
+}
+
+func TestUnknownModel(t *testing.T) {
+	_, _, err := runCLI(t, "-model", "no-such-model", "-lambda", "1e-4")
+	if err == nil || !strings.Contains(err.Error(), "unknown solver") {
+		t.Fatalf("want unknown-solver error, got %v", err)
+	}
+}

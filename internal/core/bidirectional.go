@@ -21,10 +21,8 @@ package core
 // queue (Eq. 32) and the multiplexing degrees (Eqs. 33-37).
 
 import (
-	"errors"
 	"fmt"
 
-	"kncube/internal/fixpoint"
 	"kncube/internal/queueing"
 	"kncube/internal/vcmodel"
 )
@@ -44,15 +42,32 @@ type BiResult struct {
 	MeanDistance float64
 	// Iterations is the fixed-point iteration count.
 	Iterations int
+	// Convergence is the fixed-point diagnostic summary.
+	Convergence Convergence
+}
+
+// biLayout assigns each direction-split service-time vector its segment of
+// the flat fixed-point state.
+type biLayout struct {
+	shybar, shy, sx, sxhy, sxhybar, shoty [2]seg
+	shotx                                 [2][]seg // [dir][row]
+}
+
+// biView is the 1-indexed (by remaining hops) unpacked reading of a flat
+// state vector.
+type biView struct {
+	shybar, shy, sx, sxhy, sxhybar, shoty [2][]float64
+	shotx                                 [2][][]float64 // [dir][row][j]
 }
 
 // biModel carries the direction-split constants.
 type biModel struct {
+	solverBase
 	p  Params
-	o  Options
-	lm float64
+	l  biLayout
+	n  int          // flat state size
 	d  [2]int       // max hops per direction class: {floor(k/2), ceil(k/2)-1}
-	lr [2]float64   // regular per-channel rate per direction class
+	r  [2]float64   // regular per-channel rate per direction class
 	hx [2][]float64 // hot rate on x-channels, [dir][1..d[dir]]
 	hy [2][]float64 // hot rate on hot-column channels, [dir][1..d[dir]]
 
@@ -72,15 +87,23 @@ type biRow struct {
 
 func newBiModel(p Params, o Options) *biModel {
 	k := p.K
-	m := &biModel{p: p, o: o, lm: float64(p.Lm)}
+	if k < 0 {
+		k = 0
+	}
+	m := &biModel{solverBase: newSolverBase(o, p.V, p.Lm), p: p}
 	m.d[0] = k / 2
 	m.d[1] = (k+1)/2 - 1
+	if m.d[1] < 0 {
+		m.d[1] = 0
+	}
 	for i := 0; i < 2; i++ {
 		sum := 0
 		for j := 1; j <= m.d[i]; j++ {
 			sum += j
 		}
-		m.lr[i] = p.Lambda * (1 - p.H) * float64(sum) / float64(k)
+		if k > 0 {
+			m.r[i] = p.Lambda * (1 - p.H) * float64(sum) / float64(k)
+		}
 		m.hx[i] = make([]float64, m.d[i]+1)
 		m.hy[i] = make([]float64, m.d[i]+1)
 		for j := 1; j <= m.d[i]; j++ {
@@ -91,12 +114,14 @@ func newBiModel(p Params, o Options) *biModel {
 		}
 	}
 	kf := float64(k)
-	m.pHy = 1 / (kf * (kf + 1))
-	m.pHyB = (kf - 1) / (kf * (kf + 1))
-	m.pX = kf / (kf + 1)
-	m.cXo = 1 / kf
-	m.cXHy = (kf - 1) / (kf * kf)
-	m.cXHb = (kf - 1) * (kf - 1) / (kf * kf)
+	if k > 0 {
+		m.pHy = 1 / (kf * (kf + 1))
+		m.pHyB = (kf - 1) / (kf * (kf + 1))
+		m.pX = kf / (kf + 1)
+		m.cXo = 1 / kf
+		m.cXHy = (kf - 1) / (kf * kf)
+		m.cXHb = (kf - 1) * (kf - 1) / (kf * kf)
+	}
 	// Rows: hot row first, then positive-direction rows by distance, then
 	// negative-direction rows.
 	m.rows = append(m.rows, biRow{hotRow: true})
@@ -105,67 +130,65 @@ func newBiModel(p Params, o Options) *biModel {
 			m.rows = append(m.rows, biRow{dir: i, dist: t})
 		}
 	}
+	// Flat-state layout: per direction the six shared vectors, then one
+	// hot-path segment per row.
+	var b vecBuilder
+	for i := 0; i < 2; i++ {
+		m.l.shybar[i] = b.seg(m.d[i])
+		m.l.shy[i] = b.seg(m.d[i])
+		m.l.sx[i] = b.seg(m.d[i])
+		m.l.sxhy[i] = b.seg(m.d[i])
+		m.l.sxhybar[i] = b.seg(m.d[i])
+		m.l.shoty[i] = b.seg(m.d[i])
+		m.l.shotx[i] = make([]seg, len(m.rows))
+		for r := range m.rows {
+			m.l.shotx[i][r] = b.seg(m.d[i])
+		}
+	}
+	m.n = b.Size()
 	return m
 }
 
-// biState holds the direction-split service-time vectors (all 1-indexed by
-// remaining hops).
-type biState struct {
-	shybar, shy, sx, sxhy, sxhybar, shoty [2][]float64
-	shotx                                 [2][][]float64 // [dir][row][j]
-}
+func (m *biModel) Validate() error { return m.p.Validate() }
+func (m *biModel) StateSize() int  { return m.n }
 
-func (m *biModel) newState() *biState {
-	st := &biState{}
+// view unpacks a flat state into 1-indexed vectors.
+func (m *biModel) view(x []float64) *biView {
+	st := &biView{}
 	for i := 0; i < 2; i++ {
-		n := m.d[i] + 1
-		st.shybar[i] = make([]float64, n)
-		st.shy[i] = make([]float64, n)
-		st.sx[i] = make([]float64, n)
-		st.sxhy[i] = make([]float64, n)
-		st.sxhybar[i] = make([]float64, n)
-		st.shoty[i] = make([]float64, n)
+		st.shybar[i] = m.l.shybar[i].padded(x)
+		st.shy[i] = m.l.shy[i].padded(x)
+		st.sx[i] = m.l.sx[i].padded(x)
+		st.sxhy[i] = m.l.sxhy[i].padded(x)
+		st.sxhybar[i] = m.l.sxhybar[i].padded(x)
+		st.shoty[i] = m.l.shoty[i].padded(x)
 		st.shotx[i] = make([][]float64, len(m.rows))
 		for r := range m.rows {
-			st.shotx[i][r] = make([]float64, n)
+			st.shotx[i][r] = m.l.shotx[i][r].padded(x)
 		}
 	}
 	return st
 }
 
-// flatten/unflatten map the state to the fixpoint vector.
-func (m *biModel) flatten(st *biState, out []float64) []float64 {
-	out = out[:0]
+// InitState writes the zero-load starting point.
+func (m *biModel) InitState(x []float64) {
 	for i := 0; i < 2; i++ {
 		for j := 1; j <= m.d[i]; j++ {
-			out = append(out, st.shybar[i][j], st.shy[i][j], st.sx[i][j],
-				st.sxhy[i][j], st.sxhybar[i][j], st.shoty[i][j])
+			jf := float64(j)
+			m.l.shybar[i].put(x, j, m.lm+jf)
+			m.l.shy[i].put(x, j, m.lm+jf)
+			m.l.sx[i].put(x, j, m.lm+jf)
+			m.l.sxhy[i].put(x, j, m.lm+jf+float64(m.p.K)/4)
+			m.l.sxhybar[i].put(x, j, m.lm+jf+float64(m.p.K)/4)
+			m.l.shoty[i].put(x, j, m.lm+jf)
 		}
 		for r := range m.rows {
-			for j := 1; j <= m.d[i]; j++ {
-				out = append(out, st.shotx[i][r][j])
+			extra := 0.0
+			if !m.rows[r].hotRow {
+				extra = float64(m.rows[r].dist)
 			}
-		}
-	}
-	return out
-}
-
-func (m *biModel) unflatten(in []float64, st *biState) {
-	pos := 0
-	for i := 0; i < 2; i++ {
-		for j := 1; j <= m.d[i]; j++ {
-			st.shybar[i][j] = in[pos]
-			st.shy[i][j] = in[pos+1]
-			st.sx[i][j] = in[pos+2]
-			st.sxhy[i][j] = in[pos+3]
-			st.sxhybar[i][j] = in[pos+4]
-			st.shoty[i][j] = in[pos+5]
-			pos += 6
-		}
-		for r := range m.rows {
 			for j := 1; j <= m.d[i]; j++ {
-				st.shotx[i][r][j] = in[pos]
-				pos++
+				m.l.shotx[i][r].put(x, j, m.lm+float64(j)+extra)
 			}
 		}
 	}
@@ -183,13 +206,9 @@ func (m *biModel) entrance(v [2][]float64) float64 {
 	return sum / float64(m.p.K-1)
 }
 
-func (m *biModel) blocking(lr, sr, lh, sh float64) (float64, error) {
-	return blockingDelay(m.o, m.p.V, m.lm, lr, sr, lh, sh)
-}
-
 // yNext returns the service continuation after the final x hop for a hot
 // message generated in row r.
-func (m *biModel) yNext(st *biState, r int) float64 {
+func (m *biModel) yNext(st *biView, r int) float64 {
 	row := m.rows[r]
 	if row.hotRow {
 		return m.lm
@@ -197,11 +216,10 @@ func (m *biModel) yNext(st *biState, r int) float64 {
 	return st.shoty[row.dir][row.dist]
 }
 
-// iterate re-evaluates the direction-split recursions.
-func (m *biModel) iterate(in, out []float64) error {
+// Iterate re-evaluates the direction-split recursions.
+func (m *biModel) Iterate(in, out []float64) error {
 	k := m.p.K
-	st := m.newState()
-	m.unflatten(in, st)
+	st := m.view(in)
 
 	entHyB := m.entrance(st.shybar)
 	entHy := m.entrance(st.shy)
@@ -209,7 +227,7 @@ func (m *biModel) iterate(in, out []float64) error {
 
 	var bHyB, bHy, bX [2]float64
 	for i := 0; i < 2; i++ {
-		b, err := m.blocking(m.lr[i], entHyB, 0, 0)
+		b, err := m.blocking(m.r[i], entHyB, 0, 0)
 		if err != nil {
 			return fmt.Errorf("%w (bi non-hot y, dir %d)", ErrSaturated, i)
 		}
@@ -218,13 +236,13 @@ func (m *biModel) iterate(in, out []float64) error {
 		// direction (positions beyond d[i] carry regular traffic only).
 		sum := 0.0
 		for l := 1; l <= m.d[i]; l++ {
-			b, err := m.blocking(m.lr[i], entHy, m.hy[i][l], st.shoty[i][l])
+			b, err := m.blocking(m.r[i], entHy, m.hy[i][l], st.shoty[i][l])
 			if err != nil {
 				return fmt.Errorf("%w (bi hot column, dir %d ch %d)", ErrSaturated, i, l)
 			}
 			sum += b
 		}
-		bQuiet, err := m.blocking(m.lr[i], entHy, 0, 0)
+		bQuiet, err := m.blocking(m.r[i], entHy, 0, 0)
 		if err != nil {
 			return fmt.Errorf("%w (bi hot column quiet, dir %d)", ErrSaturated, i)
 		}
@@ -233,21 +251,20 @@ func (m *biModel) iterate(in, out []float64) error {
 		sum = 0.0
 		for r := range m.rows {
 			for l := 1; l <= m.d[i]; l++ {
-				b, err := m.blocking(m.lr[i], entXmix, m.hx[i][l], st.shotx[i][r][l])
+				b, err := m.blocking(m.r[i], entXmix, m.hx[i][l], st.shotx[i][r][l])
 				if err != nil {
 					return fmt.Errorf("%w (bi x, dir %d row %d ch %d)", ErrSaturated, i, r, l)
 				}
 				sum += b
 			}
 		}
-		bQuietX, err := m.blocking(m.lr[i], entXmix, 0, 0)
+		bQuietX, err := m.blocking(m.r[i], entXmix, 0, 0)
 		if err != nil {
 			return fmt.Errorf("%w (bi x quiet, dir %d)", ErrSaturated, i)
 		}
 		bX[i] = (sum + float64(len(m.rows)*(k-m.d[i]))*bQuietX) / float64(len(m.rows)*k)
 	}
 
-	next := m.newState()
 	for i := 0; i < 2; i++ {
 		for j := 1; j <= m.d[i]; j++ {
 			prev := func(v []float64, base float64) float64 {
@@ -256,21 +273,21 @@ func (m *biModel) iterate(in, out []float64) error {
 				}
 				return v[j-1]
 			}
-			next.shybar[i][j] = 1 + bHyB[i] + prev(st.shybar[i], m.lm)
-			next.shy[i][j] = 1 + bHy[i] + prev(st.shy[i], m.lm)
-			next.sx[i][j] = 1 + bX[i] + prev(st.sx[i], m.lm)
-			next.sxhy[i][j] = 1 + bX[i] + prev(st.sxhy[i], entHy)
-			next.sxhybar[i][j] = 1 + bX[i] + prev(st.sxhybar[i], entHyB)
+			m.l.shybar[i].put(out, j, 1+bHyB[i]+prev(st.shybar[i], m.lm))
+			m.l.shy[i].put(out, j, 1+bHy[i]+prev(st.shy[i], m.lm))
+			m.l.sx[i].put(out, j, 1+bX[i]+prev(st.sx[i], m.lm))
+			m.l.sxhy[i].put(out, j, 1+bX[i]+prev(st.sxhy[i], entHy))
+			m.l.sxhybar[i].put(out, j, 1+bX[i]+prev(st.sxhybar[i], entHyB))
 
-			b, err := m.blocking(m.lr[i], entHy, m.hy[i][j], st.shoty[i][j])
+			b, err := m.blocking(m.r[i], entHy, m.hy[i][j], st.shoty[i][j])
 			if err != nil {
 				return fmt.Errorf("%w (bi hot y recursion, dir %d ch %d)", ErrSaturated, i, j)
 			}
-			next.shoty[i][j] = 1 + b + prev(st.shoty[i], m.lm)
+			m.l.shoty[i].put(out, j, 1+b+prev(st.shoty[i], m.lm))
 		}
 		for r := range m.rows {
 			for j := 1; j <= m.d[i]; j++ {
-				b, err := m.blocking(m.lr[i], entXmix, m.hx[i][j], st.shotx[i][r][j])
+				b, err := m.blocking(m.r[i], entXmix, m.hx[i][j], st.shotx[i][r][j])
 				if err != nil {
 					return fmt.Errorf("%w (bi hot x recursion, dir %d row %d ch %d)", ErrSaturated, i, r, j)
 				}
@@ -278,61 +295,35 @@ func (m *biModel) iterate(in, out []float64) error {
 				if j > 1 {
 					base = st.shotx[i][r][j-1]
 				}
-				next.shotx[i][r][j] = 1 + b + base
+				m.l.shotx[i][r].put(out, j, 1+b+base)
 			}
 		}
 	}
-	m.flatten(next, out[:0])
 	return nil
 }
 
 // SolveBidirectional evaluates the bidirectional-torus extension of the
-// hot-spot model.
+// hot-spot model (the registry's "bidirectional-2d").
 func SolveBidirectional(p Params, o Options) (*BiResult, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	m := newBiModel(p, o)
-
-	// Zero-load initial state.
-	st := m.newState()
-	for i := 0; i < 2; i++ {
-		for j := 1; j <= m.d[i]; j++ {
-			st.shybar[i][j] = m.lm + float64(j)
-			st.shy[i][j] = m.lm + float64(j)
-			st.sx[i][j] = m.lm + float64(j)
-			st.sxhy[i][j] = m.lm + float64(j) + float64(m.p.K)/4
-			st.sxhybar[i][j] = m.lm + float64(j) + float64(m.p.K)/4
-			st.shoty[i][j] = m.lm + float64(j)
-		}
-		for r := range m.rows {
-			extra := 0.0
-			if !m.rows[r].hotRow {
-				extra = float64(m.rows[r].dist)
-			}
-			for j := 1; j <= m.d[i]; j++ {
-				st.shotx[i][r][j] = m.lm + float64(j) + extra
-			}
-		}
-	}
-	state := m.flatten(st, nil)
-
-	fpOpts := o.FixPoint
-	if fpOpts.MaxIterations == 0 && fpOpts.Tolerance == 0 && fpOpts.Damping == 0 {
-		fpOpts = fixpoint.Options{Tolerance: 1e-9, MaxIterations: 20000, Damping: 0.5}
-	}
-	res, err := fixpoint.Solve(state, m.iterate, fpOpts)
+	sr, err := solveWith(newBiModel(p, o), o)
 	if err != nil {
-		if errors.Is(err, fixpoint.ErrDiverged) || errors.Is(err, fixpoint.ErrMaxIterations) {
-			return nil, fmt.Errorf("%w: %v", ErrSaturated, err)
-		}
 		return nil, err
 	}
-	m.unflatten(state, st)
-	return m.assemble(st, res.Iterations)
+	return sr.Detail.(*BiResult), nil
 }
 
-func (m *biModel) assemble(st *biState, iters int) (*BiResult, error) {
+func init() {
+	Register("bidirectional-2d", func(s Spec, o Options) (Solver, error) {
+		if s.Dims != 0 && s.Dims != 2 {
+			return nil, fmt.Errorf("core: the bidirectional-2d solver models a 2-D torus, got Dims = %d", s.Dims)
+		}
+		return newBiModel(Params{K: s.K, V: s.V, Lm: s.Lm, H: s.H, Lambda: s.Lambda}, o), nil
+	})
+}
+
+// Assemble computes the latency decomposition from the converged state.
+func (m *biModel) Assemble(x []float64, conv Convergence) (*SolveResult, error) {
+	st := m.view(x)
 	p, k := m.p, m.p.K
 	entHyB := m.entrance(st.shybar)
 	entHy := m.entrance(st.shy)
@@ -341,7 +332,7 @@ func (m *biModel) assemble(st *biState, iters int) (*BiResult, error) {
 
 	lv := p.Lambda / float64(p.V)
 	wait := func(s float64) (float64, error) {
-		return queueing.MG1Wait(lv, s, serviceVariance(m.o, m.lm, s))
+		return queueing.MG1Wait(lv, s, m.variance(s))
 	}
 
 	// Source waits: hot node, hot-column nodes, and the rest.
@@ -386,8 +377,8 @@ func (m *biModel) assemble(st *biState, iters int) (*BiResult, error) {
 			if l <= m.d[i] {
 				lh, sh = m.hy[i][l], st.shoty[i][l]
 			}
-			tot := m.lr[i] + lh
-			sBar := queueing.WeightedService(m.lr[i], entHy, lh, sh)
+			tot := m.r[i] + lh
+			sBar := queueing.WeightedService(m.r[i], entHy, lh, sh)
 			deg, err := vcmodel.Degree(p.V, tot, sBar)
 			if err != nil {
 				return nil, err
@@ -408,8 +399,8 @@ func (m *biModel) assemble(st *biState, iters int) (*BiResult, error) {
 				if l <= m.d[i] {
 					lh, sh = m.hx[i][l], st.shotx[i][r][l]
 				}
-				tot := m.lr[i] + lh
-				sBar := queueing.WeightedService(m.lr[i], entXmix, lh, sh)
+				tot := m.r[i] + lh
+				sBar := queueing.WeightedService(m.r[i], entXmix, lh, sh)
 				deg, err := vcmodel.Degree(p.V, tot, sBar)
 				if err != nil {
 					return nil, err
@@ -421,11 +412,11 @@ func (m *biModel) assemble(st *biState, iters int) (*BiResult, error) {
 	}
 	vX := vXSum / float64(len(m.rows)*2*k)
 
-	vHyB0, err := vcmodel.Degree(p.V, m.lr[0], entHyB)
+	vHyB0, err := vcmodel.Degree(p.V, m.r[0], entHyB)
 	if err != nil {
 		return nil, err
 	}
-	vHyB1, err := vcmodel.Degree(p.V, m.lr[1], entHyB)
+	vHyB1, err := vcmodel.Degree(p.V, m.r[1], entHyB)
 	if err != nil {
 		return nil, err
 	}
@@ -478,7 +469,8 @@ func (m *biModel) assemble(st *biState, iters int) (*BiResult, error) {
 	}
 	meanDist := 2 * float64(sumMin) / float64(k)
 
-	return &BiResult{
+	kf := float64(k)
+	r := &BiResult{
 		Latency:      (1-p.H)*sRegular + p.H*sHot,
 		Regular:      sRegular,
 		Hot:          sHot,
@@ -486,6 +478,19 @@ func (m *biModel) assemble(st *biState, iters int) (*BiResult, error) {
 		VX:           vX,
 		VHy:          vHy,
 		MeanDistance: meanDist,
-		Iterations:   iters,
+		Iterations:   conv.Iterations,
+		Convergence:  conv,
+	}
+	// Channel-population-weighted mean multiplexing degree: 2k^2 x-channels,
+	// 2k hot-column channels, 2k(k-1) non-hot-column channels.
+	vbar := (2*kf*kf*vX + 2*kf*vHy + 2*kf*(kf-1)*vHyB) / (4 * kf * kf)
+	return &SolveResult{
+		Latency:     r.Latency,
+		Regular:     r.Regular,
+		Hot:         r.Hot,
+		SourceWait:  wsReg,
+		VBar:        vbar,
+		Convergence: conv,
+		Detail:      r,
 	}, nil
 }

@@ -89,7 +89,7 @@ func TestBiSaturatesLaterThanUnidirectional(t *testing.T) {
 	p := func(lam float64) Params {
 		return Params{K: 16, V: 2, Lm: 32, H: 0.4, Lambda: lam}
 	}
-	uni := sat(func(lam float64) error { _, err := Solve(p(lam), Options{}); return err })
+	uni := sat(func(lam float64) error { _, err := SolveHotSpot(p(lam), Options{}); return err })
 	bi := sat(func(lam float64) error { _, err := SolveBidirectional(p(lam), Options{}); return err })
 	if bi <= uni {
 		t.Fatalf("bidirectional saturation %v not above unidirectional %v", bi, uni)

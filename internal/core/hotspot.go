@@ -196,6 +196,8 @@ type Result struct {
 	MaxUtilisation float64
 	// Iterations is the fixed-point iteration count.
 	Iterations int
+	// Convergence is the fixed-point diagnostic summary.
+	Convergence Convergence
 
 	// Raw service-time vectors (1-indexed by remaining hops; index 0
 	// unused) for inspection and tests.
@@ -206,42 +208,44 @@ type Result struct {
 	SRegX   []float64   // regular, x only (Eq. 18)
 }
 
-// state indexes the flattened fixed-point vector.
+// layout segments the flattened fixed-point vector (see state.go for the
+// shared seg machinery).
 type layout struct {
 	k       int
-	shybar  int // k-1 values: regular, non-hot y-ring
-	shy     int // k-1: regular, hot y-ring
-	sx      int // k-1: regular, x only
-	sxhy    int // k-1: regular, x then hot y-ring
-	sxhybar int // k-1: regular, x then non-hot y-ring
-	shoty   int // k-1: hot-spot in hot ring
-	shotx   int // k*(k-1): hot-spot starting in row t, column distance j
+	shybar  seg   // k-1 values: regular, non-hot y-ring
+	shy     seg   // k-1: regular, hot y-ring
+	sx      seg   // k-1: regular, x only
+	sxhy    seg   // k-1: regular, x then hot y-ring
+	sxhybar seg   // k-1: regular, x then non-hot y-ring
+	shoty   seg   // k-1: hot-spot in hot ring
+	shotx   []seg // per row t = 1..k: hot-spot at column distance j = 1..k-1
 	size    int
 }
 
 func newLayout(k int) layout {
 	m := k - 1
+	var b vecBuilder
 	l := layout{k: k}
-	l.shybar = 0
-	l.shy = l.shybar + m
-	l.sx = l.shy + m
-	l.sxhy = l.sx + m
-	l.sxhybar = l.sxhy + m
-	l.shoty = l.sxhybar + m
-	l.shotx = l.shoty + m
-	l.size = l.shotx + k*m
+	l.shybar = b.seg(m)
+	l.shy = b.seg(m)
+	l.sx = b.seg(m)
+	l.sxhy = b.seg(m)
+	l.sxhybar = b.seg(m)
+	l.shoty = b.seg(m)
+	if k > 0 {
+		l.shotx = make([]seg, k+1)
+		for t := 1; t <= k; t++ {
+			l.shotx[t] = b.seg(m)
+		}
+	}
+	l.size = b.Size()
 	return l
 }
 
-// shotxIdx returns the index of S^h_x for row distance t (1..k) and column
-// distance j (1..k-1).
-func (l layout) shotxIdx(t, j int) int { return l.shotx + (t-1)*(l.k-1) + (j - 1) }
-
 type model struct {
+	solverBase
 	p    Params
-	o    Options
 	l    layout
-	lm   float64
 	lr   float64   // Eq. 3
 	lhy  []float64 // Eq. 7, index j = 1..k (j = k is zero)
 	lhx  []float64 // Eq. 6, index j = 1..k (j = k is zero)
@@ -255,7 +259,10 @@ type model struct {
 
 func newModel(p Params, o Options) *model {
 	k := p.K
-	m := &model{p: p, o: o, l: newLayout(k), lm: float64(p.Lm)}
+	if k < 0 {
+		k = 0
+	}
+	m := &model{solverBase: newSolverBase(o, p.V, p.Lm), p: p, l: newLayout(k)}
 	m.lr = p.Lambda * (1 - p.H) * p.KBar()
 	m.lhy = make([]float64, k+1)
 	m.lhx = make([]float64, k+1)
@@ -366,14 +373,6 @@ func blockingDelay(o Options, v int, lm, lr, sr, lh, sh float64) (float64, error
 	}
 }
 
-// variance and blocking keep the model methods thin wrappers over the
-// shared composition.
-func (m *model) variance(sBar float64) float64 { return serviceVariance(m.o, m.lm, sBar) }
-
-func (m *model) blocking(lr, sr, lh, sh float64) (float64, error) {
-	return blockingDelay(m.o, m.p.V, m.lm, lr, sr, lh, sh)
-}
-
 // unpack gives named 1-indexed views (position 0 unused) over the state.
 type view struct {
 	shybar, shy, sx, sxhy, sxhybar, shoty []float64
@@ -382,32 +381,24 @@ type view struct {
 
 func (m *model) view(x []float64) view {
 	k := m.p.K
-	take := func(off int) []float64 {
-		s := make([]float64, k)
-		copy(s[1:], x[off:off+k-1])
-		return s
-	}
 	v := view{
-		shybar:  take(m.l.shybar),
-		shy:     take(m.l.shy),
-		sx:      take(m.l.sx),
-		sxhy:    take(m.l.sxhy),
-		sxhybar: take(m.l.sxhybar),
-		shoty:   take(m.l.shoty),
+		shybar:  m.l.shybar.padded(x),
+		shy:     m.l.shy.padded(x),
+		sx:      m.l.sx.padded(x),
+		sxhy:    m.l.sxhy.padded(x),
+		sxhybar: m.l.sxhybar.padded(x),
+		shoty:   m.l.shoty.padded(x),
 	}
 	v.shotx = make([][]float64, k+1)
 	for t := 1; t <= k; t++ {
-		v.shotx[t] = make([]float64, k)
-		for j := 1; j <= k-1; j++ {
-			v.shotx[t][j] = x[m.l.shotxIdx(t, j)]
-		}
+		v.shotx[t] = m.l.shotx[t].padded(x)
 	}
 	return v
 }
 
-// iterate is the fixed-point map: out = F(in), the simultaneous
+// Iterate is the fixed-point map: out = F(in), the simultaneous
 // re-evaluation of Eqs. 16-20, 23 and 25.
-func (m *model) iterate(in, out []float64) error {
+func (m *model) Iterate(in, out []float64) error {
 	k := m.p.K
 	v := m.view(in)
 
@@ -455,7 +446,7 @@ func (m *model) iterate(in, out []float64) error {
 	}
 	bX /= float64(k * k)
 
-	put := func(off, j int, val float64) { out[off+j-1] = val }
+	put := func(s seg, j int, val float64) { s.put(out, j, val) }
 	// Regular recursions. Terminal value Lm is the body drain through the
 	// ejection channel; each hop adds 1 cycle of header transfer plus the
 	// class blocking delay.
@@ -508,22 +499,25 @@ func (m *model) iterate(in, out []float64) error {
 			default: // enter the hot ring t hops from the hot node
 				next = v.shoty[t]
 			}
-			out[m.l.shotxIdx(t, j)] = 1 + b + next
+			m.l.shotx[t].put(out, j, 1+b+next)
 		}
 	}
 	return nil
 }
 
-// initState fills the zero-load (blocking-free) service times.
-func (m *model) initState() []float64 {
+// Validate and StateSize complete the Solver interface.
+func (m *model) Validate() error { return m.p.Validate() }
+func (m *model) StateSize() int  { return m.l.size }
+
+// InitState fills the zero-load (blocking-free) service times.
+func (m *model) InitState(x []float64) {
 	k := m.p.K
-	x := make([]float64, m.l.size)
 	for j := 1; j <= k-1; j++ {
 		base := m.lm + float64(j)
-		x[m.l.shybar+j-1] = base
-		x[m.l.shy+j-1] = base
-		x[m.l.sx+j-1] = base
-		x[m.l.shoty+j-1] = base
+		m.l.shybar.put(x, j, base)
+		m.l.shy.put(x, j, base)
+		m.l.sx.put(x, j, base)
+		m.l.shoty.put(x, j, base)
 	}
 	// x-then-y classes terminate into the entrance of a y-ring.
 	var entY float64
@@ -536,8 +530,8 @@ func (m *model) initState() []float64 {
 		entY = m.lm + float64(k)/2
 	}
 	for j := 1; j <= k-1; j++ {
-		x[m.l.sxhy+j-1] = entY + float64(j)
-		x[m.l.sxhybar+j-1] = entY + float64(j)
+		m.l.sxhy.put(x, j, entY+float64(j))
+		m.l.sxhybar.put(x, j, entY+float64(j))
 	}
 	for t := 1; t <= k; t++ {
 		for j := 1; j <= k-1; j++ {
@@ -545,36 +539,53 @@ func (m *model) initState() []float64 {
 			if t == k {
 				y = 0
 			}
-			x[m.l.shotxIdx(t, j)] = m.lm + float64(j) + y
+			m.l.shotx[t].put(x, j, m.lm+float64(j)+y)
 		}
 	}
-	return x
 }
 
-// Solve evaluates the model.
-func Solve(p Params, o Options) (*Result, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	m := newModel(p, o)
-	state := m.initState()
-	fpOpts := o.FixPoint
-	if fpOpts.MaxIterations == 0 && fpOpts.Tolerance == 0 && fpOpts.Damping == 0 {
-		fpOpts = fixpoint.Options{Tolerance: 1e-9, MaxIterations: 20000, Damping: 0.5}
-	}
-	res, err := fixpoint.Solve(state, m.iterate, fpOpts)
+// SolveHotSpot evaluates the paper's model (the registry's "hotspot-2d").
+func SolveHotSpot(p Params, o Options) (*Result, error) {
+	sr, err := solveWith(newModel(p, o), o)
 	if err != nil {
-		if errors.Is(err, fixpoint.ErrDiverged) || errors.Is(err, fixpoint.ErrMaxIterations) {
-			return nil, fmt.Errorf("%w: %v", ErrSaturated, err)
-		}
 		return nil, err
 	}
-	return m.assemble(state, res.Iterations)
+	return sr.Detail.(*Result), nil
 }
 
-// assemble computes Eqs. 10-15, 21-24 and 31-37 from the converged service
-// times.
-func (m *model) assemble(x []float64, iters int) (*Result, error) {
+func init() {
+	Register("hotspot-2d", func(s Spec, o Options) (Solver, error) {
+		if s.Dims != 0 && s.Dims != 2 {
+			return nil, fmt.Errorf("core: hotspot-2d models the 2-D torus, got Dims = %d", s.Dims)
+		}
+		return newModel(Params{K: s.K, V: s.V, Lm: s.Lm, H: s.H, Lambda: s.Lambda}, o), nil
+	})
+}
+
+// Assemble computes Eqs. 10-15, 21-24 and 31-37 from the converged service
+// times and wraps them in the variant-independent SolveResult.
+func (m *model) Assemble(x []float64, conv Convergence) (*SolveResult, error) {
+	r, err := m.assemble(x, conv)
+	if err != nil {
+		return nil, err
+	}
+	// Channel-count-weighted mean multiplexing degree: k² x-channels, k hot
+	// y-ring channels, k(k-1) non-hot y-ring channels.
+	kf := float64(m.p.K)
+	vbar := (kf*kf*r.VX + kf*r.VHy + kf*(kf-1)*r.VHyBar) / (2 * kf * kf)
+	return &SolveResult{
+		Latency:     r.Latency,
+		Regular:     r.Regular,
+		Hot:         r.Hot,
+		SourceWait:  r.WsRegular,
+		VBar:        vbar,
+		Convergence: conv,
+		Detail:      r,
+	}, nil
+}
+
+// assemble computes the typed Result from the converged service times.
+func (m *model) assemble(x []float64, conv Convergence) (*Result, error) {
 	p, k := m.p, m.p.K
 	v := m.view(x)
 	kf := float64(k)
@@ -728,7 +739,8 @@ func (m *model) assemble(x []float64, iters int) (*Result, error) {
 		VHy:            vHy,
 		VHyBar:         vHyB,
 		MaxUtilisation: maxUtil,
-		Iterations:     iters,
+		Iterations:     conv.Iterations,
+		Convergence:    conv,
 		SHotY:          v.shoty,
 		SHotX:          v.shotx[1:],
 		SRegHy:         v.shy,

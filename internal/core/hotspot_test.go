@@ -8,7 +8,7 @@ import (
 
 func solveOK(t *testing.T, p Params, o Options) *Result {
 	t.Helper()
-	r, err := Solve(p, o)
+	r, err := SolveHotSpot(p, o)
 	if err != nil {
 		t.Fatalf("Solve(%+v): %v", p, err)
 	}
@@ -52,7 +52,7 @@ func TestParamsDerived(t *testing.T) {
 }
 
 func TestSolveRejectsBadParams(t *testing.T) {
-	if _, err := Solve(Params{}, Options{}); err == nil {
+	if _, err := SolveHotSpot(Params{}, Options{}); err == nil {
 		t.Error("Solve accepted zero params")
 	}
 }
@@ -138,7 +138,7 @@ func TestLatencyMonotoneInLm(t *testing.T) {
 
 func TestSaturationDetected(t *testing.T) {
 	// Far beyond the hot-channel capacity 1/(h·k·(k-1)·Lm).
-	_, err := Solve(Params{K: 16, V: 2, Lm: 32, H: 0.2, Lambda: 0.01}, Options{})
+	_, err := SolveHotSpot(Params{K: 16, V: 2, Lm: 32, H: 0.2, Lambda: 0.01}, Options{})
 	if !errors.Is(err, ErrSaturated) {
 		t.Errorf("err = %v, want ErrSaturated", err)
 	}
@@ -147,7 +147,7 @@ func TestSaturationDetected(t *testing.T) {
 func TestSaturationOrderedInH(t *testing.T) {
 	sat := func(h float64) float64 {
 		s, err := SaturationLambda(func(lam float64) error {
-			_, err := Solve(Params{K: 16, V: 2, Lm: 32, H: h, Lambda: lam}, Options{})
+			_, err := SolveHotSpot(Params{K: 16, V: 2, Lm: 32, H: h, Lambda: lam}, Options{})
 			return err
 		}, 1e-6, 0, 1e-3)
 		if err != nil {
@@ -170,7 +170,7 @@ func TestSaturationOrderedInH(t *testing.T) {
 func TestSaturationOrderedInLm(t *testing.T) {
 	sat := func(lm int) float64 {
 		s, err := SaturationLambda(func(lam float64) error {
-			_, err := Solve(Params{K: 16, V: 2, Lm: lm, H: 0.4, Lambda: lam}, Options{})
+			_, err := SolveHotSpot(Params{K: 16, V: 2, Lm: lm, H: 0.4, Lambda: lam}, Options{})
 			return err
 		}, 1e-7, 0, 1e-3)
 		if err != nil {
@@ -309,7 +309,7 @@ func TestModelCoversLoadRangeUpToCapacity(t *testing.T) {
 			capacity := 1 / (h * 16 * 15 * float64(lm+1))
 			lam := 0.85 * capacity
 			p := Params{K: 16, V: 2, Lm: lm, H: h, Lambda: lam}
-			r, err := Solve(p, Options{})
+			r, err := SolveHotSpot(p, Options{})
 			if err != nil {
 				t.Errorf("h=%v Lm=%d lambda=%v (85%% capacity): %v", h, lm, lam, err)
 				continue

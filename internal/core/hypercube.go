@@ -25,11 +25,9 @@ package core
 //     shared compositions (Eqs. 26-37 machinery).
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
-	"kncube/internal/fixpoint"
 	"kncube/internal/queueing"
 	"kncube/internal/vcmodel"
 )
@@ -86,38 +84,55 @@ type HypercubeResult struct {
 	SHot []float64
 	// Iterations is the fixed-point iteration count.
 	Iterations int
+	// Convergence is the fixed-point diagnostic summary.
+	Convergence Convergence
 }
 
 type hyperModel struct {
+	solverBase
 	p  HypercubeParams
-	o  Options
-	lm float64
 	lu float64   // regular per-channel rate lambda(1-h)/2
 	lh []float64 // hot rate on the dim-d hot channel: lambda*h*2^d
-	// pNextFrom[d][d2] = P(next differing dimension after d is d2);
-	// pDoneFrom[d] = P(no differing dimension above d).
-	pHotChan []float64 // fraction of dim-d channels that are hot channels
+	// pHotChan[d] = fraction of dim-d channels that are hot channels,
+	// 2^(n-1-d) of 2^n.
+	pHotChan []float64
 }
 
 func newHyperModel(p HypercubeParams, o Options) *hyperModel {
-	m := &hyperModel{p: p, o: o, lm: float64(p.Lm)}
+	m := &hyperModel{solverBase: newSolverBase(o, p.V, p.Lm), p: p}
 	m.lu = p.Lambda * (1 - p.H) / 2
-	m.lh = make([]float64, p.N)
-	m.pHotChan = make([]float64, p.N)
-	for d := 0; d < p.N; d++ {
+	n := p.N
+	if n < 0 {
+		n = 0
+	}
+	m.lh = make([]float64, n)
+	m.pHotChan = make([]float64, n)
+	for d := 0; d < n; d++ {
 		m.lh[d] = p.Lambda * p.H * float64(int64(1)<<d)
-		// 2^(n-1-d) hot channels of 2^n dim-d channels.
 		m.pHotChan[d] = math.Pow(2, float64(-1-d))
 	}
 	return m
 }
 
-func (m *hyperModel) blocking(lr, sr, lh, sh float64) (float64, error) {
-	return blockingDelay(m.o, m.p.V, m.lm, lr, sr, lh, sh)
+func (m *hyperModel) Validate() error { return m.p.Validate() }
+
+// StateSize: [0..n) S^h_d (hot service at the dim-d hot channel);
+// [n..2n) S^r_d (regular service at a dim-d channel).
+func (m *hyperModel) StateSize() int { return 2 * len(m.lh) }
+
+// InitState writes the zero-load services: the mean remaining path from
+// dimension d is 1 + half the higher dimensions.
+func (m *hyperModel) InitState(x []float64) {
+	n := len(m.lh)
+	for d := 0; d < n; d++ {
+		rem := 1 + float64(n-1-d)/2
+		x[d] = m.lm + rem
+		x[n+d] = m.lm + rem
+	}
 }
 
-// nextDistribution gives, for a message at dimension d (having just crossed
-// it), the probability that the next crossed dimension is d2 > d, and the
+// nextWeights gives, for a message at dimension d (having just crossed it),
+// the probability that the next crossed dimension is d2 > d, and the
 // probability that d was the last: each higher dimension differs
 // independently with probability 1/2 for uniform (and hot) destinations.
 func (m *hyperModel) nextWeights(d int) (next []float64, done float64) {
@@ -131,9 +146,7 @@ func (m *hyperModel) nextWeights(d int) (next []float64, done float64) {
 	return next, rem
 }
 
-// state layout: [0..n): S^h_d (hot service at dim-d hot channel);
-// [n..2n): S^r_d (regular service at a dim-d channel).
-func (m *hyperModel) iterate(in, out []float64) error {
+func (m *hyperModel) Iterate(in, out []float64) error {
 	n := m.p.N
 	sh := in[:n]
 	sr := in[n : 2*n]
@@ -179,40 +192,30 @@ func (m *hyperModel) iterate(in, out []float64) error {
 	return nil
 }
 
-// SolveHypercube evaluates the hypercube hot-spot model.
+// SolveHypercube evaluates the hypercube hot-spot model (the registry's
+// "hypercube").
 func SolveHypercube(p HypercubeParams, o Options) (*HypercubeResult, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	m := newHyperModel(p, o)
-	n := p.N
-	state := make([]float64, 2*n)
-	for d := 0; d < n; d++ {
-		// Zero-load: mean remaining path from dimension d is 1 + half the
-		// higher dimensions.
-		rem := 1 + float64(n-1-d)/2
-		state[d] = m.lm + rem
-		state[n+d] = m.lm + rem
-	}
-	fpOpts := o.FixPoint
-	if fpOpts.MaxIterations == 0 && fpOpts.Tolerance == 0 && fpOpts.Damping == 0 {
-		fpOpts = fixpoint.Options{Tolerance: 1e-9, MaxIterations: 20000, Damping: 0.5}
-	}
-	res, err := fixpoint.Solve(state, m.iterate, fpOpts)
+	sr, err := solveWith(newHyperModel(p, o), o)
 	if err != nil {
-		if errors.Is(err, fixpoint.ErrDiverged) || errors.Is(err, fixpoint.ErrMaxIterations) {
-			return nil, fmt.Errorf("%w: %v", ErrSaturated, err)
-		}
 		return nil, err
 	}
-	return m.assemble(state, res.Iterations)
+	return sr.Detail.(*HypercubeResult), nil
 }
 
-func (m *hyperModel) assemble(state []float64, iters int) (*HypercubeResult, error) {
+func init() {
+	Register("hypercube", func(s Spec, o Options) (Solver, error) {
+		if s.K != 0 && s.K != 2 {
+			return nil, fmt.Errorf("core: the hypercube is the 2-ary n-cube, got K = %d", s.K)
+		}
+		return newHyperModel(HypercubeParams{N: s.Dims, V: s.V, Lm: s.Lm, H: s.H, Lambda: s.Lambda}, o), nil
+	})
+}
+
+// Assemble computes the latency decomposition from the converged state.
+func (m *hyperModel) Assemble(state []float64, conv Convergence) (*SolveResult, error) {
 	n := m.p.N
 	sh := state[:n]
 	sr := state[n : 2*n]
-	nodes := float64(m.p.Nodes())
 
 	// Entrance service times: the first crossed dimension of a uniform (or
 	// hot) destination is dimension d with probability 2^-(d+1),
@@ -239,7 +242,7 @@ func (m *hyperModel) assemble(state []float64, iters int) (*HypercubeResult, err
 	// Source queue: rate lambda/V, service = class mix of entrances.
 	lv := m.p.Lambda / float64(m.p.V)
 	mix := (1-m.p.H)*entReg + m.p.H*entHot
-	ws, err := queueing.MG1Wait(lv, mix, serviceVariance(m.o, m.lm, mix))
+	ws, err := queueing.MG1Wait(lv, mix, m.variance(mix))
 	if err != nil {
 		return nil, fmt.Errorf("%w (hypercube source queue)", ErrSaturated)
 	}
@@ -264,15 +267,23 @@ func (m *hyperModel) assemble(state []float64, iters int) (*HypercubeResult, err
 	hot := (entHot + ws) * vBar
 	latency := (1-m.p.H)*regular + m.p.H*hot
 
-	out := &HypercubeResult{
-		Latency:    latency,
-		Regular:    regular,
-		Hot:        hot,
-		WsRegular:  ws,
-		V:          vBar,
-		SHot:       append([]float64(nil), sh...),
-		Iterations: iters,
+	r := &HypercubeResult{
+		Latency:     latency,
+		Regular:     regular,
+		Hot:         hot,
+		WsRegular:   ws,
+		V:           vBar,
+		SHot:        append([]float64(nil), sh...),
+		Iterations:  conv.Iterations,
+		Convergence: conv,
 	}
-	_ = nodes
-	return out, nil
+	return &SolveResult{
+		Latency:     latency,
+		Regular:     regular,
+		Hot:         hot,
+		SourceWait:  ws,
+		VBar:        vBar,
+		Convergence: conv,
+		Detail:      r,
+	}, nil
 }

@@ -1,11 +1,9 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
-	"kncube/internal/fixpoint"
 	"kncube/internal/queueing"
 	"kncube/internal/vcmodel"
 )
@@ -98,43 +96,69 @@ type NDimResult struct {
 	SHot [][]float64
 	// Iterations is the fixed-point iteration count.
 	Iterations int
+	// Convergence is the fixed-point diagnostic summary.
+	Convergence Convergence
 }
 
 type ndimModel struct {
+	solverBase
 	p  NDimParams
-	o  Options
-	lm float64
 	lr float64     // Eq. 3
 	lh [][]float64 // lh[d][j] = lambda·h·k^d·(k-j)
 }
 
 func newNDimModel(p NDimParams, o Options) *ndimModel {
-	m := &ndimModel{p: p, o: o, lm: float64(p.Lm)}
+	m := &ndimModel{solverBase: newSolverBase(o, p.V, p.Lm), p: p}
 	m.lr = p.Lambda * (1 - p.H) * float64(p.K-1) / 2
-	m.lh = make([][]float64, p.N)
+	n, k := p.N, p.K
+	if n < 0 {
+		n = 0
+	}
+	if k < 0 {
+		k = 0
+	}
+	m.lh = make([][]float64, n)
 	kd := 1.0
-	for d := 0; d < p.N; d++ {
-		m.lh[d] = make([]float64, p.K+1)
-		for j := 1; j <= p.K; j++ {
-			m.lh[d][j] = p.Lambda * p.H * kd * float64(p.K-j)
+	for d := 0; d < n; d++ {
+		m.lh[d] = make([]float64, k+1)
+		for j := 1; j <= k; j++ {
+			m.lh[d][j] = p.Lambda * p.H * kd * float64(k-j)
 		}
-		kd *= float64(p.K)
+		kd *= float64(k)
 	}
 	return m
 }
 
-func (m *ndimModel) blocking(lr, sr, lh, sh float64) (float64, error) {
-	return blockingDelay(m.o, m.p.V, m.lm, lr, sr, lh, sh)
+func (m *ndimModel) Validate() error { return m.p.Validate() }
+
+// StateSize: hot services [d][j] then regular services [d][b], both
+// j,b = 1..k-1, flattened d-major.
+func (m *ndimModel) StateSize() int {
+	if m.p.N < 1 || m.p.K < 2 {
+		return 0
+	}
+	return 2 * m.p.N * (m.p.K - 1)
 }
 
-// state layout: hot services [d][j] then regular services [d][b], both
-// j,b = 1..k-1, flattened d-major.
 func (m *ndimModel) hotIdx(d, j int) int { return d*(m.p.K-1) + (j - 1) }
 func (m *ndimModel) regIdx(d, b int) int {
 	return m.p.N*(m.p.K-1) + d*(m.p.K-1) + (b - 1)
 }
 
-// contHot returns the expected continuation service after finishing
+// InitState writes the zero-load services: j hops in this dimension plus
+// the expected remaining path (half ring per remaining dimension, roughly).
+func (m *ndimModel) InitState(x []float64) {
+	k, n := m.p.K, m.p.N
+	for d := 0; d < n; d++ {
+		rem := float64(n-1-d) * float64(k-1) / 2 / 2
+		for j := 1; j <= k-1; j++ {
+			x[m.hotIdx(d, j)] = m.lm + float64(j) + rem
+			x[m.regIdx(d, j)] = m.lm + float64(j) + rem
+		}
+	}
+}
+
+// cont returns the expected continuation service after finishing
 // dimension d for a hot-spot (hot = true) or regular message, given the
 // current state.
 func (m *ndimModel) cont(in []float64, d int, hot bool) float64 {
@@ -170,7 +194,7 @@ func (m *ndimModel) regEntrance(in []float64, d int) float64 {
 	return sum / float64(m.p.K-1)
 }
 
-func (m *ndimModel) iterate(in, out []float64) error {
+func (m *ndimModel) Iterate(in, out []float64) error {
 	k, n := m.p.K, m.p.N
 	for d := 0; d < n; d++ {
 		entReg := m.regEntrance(in, d)
@@ -214,38 +238,28 @@ func (m *ndimModel) iterate(in, out []float64) error {
 	return nil
 }
 
-// SolveNDim evaluates the general k-ary n-cube hot-spot model.
+// SolveNDim evaluates the general k-ary n-cube hot-spot model (the
+// registry's "ndim").
 func SolveNDim(p NDimParams, o Options) (*NDimResult, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	m := newNDimModel(p, o)
-	k, n := p.K, p.N
-	state := make([]float64, 2*n*(k-1))
-	for d := 0; d < n; d++ {
-		// Zero-load: j hops in this dimension plus the expected remaining
-		// path (half ring per remaining dimension, roughly).
-		rem := float64(n-1-d) * float64(k-1) / 2 / 2
-		for j := 1; j <= k-1; j++ {
-			state[m.hotIdx(d, j)] = m.lm + float64(j) + rem
-			state[m.regIdx(d, j)] = m.lm + float64(j) + rem
-		}
-	}
-	fpOpts := o.FixPoint
-	if fpOpts.MaxIterations == 0 && fpOpts.Tolerance == 0 && fpOpts.Damping == 0 {
-		fpOpts = fixpoint.Options{Tolerance: 1e-9, MaxIterations: 20000, Damping: 0.5}
-	}
-	res, err := fixpoint.Solve(state, m.iterate, fpOpts)
+	sr, err := solveWith(newNDimModel(p, o), o)
 	if err != nil {
-		if errors.Is(err, fixpoint.ErrDiverged) || errors.Is(err, fixpoint.ErrMaxIterations) {
-			return nil, fmt.Errorf("%w: %v", ErrSaturated, err)
-		}
 		return nil, err
 	}
-	return m.assemble(state, res.Iterations)
+	return sr.Detail.(*NDimResult), nil
 }
 
-func (m *ndimModel) assemble(state []float64, iters int) (*NDimResult, error) {
+func init() {
+	Register("ndim", func(s Spec, o Options) (Solver, error) {
+		dims := s.Dims
+		if dims == 0 {
+			dims = 2
+		}
+		return newNDimModel(NDimParams{K: s.K, N: dims, V: s.V, Lm: s.Lm, H: s.H, Lambda: s.Lambda}, o), nil
+	})
+}
+
+// Assemble computes the latency decomposition from the converged state.
+func (m *ndimModel) Assemble(state []float64, conv Convergence) (*SolveResult, error) {
 	k, n := m.p.K, m.p.N
 
 	// Entrance distributions: the first crossed dimension of a uniform
@@ -266,7 +280,7 @@ func (m *ndimModel) assemble(state []float64, iters int) (*NDimResult, error) {
 	// Source queue.
 	lv := m.p.Lambda / float64(m.p.V)
 	mix := (1-m.p.H)*entReg + m.p.H*entHot
-	ws, err := queueing.MG1Wait(lv, mix, serviceVariance(m.o, m.lm, mix))
+	ws, err := queueing.MG1Wait(lv, mix, m.variance(mix))
 	if err != nil {
 		return nil, fmt.Errorf("%w (ndim source queue)", ErrSaturated)
 	}
@@ -305,13 +319,23 @@ func (m *ndimModel) assemble(state []float64, iters int) (*NDimResult, error) {
 			shot[d][j] = state[m.hotIdx(d, j)]
 		}
 	}
-	return &NDimResult{
-		Latency:    latency,
-		Regular:    regular,
-		Hot:        hot,
-		WsRegular:  ws,
-		VBar:       vBar,
-		SHot:       shot,
-		Iterations: iters,
+	r := &NDimResult{
+		Latency:     latency,
+		Regular:     regular,
+		Hot:         hot,
+		WsRegular:   ws,
+		VBar:        vBar,
+		SHot:        shot,
+		Iterations:  conv.Iterations,
+		Convergence: conv,
+	}
+	return &SolveResult{
+		Latency:     latency,
+		Regular:     regular,
+		Hot:         hot,
+		SourceWait:  ws,
+		VBar:        vBar,
+		Convergence: conv,
+		Detail:      r,
 	}, nil
 }

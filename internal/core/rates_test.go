@@ -128,7 +128,7 @@ func TestSaturationNearCapacityAcrossGrid(t *testing.T) {
 		for _, lm := range []int{16, 64} {
 			capacity := CapacityLambda(16, lm, h)
 			sat, err := SaturationLambda(func(lam float64) error {
-				_, e := Solve(Params{K: 16, V: 2, Lm: lm, H: h, Lambda: lam}, Options{})
+				_, e := SolveHotSpot(Params{K: 16, V: 2, Lm: lm, H: h, Lambda: lam}, Options{})
 				return e
 			}, capacity/100, 0, 1e-3)
 			if err != nil {

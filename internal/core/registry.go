@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Spec is the variant-independent parameter set the registry accepts: the
+// union of the five variants' parameters. Fields a variant does not use
+// are validated by its factory (e.g. the hypercube requires K = 2, the
+// uniform baseline requires H = 0); zero K or Dims pick the variant's
+// natural default where one exists.
+type Spec struct {
+	// K is the radix; Dims the dimension count n.
+	K, Dims int
+	// V is the number of virtual channels per physical channel.
+	V int
+	// Lm is the message length in flits.
+	Lm int
+	// H is the hot-spot fraction in [0, 1).
+	H float64
+	// Lambda is the per-node generation rate in messages/cycle.
+	Lambda float64
+}
+
+// Factory builds a variant's Solver from the generic Spec. It rejects
+// specs that contradict the variant (wrong Dims, H where none is
+// modelled); parameter-range checking is left to Solver.Validate.
+type Factory func(s Spec, o Options) (Solver, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
+
+// Register adds a named solver factory. It panics on an empty name, a nil
+// factory, or a duplicate registration — all programming errors, caught at
+// init time.
+func Register(name string, f Factory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if name == "" {
+		panic("core: Register with empty solver name")
+	}
+	if f == nil {
+		panic(fmt.Sprintf("core: Register(%q) with nil factory", name))
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("core: duplicate solver registration %q", name))
+	}
+	registry[name] = f
+}
+
+// Solvers returns the registered solver names, sorted.
+func Solvers() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewSolver builds the named variant's Solver for the given spec.
+func NewSolver(name string, s Spec, o Options) (Solver, error) {
+	registryMu.RLock()
+	f, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown solver %q (registered: %s)",
+			name, strings.Join(Solvers(), ", "))
+	}
+	return f(s, o)
+}
+
+// Solve evaluates the named model variant through the shared fixed-point
+// driver. All registered variants — "hotspot-2d", "bidirectional-2d",
+// "uniform", "hypercube", "ndim" — are reachable here; the typed entry
+// points (SolveHotSpot, SolveBidirectional, ...) are thin wrappers over
+// the same driver.
+func Solve(name string, s Spec, o Options) (*SolveResult, error) {
+	sol, err := NewSolver(name, s, o)
+	if err != nil {
+		return nil, err
+	}
+	return solveWith(sol, o)
+}

@@ -15,7 +15,7 @@ func TestSolversWrapErrSaturated(t *testing.T) {
 		run  func(lambda float64) error
 	}{
 		{"Solve", func(lambda float64) error {
-			_, err := Solve(Params{K: 8, V: 2, Lm: 32, H: 0.3, Lambda: lambda}, Options{})
+			_, err := SolveHotSpot(Params{K: 8, V: 2, Lm: 32, H: 0.3, Lambda: lambda}, Options{})
 			return err
 		}},
 		{"SolveUniform", func(lambda float64) error {
@@ -50,7 +50,7 @@ func TestSolversWrapErrSaturated(t *testing.T) {
 			if tc.name == "Solve" {
 				for _, form := range []BlockingForm{BlockingPaper, BlockingWaitOnly,
 					BlockingMultiServer, BlockingBandwidth, BlockingVCOccupancy} {
-					_, err := Solve(Params{K: 8, V: 2, Lm: 32, H: 0.3, Lambda: 0.5},
+					_, err := SolveHotSpot(Params{K: 8, V: 2, Lm: 32, H: 0.3, Lambda: 0.5},
 						Options{Blocking: form})
 					if err == nil {
 						t.Fatalf("blocking form %v: no error at an absurd load", form)

@@ -1,0 +1,124 @@
+package core
+
+// The Solver interface and the shared fixed-point driver. The five model
+// variants (hot-spot torus, bidirectional torus, uniform baseline,
+// hypercube, general k-ary n-cube) are all the same pipeline — traffic
+// rates → service-time recursions → M/G/1 blocking → source queue → Dally's
+// V̄ — solved by damped fixed-point iteration; this file holds the single
+// copy of everything that pipeline shares: the driver around
+// fixpoint.Solve, the blocking/variance composition, and the saturation
+// classification of iteration failures. Variant files implement Solver and
+// register a factory (registry.go); nothing below this layer calls
+// fixpoint.Solve directly.
+
+import (
+	"errors"
+	"fmt"
+
+	"kncube/internal/fixpoint"
+)
+
+// Convergence re-exports the fixed-point diagnostic summary carried by
+// every solved result.
+type Convergence = fixpoint.Convergence
+
+// Solver is one latency-model variant, expressed as the fixed-point system
+// the shared driver iterates. Implementations are cheap to construct: all
+// heavy work happens in Iterate and Assemble.
+type Solver interface {
+	// Validate reports the first problem with the solver's parameters; the
+	// driver calls it before touching any state.
+	Validate() error
+	// StateSize is the length of the flattened fixed-point vector.
+	StateSize() int
+	// InitState writes the zero-load (blocking-free) starting point into
+	// x, which has length StateSize.
+	InitState(x []float64)
+	// Iterate is the substitution map out = F(in) (a fixpoint.Map).
+	// Implementations wrap blocking failures in ErrSaturated.
+	Iterate(in, out []float64) error
+	// Assemble computes the variant's result from the converged state; the
+	// convergence summary must be propagated into the result.
+	Assemble(x []float64, conv Convergence) (*SolveResult, error)
+}
+
+// SolveResult is the variant-independent view of a solved model: the
+// latency decomposition every variant produces, the convergence
+// diagnostics, and the variant's full typed result under Detail.
+type SolveResult struct {
+	// Latency is the mean message latency in cycles (Eq. 10).
+	Latency float64
+	// Regular and Hot are the class-conditional mean latencies. Variants
+	// without a hot-spot class (the uniform baseline, or H = 0) report
+	// both equal to Latency.
+	Regular, Hot float64
+	// SourceWait is the mean source-queue waiting time (Eq. 32).
+	SourceWait float64
+	// VBar is the channel-averaged virtual-channel multiplexing degree
+	// (Eqs. 33-37).
+	VBar float64
+	// Convergence summarises the fixed-point iteration.
+	Convergence Convergence
+	// Detail is the variant's typed result (*Result, *BiResult,
+	// *UniformResult, *HypercubeResult or *NDimResult).
+	Detail any
+}
+
+// defaultFixPoint is the solver-facing defaulting rule: a wholly-zero
+// numeric configuration selects the tight tolerances the models were
+// calibrated with (stricter than fixpoint.Defaults); a partially-set one
+// is passed through for fixpoint's own per-field defaulting. The Trace
+// hook is orthogonal and preserved either way.
+func defaultFixPoint(o fixpoint.Options) fixpoint.Options {
+	if o.Tolerance == 0 && o.MaxIterations == 0 && o.Damping == 0 {
+		o.Tolerance, o.MaxIterations, o.Damping = 1e-9, 20000, 0.5
+	}
+	return o
+}
+
+// solveWith is the shared driver: validate, build the zero-load state, run
+// the damped fixed-point iteration, classify failures, assemble. It is the
+// single entry point into fixpoint.Solve for every model variant.
+func solveWith(s Solver, o Options) (*SolveResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	x := make([]float64, s.StateSize())
+	s.InitState(x)
+	res, err := fixpoint.Solve(x, s.Iterate, defaultFixPoint(o.FixPoint))
+	if err != nil {
+		// Divergence and budget exhaustion are how an analytical latency
+		// model expresses operation beyond its saturation point; anything
+		// else (including ErrSaturated already wrapped by Iterate) passes
+		// through unchanged.
+		if errors.Is(err, fixpoint.ErrDiverged) || errors.Is(err, fixpoint.ErrMaxIterations) {
+			return nil, fmt.Errorf("%w: %v", ErrSaturated, err)
+		}
+		return nil, err
+	}
+	return s.Assemble(x, res.Convergence)
+}
+
+// solverBase carries the knobs every variant's blocking and variance
+// compositions share; embedding it is what keeps the per-variant models
+// free of their own copies of these methods.
+type solverBase struct {
+	o  Options
+	v  int     // virtual channels per physical channel
+	lm float64 // message length in flits
+}
+
+func newSolverBase(o Options, v, lm int) solverBase {
+	return solverBase{o: o, v: v, lm: float64(lm)}
+}
+
+// blocking composes Eqs. 26-30 for a channel carrying regular traffic
+// (lr, sr) and hot-spot traffic (lh, sh) under the configured form.
+func (b *solverBase) blocking(lr, sr, lh, sh float64) (float64, error) {
+	return blockingDelay(b.o, b.v, b.lm, lr, sr, lh, sh)
+}
+
+// variance is the service-time variance under the configured VarianceForm.
+func (b *solverBase) variance(sBar float64) float64 {
+	return serviceVariance(b.o, b.lm, sBar)
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"kncube/internal/fixpoint"
 	"kncube/internal/queueing"
 	"kncube/internal/vcmodel"
 )
@@ -59,84 +60,123 @@ type UniformResult struct {
 	Blocking float64
 	// Iterations is the scalar fixed-point iteration count.
 	Iterations int
+	// Convergence is the fixed-point diagnostic summary.
+	Convergence Convergence
 }
 
-// SolveUniform evaluates the classic uniform-traffic baseline
+// uniformModel is the classic uniform-traffic baseline
 // (Dally-1990/Draper-Ghosh style, adapted to the unidirectional torus with
-// the same blocking and variance approximations as the hot-spot model):
-// the mean network latency satisfies the scalar fixed point
+// the same blocking and variance compositions as the hot-spot model): the
+// mean network latency satisfies the scalar fixed point
 //
 //	S = Lm + d̄ + d̄·B(λc, S)
 //
 // with d̄ = n(k-1)/2 the mean path length and λc = λ·k̄ the uniform
 // per-channel rate; the final latency is (S + Ws)·V̄ exactly as in the
 // hot-spot model's assembly.
-func SolveUniform(p UniformParams) (*UniformResult, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	kbar := float64(p.K-1) / 2
-	dbar := float64(p.Dims) * kbar
-	lm := float64(p.Lm)
-	lc := p.Lambda * kbar
+type uniformModel struct {
+	solverBase
+	p    UniformParams
+	lc   float64 // per-channel message rate lambda·k̄
+	dbar float64 // mean path length n(k-1)/2
+}
 
-	s := lm + dbar // zero-load starting point
-	var b float64
-	const (
-		tol     = 1e-10
-		maxIter = 100000
-	)
-	if lc*lm >= 1 { // physical flit capacity
-		return nil, fmt.Errorf("%w: channel flit load %v >= 1", ErrSaturated, lc*lm)
+func newUniformModel(p UniformParams, o Options) *uniformModel {
+	kbar := float64(p.K-1) / 2
+	return &uniformModel{
+		solverBase: newSolverBase(o, p.V, p.Lm),
+		p:          p,
+		lc:         p.Lambda * kbar,
+		dbar:       float64(p.Dims) * kbar,
 	}
-	iters := 0
-	for ; iters < maxIter; iters++ {
-		// The same calibrated blocking composition as the hot-spot
-		// model's default (BlockingVCOccupancy): the blocking probability
-		// is P_V of the virtual-channel occupancy chain at the holding
-		// utilisation, the waiting time a bandwidth-centric M/G/1 at the
-		// flit service time.
-		w, err := queueing.MG1Wait(lc, lm+1, 0)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrSaturated, err)
-		}
-		rho := lc * s
-		if rho > 1 {
-			rho = 1
-		}
-		occ := vcmodel.Occupancy(p.V, rho*(1-1e-12))
-		nb := occ[p.V] * w
-		ns := lm + dbar + dbar*nb
-		ns = 0.5*s + 0.5*ns // damping, matching the hot-spot solver
-		if math.IsInf(ns, 0) || math.IsNaN(ns) {
-			return nil, fmt.Errorf("%w: diverged", ErrSaturated)
-		}
-		done := math.Abs(ns-s) <= tol*math.Max(1, s)
-		s, b = ns, nb
-		if done {
-			break
-		}
+}
+
+func (m *uniformModel) Validate() error { return m.p.Validate() }
+func (m *uniformModel) StateSize() int  { return 1 }
+
+func (m *uniformModel) InitState(x []float64) { x[0] = m.lm + m.dbar }
+
+func (m *uniformModel) Iterate(in, out []float64) error {
+	b, err := m.blocking(m.lc, in[0], 0, 0)
+	if err != nil {
+		return fmt.Errorf("%w (uniform channel)", ErrSaturated)
 	}
-	if iters == maxIter {
-		return nil, fmt.Errorf("%w: no fixed point", ErrSaturated)
+	out[0] = m.lm + m.dbar + m.dbar*b
+	return nil
+}
+
+func (m *uniformModel) Assemble(x []float64, conv Convergence) (*SolveResult, error) {
+	s := x[0]
+	b, err := m.blocking(m.lc, s, 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("%w (uniform channel)", ErrSaturated)
 	}
-	ws, err := queueing.PaperWait(p.Lambda/float64(p.V), s, lm)
+	ws, err := queueing.PaperWait(m.p.Lambda/float64(m.p.V), s, m.lm)
 	if err != nil {
 		return nil, fmt.Errorf("%w (source queue)", ErrSaturated)
 	}
-	vbar, err := vcmodel.Degree(p.V, lc, s)
+	vbar, err := vcmodel.Degree(m.p.V, m.lc, s)
 	if err != nil {
 		return nil, err
 	}
-	return &UniformResult{
+	r := &UniformResult{
 		Latency:      (s + ws) * vbar,
 		Network:      s,
 		SourceWait:   ws,
 		Multiplexing: vbar,
-		ChannelRate:  lc,
+		ChannelRate:  m.lc,
 		Blocking:     b,
-		Iterations:   iters + 1,
+		Iterations:   conv.Iterations,
+		Convergence:  conv,
+	}
+	return &SolveResult{
+		Latency: r.Latency,
+		// All traffic is one (uniform) class.
+		Regular:     r.Latency,
+		Hot:         r.Latency,
+		SourceWait:  ws,
+		VBar:        vbar,
+		Convergence: conv,
+		Detail:      r,
 	}, nil
+}
+
+// uniformFixPoint preserves the baseline's historical solver settings (a
+// tighter tolerance and a larger budget than the multi-variable models)
+// when the caller left the configuration zero.
+func uniformFixPoint(o Options) Options {
+	fp := o.FixPoint
+	if fp.Tolerance == 0 && fp.MaxIterations == 0 && fp.Damping == 0 {
+		o.FixPoint = fixpoint.Options{
+			Tolerance: 1e-10, MaxIterations: 100000, Damping: 0.5, Trace: fp.Trace,
+		}
+	}
+	return o
+}
+
+// SolveUniform evaluates the uniform-traffic baseline model (the
+// registry's "uniform") with the default options.
+func SolveUniform(p UniformParams) (*UniformResult, error) {
+	o := uniformFixPoint(Options{})
+	sr, err := solveWith(newUniformModel(p, o), o)
+	if err != nil {
+		return nil, err
+	}
+	return sr.Detail.(*UniformResult), nil
+}
+
+func init() {
+	Register("uniform", func(s Spec, o Options) (Solver, error) {
+		if s.H != 0 {
+			return nil, fmt.Errorf("core: the uniform baseline models no hot-spot class, got H = %v", s.H)
+		}
+		dims := s.Dims
+		if dims == 0 {
+			dims = 2
+		}
+		return newUniformModel(UniformParams{K: s.K, Dims: dims, V: s.V, Lm: s.Lm, Lambda: s.Lambda},
+			uniformFixPoint(o)), nil
+	})
 }
 
 // SaturationLambda locates the model's saturation rate by bisection: the

@@ -102,14 +102,33 @@ func DefaultSimBudget() SimBudget {
 	return SimBudget{WarmupCycles: 30000, MaxCycles: 600000, MinMeasured: 4000, Seed: 1}
 }
 
-// RunModel evaluates the analytical model for one panel point.
+// DefaultModel is the registry name of the paper's primary model, used
+// wherever a solver name is not given explicitly.
+const DefaultModel = "hotspot-2d"
+
+// RunModel evaluates the default analytical model for one panel point.
 func RunModel(p Panel, lambda float64, opts core.Options) (float64, error) {
-	res, err := core.Solve(core.Params{K: p.K, V: p.V, Lm: p.Lm, H: p.H, Lambda: lambda}, opts)
+	return RunNamedModel(DefaultModel, p, lambda, opts)
+}
+
+// RunNamedModel evaluates the named model variant (a core registry name;
+// see core.Solvers) for one panel point. Panels describe 2-D tori, so the
+// spec passes Dims = 2; variants that cannot represent a panel (e.g.
+// "hypercube" with K = 16, or "uniform" with H > 0) fail with the
+// factory's error.
+func RunNamedModel(model string, p Panel, lambda float64, opts core.Options) (float64, error) {
+	res, err := core.Solve(model, core.Spec{
+		K: p.K, Dims: 2, V: p.V, Lm: p.Lm, H: p.H, Lambda: lambda,
+	}, opts)
 	if err != nil {
 		return math.NaN(), err
 	}
 	return res.Latency, nil
 }
+
+// simBidirectional maps a model-variant name to the simulator channel
+// configuration it is validated against.
+func simBidirectional(model string) bool { return model == "bidirectional-2d" }
 
 // RunSim measures one panel point with the flit-level simulator. The hot
 // node is placed at the centre of the torus (its location is immaterial on
@@ -121,6 +140,13 @@ func RunSim(p Panel, lambda float64, budget SimBudget) (sim.Result, error) {
 // RunSimContext is RunSim under a context: the run returns the context's
 // error promptly after cancellation or deadline expiry.
 func RunSimContext(ctx context.Context, p Panel, lambda float64, budget SimBudget) (sim.Result, error) {
+	return RunSimModelContext(ctx, DefaultModel, p, lambda, budget)
+}
+
+// RunSimModelContext is RunSimContext with the simulator configured for the
+// named model variant: bidirectional channels for "bidirectional-2d",
+// unidirectional otherwise.
+func RunSimModelContext(ctx context.Context, model string, p Panel, lambda float64, budget SimBudget) (sim.Result, error) {
 	cube, err := topology.New(p.K, 2)
 	if err != nil {
 		return sim.Result{}, err
@@ -133,6 +159,7 @@ func RunSimContext(ctx context.Context, p Panel, lambda float64, budget SimBudge
 	nw, err := sim.New(sim.Config{
 		K: p.K, Dims: 2, VCs: p.V, MsgLen: p.Lm,
 		Lambda: lambda, Pattern: pattern, Seed: budget.Seed,
+		Bidirectional: simBidirectional(model),
 	})
 	if err != nil {
 		return sim.Result{}, err
@@ -162,10 +189,15 @@ func RunPanel(p Panel, budget SimBudget, opts core.Options) ([]Point, error) {
 // ModelCurve evaluates only the analytical side of a panel (cheap; used by
 // examples and the saturation studies).
 func ModelCurve(p Panel, opts core.Options) []Point {
+	return NamedModelCurve(DefaultModel, p, opts)
+}
+
+// NamedModelCurve is ModelCurve for a specific model variant.
+func NamedModelCurve(model string, p Panel, opts core.Options) []Point {
 	points := make([]Point, 0, len(p.Lambdas))
 	for _, lam := range p.Lambdas {
 		pt := Point{Lambda: lam}
-		m, err := RunModel(p, lam, opts)
+		m, err := RunNamedModel(model, p, lam, opts)
 		if err != nil {
 			pt.Model = math.NaN()
 			pt.ModelSaturated = true
@@ -180,8 +212,15 @@ func ModelCurve(p Panel, opts core.Options) []Point {
 // SaturationPoint locates the model's saturation load for a panel's
 // parameters by bisection.
 func SaturationPoint(p Panel, opts core.Options) (float64, error) {
+	return NamedSaturationPoint(DefaultModel, p, opts)
+}
+
+// NamedSaturationPoint is SaturationPoint for a specific model variant. A
+// spec the variant rejects outright (rather than saturating) surfaces as
+// the bracketing error.
+func NamedSaturationPoint(model string, p Panel, opts core.Options) (float64, error) {
 	return core.SaturationLambda(func(lam float64) error {
-		_, err := RunModel(p, lam, opts)
+		_, err := RunNamedModel(model, p, lam, opts)
 		return err
 	}, 1e-7, 0, 1e-3)
 }

@@ -76,6 +76,10 @@ type Sweep struct {
 	// Budget is the per-replication simulation budget. Budget.Seed is the
 	// base seed every job's seed is derived from.
 	Budget SimBudget
+	// Model is the registry name of the model variant to sweep (see
+	// core.Solvers); empty means DefaultModel. The simulator is configured
+	// to match the variant (bidirectional channels for "bidirectional-2d").
+	Model string
 	// Opts are the analytical model options.
 	Opts core.Options
 	// Progress, when non-nil, is called serially after every completed
@@ -224,8 +228,12 @@ func (s Sweep) runJob(ctx context.Context, p Panel, jb sweepJob, reps, total int
 	mu *sync.Mutex, done *int, fail func(error)) {
 
 	lam := p.Lambdas[jb.point]
+	model := s.Model
+	if model == "" {
+		model = DefaultModel
+	}
 	if jb.rep == 0 {
-		m, err := RunModel(p, lam, s.Opts)
+		m, err := RunNamedModel(model, p, lam, s.Opts)
 		switch {
 		case err == nil:
 			modelVal[jb.panel][jb.point] = m
@@ -246,7 +254,7 @@ func (s Sweep) runJob(ctx context.Context, p Panel, jb sweepJob, reps, total int
 		jctx, jcancel = context.WithTimeout(ctx, s.JobTimeout)
 		defer jcancel()
 	}
-	res, err := RunSimContext(jctx, p, lam, budget)
+	res, err := RunSimModelContext(jctx, model, p, lam, budget)
 	if err != nil {
 		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
 			return // sweep-wide cancellation; the caller reports ctx's error

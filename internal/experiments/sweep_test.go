@@ -216,3 +216,71 @@ func TestSweepSaturationDetectionUsesErrorsIs(t *testing.T) {
 		t.Errorf("simulation missing at saturated point: %+v", pt)
 	}
 }
+
+// The Model field must route both the analytical side and the simulator
+// configuration: a bidirectional sweep produces different model values AND
+// different simulation samples (bidirectional channels halve path lengths)
+// than the default, from the same panel and seeds.
+func TestSweepModelSelection(t *testing.T) {
+	panels := []Panel{sweepTestPanel()}
+	def, err := Sweep{Jobs: 2, Budget: sweepTestBudget()}.
+		RunPanels(context.Background(), panels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi, err := Sweep{Jobs: 2, Budget: sweepTestBudget(), Model: "bidirectional-2d"}.
+		RunPanels(context.Background(), panels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range def[0].Points {
+		d, b := def[0].Points[i], bi[0].Points[i]
+		if !d.ModelSaturated && !b.ModelSaturated && d.Model == b.Model {
+			t.Errorf("point %d: bidirectional model latency %.4f equals default — Model field ignored", i, d.Model)
+		}
+		if d.Sim == b.Sim {
+			t.Errorf("point %d: bidirectional sim latency %.4f equals default — simulator not reconfigured", i, d.Sim)
+		}
+	}
+}
+
+// An unknown model name fails the sweep with the registry's error instead
+// of being misreported as saturation.
+func TestSweepUnknownModel(t *testing.T) {
+	_, err := Sweep{Budget: sweepTestBudget(), Model: "no-such-model"}.
+		RunPanels(context.Background(), []Panel{sweepTestPanel()})
+	if err == nil || !strings.Contains(err.Error(), "unknown solver") {
+		t.Fatalf("want unknown-solver error, got %v", err)
+	}
+}
+
+// RunNamedModel agrees with the typed core entry points for every 2-D
+// variant a panel can express.
+func TestRunNamedModelAgreesWithTyped(t *testing.T) {
+	p := sweepTestPanel()
+	lam := p.Lambdas[0]
+
+	named, err := RunNamedModel("bidirectional-2d", p, lam, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	typed, err := core.SolveBidirectional(core.Params{K: p.K, V: p.V, Lm: p.Lm, H: p.H, Lambda: lam}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if named != typed.Latency {
+		t.Errorf("RunNamedModel(bidirectional-2d) = %g, SolveBidirectional = %g", named, typed.Latency)
+	}
+
+	def, err := RunModel(p, lam, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := RunNamedModel(DefaultModel, p, lam, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def != hs {
+		t.Errorf("RunModel = %g, RunNamedModel(%s) = %g", def, DefaultModel, hs)
+	}
+}

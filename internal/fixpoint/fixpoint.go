@@ -3,7 +3,9 @@
 // 3, final paragraph) notes that a closed-form solution of the
 // interdependencies is intractable and resorts to iterative techniques;
 // this package provides that machinery: damped successive substitution with
-// convergence and divergence detection.
+// convergence and divergence detection, plus an observability layer (a
+// per-iteration trace hook and a Convergence summary) so saturation and
+// slow-convergence diagnostics are data rather than opaque errors.
 package fixpoint
 
 import (
@@ -20,6 +22,22 @@ var ErrDiverged = errors.New("fixpoint: iteration diverged (non-finite value)")
 // configured budget.
 var ErrMaxIterations = errors.New("fixpoint: maximum iterations exceeded")
 
+// TraceRecord describes one substitution round; see Options.Trace.
+type TraceRecord struct {
+	// Iteration is the 1-based round index.
+	Iteration int
+	// MaxRelDelta is the round's maximum relative change over the state
+	// variables (the convergence measure). On a diverging round it covers
+	// only the variables scanned before the non-finite value was found.
+	MaxRelDelta float64
+	// Damping is the damping factor in effect.
+	Damping float64
+	// NonFiniteIndex is the index of the first state variable that became
+	// NaN or infinite this round, or -1 while the state is finite. A
+	// record with NonFiniteIndex >= 0 is the iteration's last.
+	NonFiniteIndex int
+}
+
 // Options configure a Solve run. The zero value is replaced by Defaults.
 type Options struct {
 	// Tolerance is the maximum relative change of any variable between two
@@ -31,6 +49,10 @@ type Options struct {
 	// x' = (1-Damping)*x + Damping*F(x). 1 is plain substitution; smaller
 	// values trade speed for robustness near saturation.
 	Damping float64
+	// Trace, when non-nil, is called once per substitution round after the
+	// state update (and once more, with NonFiniteIndex set, when a round
+	// diverges). It must not retain the record past the call.
+	Trace func(TraceRecord)
 }
 
 // Defaults returns the options used when a zero Options is supplied.
@@ -61,12 +83,36 @@ func (o Options) withDefaults() (Options, error) {
 	return o, nil
 }
 
+// Convergence summarises how an iteration ended, for diagnostics: models
+// propagate it into their results so callers can distinguish a comfortable
+// fixed point from one found at the iteration budget's edge.
+type Convergence struct {
+	// Iterations is the number of substitution rounds performed.
+	Iterations int
+	// Residual is the final maximum relative change.
+	Residual float64
+	// Tolerance and Damping are the effective (defaulted) settings.
+	Tolerance float64
+	Damping   float64
+	// Converged reports that Residual fell below Tolerance; Diverged that a
+	// state variable became non-finite. Both false means the iteration
+	// budget was exhausted (or the map returned an error).
+	Converged bool
+	Diverged  bool
+	// NonFiniteIndex is the index of the first non-finite state variable
+	// when Diverged, -1 otherwise.
+	NonFiniteIndex int
+}
+
 // Result reports how a Solve run ended.
 type Result struct {
 	// Iterations is the number of substitution rounds performed.
 	Iterations int
 	// Residual is the final maximum relative change.
 	Residual float64
+	// Convergence is the full diagnostic summary (it repeats Iterations and
+	// Residual alongside the effective settings and the outcome flags).
+	Convergence Convergence
 }
 
 // Map evaluates one substitution round: given the current state it writes
@@ -77,23 +123,48 @@ type Map func(in, out []float64) error
 
 // Solve iterates x <- (1-d)x + d F(x) from the given initial state until the
 // maximum relative change falls below the tolerance. The state slice is
-// modified in place and also returned.
+// modified in place and also returned. The returned Result carries a
+// populated Convergence summary on every exit path, including errors.
 func Solve(state []float64, f Map, opts Options) (Result, error) {
 	o, err := opts.withDefaults()
 	if err != nil {
-		return Result{}, err
+		return Result{Convergence: Convergence{NonFiniteIndex: -1}}, err
 	}
 	next := make([]float64, len(state))
-	var res Result
+	res := Result{Convergence: Convergence{
+		Tolerance:      o.Tolerance,
+		Damping:        o.Damping,
+		NonFiniteIndex: -1,
+	}}
+	trace := func(maxRel float64, nonFinite int) {
+		if o.Trace != nil {
+			o.Trace(TraceRecord{
+				Iteration:      res.Iterations,
+				MaxRelDelta:    maxRel,
+				Damping:        o.Damping,
+				NonFiniteIndex: nonFinite,
+			})
+		}
+	}
+	sync := func() {
+		res.Convergence.Iterations = res.Iterations
+		res.Convergence.Residual = res.Residual
+	}
 	for iter := 1; iter <= o.MaxIterations; iter++ {
 		res.Iterations = iter
 		if err := f(state, next); err != nil {
+			sync()
 			return res, err
 		}
 		maxRel := 0.0
 		for i := range state {
 			nv := (1-o.Damping)*state[i] + o.Damping*next[i]
 			if math.IsNaN(nv) || math.IsInf(nv, 0) {
+				res.Residual = maxRel
+				res.Convergence.Diverged = true
+				res.Convergence.NonFiniteIndex = i
+				sync()
+				trace(maxRel, i)
 				return res, ErrDiverged
 			}
 			den := math.Abs(state[i])
@@ -107,7 +178,10 @@ func Solve(state []float64, f Map, opts Options) (Result, error) {
 			state[i] = nv
 		}
 		res.Residual = maxRel
+		sync()
+		trace(maxRel, -1)
 		if maxRel <= o.Tolerance {
+			res.Convergence.Converged = true
 			return res, nil
 		}
 	}

@@ -150,3 +150,100 @@ func TestDefaultsApplied(t *testing.T) {
 		t.Errorf("bad defaults: %+v", d)
 	}
 }
+
+func TestTraceRecordsEveryIteration(t *testing.T) {
+	f := func(in, out []float64) error {
+		out[0] = 0.5*in[0] + 3
+		return nil
+	}
+	var recs []TraceRecord
+	state := []float64{0}
+	res, err := Solve(state, f, Options{
+		Tolerance: 1e-10, MaxIterations: 1000, Damping: 1,
+		Trace: func(r TraceRecord) { recs = append(recs, r) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != res.Iterations {
+		t.Fatalf("%d trace records for %d iterations", len(recs), res.Iterations)
+	}
+	for i, r := range recs {
+		if r.Iteration != i+1 {
+			t.Errorf("record %d has iteration %d", i, r.Iteration)
+		}
+		if r.Damping != 1 {
+			t.Errorf("record %d damping %v, want 1", i, r.Damping)
+		}
+		if r.NonFiniteIndex != -1 {
+			t.Errorf("record %d non-finite index %d on a finite run", i, r.NonFiniteIndex)
+		}
+	}
+	last := recs[len(recs)-1]
+	if last.MaxRelDelta != res.Residual {
+		t.Errorf("last trace delta %v != residual %v", last.MaxRelDelta, res.Residual)
+	}
+	if !res.Convergence.Converged || res.Convergence.Diverged {
+		t.Errorf("convergence summary %+v, want converged", res.Convergence)
+	}
+}
+
+func TestTraceReportsNonFiniteIndex(t *testing.T) {
+	// Variable 2 of 3 blows up; the final record must name it.
+	f := func(in, out []float64) error {
+		out[0] = in[0]
+		out[1] = in[1]
+		out[2] = in[2]*in[2] + 1e200
+		return nil
+	}
+	var last TraceRecord
+	state := []float64{1, 1, 1}
+	res, err := Solve(state, f, Options{
+		MaxIterations: 100, Damping: 1,
+		Trace: func(r TraceRecord) { last = r },
+	})
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("err = %v, want ErrDiverged", err)
+	}
+	if last.NonFiniteIndex != 2 {
+		t.Errorf("trace non-finite index %d, want 2", last.NonFiniteIndex)
+	}
+	if !res.Convergence.Diverged || res.Convergence.NonFiniteIndex != 2 {
+		t.Errorf("convergence summary %+v, want diverged at index 2", res.Convergence)
+	}
+}
+
+func TestConvergenceSummaryPopulated(t *testing.T) {
+	f := func(in, out []float64) error {
+		out[0] = 0.5*in[0] + 3
+		return nil
+	}
+	res, err := Solve([]float64{0}, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Convergence
+	d := Defaults()
+	if c.Tolerance != d.Tolerance || c.Damping != d.Damping {
+		t.Errorf("effective settings %+v, want defaults %+v", c, d)
+	}
+	if c.Iterations != res.Iterations || c.Residual != res.Residual {
+		t.Errorf("summary %+v out of sync with result %+v", c, res)
+	}
+	if c.NonFiniteIndex != -1 {
+		t.Errorf("non-finite index %d on a finite run", c.NonFiniteIndex)
+	}
+
+	// Budget exhaustion: neither converged nor diverged.
+	grow := func(in, out []float64) error { out[0] = in[0] + 1; return nil }
+	res, err = Solve([]float64{0}, grow, Options{MaxIterations: 10, Damping: 1})
+	if !errors.Is(err, ErrMaxIterations) {
+		t.Fatalf("err = %v, want ErrMaxIterations", err)
+	}
+	if res.Convergence.Converged || res.Convergence.Diverged {
+		t.Errorf("budget-exhausted summary %+v", res.Convergence)
+	}
+	if res.Convergence.Iterations != 10 {
+		t.Errorf("summary iterations %d, want 10", res.Convergence.Iterations)
+	}
+}

@@ -33,10 +33,42 @@ package kncube
 
 import (
 	"kncube/internal/core"
+	"kncube/internal/fixpoint"
 	"kncube/internal/sim"
 	"kncube/internal/topology"
 	"kncube/internal/traffic"
 )
+
+// --- Solver registry ---------------------------------------------------------
+
+// ModelSpec is the variant-independent parameter set accepted by Solve: the
+// union of the registered variants' parameters. Fields a variant does not
+// model are rejected by that variant (e.g. the uniform baseline requires
+// H = 0); zero K or Dims select the variant's natural default.
+type ModelSpec = core.Spec
+
+// SolveResult is the variant-independent latency decomposition produced by
+// Solve; Detail holds the variant's full typed result.
+type SolveResult = core.SolveResult
+
+// Convergence summarises a solver's fixed-point iteration; every solved
+// result carries one.
+type Convergence = core.Convergence
+
+// TraceRecord is one fixed-point iteration snapshot, delivered to the
+// ModelOptions.FixPoint.Trace callback.
+type TraceRecord = fixpoint.TraceRecord
+
+// Models returns the registered model-variant names, sorted.
+func Models() []string { return core.Solvers() }
+
+// Solve evaluates the named model variant — "hotspot-2d",
+// "bidirectional-2d", "uniform", "hypercube" or "ndim" — through the shared
+// instrumented fixed-point driver. The typed entry points below (SolveModel,
+// SolveBidirectionalModel, ...) are wrappers over the same driver.
+func Solve(model string, s ModelSpec, o ModelOptions) (*SolveResult, error) {
+	return core.Solve(model, s, o)
+}
 
 // --- Analytical models -------------------------------------------------------
 
@@ -78,9 +110,10 @@ const (
 // ErrSaturated is returned by the models beyond their saturation load.
 var ErrSaturated = core.ErrSaturated
 
-// SolveModel evaluates the paper's hot-spot latency model (Eqs. 1-37).
+// SolveModel evaluates the paper's hot-spot latency model (Eqs. 1-37); it
+// is the typed form of Solve("hotspot-2d", ...).
 func SolveModel(p ModelParams, o ModelOptions) (*ModelResult, error) {
-	return core.Solve(p, o)
+	return core.SolveHotSpot(p, o)
 }
 
 // UniformParams parameterise the uniform-traffic baseline model.
