@@ -1,0 +1,67 @@
+// Command khs-lint runs the project's analyzer suite — the compiler-checked
+// form of the solver, seeding, and numerics contracts — over the named
+// package patterns (default ./...). It prints one line per finding and
+// exits non-zero if there are any, so CI can gate on it:
+//
+//	go run ./cmd/khs-lint ./...
+//
+// Findings can be suppressed case-by-case with a reasoned directive on the
+// offending line or the line above:
+//
+//	//lint:ignore floateq exact zero selects the degenerate branch
+//
+// The analyzers and the invariants they enforce are documented in
+// DESIGN.md §6; `khs-lint -help` lists them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kncube/internal/analysis/khslint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: khs-lint [packages]\n\nAnalyzers:\n")
+		for _, a := range khslint.All {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-18s %s\n", a.Name, firstLine(a.Doc))
+		}
+	}
+	flag.Parse()
+	os.Exit(run(flag.Args()))
+}
+
+func run(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "khs-lint:", err)
+		return 2
+	}
+	diags, err := khslint.Run(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "khs-lint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "khs-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+func firstLine(s string) string {
+	for i, r := range s {
+		if r == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+// TestRunSelf lints this command's own package end-to-end through the
+// same code path main uses; a clean tree exits 0.
+func TestRunSelf(t *testing.T) {
+	if code := run([]string{"./..."}); code != 0 {
+		t.Fatalf("run(./...) = %d, want 0", code)
+	}
+}
+
+func TestFirstLine(t *testing.T) {
+	if got := firstLine("summary\nrest"); got != "summary" {
+		t.Errorf("firstLine = %q", got)
+	}
+	if got := firstLine("only"); got != "only" {
+		t.Errorf("firstLine = %q", got)
+	}
+}

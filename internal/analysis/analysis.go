@@ -1,0 +1,177 @@
+// Package analysis is a small, dependency-free analogue of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package at a time through a Pass and reports Diagnostics.
+//
+// The x/tools module is deliberately not a dependency — the repo builds
+// against the standard library only — so this package re-implements just
+// the subset the khs-lint suite needs: single-package analyzers with full
+// type information, positional diagnostics, and staticcheck-style
+// "//lint:ignore" suppression. Modular facts, SSA, and cross-package
+// result passing are out of scope; if the project ever takes an x/tools
+// dependency, the analyzers here port over almost mechanically (the Run
+// signature drops its Pass methods in favour of pass.Report).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. Name identifies it in diagnostics and in
+// //lint:ignore directives; Doc states the enforced invariant (first line
+// is the summary shown by khs-lint's usage text).
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Run inspects the unit behind pass and reports findings via
+	// pass.Reportf. Returning an error aborts the whole lint run — it
+	// means the analyzer itself failed, not that the code has findings.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding, attributed to the analyzer that produced it.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Unit is one type-checked package as seen by the analyzers: the parsed
+// syntax (with comments), the package's types, and the resolution tables.
+type Unit struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// Pass carries one analyzer's view of one Unit plus the report sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Several of the
+// khs-lint contracts (seed derivation, the fixpoint boundary) bind
+// production code only; tests are free to construct RNGs and to poke the
+// iteration machinery directly.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// RunUnit runs the analyzers over one unit, drops findings suppressed by
+// //lint:ignore directives, and returns the rest in position order.
+func RunUnit(u Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      u.Fset,
+			Files:     u.Files,
+			Pkg:       u.Pkg,
+			TypesInfo: u.TypesInfo,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	diags = filterSuppressed(u, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags, nil
+}
+
+// ignoreDirective is one parsed "//lint:ignore <checks> <reason>" comment.
+type ignoreDirective struct {
+	checks []string // analyzer names, or the single element "*"
+}
+
+func (d ignoreDirective) matches(name string) bool {
+	for _, c := range d.checks {
+		if c == "*" || c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// filterSuppressed drops diagnostics whose line carries (or whose previous
+// line carries) a matching //lint:ignore directive. The directive names
+// one or more comma-separated analyzers and must include a reason:
+//
+//	//lint:ignore floateq exact zero selects the degenerate branch
+//	x := avg == 0
+func filterSuppressed(u Unit, diags []Diagnostic) []Diagnostic {
+	type key struct {
+		file string
+		line int
+	}
+	directives := map[key]ignoreDirective{}
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					// A directive with no reason is ignored: the reason
+					// is the audit trail that makes suppression reviewable.
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				directives[key{pos.Filename, pos.Line}] = ignoreDirective{
+					checks: strings.Split(fields[0], ","),
+				}
+			}
+		}
+	}
+	if len(directives) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		sameLine, okSame := directives[key{d.Pos.Filename, d.Pos.Line}]
+		prevLine, okPrev := directives[key{d.Pos.Filename, d.Pos.Line - 1}]
+		if okSame && sameLine.matches(d.Analyzer) {
+			continue
+		}
+		if okPrev && prevLine.matches(d.Analyzer) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,127 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"kncube/internal/analysis"
+)
+
+// checkSrc parses and type-checks a self-contained (import-free) source
+// string into a Unit.
+func checkSrc(t *testing.T, src string) analysis.Unit {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return analysis.Unit{Fset: fset, Files: []*ast.File{f}, Pkg: pkg, TypesInfo: info}
+}
+
+// reportReturns flags every return statement — a trivial analyzer to
+// exercise the driver and the suppression filter.
+var reportReturns = &analysis.Analyzer{
+	Name: "returns",
+	Doc:  "flags every return statement (test analyzer)",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if r, ok := n.(*ast.ReturnStmt); ok {
+					pass.Reportf(r.Pos(), "return found")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestRunUnitReportsAndSorts(t *testing.T) {
+	u := checkSrc(t, `package p
+func b() int { return 2 }
+func a() int { return 1 }
+`)
+	diags, err := analysis.RunUnit(u, []*analysis.Analyzer{reportReturns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2", len(diags))
+	}
+	if diags[0].Pos.Line != 2 || diags[1].Pos.Line != 3 {
+		t.Errorf("diagnostics out of position order: %v", diags)
+	}
+	if diags[0].Analyzer != "returns" {
+		t.Errorf("analyzer attribution = %q", diags[0].Analyzer)
+	}
+	if !strings.Contains(diags[0].String(), "[returns]") {
+		t.Errorf("String() = %q, want analyzer tag", diags[0].String())
+	}
+}
+
+func TestSuppression(t *testing.T) {
+	u := checkSrc(t, `package p
+
+func onPreviousLine() int {
+	//lint:ignore returns reason documented here
+	return 1
+}
+
+func sameLine() int {
+	return 2 //lint:ignore returns reason documented here
+}
+
+func otherAnalyzer() int {
+	//lint:ignore somethingelse reason documented here
+	return 3
+}
+
+func noReason() int {
+	//lint:ignore returns
+	return 4
+}
+
+func wildcard() int {
+	//lint:ignore * reason documented here
+	return 5
+}
+
+func unsuppressed() int {
+	return 6
+}
+`)
+	diags, err := analysis.RunUnit(u, []*analysis.Analyzer{reportReturns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []int
+	for _, d := range diags {
+		lines = append(lines, d.Pos.Line)
+	}
+	// Suppressed: previous-line, same-line, and wildcard directives.
+	// Kept: a directive naming a different analyzer, a directive with no
+	// reason (reasons are mandatory), and the plain unsuppressed return.
+	want := []int{14, 19, 28}
+	if len(lines) != len(want) {
+		t.Fatalf("diagnostic lines = %v, want %v", lines, want)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("diagnostic lines = %v, want %v", lines, want)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against "// want" expectations embedded in the fixture
+// source, mirroring golang.org/x/tools/go/analysis/analysistest on top of
+// the in-repo analysis framework.
+//
+// Fixtures live under testdata/src/<name>/ in the analyzer's package
+// directory. Every line that should be flagged carries a trailing comment
+// of the form
+//
+//	x := a == b // want `exact floating-point`
+//
+// with one or more quoted or backquoted regular expressions that must each
+// match a diagnostic reported on that line; diagnostics with no matching
+// expectation, and expectations with no matching diagnostic, fail the
+// test. Fixtures may import the module's real packages (kncube/...), which
+// are resolved through compiled export data, and may include _test.go
+// files to exercise test-file exemptions.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"kncube/internal/analysis"
+	"kncube/internal/analysis/load"
+)
+
+// Run analyzes each named fixture package under dir (usually "testdata")
+// and reports expectation mismatches on t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	moduleRoot := ModuleRoot(t)
+	ix, _, err := load.NewIndex(moduleRoot)
+	if err != nil {
+		t.Fatalf("building export index: %v", err)
+	}
+	checker := load.NewChecker(ix)
+	for _, fixture := range fixtures {
+		runFixture(t, checker, filepath.Join(dir, "src", fixture), fixture, a)
+	}
+}
+
+func runFixture(t *testing.T, checker *load.Checker, fixtureDir, name string, a *analysis.Analyzer) {
+	t.Helper()
+	entries, err := os.ReadDir(fixtureDir)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", name, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("fixture %s: no Go files", name)
+	}
+	files, err := checker.ParseFiles(fixtureDir, names)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", name, err)
+	}
+	pkg, info, typeErrs := checker.Check(name, files)
+	for _, err := range typeErrs {
+		t.Errorf("fixture %s: type error: %v", name, err)
+	}
+	unit := analysis.Unit{Fset: checker.Fset, Files: files, Pkg: pkg, TypesInfo: info}
+	diags, err := analysis.RunUnit(unit, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("fixture %s: %v", name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				patterns, ok := parseWant(t, c.Text)
+				if !ok {
+					continue
+				}
+				pos := checker.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				wants[k] = append(wants[k], patterns...)
+			}
+		}
+	}
+
+	matched := map[key][]bool{}
+	for k, ps := range wants {
+		matched[k] = make([]bool, len(ps))
+	}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		found := false
+		for i, p := range wants[k] {
+			if !matched[k][i] && p.MatchString(d.Message) {
+				matched[k][i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("fixture %s: unexpected diagnostic at %s:%d: %s", name, filepath.Base(k.file), k.line, d.Message)
+		}
+	}
+	for k, ps := range wants {
+		for i, p := range ps {
+			if !matched[k][i] {
+				t.Errorf("fixture %s: no diagnostic at %s:%d matching %q", name, filepath.Base(k.file), k.line, p)
+			}
+		}
+	}
+}
+
+// parseWant extracts the expectation regexps from a "// want ..." comment.
+func parseWant(t *testing.T, text string) ([]*regexp.Regexp, bool) {
+	t.Helper()
+	rest, ok := strings.CutPrefix(text, "// want ")
+	if !ok {
+		return nil, false
+	}
+	var patterns []*regexp.Regexp
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			t.Fatalf("malformed want comment %q: %v", text, err)
+		}
+		unquoted, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("malformed want pattern %q: %v", q, err)
+		}
+		p, err := regexp.Compile(unquoted)
+		if err != nil {
+			t.Fatalf("bad want regexp %q: %v", unquoted, err)
+		}
+		patterns = append(patterns, p)
+		rest = strings.TrimSpace(rest[len(q):])
+	}
+	if len(patterns) == 0 {
+		t.Fatalf("want comment with no patterns: %q", text)
+	}
+	return patterns, true
+}
+
+// ModuleRoot locates the enclosing go.mod directory so fixtures can
+// import the module's real packages regardless of which analyzer package
+// the test runs from.
+func ModuleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod found above test directory")
+		}
+		dir = parent
+	}
+}

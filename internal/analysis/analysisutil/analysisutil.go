@@ -1,0 +1,64 @@
+// Package analysisutil holds the small type-resolution helpers the
+// khs-lint analyzers share: resolving a call to its static callee and
+// testing whether an object is a specific package-level function.
+package analysisutil
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Callee returns the package-level function or method a call statically
+// invokes, or nil for calls through function values, built-ins, and type
+// conversions.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsFunc reports whether fn is the package-level function pkgPath.name
+// (methods never match: a method's receiver distinguishes it).
+func IsFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// IsNil reports whether e is the predeclared nil.
+func IsNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// IsErrorType reports whether t is the built-in error interface type.
+func IsErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// ErrorMethodCall returns the receiver expression when call is
+// `x.Error()` on a value of the built-in error type, and nil otherwise.
+func ErrorMethodCall(info *types.Info, e ast.Expr) ast.Expr {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return nil
+	}
+	if !IsErrorType(info.TypeOf(sel.X)) {
+		return nil
+	}
+	return sel.X
+}

@@ -1,0 +1,56 @@
+// Package khslint aggregates the project's analyzers and provides the
+// load-and-run entry point shared by the khs-lint command and the
+// self-lint test. The suite encodes the numerics, seeding, and layering
+// contracts documented in DESIGN.md §6; see each analyzer's Doc for the
+// invariant it enforces.
+package khslint
+
+import (
+	"fmt"
+
+	"kncube/internal/analysis"
+	"kncube/internal/analysis/load"
+	"kncube/internal/analysis/passes/fixpointboundary"
+	"kncube/internal/analysis/passes/floateq"
+	"kncube/internal/analysis/passes/registerinit"
+	"kncube/internal/analysis/passes/saturationerr"
+	"kncube/internal/analysis/passes/seedderive"
+)
+
+// All is the khs-lint analyzer suite.
+var All = []*analysis.Analyzer{
+	fixpointboundary.Analyzer,
+	floateq.Analyzer,
+	registerinit.Analyzer,
+	saturationerr.Analyzer,
+	seedderive.Analyzer,
+}
+
+// Run loads the packages matching patterns in the module at dir (test
+// files included) and runs the whole suite, returning the surviving
+// diagnostics in position order. Type-checking failures are reported as
+// errors: diagnostics computed from broken type information would be
+// noise.
+func Run(dir string, patterns ...string) ([]analysis.Diagnostic, error) {
+	pkgs, err := load.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var diags []analysis.Diagnostic
+	for _, p := range pkgs {
+		if len(p.TypeErrors) > 0 {
+			return nil, fmt.Errorf("khslint: type errors in %s: %v", p.ImportPath, p.TypeErrors[0])
+		}
+		ds, err := analysis.RunUnit(analysis.Unit{
+			Fset:      p.Fset,
+			Files:     p.Files,
+			Pkg:       p.Types,
+			TypesInfo: p.TypesInfo,
+		}, All)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	return diags, nil
+}

@@ -1,0 +1,45 @@
+package khslint_test
+
+import (
+	"testing"
+
+	"kncube/internal/analysis/analysistest"
+	"kncube/internal/analysis/khslint"
+)
+
+// TestRepoIsLintClean is the dogfood gate: the whole module (tests
+// included) must satisfy every khs-lint invariant. A failure here means a
+// change reintroduced one of the bug classes the suite encodes — fix the
+// code, or suppress a genuinely intentional site with a reasoned
+// //lint:ignore directive.
+func TestRepoIsLintClean(t *testing.T) {
+	root := analysistest.ModuleRoot(t)
+	diags, err := khslint.Run(root, "./...")
+	if err != nil {
+		t.Fatalf("khslint.Run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+func TestSuiteIsComplete(t *testing.T) {
+	want := map[string]bool{
+		"saturationerr":    true,
+		"floateq":          true,
+		"seedderive":       true,
+		"registerinit":     true,
+		"fixpointboundary": true,
+	}
+	if len(khslint.All) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(khslint.All), len(want))
+	}
+	for _, a := range khslint.All {
+		if !want[a.Name] {
+			t.Errorf("unexpected analyzer %q", a.Name)
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing doc or run function", a.Name)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+// Package load type-checks Go packages for the khs-lint analyzers without
+// depending on golang.org/x/tools/go/packages. It drives `go list -export`
+// to enumerate packages and to obtain compiled export data for their
+// dependencies (the go command produces export data from the local build
+// cache, so loading works fully offline), parses the target packages'
+// sources with comments, and type-checks them with go/types using the
+// standard library's gc-export-data importer.
+//
+// Limitations versus go/packages, acceptable for a single-module lint
+// suite: external _test packages resolve the package under test through
+// its export data, so exported identifiers declared only in internal test
+// files (the export_test.go pattern) are invisible to them — this module
+// has no such files — and cgo packages are not supported.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package, including its _test.go
+// files: in-package test files are checked together with the package
+// proper; an external test package (package p_test) is returned as its own
+// Package with XTest set and " [xtest]" appended to the import path.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	XTest      bool
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+	// TypeErrors holds any type-checking errors. A package with type
+	// errors still carries whatever syntax and (partial) type information
+	// was recovered, but analyzer findings on it are unreliable.
+	TypeErrors []error
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath   string
+	Name         string
+	Dir          string
+	Export       string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	DepOnly      bool
+	Standard     bool
+	ForTest      string
+	Error        *struct{ Err string }
+}
+
+const listFields = "ImportPath,Name,Dir,Export,GoFiles,TestGoFiles,XTestGoFiles,DepOnly,Standard,ForTest,Error"
+
+// Index resolves import paths to compiled export data. It is seeded by one
+// `go list -export -deps -test` run and fills cache misses (stdlib packages
+// imported only by fixtures, say) with targeted `go list -export` calls.
+type Index struct {
+	dir string
+
+	mu      sync.Mutex
+	exports map[string]string
+}
+
+// NewIndex builds an export-data index for the module containing dir by
+// listing patterns (defaulting to ./...) with their full dependency
+// graphs. The -test flag is what pulls in export data for test-only
+// dependencies such as the testing package itself.
+func NewIndex(dir string, patterns ...string) (*Index, []listPackage, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-export", "-deps", "-test", "-json=" + listFields, "--"}, patterns...)
+	out, err := runGo(dir, args...)
+	if err != nil {
+		return nil, nil, err
+	}
+	ix := &Index{dir: dir, exports: map[string]string{}}
+	var targets []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		switch {
+		case p.ForTest != "" || strings.Contains(p.ImportPath, " ") || strings.HasSuffix(p.ImportPath, ".test"):
+			// Test variants ("p [p.test]") and synthesized test mains:
+			// the plain entry for the package carries everything the
+			// loader needs.
+		case p.DepOnly || p.Standard:
+			if p.Export != "" {
+				ix.exports[p.ImportPath] = p.Export
+			}
+		default:
+			if p.Export != "" {
+				ix.exports[p.ImportPath] = p.Export
+			}
+			targets = append(targets, p)
+		}
+	}
+	return ix, targets, nil
+}
+
+// lookup returns an open reader over the export data for path.
+func (ix *Index) lookup(path string) (io.ReadCloser, error) {
+	ix.mu.Lock()
+	file, ok := ix.exports[path]
+	ix.mu.Unlock()
+	if !ok {
+		out, err := runGo(ix.dir, "list", "-e", "-export", "-json="+listFields, "--", path)
+		if err != nil {
+			return nil, fmt.Errorf("load: no export data for %q: %w", path, err)
+		}
+		var p listPackage
+		if err := json.Unmarshal(out, &p); err != nil || p.Export == "" {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		ix.mu.Lock()
+		ix.exports[path] = p.Export
+		ix.mu.Unlock()
+		file = p.Export
+	}
+	return os.Open(file)
+}
+
+// Checker type-checks source packages against the index's export data. All
+// packages checked through one Checker share a FileSet and an importer
+// cache, so types imported by several packages are identical objects.
+type Checker struct {
+	Fset *token.FileSet
+	imp  types.ImporterFrom
+}
+
+// NewChecker returns a Checker backed by ix.
+func NewChecker(ix *Index) *Checker {
+	fset := token.NewFileSet()
+	return &Checker{
+		Fset: fset,
+		imp:  importer.ForCompiler(fset, "gc", ix.lookup).(types.ImporterFrom),
+	}
+}
+
+// ParseFiles parses the named files (with comments) into c's FileSet.
+func (c *Checker) ParseFiles(dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(c.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Check type-checks files as the package with the given import path and
+// returns the package, its resolution tables, and any type errors
+// (checking continues past errors to recover as much as possible).
+func (c *Checker) Check(path string, files []*ast.File) (*types.Package, *types.Info, []error) {
+	var typeErrs []error
+	conf := types.Config{
+		Importer: c.imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, _ := conf.Check(path, c.Fset, files, info) // errors are in typeErrs
+	return pkg, info, typeErrs
+}
+
+// Load lists, parses, and type-checks the packages matching patterns
+// (default ./...) in the module at dir, test files included.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	ix, targets, err := NewIndex(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	checker := NewChecker(ix)
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", t.ImportPath, t.Error.Err)
+		}
+		if len(t.GoFiles) > 0 || len(t.TestGoFiles) > 0 {
+			p, err := check(checker, t, append(append([]string{}, t.GoFiles...), t.TestGoFiles...), false)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, p)
+		}
+		if len(t.XTestGoFiles) > 0 {
+			p, err := check(checker, t, t.XTestGoFiles, true)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, p)
+		}
+	}
+	return pkgs, nil
+}
+
+func check(c *Checker, t listPackage, names []string, xtest bool) (*Package, error) {
+	files, err := c.ParseFiles(t.Dir, names)
+	if err != nil {
+		return nil, fmt.Errorf("load: parsing %s: %w", t.ImportPath, err)
+	}
+	path, name := t.ImportPath, t.Name
+	if xtest {
+		path, name = t.ImportPath+" [xtest]", t.Name+"_test"
+	}
+	pkg, info, typeErrs := c.Check(path, files)
+	return &Package{
+		ImportPath: path,
+		Name:       name,
+		Dir:        t.Dir,
+		XTest:      xtest,
+		Fset:       c.Fset,
+		Files:      files,
+		Types:      pkg,
+		TypesInfo:  info,
+		TypeErrors: typeErrs,
+	}, nil
+}
+
+func runGo(dir string, args ...string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return out, nil
+}

@@ -1,0 +1,84 @@
+package load_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kncube/internal/analysis/load"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+func TestLoadTypeChecksPackageWithTests(t *testing.T) {
+	pkgs, err := load.Load(moduleRoot(t), "./internal/fixpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.ImportPath != "kncube/internal/fixpoint" {
+		t.Errorf("ImportPath = %q", p.ImportPath)
+	}
+	if len(p.TypeErrors) > 0 {
+		t.Fatalf("type errors: %v", p.TypeErrors)
+	}
+	// The in-package test file must be part of the unit...
+	hasTestFile := false
+	for _, f := range p.Files {
+		if strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+			hasTestFile = true
+		}
+	}
+	if !hasTestFile {
+		t.Error("no _test.go file in loaded package")
+	}
+	// ...and the package's exported API must have resolved types.
+	if p.Types.Scope().Lookup("Solve") == nil {
+		t.Error("fixpoint.Solve not in package scope")
+	}
+}
+
+func TestLoadRootIncludesExternalTestPackage(t *testing.T) {
+	pkgs, err := load.Load(moduleRoot(t), ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base, xtest bool
+	for _, p := range pkgs {
+		switch {
+		case p.ImportPath == "kncube" && !p.XTest:
+			base = true
+			if len(p.TypeErrors) > 0 {
+				t.Errorf("kncube type errors: %v", p.TypeErrors)
+			}
+		case p.XTest:
+			xtest = true
+			if len(p.TypeErrors) > 0 {
+				t.Errorf("kncube external test type errors: %v", p.TypeErrors)
+			}
+		}
+	}
+	if !base || !xtest {
+		t.Errorf("base=%v xtest=%v, want both", base, xtest)
+	}
+}

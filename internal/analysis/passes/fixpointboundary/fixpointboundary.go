@@ -1,0 +1,57 @@
+// Package fixpointboundary defines an analyzer enforcing the solver.go
+// layering contract: fixpoint.Solve is called only by the shared driver in
+// internal/core (and by the fixpoint package itself). Every model variant
+// must go through that driver, because it is the single place where
+// defaulted tolerances, ErrSaturated classification of divergence, and the
+// Convergence summary are produced; a direct fixpoint.Solve call would
+// ship a result missing all three.
+package fixpointboundary
+
+import (
+	"go/ast"
+	"go/types"
+
+	"kncube/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "fixpointboundary",
+	Doc: `restrict fixpoint.Solve calls to the shared driver in internal/core
+
+Nothing below internal/core may call fixpoint.Solve directly: the driver
+(core.solveWith) owns option defaulting, saturation classification, and
+convergence reporting. Test files are exempt — the fixpoint package's own
+tests exercise Solve directly by design.`,
+	Run: run,
+}
+
+// allowedPkgs are the packages whose production code may reference
+// fixpoint.Solve.
+var allowedPkgs = map[string]bool{
+	"kncube/internal/core":     true,
+	"kncube/internal/fixpoint": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg != nil && allowedPkgs[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || fn.Name() != "Solve" || fn.Pkg() == nil || fn.Pkg().Path() != "kncube/internal/fixpoint" {
+				return true
+			}
+			if pass.InTestFile(id.Pos()) {
+				return true
+			}
+			pass.Reportf(id.Pos(), "fixpoint.Solve outside the internal/core driver; route solvers through core.Solve so saturation classification and convergence reporting apply")
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package fixpointboundary_test
+
+import (
+	"testing"
+
+	"kncube/internal/analysis/analysistest"
+	"kncube/internal/analysis/passes/fixpointboundary"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", fixpointboundary.Analyzer, "a")
+}

@@ -1,0 +1,21 @@
+// Package a exercises the fixpointboundary analyzer: direct fixpoint.Solve
+// use outside internal/core is flagged; other fixpoint API stays free.
+package a
+
+import "kncube/internal/fixpoint"
+
+func direct() {
+	state := []float64{1}
+	_, _ = fixpoint.Solve(state, nil, fixpoint.Options{}) // want `fixpoint\.Solve outside the internal/core driver`
+}
+
+var solveRef = fixpoint.Solve // want `fixpoint\.Solve outside the internal/core driver`
+
+func options() fixpoint.Options { // the rest of the fixpoint API: allowed
+	return fixpoint.Defaults()
+}
+
+func suppressed() {
+	//lint:ignore fixpointboundary fixture exercises the suppression path
+	_, _ = fixpoint.Solve([]float64{1}, nil, fixpoint.Options{})
+}

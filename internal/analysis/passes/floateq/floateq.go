@@ -1,0 +1,81 @@
+// Package floateq defines an analyzer that flags ==/!= between
+// floating-point expressions. The model is a damped fixed-point over
+// float64 state, so exact equality is almost always a latent bug: it is
+// how the 0-valued saturation sentinel (fixed in PR 1 by moving to NaN +
+// a bool) and brittle convergence checks happen. Comparisons belong in
+// tolerance helpers (stats.ApproxEqual) or, for NaN tests, math.IsNaN.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"kncube/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: `flag exact ==/!= between floating-point expressions
+
+Exact float equality silently encodes assumptions — that a value was never
+recomputed, never accumulated rounding, is not NaN — which the fixed-point
+solver violates by design. Compare through stats.ApproxEqual (approved, as
+are the other tolerance helpers listed in the analyzer) or math.IsNaN.
+Comparisons where both operands are compile-time constants are allowed, as
+is an intentional exact comparison under "//lint:ignore floateq <reason>".`,
+	Run: run,
+}
+
+// approvedHelpers maps package path to the tolerance-helper functions that
+// may legitimately compare floats exactly (e.g. the infinity fast path in
+// stats.ApproxEqual). Comparisons lexically inside these functions are
+// exempt.
+var approvedHelpers = map[string]map[string]bool{
+	"kncube/internal/stats": {"ApproxEqual": true, "IsZero": true},
+}
+
+func run(pass *analysis.Pass) error {
+	pkgPath := ""
+	if pass.Pkg != nil {
+		pkgPath = pass.Pkg.Path()
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil {
+				if ok := approvedHelpers[pkgPath][fd.Name.Name]; ok {
+					continue
+				}
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				cmp, ok := n.(*ast.BinaryExpr)
+				if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+					return true
+				}
+				check(pass, cmp)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, cmp *ast.BinaryExpr) {
+	xtv, xok := pass.TypesInfo.Types[cmp.X]
+	ytv, yok := pass.TypesInfo.Types[cmp.Y]
+	if !xok || !yok {
+		return
+	}
+	if !isFloat(xtv.Type) && !isFloat(ytv.Type) {
+		return
+	}
+	if xtv.Value != nil && ytv.Value != nil {
+		return // constant-folded at compile time; no runtime rounding
+	}
+	pass.Reportf(cmp.Pos(), "exact floating-point %s comparison; use stats.ApproxEqual (stats.IsZero for zero-value guards, math.IsNaN for NaN checks)", cmp.Op)
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

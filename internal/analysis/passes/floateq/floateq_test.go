@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"kncube/internal/analysis/analysistest"
+	"kncube/internal/analysis/passes/floateq"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", floateq.Analyzer, "a")
+}

@@ -1,0 +1,47 @@
+// Package a exercises the floateq analyzer: exact float comparisons are
+// flagged, constant folding and integer comparisons are not, and the
+// //lint:ignore escape hatch works.
+package a
+
+import "math"
+
+const ca, cb = 0.1, 0.2
+
+func comparisons(x, y float64, n int) bool {
+	if x == y { // want `exact floating-point == comparison`
+		return true
+	}
+	if x != y { // want `exact floating-point != comparison`
+		return true
+	}
+	if x == 0 { // want `exact floating-point == comparison`
+		return true
+	}
+	if x == x { // want `exact floating-point == comparison`
+		return true
+	}
+	if n == 3 { // integer comparison: allowed
+		return true
+	}
+	if ca == cb { // both compile-time constants: allowed
+		return true
+	}
+	if math.IsNaN(x) { // the sanctioned NaN check
+		return false
+	}
+	//lint:ignore floateq fixture exercises the suppression path
+	if x == 1 {
+		return true
+	}
+	return x < y // ordering comparisons: allowed
+}
+
+func narrow(a, b float32) bool {
+	return a == b // want `exact floating-point == comparison`
+}
+
+type meters float64
+
+func named(a, b meters) bool {
+	return a != b // want `exact floating-point != comparison`
+}

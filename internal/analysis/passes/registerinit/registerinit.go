@@ -1,0 +1,50 @@
+// Package registerinit defines an analyzer enforcing that solver
+// registration happens at init time: core.Register may only be called from
+// an init function. The registry is read by name lookups (core.Solve,
+// kncube.Models, the CLIs' -model flags); a registration that runs later
+// than package initialisation means a solver that is reachable from some
+// call sites and not others, depending on execution order.
+package registerinit
+
+import (
+	"go/ast"
+
+	"kncube/internal/analysis"
+	"kncube/internal/analysis/analysisutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "registerinit",
+	Doc: `require core.Register calls to be inside init functions
+
+The solver registry must be complete before the first Solve or Solvers
+call; registering from anywhere but an init func makes the visible solver
+set depend on call order. Tests are exempt so they can register throwaway
+variants under unique names.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			inInit := isFunc && fd.Recv == nil && fd.Name.Name == "init"
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := analysisutil.Callee(pass.TypesInfo, call)
+				if !analysisutil.IsFunc(fn, "kncube/internal/core", "Register") {
+					return true
+				}
+				if inInit || pass.InTestFile(call.Pos()) {
+					return true
+				}
+				pass.Reportf(call.Pos(), "core.Register outside an init func; the solver registry must be complete before any Solve call")
+				return true
+			})
+		}
+	}
+	return nil
+}

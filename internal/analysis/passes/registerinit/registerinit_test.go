@@ -1,0 +1,12 @@
+package registerinit_test
+
+import (
+	"testing"
+
+	"kncube/internal/analysis/analysistest"
+	"kncube/internal/analysis/passes/registerinit"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", registerinit.Analyzer, "a")
+}

@@ -1,0 +1,26 @@
+// Package a exercises the registerinit analyzer: solver registration is
+// allowed only from init functions (this fixture is type-checked, never
+// run, so the registrations below do not actually fire).
+package a
+
+import "kncube/internal/core"
+
+func factory(s core.Spec, o core.Options) (core.Solver, error) { return nil, nil }
+
+func init() {
+	core.Register("fixture-init", factory) // init-time registration: allowed
+}
+
+func lateRegister() {
+	core.Register("fixture-late", factory) // want `core\.Register outside an init func`
+}
+
+var _ = func() bool {
+	core.Register("fixture-var", factory) // want `core\.Register outside an init func`
+	return true
+}()
+
+func suppressed() {
+	//lint:ignore registerinit fixture exercises the suppression path
+	core.Register("fixture-suppressed", factory)
+}

@@ -1,0 +1,162 @@
+// Package saturationerr defines an analyzer enforcing the repo's
+// saturation-error contract: saturation (and every other sentinel error)
+// is detected with errors.Is, never by identity comparison or by matching
+// the error string. PR 1 fixed exactly this bug class — the sweep engine
+// classified saturation by substring-matching err.Error(), which silently
+// broke when the error text was reworded — and the contract is now
+// compiler-checked.
+package saturationerr
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"kncube/internal/analysis"
+	"kncube/internal/analysis/analysisutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "saturationerr",
+	Doc: `detect saturation errors with errors.Is, not == or string matching
+
+Comparing errors by identity (err == core.ErrSaturated) breaks as soon as
+the sentinel is wrapped with fmt.Errorf("%w", ...), which the shared solver
+driver does; matching err.Error() text breaks when a message is reworded.
+The analyzer flags ==/!= between an error value and an Err-prefixed
+sentinel, any comparison of an err.Error() result, and err.Error() passed
+to the strings matching helpers. In _test.go files only saturation-related
+matches are flagged, so tests may still assert on the text of plain
+validation errors.`,
+	Run: run,
+}
+
+// stringsMatchers are the strings-package helpers whose use with
+// err.Error() indicates string-matching an error.
+var stringsMatchers = map[string]bool{
+	"Contains": true, "ContainsAny": true, "HasPrefix": true,
+	"HasSuffix": true, "EqualFold": true, "Index": true, "Count": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					checkComparison(pass, n)
+				}
+			case *ast.CallExpr:
+				checkStringsCall(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkComparison flags `err == ErrFoo` style identity comparisons and
+// `err.Error() == "..."` string comparisons.
+func checkComparison(pass *analysis.Pass, cmp *ast.BinaryExpr) {
+	info := pass.TypesInfo
+	// err.Error() compared against anything.
+	for _, op := range []ast.Expr{cmp.X, cmp.Y} {
+		if analysisutil.ErrorMethodCall(info, op) != nil {
+			other := cmp.Y
+			if op == cmp.Y {
+				other = cmp.X
+			}
+			if pass.InTestFile(cmp.Pos()) && !mentionsSaturation(info, other) {
+				continue
+			}
+			pass.Reportf(cmp.Pos(), "comparison of err.Error() text; use errors.Is(err, core.ErrSaturated) (or the relevant sentinel) instead")
+			return
+		}
+	}
+	// Error identity comparison against a sentinel.
+	if !analysisutil.IsErrorType(info.TypeOf(cmp.X)) && !analysisutil.IsErrorType(info.TypeOf(cmp.Y)) {
+		return
+	}
+	if analysisutil.IsNil(info, cmp.X) || analysisutil.IsNil(info, cmp.Y) {
+		return // err != nil is the one sanctioned identity comparison
+	}
+	if sentinel := sentinelName(info, cmp.X); sentinel != "" {
+		reportSentinel(pass, cmp, sentinel)
+	} else if sentinel := sentinelName(info, cmp.Y); sentinel != "" {
+		reportSentinel(pass, cmp, sentinel)
+	}
+}
+
+func reportSentinel(pass *analysis.Pass, cmp *ast.BinaryExpr, name string) {
+	if pass.InTestFile(cmp.Pos()) && name != "ErrSaturated" {
+		return
+	}
+	pass.Reportf(cmp.Pos(), "%s compared with %s; wrapped errors never compare equal — use errors.Is", name, cmp.Op)
+}
+
+// sentinelName returns the name of the Err-prefixed package-level error
+// variable e refers to, or "".
+func sentinelName(info *types.Info, e ast.Expr) string {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return ""
+	}
+	if !strings.HasPrefix(v.Name(), "Err") || !analysisutil.IsErrorType(v.Type()) {
+		return ""
+	}
+	return v.Name()
+}
+
+// checkStringsCall flags strings.Contains(err.Error(), ...) and friends.
+func checkStringsCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysisutil.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "strings" || !stringsMatchers[fn.Name()] {
+		return
+	}
+	var errArg bool
+	var others []ast.Expr
+	for _, arg := range call.Args {
+		if analysisutil.ErrorMethodCall(pass.TypesInfo, arg) != nil {
+			errArg = true
+		} else {
+			others = append(others, arg)
+		}
+	}
+	if !errArg {
+		return
+	}
+	if pass.InTestFile(call.Pos()) {
+		saturation := false
+		for _, o := range others {
+			if mentionsSaturation(pass.TypesInfo, o) {
+				saturation = true
+			}
+		}
+		if !saturation {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(), "strings.%s on err.Error(); don't match error text — use errors.Is(err, core.ErrSaturated) (or the relevant sentinel)", fn.Name())
+}
+
+// mentionsSaturation reports whether e is a string constant whose value
+// contains "satur" (case-insensitively): matching saturation by text is
+// the historically observed bug and is flagged even in tests.
+func mentionsSaturation(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return false
+	}
+	return strings.Contains(strings.ToLower(constant.StringVal(tv.Value)), "satur")
+}

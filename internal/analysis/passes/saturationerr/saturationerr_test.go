@@ -1,0 +1,12 @@
+package saturationerr_test
+
+import (
+	"testing"
+
+	"kncube/internal/analysis/analysistest"
+	"kncube/internal/analysis/passes/saturationerr"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", saturationerr.Analyzer, "a")
+}

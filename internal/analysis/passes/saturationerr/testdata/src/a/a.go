@@ -1,0 +1,46 @@
+// Package a exercises the saturationerr analyzer: sentinel identity
+// comparisons and error-text matching are flagged; errors.Is and nil
+// checks are the sanctioned forms.
+package a
+
+import (
+	"errors"
+	"strings"
+
+	"kncube/internal/core"
+)
+
+// ErrLocal is a package-local sentinel; the contract covers every
+// Err-prefixed sentinel, not just saturation.
+var ErrLocal = errors.New("a: local sentinel")
+
+func compare(err error) bool {
+	if err == core.ErrSaturated { // want `ErrSaturated compared with ==`
+		return true
+	}
+	if err != ErrLocal { // want `ErrLocal compared with !=`
+		return true
+	}
+	if err == nil { // nil check: allowed
+		return false
+	}
+	return errors.Is(err, core.ErrSaturated) // the sanctioned form
+}
+
+func match(err error) bool {
+	if err.Error() == "core: network saturated at this load" { // want `comparison of err.Error\(\) text`
+		return true
+	}
+	if strings.Contains(err.Error(), "saturated") { // want `strings\.Contains on err\.Error\(\)`
+		return true
+	}
+	if strings.HasPrefix(err.Error(), "core:") { // want `strings\.HasPrefix on err\.Error\(\)`
+		return true
+	}
+	return strings.Contains("plain string", "needle") // strings use without error text: allowed
+}
+
+func suppressedCompare(err error) bool {
+	//lint:ignore saturationerr fixture exercises the suppression path
+	return err == core.ErrSaturated
+}

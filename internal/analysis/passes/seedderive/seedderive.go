@@ -1,0 +1,102 @@
+// Package seedderive defines an analyzer that keeps RNG seeding
+// reproducible: production code may not construct math/rand sources from
+// ad-hoc values or lean on the package-level generator. Seeds flow from an
+// explicit Seed configuration field or are derived with
+// experiments.JobSeed, the FNV-based per-job scheme that PR 1 introduced
+// after correlated per-point seeds skewed whole sweep panels.
+package seedderive
+
+import (
+	"go/ast"
+	"go/types"
+
+	"kncube/internal/analysis"
+	"kncube/internal/analysis/analysisutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "seedderive",
+	Doc: `require RNG seeds to come from experiments.JobSeed or a Seed config field
+
+rand.NewSource(someExpression) in production code is how the correlated
+per-point sweep seeds happened: nearby jobs got nearby (or identical)
+streams and the confidence intervals lied. The analyzer allows
+rand.NewSource only when the seed argument mentions experiments.JobSeed or
+an explicit Seed field (e.g. cfg.Seed), and forbids the math/rand
+package-level generator (rand.Intn, rand.Float64, rand.Seed, ...) outside
+tests entirely — the global source is shared, unseeded state.`,
+	Run: run,
+}
+
+// randPkgs are the package paths whose seeding discipline is enforced.
+var randPkgs = map[string]bool{"math/rand": true, "math/rand/v2": true}
+
+// globalFuncs are the package-level convenience functions backed by the
+// shared global source.
+var globalFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "IntN": true, "N": true,
+	"Uint32": true, "Uint64": true, "Uint32N": true, "Uint64N": true,
+	"Uint": true, "UintN": true, "Float32": true, "Float64": true,
+	"ExpFloat64": true, "NormFloat64": true, "Perm": true,
+	"Shuffle": true, "Seed": true, "Read": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysisutil.Callee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || !randPkgs[fn.Pkg().Path()] {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods on *rand.Rand are fine: the source was vetted at construction
+			}
+			if pass.InTestFile(call.Pos()) {
+				return true
+			}
+			switch {
+			case fn.Name() == "NewSource" || fn.Name() == "NewPCG" || fn.Name() == "NewChaCha8":
+				if len(call.Args) > 0 && allArgsDerived(pass, call.Args) {
+					return true
+				}
+				pass.Reportf(call.Pos(), "rand.%s seed is not derived; use experiments.JobSeed or an explicit Seed config field", fn.Name())
+			case globalFuncs[fn.Name()]:
+				pass.Reportf(call.Pos(), "rand.%s uses the shared global source; construct a *rand.Rand from a derived seed instead", fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// allArgsDerived reports whether every seed argument mentions an approved
+// provenance: a call to experiments.JobSeed or a selector of a field named
+// Seed (cfg.Seed, opts.Budget.Seed, ...).
+func allArgsDerived(pass *analysis.Pass, args []ast.Expr) bool {
+	for _, arg := range args {
+		derived := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if analysisutil.IsFunc(analysisutil.Callee(pass.TypesInfo, n), "kncube/internal/experiments", "JobSeed") {
+					derived = true
+				}
+			case *ast.SelectorExpr:
+				if n.Sel.Name == "Seed" {
+					derived = true
+				}
+			}
+			return !derived
+		})
+		if !derived {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,12 @@
+package seedderive_test
+
+import (
+	"testing"
+
+	"kncube/internal/analysis/analysistest"
+	"kncube/internal/analysis/passes/seedderive"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", seedderive.Analyzer, "a")
+}

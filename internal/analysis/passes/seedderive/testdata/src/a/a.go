@@ -1,0 +1,32 @@
+// Package a exercises the seedderive analyzer: ad-hoc seeds and the
+// global math/rand source are flagged in production code; JobSeed-derived
+// seeds and explicit Seed config fields are allowed.
+package a
+
+import (
+	"math/rand"
+
+	"kncube/internal/experiments"
+)
+
+type config struct{ Seed int64 }
+
+func sources(cfg config) {
+	_ = rand.NewSource(42)                                   // want `rand\.NewSource seed is not derived`
+	_ = rand.NewSource(cfg.Seed)                             // explicit Seed field: allowed
+	_ = rand.NewSource(experiments.JobSeed(1, "fig1", 0, 0)) // derived: allowed
+	_ = rand.New(rand.NewSource(7))                          // want `rand\.NewSource seed is not derived`
+	_ = rand.New(rand.NewSource(cfg.Seed + 1))               // derivation may be composed: allowed
+}
+
+func globals() int {
+	_ = rand.Float64()                 // want `rand\.Float64 uses the shared global source`
+	rand.Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle uses the shared global source`
+	r := rand.New(rand.NewSource(experiments.JobSeed(1, "p", 0, 0)))
+	return r.Intn(10) // method on a vetted *rand.Rand: allowed
+}
+
+func suppressed() rand.Source {
+	//lint:ignore seedderive fixture exercises the suppression path
+	return rand.NewSource(99)
+}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"math"
 	"testing"
+
+	"kncube/internal/stats"
 )
 
 func solveBiOK(t *testing.T, p Params, o Options) *BiResult {
@@ -25,7 +27,7 @@ func TestBiZeroLoadGeometry(t *testing.T) {
 	// k=16 bidirectional: mean min ring distance = 4, mean path 8.
 	p := Params{K: 16, V: 2, Lm: 32, H: 0.2, Lambda: 1e-9}
 	r := solveBiOK(t, p, Options{})
-	if r.MeanDistance != 8 {
+	if !stats.ApproxEqual(r.MeanDistance, 8, 0, 0) {
 		t.Fatalf("MeanDistance = %v, want 8", r.MeanDistance)
 	}
 	wantReg := 32.0 + 8

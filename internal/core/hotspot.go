@@ -30,6 +30,7 @@ import (
 
 	"kncube/internal/fixpoint"
 	"kncube/internal/queueing"
+	"kncube/internal/stats"
 	"kncube/internal/vcmodel"
 )
 
@@ -328,7 +329,7 @@ func blockingDelay(o Options, v int, lm, lr, sr, lh, sh float64) (float64, error
 		return 0, queueing.ErrUnstable
 	}
 	total := lr + lh
-	if total == 0 {
+	if stats.IsZero(total) {
 		return 0, nil
 	}
 	sBar := queueing.WeightedService(lr, sr, lh, sh)

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"math"
 	"testing"
+
+	"kncube/internal/stats"
 )
 
 func solveOK(t *testing.T, p Params, o Options) *Result {
@@ -43,10 +45,10 @@ func TestParamsDerived(t *testing.T) {
 	if p.N() != 256 {
 		t.Errorf("N = %d", p.N())
 	}
-	if p.KBar() != 7.5 {
+	if !stats.ApproxEqual(p.KBar(), 7.5, 0, 0) {
 		t.Errorf("KBar = %v", p.KBar())
 	}
-	if p.MeanDistance() != 15 {
+	if !stats.ApproxEqual(p.MeanDistance(), 15, 0, 0) {
 		t.Errorf("MeanDistance = %v", p.MeanDistance())
 	}
 }

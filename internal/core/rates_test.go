@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"kncube/internal/topology"
+
+	"kncube/internal/stats"
 )
 
 func TestRatesValidation(t *testing.T) {
@@ -32,7 +34,7 @@ func TestRatesMatchEquations(t *testing.T) {
 			t.Errorf("HotX[%d] = %v, want %v", j, r.HotX[j], wantX)
 		}
 	}
-	if r.HotY[8] != 0 || r.HotX[8] != 0 {
+	if !stats.IsZero(r.HotY[8]) || !stats.IsZero(r.HotX[8]) {
 		t.Error("channels leaving the hot node/column must carry no hot traffic")
 	}
 }
@@ -97,7 +99,7 @@ func TestBottleneckUtilisation(t *testing.T) {
 	if math.Abs(r.BottleneckUtilisation(32)-want) > 1e-12 {
 		t.Errorf("bottleneck utilisation %v, want %v", r.BottleneckUtilisation(32), want)
 	}
-	if (ChannelRates{}).BottleneckUtilisation(32) != 0 {
+	if !stats.IsZero((ChannelRates{}).BottleneckUtilisation(32)) {
 		t.Error("empty rates should report 0")
 	}
 }

@@ -10,6 +10,8 @@ import (
 	"testing"
 
 	"kncube/internal/fixpoint"
+
+	"kncube/internal/stats"
 )
 
 func TestSolversRegistered(t *testing.T) {
@@ -173,7 +175,7 @@ func TestTraceFiresOncePerIteration(t *testing.T) {
 		if last.Iteration != res.Convergence.Iterations {
 			t.Errorf("%q: last trace iteration %d, want %d", name, last.Iteration, res.Convergence.Iterations)
 		}
-		if last.MaxRelDelta != res.Convergence.Residual {
+		if !stats.ApproxEqual(last.MaxRelDelta, res.Convergence.Residual, 0, 0) {
 			t.Errorf("%q: last trace delta %g, want residual %g", name, last.MaxRelDelta, res.Convergence.Residual)
 		}
 		for i, r := range records {
@@ -222,7 +224,7 @@ func TestTypedEntryPointsMatchRegistry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if typed.Latency != reg.Latency {
+	if !stats.ApproxEqual(typed.Latency, reg.Latency, 0, 0) {
 		t.Errorf("SolveHotSpot latency %g != registry latency %g", typed.Latency, reg.Latency)
 	}
 	if typed.Convergence != reg.Convergence {
@@ -237,7 +239,7 @@ func TestTypedEntryPointsMatchRegistry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if bi.Latency != biReg.Latency {
+	if !stats.ApproxEqual(bi.Latency, biReg.Latency, 0, 0) {
 		t.Errorf("SolveBidirectional latency %g != registry latency %g", bi.Latency, biReg.Latency)
 	}
 }

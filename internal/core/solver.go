@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"kncube/internal/fixpoint"
+	"kncube/internal/stats"
 )
 
 // Convergence re-exports the fixed-point diagnostic summary carried by
@@ -70,7 +71,7 @@ type SolveResult struct {
 // is passed through for fixpoint's own per-field defaulting. The Trace
 // hook is orthogonal and preserved either way.
 func defaultFixPoint(o fixpoint.Options) fixpoint.Options {
-	if o.Tolerance == 0 && o.MaxIterations == 0 && o.Damping == 0 {
+	if stats.IsZero(o.Tolerance) && o.MaxIterations == 0 && stats.IsZero(o.Damping) {
 		o.Tolerance, o.MaxIterations, o.Damping = 1e-9, 20000, 0.5
 	}
 	return o

@@ -7,6 +7,7 @@ import (
 
 	"kncube/internal/fixpoint"
 	"kncube/internal/queueing"
+	"kncube/internal/stats"
 	"kncube/internal/vcmodel"
 )
 
@@ -146,7 +147,7 @@ func (m *uniformModel) Assemble(x []float64, conv Convergence) (*SolveResult, er
 // when the caller left the configuration zero.
 func uniformFixPoint(o Options) Options {
 	fp := o.FixPoint
-	if fp.Tolerance == 0 && fp.MaxIterations == 0 && fp.Damping == 0 {
+	if stats.IsZero(fp.Tolerance) && fp.MaxIterations == 0 && stats.IsZero(fp.Damping) {
 		o.FixPoint = fixpoint.Options{
 			Tolerance: 1e-10, MaxIterations: 100000, Damping: 0.5, Trace: fp.Trace,
 		}
@@ -167,7 +168,7 @@ func SolveUniform(p UniformParams) (*UniformResult, error) {
 
 func init() {
 	Register("uniform", func(s Spec, o Options) (Solver, error) {
-		if s.H != 0 {
+		if !stats.IsZero(s.H) {
 			return nil, fmt.Errorf("core: the uniform baseline models no hot-spot class, got H = %v", s.H)
 		}
 		dims := s.Dims

@@ -13,6 +13,7 @@ import (
 
 	"kncube/internal/core"
 	"kncube/internal/sim"
+	"kncube/internal/stats"
 	"kncube/internal/topology"
 	"kncube/internal/traffic"
 )
@@ -288,7 +289,7 @@ func AsciiPlot(w io.Writer, title string, points []Point, width, height int) err
 			maxLam = pt.Lambda
 		}
 	}
-	if maxLat == 0 || maxLam == 0 {
+	if stats.IsZero(maxLat) || stats.IsZero(maxLam) {
 		_, err := fmt.Fprintf(w, "%s: no finite points\n", title)
 		return err
 	}

@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"kncube/internal/core"
+
+	"kncube/internal/stats"
 )
 
 func TestFiguresCoverPaperEvaluation(t *testing.T) {
@@ -25,7 +27,7 @@ func TestFiguresCoverPaperEvaluation(t *testing.T) {
 		if p.Lm != 32 && p.Lm != 100 {
 			t.Errorf("%s: Lm=%d, want 32 or 100", p.ID, p.Lm)
 		}
-		if p.H != 0.2 && p.H != 0.4 && p.H != 0.7 {
+		if !stats.ApproxEqual(p.H, 0.2, 0, 0) && !stats.ApproxEqual(p.H, 0.4, 0, 0) && !stats.ApproxEqual(p.H, 0.7, 0, 0) {
 			t.Errorf("%s: H=%v, want 0.2/0.4/0.7", p.ID, p.H)
 		}
 		if len(p.Lambdas) < 5 {
@@ -54,7 +56,7 @@ func TestFigureAxesMatchPaper(t *testing.T) {
 
 func TestPanelByID(t *testing.T) {
 	p, err := PanelByID("fig2-h40")
-	if err != nil || p.Lm != 100 || p.H != 0.4 {
+	if err != nil || p.Lm != 100 || !stats.ApproxEqual(p.H, 0.4, 0, 0) {
 		t.Errorf("PanelByID: %+v, %v", p, err)
 	}
 	if _, err := PanelByID("nope"); err == nil {
@@ -215,10 +217,10 @@ func TestShapeReport(t *testing.T) {
 	if rep.LightPoints != 2 {
 		t.Errorf("light points %d, want 2", rep.LightPoints)
 	}
-	if !rep.ModelSaturates || rep.ModelSaturation != 3e-4 {
+	if !rep.ModelSaturates || !stats.ApproxEqual(rep.ModelSaturation, 3e-4, 0, 0) {
 		t.Errorf("model saturation %v (saturates=%v)", rep.ModelSaturation, rep.ModelSaturates)
 	}
-	if !rep.SimHasKnee || rep.SimKnee != 4e-4 {
+	if !rep.SimHasKnee || !stats.ApproxEqual(rep.SimKnee, 4e-4, 0, 0) {
 		t.Errorf("sim knee %v (hasKnee=%v)", rep.SimKnee, rep.SimHasKnee)
 	}
 	if rep.MeanRelErrLight <= 0 || rep.MaxRelErrLight < rep.MeanRelErrLight {
@@ -228,7 +230,7 @@ func TestShapeReport(t *testing.T) {
 
 func TestShapeReportNoLightPoints(t *testing.T) {
 	rep := Shape([]Point{{Lambda: 1, Model: math.NaN(), ModelSaturated: true, Sim: 1000}}, 50)
-	if rep.LightPoints != 0 || rep.MeanRelErrLight != 0 {
+	if rep.LightPoints != 0 || !stats.IsZero(rep.MeanRelErrLight) {
 		t.Errorf("%+v", rep)
 	}
 }
@@ -254,10 +256,10 @@ func TestShapeReportFirstPointEvents(t *testing.T) {
 	// "never happened" — the regression the 0-sentinel caused.
 	pts := []Point{{Lambda: 1e-4, Model: math.NaN(), ModelSaturated: true, Sim: 900}}
 	rep := Shape(pts, 50)
-	if !rep.ModelSaturates || rep.ModelSaturation != 1e-4 {
+	if !rep.ModelSaturates || !stats.ApproxEqual(rep.ModelSaturation, 1e-4, 0, 0) {
 		t.Errorf("first-point model saturation missed: %+v", rep)
 	}
-	if !rep.SimHasKnee || rep.SimKnee != 1e-4 {
+	if !rep.SimHasKnee || !stats.ApproxEqual(rep.SimKnee, 1e-4, 0, 0) {
 		t.Errorf("first-point sim knee missed: %+v", rep)
 	}
 }

@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"kncube/internal/core"
+
+	"kncube/internal/stats"
 )
 
 // sweepTestPanel is small enough for the full model+sim path to run in
@@ -106,7 +108,7 @@ func TestSweepReplicationsPoolAndStayDeterministic(t *testing.T) {
 	// Replications must use distinct seeds: identical seeds would make the
 	// pooled mean exactly equal each replication mean, which (given CI > 0)
 	// distinct streams make overwhelmingly unlikely to the last bit.
-	if pt.Sim == single[0].Points[0].Sim {
+	if stats.ApproxEqual(pt.Sim, single[0].Points[0].Sim, 0, 0) {
 		t.Error("pooled mean identical to rep-0 mean; replications likely share a seed")
 	}
 }
@@ -235,10 +237,10 @@ func TestSweepModelSelection(t *testing.T) {
 	}
 	for i := range def[0].Points {
 		d, b := def[0].Points[i], bi[0].Points[i]
-		if !d.ModelSaturated && !b.ModelSaturated && d.Model == b.Model {
+		if !d.ModelSaturated && !b.ModelSaturated && stats.ApproxEqual(d.Model, b.Model, 0, 0) {
 			t.Errorf("point %d: bidirectional model latency %.4f equals default — Model field ignored", i, d.Model)
 		}
-		if d.Sim == b.Sim {
+		if stats.ApproxEqual(d.Sim, b.Sim, 0, 0) {
 			t.Errorf("point %d: bidirectional sim latency %.4f equals default — simulator not reconfigured", i, d.Sim)
 		}
 	}
@@ -268,7 +270,7 @@ func TestRunNamedModelAgreesWithTyped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if named != typed.Latency {
+	if !stats.ApproxEqual(named, typed.Latency, 0, 0) {
 		t.Errorf("RunNamedModel(bidirectional-2d) = %g, SolveBidirectional = %g", named, typed.Latency)
 	}
 
@@ -280,7 +282,7 @@ func TestRunNamedModelAgreesWithTyped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if def != hs {
+	if !stats.ApproxEqual(def, hs, 0, 0) {
 		t.Errorf("RunModel = %g, RunNamedModel(%s) = %g", def, DefaultModel, hs)
 	}
 }

@@ -62,12 +62,16 @@ func Defaults() Options {
 
 func (o Options) withDefaults() (Options, error) {
 	d := Defaults()
+	// This package stays free of internal dependencies, so the unset-field
+	// checks compare the zero value directly instead of via stats.IsZero.
+	//lint:ignore floateq zero-value Options field means unset
 	if o.Tolerance == 0 {
 		o.Tolerance = d.Tolerance
 	}
 	if o.MaxIterations == 0 {
 		o.MaxIterations = d.MaxIterations
 	}
+	//lint:ignore floateq zero-value Options field means unset
 	if o.Damping == 0 {
 		o.Damping = d.Damping
 	}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"math"
 	"testing"
+
+	"kncube/internal/stats"
 )
 
 func TestSolveLinearContraction(t *testing.T) {
@@ -132,7 +134,7 @@ func TestSolveIdentityConvergesImmediately(t *testing.T) {
 	if res.Iterations != 1 {
 		t.Errorf("identity took %d iterations", res.Iterations)
 	}
-	if res.Residual != 0 {
+	if !stats.IsZero(res.Residual) {
 		t.Errorf("identity residual %v", res.Residual)
 	}
 }
@@ -172,7 +174,7 @@ func TestTraceRecordsEveryIteration(t *testing.T) {
 		if r.Iteration != i+1 {
 			t.Errorf("record %d has iteration %d", i, r.Iteration)
 		}
-		if r.Damping != 1 {
+		if !stats.ApproxEqual(r.Damping, 1, 0, 0) {
 			t.Errorf("record %d damping %v, want 1", i, r.Damping)
 		}
 		if r.NonFiniteIndex != -1 {
@@ -180,7 +182,7 @@ func TestTraceRecordsEveryIteration(t *testing.T) {
 		}
 	}
 	last := recs[len(recs)-1]
-	if last.MaxRelDelta != res.Residual {
+	if !stats.ApproxEqual(last.MaxRelDelta, res.Residual, 0, 0) {
 		t.Errorf("last trace delta %v != residual %v", last.MaxRelDelta, res.Residual)
 	}
 	if !res.Convergence.Converged || res.Convergence.Diverged {
@@ -224,10 +226,10 @@ func TestConvergenceSummaryPopulated(t *testing.T) {
 	}
 	c := res.Convergence
 	d := Defaults()
-	if c.Tolerance != d.Tolerance || c.Damping != d.Damping {
+	if !stats.ApproxEqual(c.Tolerance, d.Tolerance, 0, 0) || !stats.ApproxEqual(c.Damping, d.Damping, 0, 0) {
 		t.Errorf("effective settings %+v, want defaults %+v", c, d)
 	}
-	if c.Iterations != res.Iterations || c.Residual != res.Residual {
+	if c.Iterations != res.Iterations || !stats.ApproxEqual(c.Residual, res.Residual, 0, 0) {
 		t.Errorf("summary %+v out of sync with result %+v", c, res)
 	}
 	if c.NonFiniteIndex != -1 {

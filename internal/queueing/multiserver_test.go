@@ -4,6 +4,8 @@ import (
 	"errors"
 	"math"
 	"testing"
+
+	"kncube/internal/stats"
 )
 
 func TestErlangBKnownValues(t *testing.T) {
@@ -26,7 +28,7 @@ func TestErlangBKnownValues(t *testing.T) {
 }
 
 func TestErlangBEdge(t *testing.T) {
-	if ErlangB(0, 1) != 0 || ErlangB(2, 0) != 0 || ErlangB(2, -1) != 0 {
+	if !stats.IsZero(ErlangB(0, 1)) || !stats.IsZero(ErlangB(2, 0)) || !stats.IsZero(ErlangB(2, -1)) {
 		t.Error("edge cases should return 0")
 	}
 }
@@ -54,10 +56,10 @@ func TestErlangCKnownValues(t *testing.T) {
 }
 
 func TestErlangCSaturates(t *testing.T) {
-	if got := ErlangC(2, 2); got != 1 {
+	if got := ErlangC(2, 2); !stats.ApproxEqual(got, 1, 0, 0) {
 		t.Errorf("ErlangC at a=c = %v, want 1", got)
 	}
-	if got := ErlangC(2, 5); got != 1 {
+	if got := ErlangC(2, 5); !stats.ApproxEqual(got, 1, 0, 0) {
 		t.Errorf("ErlangC beyond capacity = %v, want 1", got)
 	}
 }
@@ -95,7 +97,7 @@ func TestMGcWaitValidation(t *testing.T) {
 	if _, err := MGcWait(0.1, 1, 0, 0); err == nil {
 		t.Error("c=0 accepted")
 	}
-	if w, err := MGcWait(0, 5, 0, 2); err != nil || w != 0 {
+	if w, err := MGcWait(0, 5, 0, 2); err != nil || !stats.IsZero(w) {
 		t.Error("idle queue should wait 0")
 	}
 }
@@ -146,16 +148,16 @@ func TestPaperWaitMulti(t *testing.T) {
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
-	if w1 != w2 {
+	if !stats.ApproxEqual(w1, w2, 0, 0) {
 		t.Errorf("PaperWaitMulti %v != MGcWait %v", w1, w2)
 	}
-	if w, err := PaperWaitMulti(0.01, 0, 32, 2); err != nil || w != 0 {
+	if w, err := PaperWaitMulti(0.01, 0, 32, 2); err != nil || !stats.IsZero(w) {
 		t.Error("zero service should wait 0")
 	}
 }
 
 func TestBlockingMulti(t *testing.T) {
-	if b, err := BlockingMulti(0, 0, 0, 0, 32, 2); err != nil || b != 0 {
+	if b, err := BlockingMulti(0, 0, 0, 0, 32, 2); err != nil || !stats.IsZero(b) {
 		t.Error("idle channel should block 0")
 	}
 	b, err := BlockingMulti(0.001, 40, 0.004, 50, 32, 2)
@@ -195,7 +197,7 @@ func TestBlockingBandwidthStableToFlitCapacity(t *testing.T) {
 }
 
 func TestBlockingBandwidthIdle(t *testing.T) {
-	if b, err := BlockingBandwidth(0, 0, 0, 0, 32); err != nil || b != 0 {
+	if b, err := BlockingBandwidth(0, 0, 0, 0, 32); err != nil || !stats.IsZero(b) {
 		t.Error("idle channel should block 0")
 	}
 }

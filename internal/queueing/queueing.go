@@ -11,6 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"kncube/internal/stats"
 )
 
 // ErrUnstable reports a queue whose utilisation is at or above 1, i.e. the
@@ -29,7 +31,7 @@ func MG1Wait(lambda, s, variance float64) (float64, error) {
 	if lambda < 0 || s < 0 || variance < 0 {
 		return 0, fmt.Errorf("queueing: negative argument MG1Wait(%v,%v,%v)", lambda, s, variance)
 	}
-	if lambda == 0 || s == 0 {
+	if stats.IsZero(lambda) || stats.IsZero(s) {
 		return 0, nil
 	}
 	rho := lambda * s
@@ -60,7 +62,7 @@ func MD1Wait(lambda, s float64) (float64, error) {
 //
 //	W = lambda s^2 (1 + (s-Lm)^2/s^2) / (2 (1 - lambda s)).
 func PaperWait(lambda, s, lm float64) (float64, error) {
-	if s == 0 {
+	if stats.IsZero(s) {
 		return 0, nil
 	}
 	dev := s - lm
@@ -72,7 +74,7 @@ func PaperWait(lambda, s, lm float64) (float64, error) {
 // both rates are zero.
 func WeightedService(lr, sr, lh, sh float64) float64 {
 	total := lr + lh
-	if total == 0 {
+	if stats.IsZero(total) {
 		return 0
 	}
 	return (lr*sr + lh*sh) / total
@@ -101,7 +103,7 @@ func BlockingProbability(lr, sr, lh, sh float64) float64 {
 // It returns ErrUnstable when the aggregate utilisation reaches 1.
 func Blocking(lr, sr, lh, sh, lm float64) (float64, error) {
 	total := lr + lh
-	if total == 0 {
+	if stats.IsZero(total) {
 		return 0, nil
 	}
 	sBar := WeightedService(lr, sr, lh, sh)
@@ -124,7 +126,7 @@ func Blocking(lr, sr, lh, sh, lm float64) (float64, error) {
 // destabilises exactly at the physical flit capacity (lr+lh)(lm+1) -> 1.
 func BlockingBandwidth(lr, sr, lh, sh, lm float64) (float64, error) {
 	total := lr + lh
-	if total == 0 {
+	if stats.IsZero(total) {
 		return 0, nil
 	}
 	sBar := WeightedService(lr, sr, lh, sh)
@@ -178,7 +180,7 @@ func MGcWait(lambda, s, variance float64, c int) (float64, error) {
 	if c < 1 {
 		return 0, fmt.Errorf("queueing: MGcWait with %d servers", c)
 	}
-	if lambda == 0 || s == 0 {
+	if stats.IsZero(lambda) || stats.IsZero(s) {
 		return 0, nil
 	}
 	a := lambda * s
@@ -193,7 +195,7 @@ func MGcWait(lambda, s, variance float64, c int) (float64, error) {
 // PaperWaitMulti is PaperWait generalised to a c-server virtual-channel
 // pool, keeping the paper's (s-Lm)² variance approximation.
 func PaperWaitMulti(lambda, s, lm float64, c int) (float64, error) {
-	if s == 0 {
+	if stats.IsZero(s) {
 		return 0, nil
 	}
 	dev := s - lm
@@ -206,7 +208,7 @@ func PaperWaitMulti(lambda, s, lm float64, c int) (float64, error) {
 // rate and weighted service time.
 func BlockingMulti(lr, sr, lh, sh, lm float64, c int) (float64, error) {
 	total := lr + lh
-	if total == 0 {
+	if stats.IsZero(total) {
 		return 0, nil
 	}
 	sBar := WeightedService(lr, sr, lh, sh)
@@ -225,7 +227,7 @@ func Stable(lambda, s, margin float64) bool {
 // SquaredCoefficientOfVariation returns Var/S^2, the SCV used to sanity-check
 // the variance approximation in tests. Returns NaN for s == 0.
 func SquaredCoefficientOfVariation(s, variance float64) float64 {
-	if s == 0 {
+	if stats.IsZero(s) {
 		return math.NaN()
 	}
 	return variance / (s * s)

@@ -5,6 +5,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"kncube/internal/stats"
 )
 
 func TestMG1WaitZeroLoad(t *testing.T) {
@@ -13,7 +15,7 @@ func TestMG1WaitZeroLoad(t *testing.T) {
 		if err != nil {
 			t.Fatalf("MG1Wait(%v): %v", lambda, err)
 		}
-		if lambda == 0 && w != 0 {
+		if stats.IsZero(lambda) && !stats.IsZero(w) {
 			t.Errorf("zero arrivals should wait 0, got %v", w)
 		}
 		if w < 0 {
@@ -24,7 +26,7 @@ func TestMG1WaitZeroLoad(t *testing.T) {
 
 func TestMG1WaitZeroService(t *testing.T) {
 	w, err := MG1Wait(0.5, 0, 0)
-	if err != nil || w != 0 {
+	if err != nil || !stats.IsZero(w) {
 		t.Errorf("zero service: w=%v err=%v", w, err)
 	}
 }
@@ -84,13 +86,13 @@ func TestPaperWaitReducesToMD1WhenServiceEqualsLm(t *testing.T) {
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
-	if wp != wd {
+	if !stats.ApproxEqual(wp, wd, 0, 0) {
 		t.Errorf("PaperWait %v != MD1 %v", wp, wd)
 	}
 }
 
 func TestPaperWaitZeroService(t *testing.T) {
-	if w, err := PaperWait(0.1, 0, 32); err != nil || w != 0 {
+	if w, err := PaperWait(0.1, 0, 32); err != nil || !stats.IsZero(w) {
 		t.Errorf("PaperWait zero service: %v %v", w, err)
 	}
 }
@@ -170,8 +172,8 @@ func TestWeightedServiceBounds(t *testing.T) {
 		lh, sh = clamp(lh), clamp(sh)
 		got := WeightedService(lr, sr, lh, sh)
 		lo, hi := math.Min(sr, sh), math.Max(sr, sh)
-		if lr+lh == 0 {
-			return got == 0
+		if stats.IsZero(lr + lh) {
+			return stats.IsZero(got)
 		}
 		return got >= lo-1e-9 && got <= hi+1e-9
 	}
@@ -181,10 +183,10 @@ func TestWeightedServiceBounds(t *testing.T) {
 }
 
 func TestBlockingProbabilityClamped(t *testing.T) {
-	if p := BlockingProbability(10, 10, 10, 10); p != 1 {
+	if p := BlockingProbability(10, 10, 10, 10); !stats.ApproxEqual(p, 1, 0, 0) {
 		t.Errorf("overloaded channel probability = %v, want clamp to 1", p)
 	}
-	if p := BlockingProbability(0, 0, 0, 0); p != 0 {
+	if p := BlockingProbability(0, 0, 0, 0); !stats.IsZero(p) {
 		t.Errorf("idle channel probability = %v, want 0", p)
 	}
 	if p := BlockingProbability(0.001, 40, 0.002, 50); math.Abs(p-0.14) > 1e-12 {
@@ -194,7 +196,7 @@ func TestBlockingProbabilityClamped(t *testing.T) {
 
 func TestBlockingZeroTraffic(t *testing.T) {
 	b, err := Blocking(0, 50, 0, 60, 32)
-	if err != nil || b != 0 {
+	if err != nil || !stats.IsZero(b) {
 		t.Errorf("idle channel blocking: %v %v", b, err)
 	}
 }
@@ -267,10 +269,10 @@ func TestUtilisation(t *testing.T) {
 }
 
 func TestSCV(t *testing.T) {
-	if got := SquaredCoefficientOfVariation(10, 100); got != 1 {
+	if got := SquaredCoefficientOfVariation(10, 100); !stats.ApproxEqual(got, 1, 0, 0) {
 		t.Errorf("SCV exponential = %v, want 1", got)
 	}
-	if got := SquaredCoefficientOfVariation(10, 0); got != 0 {
+	if got := SquaredCoefficientOfVariation(10, 0); !stats.IsZero(got) {
 		t.Errorf("SCV deterministic = %v, want 0", got)
 	}
 	if !math.IsNaN(SquaredCoefficientOfVariation(0, 1)) {

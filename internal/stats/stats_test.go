@@ -9,7 +9,7 @@ import (
 
 func TestRunningEmpty(t *testing.T) {
 	var r Running
-	if r.Count() != 0 || r.Mean() != 0 || r.Variance() != 0 || r.StdErr() != 0 {
+	if r.Count() != 0 || !IsZero(r.Mean()) || !IsZero(r.Variance()) || !IsZero(r.StdErr()) {
 		t.Errorf("zero value not neutral: %+v", r)
 	}
 }
@@ -29,7 +29,7 @@ func TestRunningKnownValues(t *testing.T) {
 	if math.Abs(r.Variance()-32.0/7.0) > 1e-12 {
 		t.Errorf("variance %v, want %v", r.Variance(), 32.0/7.0)
 	}
-	if r.Min() != 2 || r.Max() != 9 {
+	if !ApproxEqual(r.Min(), 2, 0, 0) || !ApproxEqual(r.Max(), 9, 0, 0) {
 		t.Errorf("min/max %v/%v", r.Min(), r.Max())
 	}
 }
@@ -37,7 +37,7 @@ func TestRunningKnownValues(t *testing.T) {
 func TestRunningSingleObservation(t *testing.T) {
 	var r Running
 	r.Add(42)
-	if r.Mean() != 42 || r.Variance() != 0 || r.Min() != 42 || r.Max() != 42 {
+	if !ApproxEqual(r.Mean(), 42, 0, 0) || !IsZero(r.Variance()) || !ApproxEqual(r.Min(), 42, 0, 0) || !ApproxEqual(r.Max(), 42, 0, 0) {
 		t.Errorf("single obs: %+v", r)
 	}
 }
@@ -104,11 +104,11 @@ func TestRunningMergeEmpty(t *testing.T) {
 	a.Add(1)
 	a.Add(3)
 	a.Merge(&b) // no-op
-	if a.Count() != 2 || a.Mean() != 2 {
+	if a.Count() != 2 || !ApproxEqual(a.Mean(), 2, 0, 0) {
 		t.Errorf("merge with empty changed state: %+v", a)
 	}
 	b.Merge(&a)
-	if b.Count() != 2 || b.Mean() != 2 {
+	if b.Count() != 2 || !ApproxEqual(b.Mean(), 2, 0, 0) {
 		t.Errorf("merge into empty wrong: %+v", b)
 	}
 }
@@ -174,7 +174,7 @@ func TestBatchMeansNeedsWindow(t *testing.T) {
 
 func TestBatchMeansDefaults(t *testing.T) {
 	b := NewBatchMeans(0, 0, 0)
-	if b.BatchSize != 1000 || b.Window != 5 || b.RelTol != 0.05 {
+	if b.BatchSize != 1000 || b.Window != 5 || !ApproxEqual(b.RelTol, 0.05, 0, 0) {
 		t.Errorf("defaults: %+v", b)
 	}
 }
@@ -212,7 +212,7 @@ func TestBatchMeansSliceCopy(t *testing.T) {
 		t.Fatalf("slice length %d", len(s))
 	}
 	s[0] = 999
-	if b.BatchMeansSlice()[0] == 999 {
+	if ApproxEqual(b.BatchMeansSlice()[0], 999, 0, 0) {
 		t.Error("BatchMeansSlice leaks internal storage")
 	}
 }
@@ -220,7 +220,7 @@ func TestBatchMeansSliceCopy(t *testing.T) {
 func TestBatchMeansSteadyMeanBeforeAnyBatch(t *testing.T) {
 	b := NewBatchMeans(100, 2, 0.05)
 	b.Add(7)
-	if m := b.SteadyMean(); m != 7 {
+	if m := b.SteadyMean(); !ApproxEqual(m, 7, 0, 0) {
 		t.Errorf("SteadyMean with partial batch = %v, want 7", m)
 	}
 }
@@ -236,10 +236,10 @@ func TestHistogramBasics(t *testing.T) {
 	if math.Abs(h.Mean()-166.0/6.0) > 1e-12 {
 		t.Errorf("mean %v", h.Mean())
 	}
-	if got := h.Quantile(0.5); got != 20 { // 3rd of 6 obs (15) is in bucket [10,20)
+	if got := h.Quantile(0.5); !ApproxEqual(got, 20, 0, 0) { // 3rd of 6 obs (15) is in bucket [10,20)
 		t.Errorf("median bucket edge %v, want 20", got)
 	}
-	if h.Median() != h.Quantile(0.5) {
+	if !ApproxEqual(h.Median(), h.Quantile(0.5), 0, 0) {
 		t.Error("Median != Quantile(0.5)")
 	}
 }
@@ -247,14 +247,14 @@ func TestHistogramBasics(t *testing.T) {
 func TestHistogramNegativeClamped(t *testing.T) {
 	h := NewHistogram(1)
 	h.Add(-5)
-	if h.Count() != 1 || h.Quantile(1) != 1 {
+	if h.Count() != 1 || !ApproxEqual(h.Quantile(1), 1, 0, 0) {
 		t.Errorf("negative obs: count=%d q1=%v", h.Count(), h.Quantile(1))
 	}
 }
 
 func TestHistogramEmptyQuantile(t *testing.T) {
 	h := NewHistogram(1)
-	if h.Quantile(0.9) != 0 || h.Mean() != 0 {
+	if !IsZero(h.Quantile(0.9)) || !IsZero(h.Mean()) {
 		t.Error("empty histogram should return zeros")
 	}
 }
@@ -262,37 +262,37 @@ func TestHistogramEmptyQuantile(t *testing.T) {
 func TestHistogramQuantileClampsQ(t *testing.T) {
 	h := NewHistogram(1)
 	h.Add(0.5)
-	if h.Quantile(-1) != h.Quantile(0) {
+	if !ApproxEqual(h.Quantile(-1), h.Quantile(0), 0, 0) {
 		t.Error("q<0 not clamped")
 	}
-	if h.Quantile(2) != h.Quantile(1) {
+	if !ApproxEqual(h.Quantile(2), h.Quantile(1), 0, 0) {
 		t.Error("q>1 not clamped")
 	}
 }
 
 func TestHistogramDefaultWidth(t *testing.T) {
 	h := NewHistogram(0)
-	if h.Width != 1 {
+	if !ApproxEqual(h.Width, 1, 0, 0) {
 		t.Errorf("width %v, want fallback 1", h.Width)
 	}
 }
 
 func TestMeanOfMedianOf(t *testing.T) {
-	if MeanOf(nil) != 0 || MedianOf(nil) != 0 {
+	if !IsZero(MeanOf(nil)) || !IsZero(MedianOf(nil)) {
 		t.Error("empty slices should yield 0")
 	}
-	if MeanOf([]float64{1, 2, 3, 4}) != 2.5 {
+	if !ApproxEqual(MeanOf([]float64{1, 2, 3, 4}), 2.5, 0, 0) {
 		t.Error("MeanOf wrong")
 	}
-	if MedianOf([]float64{3, 1, 2}) != 2 {
+	if !ApproxEqual(MedianOf([]float64{3, 1, 2}), 2, 0, 0) {
 		t.Error("odd MedianOf wrong")
 	}
-	if MedianOf([]float64{4, 1, 3, 2}) != 2.5 {
+	if !ApproxEqual(MedianOf([]float64{4, 1, 3, 2}), 2.5, 0, 0) {
 		t.Error("even MedianOf wrong")
 	}
 	xs := []float64{9, 1, 5}
 	MedianOf(xs)
-	if xs[0] != 9 {
+	if !ApproxEqual(xs[0], 9, 0, 0) {
 		t.Error("MedianOf mutated input")
 	}
 }
@@ -320,7 +320,7 @@ func TestFromMomentsDegenerate(t *testing.T) {
 		t.Errorf("n=0 should be empty, got %+v", r)
 	}
 	r := FromMoments(1, 5, 0)
-	if r.Count() != 1 || r.Mean() != 5 || r.Variance() != 0 {
+	if r.Count() != 1 || !ApproxEqual(r.Mean(), 5, 0, 0) || !IsZero(r.Variance()) {
 		t.Errorf("n=1 round-trip wrong: %+v", r)
 	}
 }
@@ -374,7 +374,52 @@ func TestPooledMean(t *testing.T) {
 		t.Errorf("weighted mean %v, want 55", mean3)
 	}
 	// Empty input is neutral.
-	if m, c, n := PooledMean(nil, nil, nil); m != 0 || c != 0 || n != 0 {
+	if m, c, n := PooledMean(nil, nil, nil); !IsZero(m) || !IsZero(c) || n != 0 {
 		t.Errorf("empty pooling: %v %v %d", m, c, n)
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		a, b, rel, abs float64
+		want           bool
+	}{
+		{1, 1, 0, 0, true},                    // exact match at zero tolerance
+		{1, 1 + 1e-12, 0, 0, false},           // zero tolerance is exact
+		{1, 1.04, 0.05, 0, true},              // within relative tolerance
+		{1, 1.06, 0.05, 0, false},             // outside relative tolerance
+		{0, 1e-10, 0, 1e-9, true},             // absolute tolerance near zero
+		{0, 1e-8, 0, 1e-9, false},             // outside absolute tolerance
+		{math.NaN(), math.NaN(), 1, 1, false}, // NaN equals nothing
+		{math.NaN(), 1, 1, 1, false},
+		{math.Inf(1), math.Inf(1), 0, 0, true}, // same-sign infinities agree
+		{math.Inf(1), math.Inf(-1), 1, 1, false},
+		{math.Inf(1), 1e308, 1, 1, false}, // infinity only equals infinity
+		{-2, 2, 0.5, 0, false},            // symmetric: rel scales max(|a|,|b|)
+		{100, 104, 0.05, 0, true},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.rel, c.abs); got != c.want {
+			t.Errorf("ApproxEqual(%v, %v, %v, %v) = %v, want %v",
+				c.a, c.b, c.rel, c.abs, got, c.want)
+		}
+	}
+	if ApproxEqual(1, 2, 0, 0) != ApproxEqual(2, 1, 0, 0) {
+		t.Error("ApproxEqual not symmetric")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !IsZero(0) {
+		t.Error("IsZero(0) = false")
+	}
+	negZero := math.Copysign(0, -1)
+	if !IsZero(negZero) {
+		t.Error("IsZero(-0) = false")
+	}
+	for _, x := range []float64{1e-300, -1e-300, 1, math.NaN(), math.Inf(1)} {
+		if IsZero(x) {
+			t.Errorf("IsZero(%v) = true", x)
+		}
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"kncube/internal/stats"
 )
 
 func TestBiRingDistanceBounds(t *testing.T) {
@@ -116,11 +118,11 @@ func TestBiDistanceNeverExceedsUnidirectional(t *testing.T) {
 
 func TestMeanBiRingDistance(t *testing.T) {
 	// k=8: offsets 0..7 -> min distances 0,1,2,3,4,3,2,1; mean = 16/8 = 2.
-	if got := MustNew(8, 2).MeanBiRingDistance(); got != 2 {
+	if got := MustNew(8, 2).MeanBiRingDistance(); !stats.ApproxEqual(got, 2, 0, 0) {
 		t.Errorf("MeanBiRingDistance(8) = %v, want 2", got)
 	}
 	// k=5: 0,1,2,2,1 -> 6/5.
-	if got := MustNew(5, 2).MeanBiRingDistance(); got != 1.2 {
+	if got := MustNew(5, 2).MeanBiRingDistance(); !stats.ApproxEqual(got, 1.2, 0, 0) {
 		t.Errorf("MeanBiRingDistance(5) = %v, want 1.2", got)
 	}
 	// Exhaustive cross-check.
@@ -134,7 +136,7 @@ func TestMeanBiRingDistance(t *testing.T) {
 			}
 		}
 		want := float64(sum) / float64(cnt)
-		if got := cube.MeanBiRingDistance(); got != want {
+		if got := cube.MeanBiRingDistance(); !stats.ApproxEqual(got, want, 0, 0) {
 			t.Errorf("k=%d: MeanBiRingDistance %v, exhaustive %v", k, got, want)
 		}
 	}

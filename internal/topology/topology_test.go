@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"kncube/internal/stats"
 )
 
 func TestNewValidation(t *testing.T) {
@@ -257,10 +259,10 @@ func TestCrossesWrap(t *testing.T) {
 
 func TestMeanDistances(t *testing.T) {
 	cube := MustNew(16, 2)
-	if got := cube.MeanRingDistance(); got != 7.5 {
+	if got := cube.MeanRingDistance(); !stats.ApproxEqual(got, 7.5, 0, 0) {
 		t.Errorf("MeanRingDistance = %v, want 7.5", got)
 	}
-	if got := cube.MeanDistance(); got != 15 {
+	if got := cube.MeanDistance(); !stats.ApproxEqual(got, 15, 0, 0) {
 		t.Errorf("MeanDistance = %v, want 15", got)
 	}
 }
@@ -278,7 +280,7 @@ func TestMeanDistanceMatchesExhaustiveAverage(t *testing.T) {
 			}
 		}
 		got := float64(sum) / float64(cnt)
-		if want := cube.MeanRingDistance(); got != want {
+		if want := cube.MeanRingDistance(); !stats.ApproxEqual(got, want, 0, 0) {
 			t.Errorf("k=%d: exhaustive mean %v, Eq.1 gives %v", k, got, want)
 		}
 	}

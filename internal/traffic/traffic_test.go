@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"kncube/internal/topology"
+
+	"kncube/internal/stats"
 )
 
 func TestNewPoissonValidation(t *testing.T) {
@@ -36,7 +38,7 @@ func TestPoissonMeanRate(t *testing.T) {
 	if math.Abs(got-0.01)/0.01 > 0.05 {
 		t.Errorf("empirical rate %v, want ~0.01", got)
 	}
-	if p.Rate() != 0.01 {
+	if !stats.ApproxEqual(p.Rate(), 0.01, 0, 0) {
 		t.Errorf("Rate() = %v", p.Rate())
 	}
 }

@@ -13,7 +13,11 @@
 // link, each proceeds at 1/V̄ of the link bandwidth.
 package vcmodel
 
-import "fmt"
+import (
+	"fmt"
+
+	"kncube/internal/stats"
+)
 
 // Degree returns the average virtual-channel multiplexing degree V̄ for a
 // physical channel with v virtual channels, total traffic rate lambda
@@ -37,7 +41,7 @@ func Degree(v int, lambda, s float64) (float64, error) {
 		return 0, fmt.Errorf("vcmodel: negative load (lambda=%v, s=%v)", lambda, s)
 	}
 	rho := lambda * s
-	if rho == 0 {
+	if stats.IsZero(rho) {
 		return 1, nil
 	}
 	if rho >= 1 {
@@ -49,7 +53,7 @@ func Degree(v int, lambda, s float64) (float64, error) {
 		num += float64(i*i) * p[i]
 		den += float64(i) * p[i]
 	}
-	if den == 0 {
+	if stats.IsZero(den) {
 		return 1, nil
 	}
 	return num / den, nil

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"kncube/internal/stats"
 )
 
 func TestDegreeValidation(t *testing.T) {
@@ -24,7 +26,7 @@ func TestDegreeIdleChannel(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got != 1 {
+		if !stats.ApproxEqual(got, 1, 0, 0) {
 			t.Errorf("V=%d idle: degree %v, want 1", v, got)
 		}
 	}
@@ -36,7 +38,7 @@ func TestDegreeSaturatedChannel(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got != float64(v) {
+		if !stats.ApproxEqual(got, float64(v), 0, 0) {
 			t.Errorf("V=%d saturated: degree %v, want %d", v, got, v)
 		}
 	}
@@ -152,7 +154,7 @@ func TestDegreeTwoVCKnownValue(t *testing.T) {
 }
 
 func TestScaleLatency(t *testing.T) {
-	if got := ScaleLatency(100, 1.5); got != 150 {
+	if got := ScaleLatency(100, 1.5); !stats.ApproxEqual(got, 150, 0, 0) {
 		t.Errorf("ScaleLatency = %v", got)
 	}
 }
