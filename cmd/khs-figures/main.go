@@ -31,6 +31,7 @@ import (
 
 	"kncube/internal/core"
 	"kncube/internal/experiments"
+	"kncube/internal/telemetry"
 )
 
 func main() {
@@ -46,6 +47,12 @@ func main() {
 		reps    = flag.Int("reps", 1, "independent replications pooled per point")
 		timeout = flag.Duration("timeout", 0, "per-point simulation timeout (0 = none)")
 		quiet   = flag.Bool("quiet", false, "suppress per-point progress lines")
+		// Observability (DESIGN.md §7).
+		manifest   = flag.String("manifest", "", "write one JSONL run-manifest record per simulation job to this file")
+		traceOut   = flag.String("trace-out", "", "directory for per-solve convergence traces (one JSONL file per load point)")
+		metricsOut = flag.String("metrics-out", "", "write sweep metrics to this file (.json = JSON snapshot, anything else = Prometheus text)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 
@@ -75,6 +82,31 @@ func main() {
 		Model:      *model,
 		Opts:       opts,
 	}
+	var manifestFile *os.File
+	if *manifest != "" {
+		f, err := os.Create(*manifest)
+		if err != nil {
+			fatal(err)
+		}
+		manifestFile = f
+		sweep.Manifest = telemetry.NewManifestWriter(f)
+	}
+	if *traceOut != "" {
+		sink, err := telemetry.NewDirTraceSink(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		sweep.TraceSink = sink
+	}
+	var reg *telemetry.Registry
+	if *metricsOut != "" {
+		reg = telemetry.NewRegistry()
+		sweep.Metrics = reg
+	}
+	stopProf, err := telemetry.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
 	if !*quiet {
 		sweep.Progress = func(ev experiments.SweepProgress) {
 			note := ""
@@ -91,6 +123,19 @@ func main() {
 
 	start := time.Now()
 	results, err := sweep.RunPanels(context.Background(), panels)
+	if perr := stopProf(); perr != nil {
+		fatal(perr)
+	}
+	if manifestFile != nil {
+		if cerr := manifestFile.Close(); cerr != nil {
+			fatal(cerr)
+		}
+	}
+	if reg != nil {
+		if werr := reg.WriteFile(*metricsOut); werr != nil {
+			fatal(werr)
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -119,7 +164,9 @@ func main() {
 			if err := f.Close(); err != nil {
 				fatal(err)
 			}
-			fmt.Printf("wrote %s\n", path)
+			// Status lines go to stderr so stdout stays clean for piping
+			// (the CSV itself goes to files; tables/plots to stdout).
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 			continue
 		}
 		if err := experiments.WriteTable(os.Stdout, title, points); err != nil {

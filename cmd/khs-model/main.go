@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"kncube"
+	"kncube/internal/telemetry"
 )
 
 func main() {
@@ -31,7 +32,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("khs-model", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -47,6 +48,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		sat    = fs.Bool("saturation", false, "locate the saturation rate by bisection")
 		worst  = fs.Bool("worst-case-entrance", false, "use the worst-case entrance policy (ablation A)")
 		paperB = fs.Bool("paper-blocking", false, "use the per-VC M/G/1 blocking form of Eq. 26 (ablation B)")
+		// Observability (DESIGN.md §7).
+		traceOut   = fs.String("trace-out", "", "directory for per-solve convergence traces (one JSONL file per solve)")
+		metricsOut = fs.String("metrics-out", "", "write solver metrics to this file (.json = JSON snapshot, anything else = Prometheus text)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file")
 		// Deprecated aliases, kept for compatibility with pre-registry
 		// invocations.
 		bi      = fs.Bool("bidirectional", false, "deprecated: alias for -model bidirectional-2d")
@@ -98,10 +104,82 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return kncube.ModelSpec{K: *k, Dims: *n, V: *v, Lm: *lm, H: *h, Lambda: lam}
 	}
 
+	var sink *telemetry.DirTraceSink
+	if *traceOut != "" {
+		var err error
+		if sink, err = telemetry.NewDirTraceSink(*traceOut); err != nil {
+			return err
+		}
+	}
+	var reg *telemetry.Registry
+	if *metricsOut != "" {
+		reg = telemetry.NewRegistry()
+	}
+	stopProf, err := telemetry.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if reg != nil {
+			if werr := reg.WriteFile(*metricsOut); werr != nil && retErr == nil {
+				retErr = werr
+			}
+		}
+		if perr := stopProf(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
+
+	// solve wraps kncube.Solve with the observability hooks: a convergence
+	// trace per solve (when -trace-out is set) and khs_model_* metrics
+	// (when -metrics-out is set).
+	solve := func(label string, lam float64) (*kncube.SolveResult, error) {
+		o := opts
+		var done func() error
+		if sink != nil {
+			var hook func(kncube.TraceRecord)
+			hook, done = sink.Solve(label)
+			prev := o.FixPoint.Trace
+			o.FixPoint.Trace = func(tr kncube.TraceRecord) {
+				if prev != nil {
+					prev(tr)
+				}
+				hook(tr)
+			}
+		}
+		r, err := kncube.Solve(name, spec(lam), o)
+		if done != nil {
+			if terr := done(); terr != nil && err == nil {
+				err = terr
+			}
+		}
+		if reg != nil {
+			outcome := "ok"
+			switch {
+			case errors.Is(err, kncube.ErrSaturated):
+				outcome = "saturated"
+			case err != nil:
+				outcome = "error"
+			}
+			reg.Counter("khs_model_solves_total", "analytical solves by outcome",
+				telemetry.Labels{"model": name, "outcome": outcome}).Inc()
+			if r != nil {
+				reg.Histogram("khs_model_iterations", "fixed-point iterations per converged solve",
+					nil, telemetry.ExponentialBuckets(1, 2, 12)).
+					Observe(float64(r.Convergence.Iterations))
+				reg.Gauge("khs_model_residual", "final residual of the last converged solve", nil).
+					Set(r.Convergence.Residual)
+			}
+		}
+		return r, err
+	}
+
 	switch {
 	case *sat:
+		probe := 0
 		rate, err := kncube.SaturationLambda(func(lam float64) error {
-			_, err := kncube.Solve(name, spec(lam), opts)
+			probe++
+			_, err := solve(fmt.Sprintf("sat-%s-probe%03d", name, probe), lam)
 			return err
 		}, 1e-8, 0, 1e-4)
 		if err != nil {
@@ -112,7 +190,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, "lambda,latency,regular,hot,ws,vbar,iterations")
 		for i := 1; i <= *points; i++ {
 			lam := *sweep * float64(i) / float64(*points)
-			r, err := kncube.Solve(name, spec(lam), opts)
+			r, err := solve(fmt.Sprintf("sweep-%s-lam%02d", name, i), lam)
 			if errors.Is(err, kncube.ErrSaturated) {
 				fmt.Fprintf(stdout, "%.6g,saturated,,,,,\n", lam)
 				continue
@@ -124,7 +202,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 				lam, r.Latency, r.Regular, r.Hot, r.SourceWait, r.VBar, r.Convergence.Iterations)
 		}
 	default:
-		r, err := kncube.Solve(name, spec(*lambda), opts)
+		r, err := solve(fmt.Sprintf("point-%s", name), *lambda)
 		if err != nil {
 			return err
 		}

@@ -1,7 +1,12 @@
 package main
 
 import (
+	"encoding/json"
+	"fmt"
+	"os"
+
 	"bytes"
+	"kncube/internal/telemetry"
 	"strconv"
 	"strings"
 	"testing"
@@ -135,5 +140,137 @@ func TestUnknownModel(t *testing.T) {
 	_, _, err := runCLI(t, "-model", "no-such-model", "-lambda", "1e-4")
 	if err == nil || !strings.Contains(err.Error(), "unknown solver") {
 		t.Fatalf("want unknown-solver error, got %v", err)
+	}
+}
+
+// TestTraceOutWritesConvergenceTraces drives every mode with -trace-out and
+// checks one JSONL trace per solve appears, with iteration counts matching
+// the CSV the sweep mode prints.
+func TestTraceOutWritesConvergenceTraces(t *testing.T) {
+	dir := t.TempDir()
+	out, _, err := runCLI(t,
+		"-k", "8", "-lm", "16", "-h", "0.1",
+		"-sweep", "2e-4", "-points", "3", "-trace-out", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := telemetry.NewDirTraceSink(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")[1:]
+	if len(lines) != 3 {
+		t.Fatalf("want 3 sweep lines, got %d", len(lines))
+	}
+	for i, ln := range lines {
+		recs, err := telemetry.ReadConvergenceTrace(
+			sink.Path(fmt.Sprintf("sweep-hotspot-2d-lam%02d", i+1)))
+		if err != nil {
+			t.Fatalf("trace for point %d: %v", i+1, err)
+		}
+		if len(recs) == 0 {
+			t.Fatalf("empty trace for point %d", i+1)
+		}
+		fields := strings.Split(ln, ",")
+		iters, err := strconv.Atoi(fields[len(fields)-1])
+		if err != nil {
+			t.Fatalf("bad iterations field in %q: %v", ln, err)
+		}
+		if last := recs[len(recs)-1]; last.Iteration != iters {
+			t.Errorf("point %d: trace ends at iteration %d, CSV says %d",
+				i+1, last.Iteration, iters)
+		}
+	}
+}
+
+// TestTraceOutSingleAndSaturation covers the point and bisection modes.
+func TestTraceOutSingleAndSaturation(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := runCLI(t,
+		"-k", "8", "-lm", "16", "-h", "0.1", "-lambda", "1e-4",
+		"-trace-out", dir); err != nil {
+		t.Fatal(err)
+	}
+	sink, err := telemetry.NewDirTraceSink(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(sink.Path("point-hotspot-2d")); err != nil {
+		t.Errorf("point-mode trace missing: %v", err)
+	}
+
+	satDir := t.TempDir()
+	if _, _, err := runCLI(t,
+		"-k", "8", "-lm", "16", "-h", "0.1", "-saturation",
+		"-trace-out", satDir); err != nil {
+		t.Fatal(err)
+	}
+	probes, err := os.ReadDir(satDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probes) < 2 {
+		t.Errorf("bisection wrote %d probe traces, want several", len(probes))
+	}
+}
+
+// TestMetricsOutFormats checks -metrics-out writes the solve counters in
+// both exposition formats, chosen by extension.
+func TestMetricsOutFormats(t *testing.T) {
+	dir := t.TempDir()
+	prom := dir + "/m.prom"
+	if _, _, err := runCLI(t,
+		"-k", "8", "-lm", "16", "-h", "0.1",
+		"-sweep", "2e-4", "-points", "3", "-metrics-out", prom); err != nil {
+		t.Fatal(err)
+	}
+	pb, err := os.ReadFile(prom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`khs_model_solves_total{model="hotspot-2d",outcome="ok"} 3`,
+		"khs_model_iterations_count 3",
+		"khs_model_residual ",
+	} {
+		if !strings.Contains(string(pb), want) {
+			t.Errorf("Prometheus metrics missing %q:\n%s", want, pb)
+		}
+	}
+
+	jsonPath := dir + "/m.json"
+	if _, _, err := runCLI(t,
+		"-k", "8", "-lm", "16", "-h", "0.1", "-lambda", "1e-4",
+		"-metrics-out", jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	jb, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(jb, &snap); err != nil {
+		t.Fatalf("-metrics-out .json is not a JSON snapshot: %v", err)
+	}
+}
+
+// TestProfileFlagsWriteFiles checks -cpuprofile/-memprofile produce
+// non-empty pprof files.
+func TestProfileFlagsWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := dir+"/cpu.pprof", dir+"/mem.pprof"
+	if _, _, err := runCLI(t,
+		"-k", "8", "-lm", "16", "-h", "0.1", "-sweep", "2e-4", "-points", "5",
+		"-cpuprofile", cpu, "-memprofile", mem); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
 	}
 }

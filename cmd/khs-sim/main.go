@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"kncube"
+	"kncube/internal/telemetry"
 )
 
 func main() {
@@ -28,6 +29,10 @@ func main() {
 		measured = flag.Int64("measured", 5000, "minimum measured messages")
 		eject    = flag.Bool("ejection-contention", false, "model a single 1-flit/cycle ejection channel")
 		pattern  = flag.String("pattern", "hotspot", "traffic pattern: hotspot, uniform, transpose, bitreversal")
+		// Observability (DESIGN.md §7).
+		metricsOut = flag.String("metrics-out", "", "write khs_sim_* metrics to this file (.json = JSON snapshot, anything else = Prometheus text)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 
@@ -53,19 +58,37 @@ func main() {
 		fatal(fmt.Errorf("unknown pattern %q", *pattern))
 	}
 
-	nw, err := kncube.NewSimulator(kncube.SimConfig{
+	var reg *kncube.MetricsRegistry
+	cfg := kncube.SimConfig{
 		K: *k, Dims: *n, VCs: *v, MsgLen: *lm,
 		Lambda: *lambda, Pattern: pat, Seed: *seed,
 		EjectionContention: *eject,
-	})
+	}
+	if *metricsOut != "" {
+		reg = kncube.NewMetricsRegistry()
+		cfg.Collector = kncube.NewSimCollector(reg)
+	}
+	nw, err := kncube.NewSimulator(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	stopProf, err := telemetry.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
 		fatal(err)
 	}
 	res, err := nw.Run(kncube.SimRunOptions{
 		WarmupCycles: *warmup, MaxCycles: *cycles, MinMeasured: *measured,
 	})
+	if perr := stopProf(); perr != nil {
+		fatal(perr)
+	}
 	if err != nil {
 		fatal(err)
+	}
+	if reg != nil {
+		if werr := reg.WriteFile(*metricsOut); werr != nil {
+			fatal(werr)
+		}
 	}
 	fmt.Printf("pattern            %s\n", pat)
 	fmt.Printf("mean latency       %10.2f ± %.2f cycles (95%% CI)\n", res.MeanLatency, res.CI95)

@@ -5,6 +5,7 @@ import (
 
 	"kncube/internal/analysis/analysistest"
 	"kncube/internal/analysis/khslint"
+	"kncube/internal/analysis/load"
 )
 
 // TestRepoIsLintClean is the dogfood gate: the whole module (tests
@@ -20,6 +21,36 @@ func TestRepoIsLintClean(t *testing.T) {
 	}
 	for _, d := range diags {
 		t.Errorf("%s", d)
+	}
+}
+
+// TestLintGateCoversObservabilityPackages pins the package set behind the
+// "./..." pattern TestRepoIsLintClean relies on: if a build tag, module
+// boundary, or loader regression silently dropped the telemetry layer (or
+// any other instrumented package) from the load, the repo-clean gate would
+// pass vacuously. Listing the packages here makes that failure loud.
+func TestLintGateCoversObservabilityPackages(t *testing.T) {
+	root := analysistest.ModuleRoot(t)
+	pkgs, err := load.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("load.Load: %v", err)
+	}
+	loaded := map[string]bool{}
+	for _, p := range pkgs {
+		loaded[p.ImportPath] = true
+	}
+	for _, want := range []string{
+		"kncube",
+		"kncube/internal/telemetry",
+		"kncube/internal/sim",
+		"kncube/internal/experiments",
+		"kncube/cmd/khs-sim",
+		"kncube/cmd/khs-model",
+		"kncube/cmd/khs-figures",
+	} {
+		if !loaded[want] {
+			t.Errorf("lint gate does not cover %s (not in the ./... load)", want)
+		}
 	}
 }
 

@@ -118,13 +118,21 @@ func RunModel(p Panel, lambda float64, opts core.Options) (float64, error) {
 // "hypercube" with K = 16, or "uniform" with H > 0) fail with the
 // factory's error.
 func RunNamedModel(model string, p Panel, lambda float64, opts core.Options) (float64, error) {
-	res, err := core.Solve(model, core.Spec{
-		K: p.K, Dims: 2, V: p.V, Lm: p.Lm, H: p.H, Lambda: lambda,
-	}, opts)
+	res, err := SolveNamedModel(model, p, lambda, opts)
 	if err != nil {
 		return math.NaN(), err
 	}
 	return res.Latency, nil
+}
+
+// SolveNamedModel is RunNamedModel returning the full solve result —
+// latency decomposition and convergence diagnostics — for callers that
+// record manifests or traces. On error (including core.ErrSaturated) the
+// result is nil.
+func SolveNamedModel(model string, p Panel, lambda float64, opts core.Options) (*core.SolveResult, error) {
+	return core.Solve(model, core.Spec{
+		K: p.K, Dims: 2, V: p.V, Lm: p.Lm, H: p.H, Lambda: lambda,
+	}, opts)
 }
 
 // simBidirectional maps a model-variant name to the simulator channel

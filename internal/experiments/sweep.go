@@ -12,8 +12,10 @@ import (
 	"time"
 
 	"kncube/internal/core"
+	"kncube/internal/fixpoint"
 	"kncube/internal/sim"
 	"kncube/internal/stats"
+	"kncube/internal/telemetry"
 )
 
 // JobSeed derives the deterministic simulator seed for one sweep job from
@@ -86,6 +88,47 @@ type Sweep struct {
 	// simulation job (from worker goroutines, under the engine's lock —
 	// keep it light).
 	Progress func(SweepProgress)
+	// TraceSink, when non-nil, receives one convergence trace per analytical
+	// solve (the replication-0 model evaluation of each load point),
+	// labelled "<panelID>-lam<idx>". Sinks must be safe for concurrent
+	// Solve calls (both telemetry sinks are).
+	TraceSink telemetry.TraceSink
+	// Manifest, when non-nil, receives one RunManifest record per
+	// simulation job. Record order follows job completion, not axis order;
+	// the (panel, lambda_idx, rep) fields identify each record.
+	Manifest *telemetry.ManifestWriter
+	// Metrics, when non-nil, accrues sweep-level telemetry:
+	// khs_sweep_jobs_total{outcome} and the khs_sweep_job_seconds histogram.
+	Metrics *telemetry.Registry
+}
+
+// RunManifest is one line of the sweep's JSONL run manifest: the complete
+// identity (derived seed included) and outcome of one simulation job, plus —
+// on replication-0 records — the analytical solve that shares the load
+// point. It is the record needed to re-run or audit any single job.
+type RunManifest struct {
+	Panel     string  `json:"panel"`
+	Lambda    float64 `json:"lambda"`
+	LambdaIdx int     `json:"lambda_idx"`
+	Rep       int     `json:"rep"`
+	Seed      int64   `json:"seed"`
+	Model     string  `json:"model"`
+	// WallSeconds is the simulation job's wall-clock time.
+	WallSeconds float64 `json:"wall_seconds"`
+	Cycles      int64   `json:"cycles"`
+	Measured    int64   `json:"measured"`
+	Steady      bool    `json:"steady"`
+	// Outcome is "ok", "saturated" (the backlog-growth heuristic fired) or
+	// "error"; Error carries the message for "error" records.
+	Outcome string `json:"outcome"`
+	Error   string `json:"error,omitempty"`
+	// Model solve fields, set on replication-0 records only. ModelOutcome
+	// is "ok", "saturated" (core.ErrSaturated) or "error"; ModelLatency is
+	// omitted unless the solve succeeded (JSON has no NaN).
+	ModelOutcome    string  `json:"model_outcome,omitempty"`
+	ModelLatency    float64 `json:"model_latency,omitempty"`
+	ModelIterations int     `json:"model_iterations,omitempty"`
+	ModelError      string  `json:"model_error,omitempty"`
 }
 
 // PanelResult pairs a panel with its swept points.
@@ -232,15 +275,37 @@ func (s Sweep) runJob(ctx context.Context, p Panel, jb sweepJob, reps, total int
 	if model == "" {
 		model = DefaultModel
 	}
+	rec := RunManifest{
+		Panel: p.ID, Lambda: lam, LambdaIdx: jb.point, Rep: jb.rep,
+		Model: model,
+	}
+	writeManifest := func() {
+		if s.Manifest != nil {
+			if err := s.Manifest.Write(rec); err != nil {
+				fail(fmt.Errorf("experiments: manifest %s lambda=%g rep %d: %w",
+					p.ID, lam, jb.rep, err))
+			}
+		}
+		if s.Metrics != nil {
+			s.Metrics.Counter("khs_sweep_jobs_total", "sweep simulation jobs by outcome",
+				telemetry.Labels{"outcome": rec.Outcome}).Inc()
+			s.Metrics.Histogram("khs_sweep_job_seconds", "wall-clock time per simulation job",
+				nil, telemetry.ExponentialBuckets(0.01, 4, 10)).Observe(rec.WallSeconds)
+		}
+	}
+
 	if jb.rep == 0 {
-		m, err := RunNamedModel(model, p, lam, s.Opts)
+		res, err := s.solveModel(model, p, lam, jb.point, &rec)
 		switch {
 		case err == nil:
-			modelVal[jb.panel][jb.point] = m
+			modelVal[jb.panel][jb.point] = res.Latency
 		case errors.Is(err, core.ErrSaturated):
 			modelVal[jb.panel][jb.point] = math.NaN()
 			modelSat[jb.panel][jb.point] = true
 		default:
+			rec.Outcome = "error"
+			rec.Error = err.Error()
+			writeManifest()
 			fail(fmt.Errorf("experiments: model %s lambda=%g: %w", p.ID, lam, err))
 			return
 		}
@@ -248,22 +313,34 @@ func (s Sweep) runJob(ctx context.Context, p Panel, jb sweepJob, reps, total int
 
 	budget := s.Budget
 	budget.Seed = JobSeed(s.Budget.Seed, p.ID, jb.point, jb.rep)
+	rec.Seed = budget.Seed
 	jctx := ctx
 	if s.JobTimeout > 0 {
 		var jcancel context.CancelFunc
 		jctx, jcancel = context.WithTimeout(ctx, s.JobTimeout)
 		defer jcancel()
 	}
+	simStart := time.Now()
 	res, err := RunSimModelContext(jctx, model, p, lam, budget)
+	rec.WallSeconds = time.Since(simStart).Seconds()
 	if err != nil {
 		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
 			return // sweep-wide cancellation; the caller reports ctx's error
 		}
+		rec.Outcome = "error"
+		rec.Error = err.Error()
+		writeManifest()
 		fail(fmt.Errorf("experiments: sim %s lambda=%g rep %d (seed %d): %w",
 			p.ID, lam, jb.rep, budget.Seed, err))
 		return
 	}
 	simRes[jb.panel][jb.point][jb.rep] = res
+	rec.Cycles, rec.Measured, rec.Steady = res.Cycles, res.Measured, res.Steady
+	rec.Outcome = "ok"
+	if res.Saturated {
+		rec.Outcome = "saturated"
+	}
+	writeManifest()
 
 	mu.Lock()
 	*done++
@@ -274,4 +351,49 @@ func (s Sweep) runJob(ctx context.Context, p Panel, jb sweepJob, reps, total int
 		})
 	}
 	mu.Unlock()
+}
+
+// solveModel runs the analytical model for one load point, wiring the
+// sweep's trace sink into the fixed-point iteration and filling rec's
+// model fields. The trace label is "<panelID>-lam<idx>", matching the file
+// name DirTraceSink derives.
+func (s Sweep) solveModel(model string, p Panel, lam float64, lambdaIdx int, rec *RunManifest) (*core.SolveResult, error) {
+	opts := s.Opts
+	iterations := 0
+	prev := opts.FixPoint.Trace
+	var hook func(fixpoint.TraceRecord)
+	var traceDone func() error
+	if s.TraceSink != nil {
+		hook, traceDone = s.TraceSink.Solve(fmt.Sprintf("%s-lam%02d", p.ID, lambdaIdx))
+	}
+	opts.FixPoint.Trace = func(tr fixpoint.TraceRecord) {
+		iterations = tr.Iteration
+		if prev != nil {
+			prev(tr)
+		}
+		if hook != nil {
+			hook(tr)
+		}
+	}
+	res, err := SolveNamedModel(model, p, lam, opts)
+	if traceDone != nil {
+		if terr := traceDone(); terr != nil && err == nil {
+			err = fmt.Errorf("experiments: trace %s-lam%02d: %w", p.ID, lambdaIdx, terr)
+		}
+	}
+	switch {
+	case err == nil:
+		rec.ModelOutcome = "ok"
+		rec.ModelLatency = res.Latency
+		rec.ModelIterations = res.Convergence.Iterations
+	case errors.Is(err, core.ErrSaturated):
+		rec.ModelOutcome = "saturated"
+		rec.ModelIterations = iterations
+		rec.ModelError = err.Error()
+	default:
+		rec.ModelOutcome = "error"
+		rec.ModelIterations = iterations
+		rec.ModelError = err.Error()
+	}
+	return res, err
 }

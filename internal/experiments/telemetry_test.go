@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"testing"
+
+	"kncube/internal/core"
+	"kncube/internal/fixpoint"
+	"kncube/internal/stats"
+	"kncube/internal/telemetry"
+)
+
+// TestSweepManifestRoundTrip runs a real sweep with a manifest writer and
+// checks the JSONL records identify every job and agree with the sweep's
+// own results.
+func TestSweepManifestRoundTrip(t *testing.T) {
+	p := sweepTestPanel()
+	var buf bytes.Buffer
+	reg := telemetry.NewRegistry()
+	s := Sweep{
+		Jobs: 4, Reps: 2, Budget: sweepTestBudget(),
+		Manifest: telemetry.NewManifestWriter(&buf),
+		Metrics:  reg,
+	}
+	res, err := s.RunPanels(context.Background(), []Panel{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := telemetry.ReadJSONL[RunManifest](&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJobs := len(p.Lambdas) * 2
+	if len(recs) != wantJobs {
+		t.Fatalf("got %d manifest records, want %d", len(recs), wantJobs)
+	}
+	seen := map[string]bool{}
+	for _, r := range recs {
+		if r.Panel != p.ID || r.Model != DefaultModel {
+			t.Errorf("record identity %+v", r)
+		}
+		if r.Seed != JobSeed(s.Budget.Seed, p.ID, r.LambdaIdx, r.Rep) {
+			t.Errorf("record seed %d does not match JobSeed for (%d, %d)",
+				r.Seed, r.LambdaIdx, r.Rep)
+		}
+		if r.Outcome != "ok" && r.Outcome != "saturated" {
+			t.Errorf("outcome %q for lambda_idx=%d rep=%d", r.Outcome, r.LambdaIdx, r.Rep)
+		}
+		if r.WallSeconds <= 0 || r.Cycles <= 0 {
+			t.Errorf("degenerate timing in %+v", r)
+		}
+		key := fmt.Sprintf("%d/%d", r.LambdaIdx, r.Rep)
+		if seen[key] {
+			t.Errorf("duplicate record %s", key)
+		}
+		seen[key] = true
+		if r.Rep == 0 {
+			if r.ModelOutcome != "ok" {
+				t.Errorf("model outcome %q at lambda_idx %d", r.ModelOutcome, r.LambdaIdx)
+			}
+			if r.ModelIterations <= 0 {
+				t.Errorf("model iterations %d at lambda_idx %d", r.ModelIterations, r.LambdaIdx)
+			}
+			if !stats.ApproxEqual(r.ModelLatency, res[0].Points[r.LambdaIdx].Model, 1e-9, 1e-12) {
+				t.Errorf("manifest model latency %v != sweep point %v",
+					r.ModelLatency, res[0].Points[r.LambdaIdx].Model)
+			}
+		} else if r.ModelOutcome != "" {
+			t.Errorf("rep %d carries model fields: %+v", r.Rep, r)
+		}
+	}
+	// Sweep metrics agree with the manifest.
+	var okCount int64
+	for _, r := range recs {
+		if r.Outcome == "ok" {
+			okCount++
+		}
+	}
+	if got := reg.Counter("khs_sweep_jobs_total", "", telemetry.Labels{"outcome": "ok"}).Value(); got != okCount {
+		t.Errorf("jobs counter = %d, manifest ok records = %d", got, okCount)
+	}
+	if got := reg.Histogram("khs_sweep_job_seconds", "", nil, nil).Count(); got != int64(len(recs)) {
+		t.Errorf("job-seconds histogram count = %d, manifest records = %d", got, len(recs))
+	}
+}
+
+// TestSweepTraceSinkMatchesConvergence wires a DirTraceSink through a sweep
+// and checks each trace file's last record agrees with the solver's own
+// Convergence summary — the invariant the fixpoint package guarantees.
+func TestSweepTraceSinkMatchesConvergence(t *testing.T) {
+	p := sweepTestPanel()
+	dir := t.TempDir()
+	sink, err := telemetry.NewDirTraceSink(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	s := Sweep{
+		Jobs: 2, Budget: sweepTestBudget(),
+		TraceSink: sink,
+		Manifest:  telemetry.NewManifestWriter(&buf),
+	}
+	if _, err := s.RunPanels(context.Background(), []Panel{p}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := telemetry.ReadJSONL[RunManifest](&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		label := fmt.Sprintf("%s-lam%02d", p.ID, r.LambdaIdx)
+		trace, err := telemetry.ReadConvergenceTrace(sink.Path(label))
+		if err != nil {
+			t.Fatalf("trace %s: %v", label, err)
+		}
+		if len(trace) == 0 {
+			t.Fatalf("empty trace for %s", label)
+		}
+		last := trace[len(trace)-1]
+		if last.Iteration != r.ModelIterations {
+			t.Errorf("%s: trace ends at iteration %d, manifest records %d",
+				label, last.Iteration, r.ModelIterations)
+		}
+		if last.Solve != label {
+			t.Errorf("%s: trace labelled %q", label, last.Solve)
+		}
+		// Direct solve cross-check: same panel point, fresh options.
+		res, err := SolveNamedModel(DefaultModel, p, p.Lambdas[r.LambdaIdx], core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if last.Iteration != res.Convergence.Iterations {
+			t.Errorf("%s: trace iterations %d != Convergence.Iterations %d",
+				label, last.Iteration, res.Convergence.Iterations)
+		}
+		if !stats.ApproxEqual(last.Residual, res.Convergence.Residual, 1e-12, 1e-9) {
+			t.Errorf("%s: trace residual %v != Convergence.Residual %v",
+				label, last.Residual, res.Convergence.Residual)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(p.Lambdas) {
+		t.Errorf("%d trace files for %d load points", len(entries), len(p.Lambdas))
+	}
+}
+
+// TestSweepTraceSinkPreservesCallerTrace checks the sweep chains, rather
+// than replaces, a caller-supplied fixpoint trace callback.
+func TestSweepTraceSinkPreservesCallerTrace(t *testing.T) {
+	p := sweepTestPanel()
+	p.Lambdas = p.Lambdas[:1]
+	callerRecords := 0
+	opts := core.Options{}
+	opts.FixPoint.Trace = func(fixpoint.TraceRecord) { callerRecords++ }
+	var buf bytes.Buffer
+	s := Sweep{Jobs: 1, Budget: sweepTestBudget(), Opts: opts,
+		TraceSink: telemetry.NewStreamTraceSink(&buf)}
+	if _, err := s.RunPanels(context.Background(), []Panel{p}); err != nil {
+		t.Fatal(err)
+	}
+	sinkRecords, err := telemetry.ReadJSONL[telemetry.ConvergenceRecord](&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if callerRecords == 0 {
+		t.Fatalf("caller trace was dropped")
+	}
+	if callerRecords != len(sinkRecords) {
+		t.Errorf("caller saw %d records, sink %d", callerRecords, len(sinkRecords))
+	}
+}

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"strconv"
+	"time"
+
+	"kncube/internal/stats"
+	"kncube/internal/telemetry"
+)
+
+// Collector receives the simulator's instrumentation events. A nil
+// Config.Collector compiles to no-ops: every call site is guarded by a
+// single nil check, so the uninstrumented hot path pays one predictable
+// branch per event (the nil-vs-telemetry benchmark in collector_test.go
+// tracks the cost). Implementations must be cheap — the per-message
+// methods run inside the simulation loop — and must not retain RunStats'
+// slices past the call.
+type Collector interface {
+	// MessageInjected is called once per generated message with the source
+	// queue depth observed just after the message entered the queue.
+	MessageInjected(queueDepth int)
+	// MessageDelivered is called once per delivered message (warm-up
+	// included) with the end-to-end latency, the cycles the message's
+	// header spent blocked waiting for a downstream virtual channel, and
+	// the source-queue waiting time, all in cycles.
+	MessageDelivered(latency, blocked, sourceWait int64)
+	// MessageDrained is called, in addition to MessageDelivered, for
+	// messages delivered during a Drain call.
+	MessageDrained()
+	// VCOccupancy reports one multiplexing sample: the number of busy
+	// virtual channels observed on a busy physical channel.
+	VCOccupancy(busyVCs int)
+	// RunEnd is called once at the end of every Run with the run's
+	// aggregate statistics.
+	RunEnd(RunStats)
+}
+
+// RunStats carries the end-of-run aggregates delivered to Collector.RunEnd.
+// Slices and pointers are borrowed views into the network's state; copy
+// anything retained past the call.
+type RunStats struct {
+	// Cycles is the total number of cycles simulated on this network,
+	// RunCycles the cycles simulated by this Run call, and Wall the
+	// call's wall-clock duration (so RunCycles/Wall is the engine's
+	// cycles/sec throughput).
+	Cycles, RunCycles int64
+	Wall              time.Duration
+	// Injected, Delivered and Measured are the network's message counters.
+	Injected, Delivered, Measured int64
+	// ChannelFlits is the per-channel flit count, indexed node*Outputs+ch.
+	ChannelFlits []int64
+	Outputs      int
+	// Latency is the 1-cycle-resolution latency histogram over measured
+	// messages.
+	Latency *stats.Histogram
+}
+
+// metric names exported by the telemetry-backed collector; DESIGN.md §7
+// holds the full inventory and the khs_<layer>_<name>_<unit> convention.
+const (
+	metricInjected    = "khs_sim_messages_injected_total"
+	metricDelivered   = "khs_sim_messages_delivered_total"
+	metricDrained     = "khs_sim_messages_drained_total"
+	metricBlocking    = "khs_sim_blocking_cycles"
+	metricQueueDepth  = "khs_sim_source_queue_depth"
+	metricSourceWait  = "khs_sim_source_wait_cycles"
+	metricLatency     = "khs_sim_latency_cycles"
+	metricVCBusy      = "khs_sim_vc_busy_per_channel"
+	metricCycles      = "khs_sim_cycles_total"
+	metricCyclesPerS  = "khs_sim_cycles_per_second"
+	metricChanFlits   = "khs_sim_channel_flits_total"
+	metricChanUtil    = "khs_sim_channel_utilisation_ratio"
+	metricChanUtilMax = "khs_sim_channel_utilisation_max_ratio"
+)
+
+// telemetryCollector records the simulator's events into a telemetry
+// registry. Handles for the hot-path metrics are resolved once at
+// construction; the per-channel series are only materialised at RunEnd.
+type telemetryCollector struct {
+	reg        *telemetry.Registry
+	injected   *telemetry.Counter
+	delivered  *telemetry.Counter
+	drained    *telemetry.Counter
+	blocking   *telemetry.Histogram
+	queueDepth *telemetry.Histogram
+	sourceWait *telemetry.Histogram
+	vcBusy     *telemetry.Histogram
+	cycles     *telemetry.Counter
+	lastCycles int64
+}
+
+// NewTelemetryCollector returns a Collector recording into reg under the
+// khs_sim_* metric names. One collector instruments one network; share the
+// registry, not the collector, to aggregate several networks into one
+// exposition.
+func NewTelemetryCollector(reg *telemetry.Registry) Collector {
+	cycleBuckets := telemetry.ExponentialBuckets(1, 2, 20) // 1 .. ~5e5 cycles
+	return &telemetryCollector{
+		reg:       reg,
+		injected:  reg.Counter(metricInjected, "messages generated into source queues", nil),
+		delivered: reg.Counter(metricDelivered, "messages fully consumed at their destination", nil),
+		drained:   reg.Counter(metricDrained, "messages delivered during a Drain call", nil),
+		blocking: reg.Histogram(metricBlocking,
+			"per-message cycles the header spent blocked waiting for a downstream virtual channel",
+			nil, cycleBuckets),
+		queueDepth: reg.Histogram(metricQueueDepth,
+			"source queue depth sampled at each message generation",
+			nil, telemetry.ExponentialBuckets(1, 2, 14)),
+		sourceWait: reg.Histogram(metricSourceWait,
+			"per-message cycles spent waiting in the source queue",
+			nil, cycleBuckets),
+		vcBusy: reg.Histogram(metricVCBusy,
+			"busy virtual channels per busy physical channel (sampled)",
+			nil, telemetry.LinearBuckets(1, 1, 8)),
+		cycles: reg.Counter(metricCycles, "simulated network cycles", nil),
+	}
+}
+
+func (t *telemetryCollector) MessageInjected(queueDepth int) {
+	t.injected.Inc()
+	t.queueDepth.Observe(float64(queueDepth))
+}
+
+func (t *telemetryCollector) MessageDelivered(latency, blocked, sourceWait int64) {
+	t.delivered.Inc()
+	t.blocking.Observe(float64(blocked))
+	t.sourceWait.Observe(float64(sourceWait))
+}
+
+func (t *telemetryCollector) MessageDrained() { t.drained.Inc() }
+
+func (t *telemetryCollector) VCOccupancy(busyVCs int) {
+	t.vcBusy.Observe(float64(busyVCs))
+}
+
+func (t *telemetryCollector) RunEnd(rs RunStats) {
+	t.cycles.Add(rs.Cycles - t.lastCycles)
+	t.lastCycles = rs.Cycles
+	if secs := rs.Wall.Seconds(); secs > 0 {
+		t.reg.Gauge(metricCyclesPerS, "simulation throughput of the last Run call", nil).
+			Set(float64(rs.RunCycles) / secs)
+	}
+	// The measured latency distribution is folded in post-hoc from the
+	// engine's exact 1-cycle histogram (each stats bucket is recorded at
+	// its upper edge), so the hot path never pays a second histogram.
+	if rs.Latency != nil {
+		lat := t.reg.Histogram(metricLatency,
+			"end-to-end latency of measured messages (folded from the engine histogram at bucket upper edges)",
+			nil, telemetry.ExponentialBuckets(1, 2, 20))
+		rs.Latency.ForEachBucket(func(upper float64, count int64) {
+			lat.ObserveN(upper, count)
+		})
+	}
+	var maxUtil float64
+	for node := 0; node < len(rs.ChannelFlits)/rs.Outputs; node++ {
+		for ch := 0; ch < rs.Outputs; ch++ {
+			flits := rs.ChannelFlits[node*rs.Outputs+ch]
+			labels := telemetry.Labels{
+				"node":    strconv.Itoa(node),
+				"channel": strconv.Itoa(ch),
+			}
+			c := t.reg.Counter(metricChanFlits, "flits moved per output channel", labels)
+			c.Add(flits - c.Value())
+			if rs.Cycles > 0 {
+				util := float64(flits) / float64(rs.Cycles)
+				t.reg.Gauge(metricChanUtil,
+					"fraction of cycles each channel spent moving a flit", labels).Set(util)
+				if util > maxUtil {
+					maxUtil = util
+				}
+			}
+		}
+	}
+	if rs.Cycles > 0 {
+		t.reg.Gauge(metricChanUtilMax, "busiest channel's flit rate", nil).Set(maxUtil)
+	}
+}

@@ -101,6 +101,11 @@ type Config struct {
 	// CheckInvariants enables internal consistency checks that panic on
 	// violation (testing aid).
 	CheckInvariants bool
+	// Collector, when non-nil, receives instrumentation events (injections,
+	// deliveries, blocking, VC occupancy, end-of-run aggregates). nil — the
+	// default — leaves the hot path uninstrumented; see Collector and
+	// NewTelemetryCollector.
+	Collector Collector
 }
 
 // withDefaults fills derived defaults without mutating c.

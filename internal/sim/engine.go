@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"kncube/internal/stats"
 )
@@ -68,6 +69,8 @@ func (nw *Network) Run(opts RunOptions) (Result, error) {
 		return Result{}, err
 	}
 	opts = opts.withDefaults()
+	wallStart := time.Now()
+	cyclesAtStart := nw.cycle
 	nw.measureFrom = nw.cycle + opts.WarmupCycles
 	nw.measuring = false
 	nw.batch = stats.NewBatchMeans(opts.BatchSize, opts.Window, opts.RelTol)
@@ -147,6 +150,19 @@ func (nw *Network) Run(opts RunOptions) (Result, error) {
 	if nw.busyChanSamples > 0 {
 		res.VCMultiplexing = float64(nw.busyVCCt) / float64(nw.busyChanSamples)
 	}
+	if nw.coll != nil {
+		nw.coll.RunEnd(RunStats{
+			Cycles:       nw.cycle,
+			RunCycles:    nw.cycle - cyclesAtStart,
+			Wall:         time.Since(wallStart),
+			Injected:     nw.injected,
+			Delivered:    nw.delivered,
+			Measured:     nw.measured,
+			ChannelFlits: nw.chanFlits,
+			Outputs:      nw.outputs,
+			Latency:      nw.latHist,
+		})
+	}
 	return res, nil
 }
 
@@ -158,6 +174,8 @@ func (nw *Network) Drain(maxCycles int64) bool {
 	if !nw.step.inited {
 		nw.initStep()
 	}
+	nw.draining = true
+	defer func() { nw.draining = false }()
 	horizon := nw.cycle + maxCycles + 1
 	for i := range nw.routers {
 		nw.routers[i].nextGen = horizon

@@ -26,6 +26,10 @@ type Message struct {
 
 	// Hops is the number of network channels the header crossed.
 	Hops int32
+	// Blocked counts the cycles the header flit was buffered and ready but
+	// failed to claim a downstream virtual channel (the blocking the
+	// analytical model prices into the mean waiting time).
+	Blocked int32
 	// Path, when Config.RecordPaths is set, lists the routers visited.
 	Path []topology.NodeID
 	// Measured marks messages generated after warm-up.

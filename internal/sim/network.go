@@ -93,6 +93,12 @@ type Network struct {
 	hopsTotal                 int64
 
 	delivCb func(*Message)
+
+	// coll receives instrumentation events; nil (the default) keeps the
+	// hot path uninstrumented. draining is set while Drain runs so the
+	// collector can distinguish drained deliveries.
+	coll     Collector
+	draining bool
 }
 
 // New builds a network from the configuration.
@@ -127,6 +133,7 @@ func New(cfg Config) (*Network, error) {
 		msgLen:  int32(cfg.MsgLen),
 		latHist: stats.NewHistogram(1),
 		batch:   stats.NewBatchMeans(500, 4, 0.05),
+		coll:    cfg.Collector,
 	}
 	nw.chanFlits = make([]int64, cube.Nodes()*outputs)
 	for i := range nw.routers {

@@ -169,6 +169,8 @@ func (nw *Network) allocate(r *router, cyc int64) {
 			if nw.downRouter(r.node, ch).in[ch][dv].msg == nil {
 				msg.Escaped = true
 				claim(ch, dv)
+			} else {
+				msg.Blocked++
 			}
 			continue
 		}
@@ -178,6 +180,8 @@ func (nw *Network) allocate(r *router, cyc int64) {
 			dv := nw.escapeVC(msg, r.node, ch)
 			if nw.downRouter(r.node, ch).in[ch][dv].msg == nil {
 				claim(ch, dv)
+			} else {
+				msg.Blocked++
 			}
 			continue
 		}
@@ -188,6 +192,9 @@ func (nw *Network) allocate(r *router, cyc int64) {
 				claim(ch, dv)
 				break
 			}
+		}
+		if in.outPort == noPort {
+			msg.Blocked++
 		}
 	}
 	if lastGrant >= 0 {
@@ -325,6 +332,9 @@ func (nw *Network) generate(r *router, cyc int64) {
 		nw.nextID++
 		nw.injected++
 		r.srcQ = append(r.srcQ, msg)
+		if nw.coll != nil {
+			nw.coll.MessageInjected(r.queueLen())
+		}
 		r.nextGen += int64(r.arr.Next(nw.rng))
 	}
 }
@@ -363,6 +373,12 @@ func (nw *Network) deliver(msg *Message, cyc int64) {
 	if nw.delivCb != nil {
 		nw.delivCb(msg)
 	}
+	if nw.coll != nil {
+		nw.coll.MessageDelivered(msg.Latency(), int64(msg.Blocked), msg.SourceWait())
+		if nw.draining {
+			nw.coll.MessageDrained()
+		}
+	}
 	if !msg.Measured {
 		return
 	}
@@ -399,6 +415,9 @@ func (nw *Network) sampleMultiplexing() {
 			if busy > 0 {
 				nw.busyChanSamples++
 				nw.busyVCCt += busy
+				if nw.coll != nil {
+					nw.coll.VCOccupancy(int(busy))
+				}
 			}
 		}
 	}

@@ -305,6 +305,18 @@ func (h *Histogram) Quantile(q float64) float64 {
 // Median is Quantile(0.5).
 func (h *Histogram) Median() float64 { return h.Quantile(0.5) }
 
+// ForEachBucket visits every non-empty bucket in increasing order, passing
+// its right edge and count. Exporters (e.g. the telemetry collector) use it
+// to fold the histogram into coarser fixed-bound schemes without access to
+// the raw observations.
+func (h *Histogram) ForEachBucket(f func(upper float64, count int64)) {
+	for i, c := range h.buckets {
+		if c > 0 {
+			f(float64(i+1)*h.Width, c)
+		}
+	}
+}
+
 // ApproxEqual reports whether a and b agree to within the combined
 // tolerance |a-b| <= abs + rel*max(|a|, |b|). It is the sanctioned way to
 // compare floating-point results in this repo (the floateq analyzer flags

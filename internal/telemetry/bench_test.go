@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"kncube/internal/stats"
+	"testing"
+	"time"
+)
+
+// BenchmarkTelemetryOverhead measures — and asserts — the cost of hot-path
+// recording: every sub-benchmark first proves the operation is
+// allocation-free (the contract the sim engine's instrumentation relies
+// on), then times it.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("khs_bench_total", "", nil)
+	g := r.Gauge("khs_bench_ratio", "", nil)
+	h := r.Histogram("khs_bench_cycles", "", nil, ExponentialBuckets(1, 2, 16))
+	tm := r.Timer("khs_bench_seconds", "", nil, ExponentialBuckets(1e-6, 10, 8))
+
+	assertAllocFree := func(b *testing.B, op func()) {
+		b.Helper()
+		if n := testing.AllocsPerRun(100, op); !stats.IsZero(n) {
+			b.Fatalf("recording allocates %v objects/op, want 0", n)
+		}
+	}
+
+	b.Run("counter", func(b *testing.B) {
+		assertAllocFree(b, func() { c.Inc() })
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("gauge", func(b *testing.B) {
+		assertAllocFree(b, func() { g.Set(1.5) })
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.Set(float64(i))
+		}
+	})
+	b.Run("histogram", func(b *testing.B) {
+		assertAllocFree(b, func() { h.Observe(137) })
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Observe(float64(i & 4095))
+		}
+	})
+	b.Run("timer", func(b *testing.B) {
+		assertAllocFree(b, func() { tm.Observe(3 * time.Millisecond) })
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tm.Observe(time.Duration(i) * time.Microsecond)
+		}
+	})
+}
+
+// TestRecordingAllocFree is the same contract as a plain test, so it runs
+// under the ordinary tier-1 `go test ./...` (benchmarks do not).
+func TestRecordingAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("khs_bench_total", "", nil)
+	h := r.Histogram("khs_bench_cycles", "", nil, ExponentialBuckets(1, 2, 16))
+	ops := map[string]func(){
+		"counter-inc":        func() { c.Inc() },
+		"counter-add":        func() { c.Add(3) },
+		"histogram-observe":  func() { h.Observe(17) },
+		"histogram-observen": func() { h.ObserveN(17, 5) },
+	}
+	for name, op := range ops {
+		if n := testing.AllocsPerRun(100, op); !stats.IsZero(n) {
+			t.Errorf("%s allocates %v objects/op, want 0", name, n)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// MetricSnapshot is one series of a Snapshot. Counter and gauge series
+// carry Value; histogram series carry Histogram instead.
+type MetricSnapshot struct {
+	Name      string             `json:"name"`
+	Type      MetricType         `json:"type"`
+	Help      string             `json:"help,omitempty"`
+	Labels    map[string]string  `json:"labels,omitempty"`
+	Value     float64            `json:"value"`
+	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// HistogramSnapshot is the point-in-time state of one histogram series.
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	// Sum is the sum of all observations.
+	Sum float64 `json:"sum"`
+	// Buckets are cumulative, in bound order; the last bucket's Le is
+	// "+Inf" (a string because JSON has no infinity).
+	Buckets []BucketSnapshot `json:"buckets"`
+}
+
+// BucketSnapshot is one cumulative histogram bucket.
+type BucketSnapshot struct {
+	Le    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// Snapshot is the registry's full state, in the stable order the text
+// exposition uses (families by name, series by label signature).
+type Snapshot struct {
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// Snapshot captures every registered series.
+func (r *Registry) Snapshot() Snapshot {
+	var snap Snapshot
+	for _, f := range r.view() {
+		for _, m := range f.metrics {
+			ms := MetricSnapshot{Name: f.name, Type: f.typ, Help: f.help}
+			if len(m.labels) > 0 {
+				ms.Labels = make(map[string]string, len(m.labels))
+				for _, p := range m.labels {
+					ms.Labels[p.key] = p.value
+				}
+			}
+			switch f.typ {
+			case TypeCounter:
+				ms.Value = float64(m.c.Value())
+			case TypeGauge:
+				ms.Value = m.g.Value()
+			case TypeHistogram:
+				hs := &HistogramSnapshot{Count: m.h.Count(), Sum: m.h.Sum()}
+				cum := m.h.Cumulative()
+				bounds := m.h.Bounds()
+				for i, c := range cum {
+					le := "+Inf"
+					if i < len(bounds) {
+						le = formatFloat(bounds[i])
+					}
+					hs.Buckets = append(hs.Buckets, BucketSnapshot{Le: le, Count: c})
+				}
+				ms.Histogram = hs
+			}
+			snap.Metrics = append(snap.Metrics, ms)
+		}
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): per family a # HELP and # TYPE line followed by
+// the series in label-signature order; histograms expand into cumulative
+// _bucket series plus _sum and _count. The output is deterministic for a
+// given registry state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.view() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, m := range f.metrics {
+			switch f.typ {
+			case TypeCounter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, labelString(m.labels, "", ""), m.c.Value())
+			case TypeGauge:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, labelString(m.labels, "", ""), formatFloat(m.g.Value()))
+			case TypeHistogram:
+				cum := m.h.Cumulative()
+				bounds := m.h.Bounds()
+				for i, c := range cum {
+					le := "+Inf"
+					if i < len(bounds) {
+						le = formatFloat(bounds[i])
+					}
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, labelString(m.labels, "le", le), c)
+				}
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, labelString(m.labels, "", ""), formatFloat(m.h.Sum()))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.name, labelString(m.labels, "", ""), m.h.Count())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the registry to path, choosing the format from the
+// extension: .json gets the JSON snapshot, anything else (.prom, .txt, …)
+// the Prometheus text format.
+func (r *Registry) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if filepath.Ext(path) == ".json" {
+		err = r.WriteJSON(f)
+	} else {
+		err = r.WritePrometheus(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// labelString renders {k="v",...} with an optional extra pair appended
+// (the histogram le label); empty when there are no labels at all.
+func labelString(pairs []labelPair, extraKey, extraVal string) string {
+	if len(pairs) == 0 && extraKey == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(p.key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(p.value))
+		sb.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(pairs) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extraKey)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(extraVal))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

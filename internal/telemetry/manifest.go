@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ManifestWriter appends JSON records to a stream, one per line (JSONL),
+// safely from concurrent goroutines — the sweep engine writes one record
+// per completed job from its worker pool. Records must be JSON-encodable
+// (in particular: no NaN or infinite float fields).
+type ManifestWriter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewManifestWriter returns a writer emitting JSONL to w.
+func NewManifestWriter(w io.Writer) *ManifestWriter {
+	return &ManifestWriter{enc: json.NewEncoder(w)}
+}
+
+// Write appends one record as a single JSON line.
+func (m *ManifestWriter) Write(rec any) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.enc.Encode(rec)
+}
+
+// ReadJSONL decodes a JSONL stream into a slice of T, reporting the first
+// malformed line by number. Blank lines are skipped.
+func ReadJSONL[T any](r io.Reader) ([]T, error) {
+	var out []T
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var rec T
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return nil, fmt.Errorf("jsonl line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

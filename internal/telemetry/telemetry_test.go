@@ -1,0 +1,273 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"kncube/internal/stats"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Add(-1) did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Add(-1)
+	if !stats.ApproxEqual(g.Value(), 1.5, 0, 1e-12) {
+		t.Fatalf("Value = %v, want 1.5", g.Value())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 4, 100} {
+		h.Observe(v)
+	}
+	h.ObserveN(2, 3)
+	if got := h.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	if !stats.ApproxEqual(h.Sum(), 0.5+1+1.5+4+100+3*2, 1e-12, 0) {
+		t.Fatalf("Sum = %v", h.Sum())
+	}
+	// le convention: observations equal to a bound land in that bound.
+	want := []int64{2, 6, 7, 8}
+	got := h.Cumulative()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Cumulative = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHistogramBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{{1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(1, 2, 3)
+	for i, want := range []float64{1, 3, 5} {
+		if !stats.ApproxEqual(lin[i], want, 0, 1e-12) {
+			t.Fatalf("LinearBuckets = %v", lin)
+		}
+	}
+	exp := ExponentialBuckets(1, 4, 3)
+	for i, want := range []float64{1, 4, 16} {
+		if !stats.ApproxEqual(exp[i], want, 0, 1e-12) {
+			t.Fatalf("ExponentialBuckets = %v", exp)
+		}
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("khs_test_total", "help", Labels{"k": "v"})
+	b := r.Counter("khs_test_total", "help", Labels{"k": "v"})
+	if a != b {
+		t.Fatalf("same (name, labels) returned distinct counters")
+	}
+	c := r.Counter("khs_test_total", "help", Labels{"k": "other"})
+	if a == c {
+		t.Fatalf("distinct labels returned the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("type mismatch did not panic")
+		}
+	}()
+	r.Gauge("khs_test_total", "help", nil)
+}
+
+func TestRegistryHistogramSharesFamilyBounds(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.Histogram("khs_test_seconds", "", Labels{"w": "a"}, []float64{1, 2})
+	h2 := r.Histogram("khs_test_seconds", "", Labels{"w": "b"}, []float64{9, 99, 999})
+	if len(h2.Bounds()) != len(h1.Bounds()) {
+		t.Fatalf("second series got its own bounds %v, want the family's %v",
+			h2.Bounds(), h1.Bounds())
+	}
+}
+
+func TestRegistryInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "0abc", "a b", "a-b"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q did not panic", bad)
+				}
+			}()
+			r.Counter(bad, "", nil)
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("bad label name did not panic")
+		}
+	}()
+	r.Counter("khs_ok_total", "", Labels{"bad-key": "v"})
+}
+
+// TestPrometheusGolden pins the text exposition byte for byte: families in
+// name order, series in label order, histograms as cumulative buckets with
+// _sum and _count. Registration order is deliberately scrambled.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("khs_sim_channel_utilisation_ratio", "mean per-channel utilisation",
+		Labels{"node": "1", "channel": "0"}).Set(0.25)
+	r.Counter("khs_sim_messages_injected_total", "messages entering source queues", nil).Add(7)
+	r.Gauge("khs_sim_channel_utilisation_ratio", "mean per-channel utilisation",
+		Labels{"node": "0", "channel": "1"}).Set(0.5)
+	h := r.Histogram("khs_sim_blocking_cycles", "per-message header-blocked cycles",
+		nil, []float64{1, 8})
+	h.Observe(0.5)
+	h.ObserveN(8, 2)
+	h.Observe(100)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# HELP khs_sim_blocking_cycles per-message header-blocked cycles`,
+		`# TYPE khs_sim_blocking_cycles histogram`,
+		`khs_sim_blocking_cycles_bucket{le="1"} 1`,
+		`khs_sim_blocking_cycles_bucket{le="8"} 3`,
+		`khs_sim_blocking_cycles_bucket{le="+Inf"} 4`,
+		`khs_sim_blocking_cycles_sum 116.5`,
+		`khs_sim_blocking_cycles_count 4`,
+		`# HELP khs_sim_channel_utilisation_ratio mean per-channel utilisation`,
+		`# TYPE khs_sim_channel_utilisation_ratio gauge`,
+		`khs_sim_channel_utilisation_ratio{channel="0",node="1"} 0.25`,
+		`khs_sim_channel_utilisation_ratio{channel="1",node="0"} 0.5`,
+		`# HELP khs_sim_messages_injected_total messages entering source queues`,
+		`# TYPE khs_sim_messages_injected_total counter`,
+		`khs_sim_messages_injected_total 7`,
+	}, "\n") + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("khs_test_total", "line\none \\ two", Labels{"p": `a"b\c`}).Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`line\none \\ two`, `{p="a\"b\\c"}`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition %q missing %q", out, want)
+		}
+	}
+}
+
+func TestJSONSnapshotRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("khs_sweep_jobs_total", "", Labels{"outcome": "ok"}).Add(3)
+	r.Histogram("khs_sweep_job_seconds", "", nil, []float64{1}).Observe(0.5)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if len(snap.Metrics) != 2 {
+		t.Fatalf("got %d metrics, want 2", len(snap.Metrics))
+	}
+	// Families in name order: the histogram sorts before the counter.
+	hs := snap.Metrics[0]
+	if hs.Name != "khs_sweep_job_seconds" || hs.Histogram == nil || hs.Histogram.Count != 1 {
+		t.Fatalf("unexpected first metric %+v", hs)
+	}
+	if last := hs.Histogram.Buckets[len(hs.Histogram.Buckets)-1]; last.Le != "+Inf" {
+		t.Fatalf("last bucket le = %q, want +Inf", last.Le)
+	}
+	cs := snap.Metrics[1]
+	if cs.Name != "khs_sweep_jobs_total" || !stats.ApproxEqual(cs.Value, 3, 0, 1e-12) {
+		t.Fatalf("unexpected counter snapshot %+v", cs)
+	}
+}
+
+func TestWriteFileFormatByExtension(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("khs_test_total", "", nil).Inc()
+	dir := t.TempDir()
+	jsonPath := dir + "/m.json"
+	promPath := dir + "/m.prom"
+	if err := r.WriteFile(jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteFile(promPath); err != nil {
+		t.Fatal(err)
+	}
+	jb, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(jb, &snap); err != nil {
+		t.Fatalf(".json file is not a JSON snapshot: %v", err)
+	}
+	pb, err := os.ReadFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(pb), "# TYPE khs_test_total counter") {
+		t.Fatalf(".prom file is not Prometheus text: %q", pb)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("khs_test_total", "", nil)
+			h := r.Histogram("khs_test_cycles", "", nil, []float64{1, 2, 4})
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i % 8))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("khs_test_total", "", nil).Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("khs_test_cycles", "", nil, nil).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"kncube/internal/fixpoint"
+)
+
+// ConvergenceRecord is the JSONL form of one fixed-point iteration, the
+// unit of the solver convergence traces. It mirrors fixpoint.TraceRecord
+// plus a label identifying the solve the record belongs to.
+type ConvergenceRecord struct {
+	// Solve labels the solve this record belongs to (e.g. "fig1-h20-lam03"
+	// or "hotspot-2d"); every record of one solve carries the same label.
+	Solve string `json:"solve"`
+	// Iteration is the 1-based substitution-round index.
+	Iteration int `json:"iteration"`
+	// Residual is the round's maximum relative state change.
+	Residual float64 `json:"residual"`
+	// Damping is the damping factor in effect.
+	Damping float64 `json:"damping"`
+	// NonFiniteIndex is the index of the first state variable that became
+	// non-finite this round, -1 while the state is finite.
+	NonFiniteIndex int `json:"non_finite_index"`
+}
+
+// TraceSink hands out per-solve fixpoint trace hooks. Solve returns the
+// callback to install as fixpoint.Options.Trace (via core Options.FixPoint)
+// and a done function that flushes the solve's trace and reports any write
+// error; callers must invoke done exactly once after the solve finishes.
+// Implementations are safe for concurrent solves as long as each solve uses
+// its own hook.
+type TraceSink interface {
+	Solve(label string) (trace func(fixpoint.TraceRecord), done func() error)
+}
+
+// StreamTraceSink writes every solve's records to one shared writer,
+// distinguishing solves by the record's Solve label. It is safe for
+// concurrent hooks; records of interleaved solves interleave line by line.
+type StreamTraceSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewStreamTraceSink returns a sink writing JSONL records to w.
+func NewStreamTraceSink(w io.Writer) *StreamTraceSink {
+	return &StreamTraceSink{enc: json.NewEncoder(w)}
+}
+
+// Solve implements TraceSink.
+func (s *StreamTraceSink) Solve(label string) (func(fixpoint.TraceRecord), func() error) {
+	trace := func(tr fixpoint.TraceRecord) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.err != nil {
+			return
+		}
+		s.err = s.enc.Encode(convRecord(label, tr))
+	}
+	done := func() error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.err
+	}
+	return trace, done
+}
+
+// DirTraceSink writes one JSONL file per solve into a directory, named
+// <label>.jsonl with the label sanitised to [A-Za-z0-9._-]. Concurrent
+// solves get independent files; reusing a label overwrites its file.
+type DirTraceSink struct {
+	dir string
+}
+
+// NewDirTraceSink returns a sink writing into dir, creating it if needed.
+func NewDirTraceSink(dir string) (*DirTraceSink, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirTraceSink{dir: dir}, nil
+}
+
+// Path returns the file a given solve label writes to.
+func (s *DirTraceSink) Path(label string) string {
+	return filepath.Join(s.dir, sanitizeLabel(label)+".jsonl")
+}
+
+// Solve implements TraceSink.
+func (s *DirTraceSink) Solve(label string) (func(fixpoint.TraceRecord), func() error) {
+	var (
+		mu  sync.Mutex
+		f   *os.File
+		enc *json.Encoder
+		err error
+	)
+	f, err = os.Create(s.Path(label))
+	if err == nil {
+		enc = json.NewEncoder(f)
+	}
+	trace := func(tr fixpoint.TraceRecord) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			return
+		}
+		err = enc.Encode(convRecord(label, tr))
+	}
+	done := func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		if f != nil {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			f = nil
+		}
+		return err
+	}
+	return trace, done
+}
+
+func convRecord(label string, tr fixpoint.TraceRecord) ConvergenceRecord {
+	return ConvergenceRecord{
+		Solve:          label,
+		Iteration:      tr.Iteration,
+		Residual:       tr.MaxRelDelta,
+		Damping:        tr.Damping,
+		NonFiniteIndex: tr.NonFiniteIndex,
+	}
+}
+
+func sanitizeLabel(label string) string {
+	if label == "" {
+		return "solve"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		}
+		return '_'
+	}, label)
+}
+
+// ReadConvergenceTrace reads a JSONL convergence trace written by a
+// TraceSink (diagnostic tooling and tests).
+func ReadConvergenceTrace(path string) ([]ConvergenceRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := ReadJSONL[ConvergenceRecord](f)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %s: %w", path, err)
+	}
+	return recs, nil
+}

@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"kncube/internal/fixpoint"
+	"kncube/internal/stats"
+)
+
+func fakeRounds(n int) []fixpoint.TraceRecord {
+	recs := make([]fixpoint.TraceRecord, n)
+	for i := range recs {
+		recs[i] = fixpoint.TraceRecord{
+			Iteration:      i + 1,
+			MaxRelDelta:    1.0 / float64(i+1),
+			Damping:        0.5,
+			NonFiniteIndex: -1,
+		}
+	}
+	return recs
+}
+
+func TestStreamTraceSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewStreamTraceSink(&buf)
+	hook, done := sink.Solve("solve-a")
+	for _, tr := range fakeRounds(3) {
+		hook(tr)
+	}
+	if err := done(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadJSONL[ConvergenceRecord](strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	for i, r := range recs {
+		if r.Solve != "solve-a" || r.Iteration != i+1 || r.NonFiniteIndex != -1 {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+		if !stats.ApproxEqual(r.Residual, 1.0/float64(i+1), 1e-12, 0) {
+			t.Fatalf("record %d residual = %v", i, r.Residual)
+		}
+	}
+}
+
+func TestDirTraceSinkOneFilePerSolve(t *testing.T) {
+	dir := t.TempDir()
+	sink, err := NewDirTraceSink(dir + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range []string{"fig1-h20-lam00", "fig1-h20-lam01"} {
+		hook, done := sink.Solve(label)
+		for _, tr := range fakeRounds(2) {
+			hook(tr)
+		}
+		if err := done(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d trace files, want 2", len(entries))
+	}
+	recs, err := ReadConvergenceTrace(sink.Path("fig1-h20-lam01"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].Solve != "fig1-h20-lam01" || recs[1].Iteration != 2 {
+		t.Fatalf("unexpected trace %+v", recs)
+	}
+}
+
+func TestDirTraceSinkSanitisesLabels(t *testing.T) {
+	sink, err := NewDirTraceSink(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := sink.Path("a/b c*d")
+	if strings.ContainsAny(strings.TrimSuffix(path[strings.LastIndexByte(path, os.PathSeparator)+1:], ".jsonl"), "/ *") {
+		t.Fatalf("unsanitised path %q", path)
+	}
+	hook, done := sink.Solve("a/b c*d")
+	hook(fakeRounds(1)[0])
+	if err := done(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+}
+
+func TestManifestWriterJSONLRoundTrip(t *testing.T) {
+	type rec struct {
+		Seed    int64  `json:"seed"`
+		Outcome string `json:"outcome"`
+	}
+	var buf bytes.Buffer
+	w := NewManifestWriter(&buf)
+	for i := int64(0); i < 4; i++ {
+		if err := w.Write(rec{Seed: i, Outcome: "ok"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadJSONL[rec](&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[3].Seed != 3 || got[0].Outcome != "ok" {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestReadJSONLReportsBadLine(t *testing.T) {
+	_, err := ReadJSONL[ConvergenceRecord](strings.NewReader("{}\nnot-json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want line-2 parse error", err)
+	}
+}
+
+func TestStartProfilesWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := dir+"/cpu.pprof", dir+"/mem.pprof"
+	stop, err := StartProfiles(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A little work so the CPU profile is non-degenerate.
+	h := NewHistogram(ExponentialBuckets(1, 2, 12))
+	for i := 0; i < 100000; i++ {
+		h.Observe(float64(i % 4096))
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"kncube/internal/core"
 	"kncube/internal/fixpoint"
 	"kncube/internal/sim"
+	"kncube/internal/telemetry"
 	"kncube/internal/topology"
 	"kncube/internal/traffic"
 )
@@ -201,6 +202,31 @@ type Message = sim.Message
 
 // NewSimulator builds a simulator.
 func NewSimulator(cfg SimConfig) (*Simulator, error) { return sim.New(cfg) }
+
+// --- Telemetry ---------------------------------------------------------------
+
+// MetricsRegistry is a named registry of counters, gauges and histograms
+// with Prometheus-text and JSON exposition; recording is lock-free and
+// allocation-free on the hot path (see internal/telemetry and DESIGN.md §7).
+type MetricsRegistry = telemetry.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// SimCollector receives the simulator's instrumentation events; set
+// SimConfig.Collector to instrument a run (nil leaves the simulator
+// uninstrumented at negligible cost).
+type SimCollector = sim.Collector
+
+// SimRunStats carries the end-of-run aggregates delivered to a collector.
+type SimRunStats = sim.RunStats
+
+// NewSimCollector returns a collector recording the khs_sim_* metric set
+// (per-channel flit counts and utilisation, blocking-cycle and queue-depth
+// histograms, message counters, cycles/second) into reg.
+func NewSimCollector(reg *MetricsRegistry) SimCollector {
+	return sim.NewTelemetryCollector(reg)
+}
 
 // --- Topology and traffic ----------------------------------------------------
 
