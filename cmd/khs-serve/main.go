@@ -1,0 +1,111 @@
+// Command khs-serve runs the latency-model service: an HTTP JSON API over
+// the analytical solvers and the parallel sweep engine, with a keyed solve
+// cache, admission control, async sweep jobs, and Prometheus metrics.
+//
+// Usage:
+//
+//	khs-serve -addr 127.0.0.1:8080
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/solve \
+//	  -d '{"k":16,"v":2,"lm":32,"h":0.2,"lambda":0.00015}'
+//	curl -s -X POST localhost:8080/v1/sweeps -d '{"panel":"fig1-h20"}'
+//	curl -s localhost:8080/metrics
+//
+// On SIGINT/SIGTERM the server drains: health turns 503, new work is
+// refused, running sweep jobs get -drain-timeout to finish (then are
+// cancelled), and in-flight HTTP exchanges complete before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"kncube/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "khs-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until ctx is cancelled (then drains) or
+// the listener fails. ready, when non-nil, receives the bound address once
+// the server is accepting — tests use it to hit an ephemeral port.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready func(addr string)) error {
+	fs := flag.NewFlagSet("khs-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		cacheSize    = fs.Int("cache-size", 0, "solve cache entries (0 = default 4096, negative disables retention)")
+		maxInflight  = fs.Int("max-inflight", 0, "admitted concurrent solves (0 = 4 x NumCPU)")
+		reqTimeout   = fs.Duration("request-timeout", 30*time.Second, "per-solve deadline cap")
+		sweepJobs    = fs.Int("sweep-jobs", 0, "default worker-pool size per sweep job (0 = NumCPU)")
+		maxSweeps    = fs.Int("max-sweeps", 2, "concurrently-running sweep jobs before shedding")
+		drainTimeout = fs.Duration("drain-timeout", 60*time.Second, "how long shutdown waits for running sweep jobs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	srv := serve.New(serve.Config{
+		MaxInflight:     *maxInflight,
+		CacheSize:       *cacheSize,
+		RequestTimeout:  *reqTimeout,
+		SweepJobs:       *sweepJobs,
+		MaxActiveSweeps: *maxSweeps,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Fprintf(stdout, "khs-serve: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(stdout, "khs-serve: draining (up to %s)\n", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		// Jobs were cut short; report it but still close the listener cleanly.
+		fmt.Fprintf(stderr, "khs-serve: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(stdout, "khs-serve: stopped")
+	return nil
+}

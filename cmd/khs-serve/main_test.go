@@ -1,0 +1,206 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"kncube/internal/core"
+	"kncube/internal/experiments"
+)
+
+// startDaemon runs the daemon on an ephemeral port and returns its base
+// URL plus a shutdown function that triggers the drain and returns run's
+// error along with everything written to stdout.
+func startDaemon(t *testing.T, args ...string) (baseURL string, shutdown func() (string, error)) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	readyCh := make(chan string, 1)
+	errCh := make(chan error, 1)
+	var stdout, stderr strings.Builder
+	go func() {
+		errCh <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...),
+			&stdout, &stderr, func(addr string) { readyCh <- addr })
+	}()
+	select {
+	case addr := <-readyCh:
+		baseURL = "http://" + addr
+	case err := <-errCh:
+		t.Fatalf("daemon exited before ready: %v\nstderr: %s", err, stderr.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not become ready")
+	}
+	return baseURL, func() (string, error) {
+		cancel()
+		select {
+		case err := <-errCh:
+			return stdout.String(), err
+		case <-time.After(30 * time.Second):
+			return stdout.String(), fmt.Errorf("daemon did not stop")
+		}
+	}
+}
+
+func postSolve(t *testing.T, baseURL, body string) (int, map[string]json.RawMessage) {
+	t.Helper()
+	resp, err := http.Post(baseURL+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		t.Fatalf("decoding %q: %v", raw, err)
+	}
+	return resp.StatusCode, fields
+}
+
+// TestDaemonEndToEnd drives the real daemon over TCP: health, a solve that
+// must match core.Solve bit for bit, a cache hit on repeat visible in
+// /metrics, and a graceful drain on context cancellation.
+func TestDaemonEndToEnd(t *testing.T) {
+	baseURL, shutdown := startDaemon(t)
+
+	resp, err := http.Get(baseURL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	// The Figure-1 h=20% operating point, second load step.
+	const body = `{"k":16,"v":2,"lm":32,"h":0.2,"lambda":0.00015}`
+	status, fields := postSolve(t, baseURL, body)
+	if status != http.StatusOK {
+		t.Fatalf("solve status = %d: %v", status, fields)
+	}
+	var result struct {
+		Latency float64 `json:"latency"`
+	}
+	if err := json.Unmarshal(fields["result"], &result); err != nil {
+		t.Fatalf("result payload: %v", err)
+	}
+	want, err := core.Solve(experiments.DefaultModel,
+		core.Spec{K: 16, V: 2, Lm: 32, H: 0.2, Lambda: 0.00015}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(result.Latency) != math.Float64bits(want.Latency) {
+		t.Errorf("API latency %v, core.Solve %v — not bit-identical over the wire", result.Latency, want.Latency)
+	}
+
+	_, again := postSolve(t, baseURL, body)
+	if cache := string(again["cache"]); cache != `"hit"` {
+		t.Errorf("repeat solve cache = %s, want \"hit\"", cache)
+	}
+
+	mresp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, wantLine := range []string{
+		"khs_serve_cache_hits_total 1",
+		"khs_serve_cache_misses_total 1",
+		`khs_serve_requests_total{code="200",route="POST /v1/solve"} 2`,
+	} {
+		if !strings.Contains(string(metrics), wantLine) {
+			t.Errorf("metrics missing %q", wantLine)
+		}
+	}
+
+	stdout, err := shutdown()
+	if err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	for _, wantLine := range []string{"listening on", "draining", "stopped"} {
+		if !strings.Contains(stdout, wantLine) {
+			t.Errorf("stdout missing %q:\n%s", wantLine, stdout)
+		}
+	}
+}
+
+// TestDaemonSweepMatchesCanonicalCSV submits a one-point async sweep over
+// TCP and checks the returned point against the first row of the published
+// results/fig1-h20.csv.
+func TestDaemonSweepMatchesCanonicalCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs ~1s of simulation")
+	}
+	baseURL, shutdown := startDaemon(t)
+	defer shutdown()
+
+	resp, err := http.Post(baseURL+"/v1/sweeps", "application/json",
+		strings.NewReader(`{"panel":"fig1-h20","points":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID     string `json:"id"`
+		State  string `json:"state"`
+		Points []struct {
+			Lambda      float64  `json:"lambda"`
+			Model       *float64 `json:"model"`
+			Sim         float64  `json:"sim"`
+			SimCI       float64  `json:"sim_ci95"`
+			SimMeasured int64    `json:"sim_measured"`
+		} `json:"points"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep submission = %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(120 * time.Second)
+	for st.State == "running" {
+		if time.Now().After(deadline) {
+			t.Fatal("sweep did not finish")
+		}
+		time.Sleep(100 * time.Millisecond)
+		r, err := http.Get(baseURL + "/v1/sweeps/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+	if st.State != "done" || len(st.Points) != 1 {
+		t.Fatalf("final state %q with %d points, want done with 1", st.State, len(st.Points))
+	}
+
+	canon, err := os.ReadFile("../../results/fig1-h20.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(strings.TrimSpace(string(canon)), "\n")
+	p := st.Points[0]
+	if p.Model == nil {
+		t.Fatal("first point reports model saturation")
+	}
+	got := fmt.Sprintf("%.6g,%.4f,%.4f,%.4f,%d", p.Lambda, *p.Model, p.Sim, p.SimCI, p.SimMeasured)
+	// Row layout: lambda,model,model_saturated,sim,sim_ci95,sim_saturated,sim_measured
+	f := strings.Split(rows[1], ",")
+	wantRow := fmt.Sprintf("%s,%s,%s,%s,%s", f[0], f[1], f[3], f[4], f[6])
+	if got != wantRow {
+		t.Errorf("sweep point %q does not match canonical CSV row %q", got, wantRow)
+	}
+}

@@ -44,9 +44,11 @@ func TestLintGateCoversObservabilityPackages(t *testing.T) {
 		"kncube/internal/telemetry",
 		"kncube/internal/sim",
 		"kncube/internal/experiments",
+		"kncube/internal/serve",
 		"kncube/cmd/khs-sim",
 		"kncube/cmd/khs-model",
 		"kncube/cmd/khs-figures",
+		"kncube/cmd/khs-serve",
 	} {
 		if !loaded[want] {
 			t.Errorf("lint gate does not cover %s (not in the ./... load)", want)

@@ -315,7 +315,7 @@ func SolveBidirectional(p Params, o Options) (*BiResult, error) {
 func init() {
 	Register("bidirectional-2d", func(s Spec, o Options) (Solver, error) {
 		if s.Dims != 0 && s.Dims != 2 {
-			return nil, fmt.Errorf("core: the bidirectional-2d solver models a 2-D torus, got Dims = %d", s.Dims)
+			return nil, fieldErrf("dims", "core: the bidirectional-2d solver models a 2-D torus, got Dims = %d", s.Dims)
 		}
 		return newBiModel(Params{K: s.K, V: s.V, Lm: s.Lm, H: s.H, Lambda: s.Lambda}, o), nil
 	})

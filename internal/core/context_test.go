@@ -1,0 +1,73 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"kncube/internal/fixpoint"
+)
+
+// figureSpec is the Figure-1 h=20% parameter point used throughout the
+// serving tests.
+func figureSpec(lambda float64) Spec {
+	return Spec{K: 16, V: 2, Lm: 32, H: 0.2, Lambda: lambda}
+}
+
+// TestSolveCancelledContextIsNotSaturation is the cancellation contract the
+// serving layer depends on: a solve aborted by its context reports the
+// context's error (errors.Is-visible) and is never classified as
+// ErrSaturated.
+func TestSolveCancelledContextIsNotSaturation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var o Options
+	o.FixPoint.Ctx = ctx
+	_, err := Solve("hotspot-2d", figureSpec(1e-4), o)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if errors.Is(err, ErrSaturated) {
+		t.Errorf("cancelled solve misclassified as saturated: %v", err)
+	}
+}
+
+// TestSolveDeadlinePropagatedIntoIteration cancels mid-solve through the
+// trace hook, proving the iteration loop (not just the entry point) watches
+// the context.
+func TestSolveDeadlinePropagatedIntoIteration(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var o Options
+	o.FixPoint.Ctx = ctx
+	o.FixPoint.Trace = func(tr fixpoint.TraceRecord) {
+		if tr.Iteration == 2 {
+			cancel()
+		}
+	}
+	_, err := Solve("hotspot-2d", figureSpec(1e-4), o)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if errors.Is(err, ErrSaturated) {
+		t.Errorf("cancelled solve misclassified as saturated: %v", err)
+	}
+}
+
+// TestSolveUncancelledContextSucceeds pins that supplying a live context
+// changes nothing about the result.
+func TestSolveUncancelledContextSucceeds(t *testing.T) {
+	plain, err := Solve("hotspot-2d", figureSpec(1e-4), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o Options
+	o.FixPoint.Ctx = context.Background()
+	withCtx, err := Solve("hotspot-2d", figureSpec(1e-4), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withCtx.Latency != plain.Latency { //lint:ignore floateq bit-identical reproducibility contract
+		t.Errorf("latency with ctx %v != without %v", withCtx.Latency, plain.Latency)
+	}
+}

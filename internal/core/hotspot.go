@@ -55,22 +55,22 @@ type Params struct {
 	Lambda float64
 }
 
-// Validate reports the first problem with the parameters.
+// Validate reports the first problem with the parameters as a *FieldError.
 func (p Params) Validate() error {
 	if p.K < 2 {
-		return fmt.Errorf("core: K = %d, want >= 2", p.K)
+		return fieldErrf("k", "core: K = %d, want >= 2", p.K)
 	}
 	if p.V < 2 {
-		return fmt.Errorf("core: V = %d, want >= 2", p.V)
+		return fieldErrf("v", "core: V = %d, want >= 2", p.V)
 	}
 	if p.Lm < 1 {
-		return fmt.Errorf("core: Lm = %d, want >= 1", p.Lm)
+		return fieldErrf("lm", "core: Lm = %d, want >= 1", p.Lm)
 	}
 	if p.H < 0 || p.H >= 1 || math.IsNaN(p.H) {
-		return fmt.Errorf("core: H = %v, want [0, 1)", p.H)
+		return fieldErrf("h", "core: H = %v, want [0, 1)", p.H)
 	}
 	if p.Lambda <= 0 || math.IsNaN(p.Lambda) || math.IsInf(p.Lambda, 0) {
-		return fmt.Errorf("core: Lambda = %v, want > 0", p.Lambda)
+		return fieldErrf("lambda", "core: Lambda = %v, want > 0", p.Lambda)
 	}
 	return nil
 }
@@ -557,7 +557,7 @@ func SolveHotSpot(p Params, o Options) (*Result, error) {
 func init() {
 	Register("hotspot-2d", func(s Spec, o Options) (Solver, error) {
 		if s.Dims != 0 && s.Dims != 2 {
-			return nil, fmt.Errorf("core: hotspot-2d models the 2-D torus, got Dims = %d", s.Dims)
+			return nil, fieldErrf("dims", "core: hotspot-2d models the 2-D torus, got Dims = %d", s.Dims)
 		}
 		return newModel(Params{K: s.K, V: s.V, Lm: s.Lm, H: s.H, Lambda: s.Lambda}, o), nil
 	})

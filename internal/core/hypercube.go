@@ -50,19 +50,19 @@ type HypercubeParams struct {
 // Validate reports the first problem with the parameters.
 func (p HypercubeParams) Validate() error {
 	if p.N < 1 || p.N > 30 {
-		return fmt.Errorf("core: hypercube N = %d, want 1..30", p.N)
+		return fieldErrf("dims", "core: hypercube N = %d, want 1..30", p.N)
 	}
 	if p.V < 1 {
-		return fmt.Errorf("core: hypercube V = %d, want >= 1", p.V)
+		return fieldErrf("v", "core: hypercube V = %d, want >= 1", p.V)
 	}
 	if p.Lm < 1 {
-		return fmt.Errorf("core: hypercube Lm = %d, want >= 1", p.Lm)
+		return fieldErrf("lm", "core: hypercube Lm = %d, want >= 1", p.Lm)
 	}
 	if p.H < 0 || p.H >= 1 || math.IsNaN(p.H) {
-		return fmt.Errorf("core: hypercube H = %v, want [0, 1)", p.H)
+		return fieldErrf("h", "core: hypercube H = %v, want [0, 1)", p.H)
 	}
 	if p.Lambda <= 0 || math.IsNaN(p.Lambda) || math.IsInf(p.Lambda, 0) {
-		return fmt.Errorf("core: hypercube Lambda = %v, want > 0", p.Lambda)
+		return fieldErrf("lambda", "core: hypercube Lambda = %v, want > 0", p.Lambda)
 	}
 	return nil
 }
@@ -205,7 +205,7 @@ func SolveHypercube(p HypercubeParams, o Options) (*HypercubeResult, error) {
 func init() {
 	Register("hypercube", func(s Spec, o Options) (Solver, error) {
 		if s.K != 0 && s.K != 2 {
-			return nil, fmt.Errorf("core: the hypercube is the 2-ary n-cube, got K = %d", s.K)
+			return nil, fieldErrf("k", "core: the hypercube is the 2-ary n-cube, got K = %d", s.K)
 		}
 		return newHyperModel(HypercubeParams{N: s.Dims, V: s.V, Lm: s.Lm, H: s.H, Lambda: s.Lambda}, o), nil
 	})

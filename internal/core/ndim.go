@@ -51,25 +51,25 @@ type NDimParams struct {
 // Validate reports the first problem with the parameters.
 func (p NDimParams) Validate() error {
 	if p.K < 2 {
-		return fmt.Errorf("core: ndim K = %d, want >= 2", p.K)
+		return fieldErrf("k", "core: ndim K = %d, want >= 2", p.K)
 	}
 	if p.N < 1 {
-		return fmt.Errorf("core: ndim N = %d, want >= 1", p.N)
+		return fieldErrf("dims", "core: ndim N = %d, want >= 1", p.N)
 	}
 	if math.Pow(float64(p.K), float64(p.N)) > 1<<30 {
-		return fmt.Errorf("core: ndim K^N too large (K=%d, N=%d)", p.K, p.N)
+		return fieldErrf("k", "core: ndim K^N too large (K=%d, N=%d)", p.K, p.N)
 	}
 	if p.V < 2 {
-		return fmt.Errorf("core: ndim V = %d, want >= 2", p.V)
+		return fieldErrf("v", "core: ndim V = %d, want >= 2", p.V)
 	}
 	if p.Lm < 1 {
-		return fmt.Errorf("core: ndim Lm = %d, want >= 1", p.Lm)
+		return fieldErrf("lm", "core: ndim Lm = %d, want >= 1", p.Lm)
 	}
 	if p.H < 0 || p.H >= 1 || math.IsNaN(p.H) {
-		return fmt.Errorf("core: ndim H = %v, want [0, 1)", p.H)
+		return fieldErrf("h", "core: ndim H = %v, want [0, 1)", p.H)
 	}
 	if p.Lambda <= 0 || math.IsNaN(p.Lambda) || math.IsInf(p.Lambda, 0) {
-		return fmt.Errorf("core: ndim Lambda = %v, want > 0", p.Lambda)
+		return fieldErrf("lambda", "core: ndim Lambda = %v, want > 0", p.Lambda)
 	}
 	return nil
 }

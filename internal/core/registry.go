@@ -71,7 +71,7 @@ func NewSolver(name string, s Spec, o Options) (Solver, error) {
 	f, ok := registry[name]
 	registryMu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("core: unknown solver %q (registered: %s)",
+		return nil, fieldErrf("model", "core: unknown solver %q (registered: %s)",
 			name, strings.Join(Solvers(), ", "))
 	}
 	return f(s, o)

@@ -90,8 +90,10 @@ func solveWith(s Solver, o Options) (*SolveResult, error) {
 	if err != nil {
 		// Divergence and budget exhaustion are how an analytical latency
 		// model expresses operation beyond its saturation point; anything
-		// else (including ErrSaturated already wrapped by Iterate) passes
-		// through unchanged.
+		// else (including ErrSaturated already wrapped by Iterate, and the
+		// context.Canceled/DeadlineExceeded wrappers produced when
+		// o.FixPoint.Ctx cancels the iteration) passes through unchanged,
+		// so callers can tell a cancelled solve from a saturated one.
 		if errors.Is(err, fixpoint.ErrDiverged) || errors.Is(err, fixpoint.ErrMaxIterations) {
 			return nil, fmt.Errorf("%w: %v", ErrSaturated, err)
 		}

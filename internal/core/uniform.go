@@ -27,19 +27,19 @@ type UniformParams struct {
 // Validate reports the first problem with the parameters.
 func (p UniformParams) Validate() error {
 	if p.K < 2 {
-		return fmt.Errorf("core: uniform K = %d, want >= 2", p.K)
+		return fieldErrf("k", "core: uniform K = %d, want >= 2", p.K)
 	}
 	if p.Dims < 1 {
-		return fmt.Errorf("core: uniform Dims = %d, want >= 1", p.Dims)
+		return fieldErrf("dims", "core: uniform Dims = %d, want >= 1", p.Dims)
 	}
 	if p.V < 1 {
-		return fmt.Errorf("core: uniform V = %d, want >= 1", p.V)
+		return fieldErrf("v", "core: uniform V = %d, want >= 1", p.V)
 	}
 	if p.Lm < 1 {
-		return fmt.Errorf("core: uniform Lm = %d, want >= 1", p.Lm)
+		return fieldErrf("lm", "core: uniform Lm = %d, want >= 1", p.Lm)
 	}
 	if p.Lambda <= 0 || math.IsNaN(p.Lambda) || math.IsInf(p.Lambda, 0) {
-		return fmt.Errorf("core: uniform Lambda = %v, want > 0", p.Lambda)
+		return fieldErrf("lambda", "core: uniform Lambda = %v, want > 0", p.Lambda)
 	}
 	return nil
 }
@@ -169,7 +169,7 @@ func SolveUniform(p UniformParams) (*UniformResult, error) {
 func init() {
 	Register("uniform", func(s Spec, o Options) (Solver, error) {
 		if !stats.IsZero(s.H) {
-			return nil, fmt.Errorf("core: the uniform baseline models no hot-spot class, got H = %v", s.H)
+			return nil, fieldErrf("h", "core: the uniform baseline models no hot-spot class, got H = %v", s.H)
 		}
 		dims := s.Dims
 		if dims == 0 {

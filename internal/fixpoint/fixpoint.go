@@ -9,6 +9,7 @@
 package fixpoint
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -53,6 +54,12 @@ type Options struct {
 	// state update (and once more, with NonFiniteIndex set, when a round
 	// diverges). It must not retain the record past the call.
 	Trace func(TraceRecord)
+	// Ctx, when non-nil, cancels the iteration: it is checked once per
+	// substitution round, and on cancellation Solve returns an error
+	// wrapping ctx.Err() (context.Canceled or context.DeadlineExceeded).
+	// Callers distinguish cancellation from saturation with errors.Is;
+	// the core driver never reclassifies it as a saturation failure.
+	Ctx context.Context
 }
 
 // Defaults returns the options used when a zero Options is supplied.
@@ -155,6 +162,13 @@ func Solve(state []float64, f Map, opts Options) (Result, error) {
 		res.Convergence.Residual = res.Residual
 	}
 	for iter := 1; iter <= o.MaxIterations; iter++ {
+		if o.Ctx != nil {
+			if cerr := o.Ctx.Err(); cerr != nil {
+				sync()
+				return res, fmt.Errorf("fixpoint: cancelled after %d iterations: %w",
+					res.Iterations, cerr)
+			}
+		}
 		res.Iterations = iter
 		if err := f(state, next); err != nil {
 			sync()

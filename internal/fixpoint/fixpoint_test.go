@@ -1,6 +1,7 @@
 package fixpoint
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -247,5 +248,65 @@ func TestConvergenceSummaryPopulated(t *testing.T) {
 	}
 	if res.Convergence.Iterations != 10 {
 		t.Errorf("summary iterations %d, want 10", res.Convergence.Iterations)
+	}
+}
+
+func TestSolveCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	f := func(in, out []float64) error {
+		t.Error("map must not run under an already-cancelled context")
+		return nil
+	}
+	state := []float64{0}
+	res, err := Solve(state, f, Options{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if errors.Is(err, ErrDiverged) || errors.Is(err, ErrMaxIterations) {
+		t.Errorf("cancellation must stay distinct from iteration failures: %v", err)
+	}
+	if res.Iterations != 0 {
+		t.Errorf("Iterations = %d, want 0 (cancelled before the first round)", res.Iterations)
+	}
+}
+
+func TestSolveDeadlineCancelsMidIteration(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rounds := 0
+	// A map that never converges; cancel after the third round.
+	f := func(in, out []float64) error {
+		rounds++
+		if rounds == 3 {
+			cancel()
+		}
+		out[0] = in[0] + 1
+		return nil
+	}
+	state := []float64{0}
+	res, err := Solve(state, f, Options{Ctx: ctx, MaxIterations: 100000})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rounds != 3 {
+		t.Errorf("map ran %d rounds after cancellation, want exactly 3", rounds)
+	}
+	if res.Convergence.Iterations != 3 {
+		t.Errorf("Convergence.Iterations = %d, want 3", res.Convergence.Iterations)
+	}
+	if res.Convergence.Converged || res.Convergence.Diverged {
+		t.Errorf("cancelled run reported Converged/Diverged: %+v", res.Convergence)
+	}
+}
+
+func TestSolveNilContextIgnored(t *testing.T) {
+	f := func(in, out []float64) error {
+		out[0] = 0.5*in[0] + 3
+		return nil
+	}
+	state := []float64{0}
+	if _, err := Solve(state, f, Options{}); err != nil {
+		t.Fatalf("nil Ctx must behave as no cancellation: %v", err)
 	}
 }

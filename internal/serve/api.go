@@ -1,0 +1,235 @@
+// Package serve is the latency-model service layer: a long-running HTTP
+// JSON API over the analytical solvers (internal/core) and the parallel
+// sweep engine (internal/experiments). Analytical models earn their keep by
+// being cheap enough to query interactively and to embed in design-space
+// exploration loops; this package makes the repo's models available that
+// way — with a keyed solve cache, admission control so overload sheds
+// rather than queues, async sweep jobs, and the khs_serve_* metric set
+// exposed straight from the internal/telemetry registry.
+//
+// Routes (see DESIGN.md §8):
+//
+//	POST   /v1/solve        spec + model name  → latency decomposition
+//	POST   /v1/sweeps       async sweep job    → 202 + job id
+//	GET    /v1/sweeps/{id}  job status, progress, per-point results
+//	DELETE /v1/sweeps/{id}  cancel a running job
+//	GET    /healthz         liveness (503 while draining)
+//	GET    /metrics         Prometheus text exposition
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"kncube/internal/core"
+)
+
+// SolveRequest is the POST /v1/solve body. Zero-valued spec fields keep
+// the selected variant's natural defaults exactly as the core registry
+// defines them; validation failures come back as structured FieldIssues.
+type SolveRequest struct {
+	// Model is a registry name (core.Solvers); empty selects "hotspot-2d".
+	Model string `json:"model,omitempty"`
+	// K, Dims, V, Lm, H, Lambda mirror core.Spec.
+	K      int     `json:"k,omitempty"`
+	Dims   int     `json:"dims,omitempty"`
+	V      int     `json:"v,omitempty"`
+	Lm     int     `json:"lm,omitempty"`
+	H      float64 `json:"h,omitempty"`
+	Lambda float64 `json:"lambda,omitempty"`
+	// Options select the model's reconstruction knobs (ablations); the
+	// zero value is the calibrated default used by all harness tooling.
+	Options *SolveOptions `json:"options,omitempty"`
+	// TimeoutMS bounds this solve; it is capped by the server's configured
+	// per-request timeout. 0 means the server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// SolveOptions is the JSON form of core.Options' reconstruction knobs.
+// Empty strings select the calibrated defaults.
+type SolveOptions struct {
+	Entrance  string `json:"entrance,omitempty"` // mean-distance | kbar | worst-case
+	Blocking  string `json:"blocking,omitempty"` // vc-occupancy | paper | wait-only | multi-server | bandwidth
+	Variance  string `json:"variance,omitempty"` // zero | paper
+	NoVCSplit bool   `json:"no_vc_split,omitempty"`
+}
+
+// toCore maps the JSON option names onto core.Options, reporting unknown
+// names as FieldIssues so clients see which knob was wrong.
+func (o *SolveOptions) toCore() (core.Options, *FieldIssue) {
+	var opts core.Options
+	if o == nil {
+		return opts, nil
+	}
+	switch o.Entrance {
+	case "", "mean-distance":
+		opts.Entrance = core.EntranceMeanDistance
+	case "kbar":
+		opts.Entrance = core.EntranceKBar
+	case "worst-case":
+		opts.Entrance = core.EntranceWorstCase
+	default:
+		return opts, &FieldIssue{Field: "options.entrance",
+			Reason: fmt.Sprintf("unknown entrance policy %q (mean-distance, kbar, worst-case)", o.Entrance)}
+	}
+	switch o.Blocking {
+	case "", "vc-occupancy":
+		opts.Blocking = core.BlockingVCOccupancy
+	case "paper":
+		opts.Blocking = core.BlockingPaper
+	case "wait-only":
+		opts.Blocking = core.BlockingWaitOnly
+	case "multi-server":
+		opts.Blocking = core.BlockingMultiServer
+	case "bandwidth":
+		opts.Blocking = core.BlockingBandwidth
+	default:
+		return opts, &FieldIssue{Field: "options.blocking",
+			Reason: fmt.Sprintf("unknown blocking form %q (vc-occupancy, paper, wait-only, multi-server, bandwidth)", o.Blocking)}
+	}
+	switch o.Variance {
+	case "", "zero":
+		opts.Variance = core.VarianceZero
+	case "paper":
+		opts.Variance = core.VariancePaper
+	default:
+		return opts, &FieldIssue{Field: "options.variance",
+			Reason: fmt.Sprintf("unknown variance form %q (zero, paper)", o.Variance)}
+	}
+	opts.NoVCSplit = o.NoVCSplit
+	return opts, nil
+}
+
+// SolveResponse is the POST /v1/solve success body. Saturated solves are
+// not errors — the model is reporting a real property of the configuration
+// — so they return 200 with Saturated set and no Result.
+type SolveResponse struct {
+	Model string `json:"model"`
+	// Cache reports how the solve was satisfied: "hit" (served from the
+	// LRU), "coalesced" (attached to an identical in-flight solve), or
+	// "miss" (computed here).
+	Cache     string `json:"cache"`
+	Saturated bool   `json:"saturated,omitempty"`
+	// Detail carries the saturation message when Saturated.
+	Detail string       `json:"detail,omitempty"`
+	Result *SolveResult `json:"result,omitempty"`
+}
+
+// SolveResult is the latency decomposition of a successful solve, mirroring
+// core.SolveResult.
+type SolveResult struct {
+	Latency    float64 `json:"latency"`
+	Regular    float64 `json:"regular"`
+	Hot        float64 `json:"hot"`
+	SourceWait float64 `json:"source_wait"`
+	VBar       float64 `json:"vbar"`
+	Iterations int     `json:"iterations"`
+	Residual   float64 `json:"residual"`
+}
+
+// SweepRequest is the POST /v1/sweeps body: an async sweep of one figure
+// panel through the parallel sweep engine.
+type SweepRequest struct {
+	// Panel names a figure panel (experiments.Figures), e.g. "fig1-h20".
+	Panel string `json:"panel"`
+	// Model is the variant to sweep; empty selects the panel default.
+	Model string `json:"model,omitempty"`
+	// Points truncates the panel's load axis to its first Points entries.
+	// Seeds derive from (panel, point index, rep), so a truncated sweep
+	// reproduces the corresponding prefix of the full panel bit-for-bit.
+	Points int `json:"points,omitempty"`
+	// Reps is the number of pooled simulation replications per point
+	// (default 1); Jobs the sweep's worker-pool size (default server
+	// -sweep-jobs).
+	Reps int `json:"reps,omitempty"`
+	Jobs int `json:"jobs,omitempty"`
+	// Budget overrides the default simulation budget per replication.
+	Budget *SweepBudget `json:"budget,omitempty"`
+}
+
+// SweepBudget is the JSON form of experiments.SimBudget. Zero fields keep
+// the defaults (experiments.DefaultSimBudget), so the canonical
+// results/*.csv are reproduced by an empty budget.
+type SweepBudget struct {
+	WarmupCycles int64 `json:"warmup_cycles,omitempty"`
+	MaxCycles    int64 `json:"max_cycles,omitempty"`
+	MinMeasured  int64 `json:"min_measured,omitempty"`
+	Seed         int64 `json:"seed,omitempty"`
+}
+
+// SweepStatus is the job view returned by POST /v1/sweeps (202) and
+// GET /v1/sweeps/{id}.
+type SweepStatus struct {
+	ID    string `json:"id"`
+	Panel string `json:"panel"`
+	Model string `json:"model"`
+	// State is "running", "done", "failed" or "cancelled".
+	State string `json:"state"`
+	// Done and Total count simulation jobs (points × reps).
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Points carries the per-point results once State is "done".
+	Points []SweepPoint `json:"points,omitempty"`
+	Error  string       `json:"error,omitempty"`
+}
+
+// SweepPoint is one swept load point, mirroring the columns of the
+// results/*.csv files. Model is omitted when the analytical model reports
+// saturation (JSON has no NaN).
+type SweepPoint struct {
+	Lambda         float64  `json:"lambda"`
+	Model          *float64 `json:"model,omitempty"`
+	ModelSaturated bool     `json:"model_saturated"`
+	Sim            float64  `json:"sim"`
+	SimCI          float64  `json:"sim_ci95"`
+	SimSaturated   bool     `json:"sim_saturated"`
+	SimMeasured    int64    `json:"sim_measured"`
+}
+
+// FieldIssue is one structured validation failure: the request field at
+// fault and the reason it was rejected.
+type FieldIssue struct {
+	Field  string `json:"field"`
+	Reason string `json:"reason"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error  string       `json:"error"`
+	Fields []FieldIssue `json:"fields,omitempty"`
+}
+
+// writeJSON writes v with the given status; encoding failures are beyond
+// recovery once the header is out, so they are ignored.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError writes a structured error response. When err (or any error it
+// wraps) is a core.FieldError the response carries the (field, reason)
+// pair, so bad specs surface as actionable 400s rather than opaque 500s.
+func writeError(w http.ResponseWriter, status int, err error) {
+	resp := ErrorResponse{Error: err.Error()}
+	var fe *core.FieldError
+	if errors.As(err, &fe) {
+		resp.Fields = append(resp.Fields, FieldIssue{Field: fe.Field, Reason: fe.Reason})
+	}
+	writeJSON(w, status, resp)
+}
+
+// writeFieldIssues writes a 400 carrying explicit issues (used where the
+// failure never reaches core, e.g. unknown option names).
+func writeFieldIssues(w http.ResponseWriter, issues ...FieldIssue) {
+	resp := ErrorResponse{Error: "invalid request"}
+	if len(issues) > 0 {
+		resp.Error = issues[0].Reason
+		resp.Fields = issues
+	}
+	writeJSON(w, http.StatusBadRequest, resp)
+}

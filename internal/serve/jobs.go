@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"kncube/internal/experiments"
+	"kncube/internal/telemetry"
+)
+
+// Job states. A job is terminal in every state but JobRunning.
+const (
+	JobRunning   = "running"
+	JobDone      = "done"
+	JobFailed    = "failed"
+	JobCancelled = "cancelled"
+)
+
+var (
+	// errTooManySweeps sheds sweep submissions beyond the active-job cap.
+	errTooManySweeps = errors.New("serve: active sweep job limit reached")
+	// errDraining rejects work while the server shuts down.
+	errDraining = errors.New("serve: server is draining")
+)
+
+// job is one async sweep: identity, live progress, and — once terminal —
+// the swept points or the failure. All mutable fields are guarded by mu;
+// finished closes exactly once when the job goroutine exits.
+type job struct {
+	id    string
+	panel string
+	model string
+
+	cancel   context.CancelFunc
+	finished chan struct{}
+
+	mu     sync.Mutex
+	state  string
+	done   int
+	total  int
+	points []SweepPoint
+	errMsg string
+}
+
+// status snapshots the job for the API.
+func (j *job) status() SweepStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := SweepStatus{
+		ID: j.id, Panel: j.panel, Model: j.model,
+		State: j.state, Done: j.done, Total: j.total,
+		Error: j.errMsg,
+	}
+	if j.state == JobDone {
+		st.Points = j.points
+	}
+	return st
+}
+
+// jobStore owns every sweep job: launch, lookup, cancellation, and the
+// graceful-shutdown drain. Terminal jobs are retained (bounded by
+// maxStored, oldest-first pruning) so clients can fetch results after
+// completion.
+type jobStore struct {
+	maxActive int
+	maxStored int
+
+	mu       sync.Mutex
+	seq      int
+	jobs     map[string]*job
+	order    []string // insertion order, for pruning
+	active   int
+	draining bool
+	wg       sync.WaitGroup
+
+	jobsTotal  func(state string) *telemetry.Counter
+	activeJobs *telemetry.Gauge
+}
+
+func newJobStore(maxActive, maxStored int, reg *telemetry.Registry) *jobStore {
+	st := &jobStore{
+		maxActive: maxActive,
+		maxStored: maxStored,
+		jobs:      make(map[string]*job),
+	}
+	st.jobsTotal = func(state string) *telemetry.Counter {
+		return reg.Counter("khs_serve_sweep_jobs_total",
+			"sweep jobs by terminal state", telemetry.Labels{"state": state})
+	}
+	st.activeJobs = reg.Gauge("khs_serve_active_sweeps", "sweep jobs currently running", nil)
+	return st
+}
+
+// launch starts sw over panels as a new job under parent (the server's
+// lifetime context; per-job cancellation is layered on top). It fails fast
+// with errTooManySweeps or errDraining instead of queueing.
+func (st *jobStore) launch(parent context.Context, sw experiments.Sweep, panels []experiments.Panel, model string) (*job, error) {
+	reps := sw.Reps
+	if reps <= 0 {
+		reps = 1
+	}
+	total := 0
+	for _, p := range panels {
+		total += len(p.Lambdas) * reps
+	}
+
+	st.mu.Lock()
+	if st.draining {
+		st.mu.Unlock()
+		return nil, errDraining
+	}
+	if st.active >= st.maxActive {
+		st.mu.Unlock()
+		return nil, errTooManySweeps
+	}
+	st.seq++
+	ctx, cancel := context.WithCancel(parent)
+	j := &job{
+		id:       fmt.Sprintf("sweep-%06d", st.seq),
+		panel:    panels[0].ID,
+		model:    model,
+		cancel:   cancel,
+		finished: make(chan struct{}),
+		state:    JobRunning,
+		total:    total,
+	}
+	st.jobs[j.id] = j
+	st.order = append(st.order, j.id)
+	st.active++
+	st.activeJobs.Set(float64(st.active))
+	st.wg.Add(1)
+	st.mu.Unlock()
+
+	sw.Progress = func(p experiments.SweepProgress) {
+		j.mu.Lock()
+		j.done = p.Done
+		j.total = p.Total
+		j.mu.Unlock()
+	}
+
+	go func() {
+		defer st.wg.Done()
+		res, err := sw.RunPanels(ctx, panels)
+		j.mu.Lock()
+		switch {
+		case err == nil:
+			j.state = JobDone
+			j.done = j.total
+			for _, pr := range res {
+				j.points = append(j.points, toSweepPoints(pr.Points)...)
+			}
+		case isCancellation(err) && ctx.Err() != nil:
+			j.state = JobCancelled
+			j.errMsg = err.Error()
+		default:
+			j.state = JobFailed
+			j.errMsg = err.Error()
+		}
+		state := j.state
+		j.mu.Unlock()
+		close(j.finished)
+		cancel()
+
+		st.mu.Lock()
+		st.active--
+		st.activeJobs.Set(float64(st.active))
+		st.prune()
+		st.mu.Unlock()
+		st.jobsTotal(state).Inc()
+	}()
+	return j, nil
+}
+
+// get returns the job by id.
+func (st *jobStore) get(id string) (*job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	return j, ok
+}
+
+// prune drops the oldest terminal jobs beyond maxStored. Called under
+// st.mu.
+func (st *jobStore) prune() {
+	for len(st.order) > st.maxStored {
+		pruned := false
+		for i, id := range st.order {
+			j := st.jobs[id]
+			j.mu.Lock()
+			terminal := j.state != JobRunning
+			j.mu.Unlock()
+			if terminal {
+				delete(st.jobs, id)
+				st.order = append(st.order[:i], st.order[i+1:]...)
+				pruned = true
+				break
+			}
+		}
+		if !pruned {
+			return // every stored job is still running; nothing to drop
+		}
+	}
+}
+
+// drain stops accepting jobs and waits for the running ones. If ctx
+// expires first, all remaining jobs are cancelled and waited for (their
+// workers exit promptly on context cancellation).
+func (st *jobStore) drain(ctx context.Context) error {
+	st.mu.Lock()
+	st.draining = true
+	st.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		st.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+	}
+
+	st.mu.Lock()
+	for _, j := range st.jobs {
+		j.cancel()
+	}
+	st.mu.Unlock()
+	<-finished
+	return fmt.Errorf("serve: drain cut short, running sweeps cancelled: %w", ctx.Err())
+}
+
+// toSweepPoints converts engine points into their JSON form (NaN-free:
+// a saturated model value becomes an absent field).
+func toSweepPoints(pts []experiments.Point) []SweepPoint {
+	out := make([]SweepPoint, 0, len(pts))
+	for _, pt := range pts {
+		sp := SweepPoint{
+			Lambda:         pt.Lambda,
+			ModelSaturated: pt.ModelSaturated,
+			Sim:            pt.Sim,
+			SimCI:          pt.SimCI,
+			SimSaturated:   pt.SimSaturated,
+			SimMeasured:    pt.SimMeasured,
+		}
+		if !pt.ModelSaturated {
+			m := pt.Model
+			sp.Model = &m
+		}
+		out = append(out, sp)
+	}
+	return out
+}

@@ -1,0 +1,401 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"slices"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"kncube/internal/core"
+	"kncube/internal/experiments"
+	"kncube/internal/telemetry"
+)
+
+// Config tunes the service layer. The zero value of any field selects the
+// documented default.
+type Config struct {
+	// MaxInflight bounds concurrently-admitted solves; requests beyond it
+	// are shed with 429 rather than queued. Default 4 × NumCPU.
+	MaxInflight int
+	// CacheSize bounds the LRU solve cache in entries. Default 4096;
+	// negative disables retention (singleflight deduplication remains).
+	CacheSize int
+	// RequestTimeout caps each solve's deadline (clients may only lower it
+	// via timeout_ms). Propagated as context cancellation into the
+	// fixed-point iteration. Default 30s.
+	RequestTimeout time.Duration
+	// SweepJobs is the default worker-pool size of each sweep job.
+	// Default NumCPU.
+	SweepJobs int
+	// MaxActiveSweeps bounds concurrently-running sweep jobs; submissions
+	// beyond it are shed with 429. Default 2.
+	MaxActiveSweeps int
+	// MaxStoredSweeps bounds retained terminal jobs (oldest pruned).
+	// Default 256.
+	MaxStoredSweeps int
+	// Registry receives the khs_serve_* metric set and serves GET /metrics.
+	// Default: a fresh registry.
+	Registry *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 4 * runtime.NumCPU()
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.SweepJobs == 0 {
+		c.SweepJobs = runtime.NumCPU()
+	}
+	if c.MaxActiveSweeps == 0 {
+		c.MaxActiveSweeps = 2
+	}
+	if c.MaxStoredSweeps == 0 {
+		c.MaxStoredSweeps = 256
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.NewRegistry()
+	}
+	return c
+}
+
+// Server is the khs-serve service: handlers, solve cache, admission
+// control, and the sweep job store. Build with New, mount Handler, and
+// call Shutdown to drain.
+type Server struct {
+	cfg      Config
+	reg      *telemetry.Registry
+	cache    *solveCache
+	jobs     *jobStore
+	slots    chan struct{}
+	inflight *telemetry.Gauge
+	draining atomic.Bool
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mux *http.ServeMux
+}
+
+// New builds a Server from cfg (zero fields defaulted).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		reg:   cfg.Registry,
+		cache: newSolveCache(cfg.CacheSize, cfg.Registry),
+		jobs:  newJobStore(cfg.MaxActiveSweeps, cfg.MaxStoredSweeps, cfg.Registry),
+		slots: make(chan struct{}, cfg.MaxInflight),
+	}
+	s.inflight = s.reg.Gauge("khs_serve_inflight_solves", "solves currently admitted", nil)
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+
+	s.mux = http.NewServeMux()
+	s.route("POST /v1/solve", s.handleSolve)
+	s.route("POST /v1/sweeps", s.handleSweepCreate)
+	s.route("GET /v1/sweeps/{id}", s.handleSweepGet)
+	s.route("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
+	s.route("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /metrics", telemetry.Handler(s.reg))
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the registry carrying the khs_serve_* metrics.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// Shutdown drains the server gracefully: new solves and sweep submissions
+// are refused with 503, healthz turns 503 so load balancers stop routing
+// here, and running sweep jobs are waited for until ctx expires — then
+// cancelled. Status reads keep working throughout so clients can collect
+// results.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.jobs.drain(ctx)
+	s.baseCancel()
+	return err
+}
+
+// route mounts a handler wrapped with the request-metrics middleware; the
+// route pattern itself is the metric label, keeping cardinality fixed.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	seconds := s.reg.Histogram("khs_serve_request_seconds",
+		"request latency by route", telemetry.Labels{"route": pattern},
+		telemetry.ExponentialBuckets(1e-4, 4, 10))
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		seconds.Observe(time.Since(start).Seconds())
+		s.reg.Counter("khs_serve_requests_total", "requests by route and status code",
+			telemetry.Labels{"route": pattern, "code": strconv.Itoa(rec.status)}).Inc()
+	})
+}
+
+// statusRecorder captures the response status for the request counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// shed refuses a request under overload or drain, counting the shed.
+func (s *Server) shed(w http.ResponseWriter, status int, reason string) {
+	s.reg.Counter("khs_serve_shed_total", "requests shed by admission control",
+		telemetry.Labels{"reason": reason}).Inc()
+	writeJSON(w, status, ErrorResponse{Error: "overloaded: " + reason})
+}
+
+// decodeStrict decodes a JSON body rejecting unknown fields, so client
+// typos surface as 400s instead of silently-defaulted parameters.
+func decodeStrict(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	return nil
+}
+
+// handleSolve is POST /v1/solve: validate (reusing Solver.Validate through
+// the registry factory), admit, and answer through the solve cache with
+// the request deadline plumbed into the fixed-point iteration.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if err := decodeStrict(r, &req); err != nil {
+		writeFieldIssues(w, FieldIssue{Field: "body", Reason: err.Error()})
+		return
+	}
+	model := req.Model
+	if model == "" {
+		model = experiments.DefaultModel
+	}
+	opts, issue := req.Options.toCore()
+	if issue != nil {
+		writeFieldIssues(w, *issue)
+		return
+	}
+	spec := core.Spec{K: req.K, Dims: req.Dims, V: req.V, Lm: req.Lm, H: req.H, Lambda: req.Lambda}
+	if req.TimeoutMS < 0 {
+		writeFieldIssues(w, FieldIssue{Field: "timeout_ms", Reason: "must be >= 0"})
+		return
+	}
+	// Validation before admission: rejecting a bad spec is cheap and must
+	// never consume a solve slot or reach the cache.
+	sol, err := core.NewSolver(model, spec, opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := sol.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	if s.draining.Load() {
+		s.shed(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	select {
+	case s.slots <- struct{}{}:
+		s.inflight.Add(1)
+	default:
+		s.shed(w, http.StatusTooManyRequests, "inflight-cap")
+		return
+	}
+	defer func() {
+		<-s.slots
+		s.inflight.Add(-1)
+	}()
+
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	start := time.Now()
+	res, how, err := s.cache.do(ctx, solveKey(model, spec, opts),
+		func(ctx context.Context) (*core.SolveResult, error) {
+			o := opts
+			o.FixPoint.Ctx = ctx
+			return core.Solve(model, spec, o)
+		})
+	s.reg.Histogram("khs_serve_solve_seconds", "end-to-end solve time (cache included)",
+		nil, telemetry.ExponentialBuckets(1e-5, 4, 12)).Observe(time.Since(start).Seconds())
+
+	outcome := "ok"
+	switch {
+	case errors.Is(err, core.ErrSaturated):
+		outcome = "saturated"
+	case isCancellation(err):
+		outcome = "cancelled"
+	case err != nil:
+		outcome = "error"
+	}
+	s.reg.Counter("khs_serve_solves_total", "solve requests by model and outcome",
+		telemetry.Labels{"model": model, "outcome": outcome}).Inc()
+
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, SolveResponse{
+			Model: model, Cache: how,
+			Result: &SolveResult{
+				Latency:    res.Latency,
+				Regular:    res.Regular,
+				Hot:        res.Hot,
+				SourceWait: res.SourceWait,
+				VBar:       res.VBar,
+				Iterations: res.Convergence.Iterations,
+				Residual:   res.Convergence.Residual,
+			},
+		})
+	case errors.Is(err, core.ErrSaturated):
+		// Saturation is the model's answer, not a failure: the configuration
+		// has no finite latency at this load.
+		writeJSON(w, http.StatusOK, SolveResponse{
+			Model: model, Cache: how, Saturated: true, Detail: err.Error(),
+		})
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout,
+			fmt.Errorf("solve exceeded its deadline (%s): %w", timeout, err))
+	case errors.Is(err, context.Canceled):
+		// The client went away; nobody reads this, but close the exchange
+		// coherently.
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// handleSweepCreate is POST /v1/sweeps: resolve the panel, build a Sweep
+// over the parallel engine, and launch it as an async job.
+func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeStrict(r, &req); err != nil {
+		writeFieldIssues(w, FieldIssue{Field: "body", Reason: err.Error()})
+		return
+	}
+	if req.Panel == "" {
+		writeFieldIssues(w, FieldIssue{Field: "panel", Reason: "required: one of the figure panel ids (e.g. fig1-h20)"})
+		return
+	}
+	panel, err := experiments.PanelByID(req.Panel)
+	if err != nil {
+		writeFieldIssues(w, FieldIssue{Field: "panel", Reason: err.Error()})
+		return
+	}
+	model := req.Model
+	if model == "" {
+		model = experiments.DefaultModel
+	}
+	if !slices.Contains(core.Solvers(), model) {
+		writeFieldIssues(w, FieldIssue{Field: "model",
+			Reason: fmt.Sprintf("unknown model %q (registered: %v)", model, core.Solvers())})
+		return
+	}
+	if req.Points < 0 || req.Reps < 0 || req.Jobs < 0 {
+		writeFieldIssues(w, FieldIssue{Field: "points", Reason: "points, reps and jobs must be >= 0"})
+		return
+	}
+	if req.Points > 0 && req.Points < len(panel.Lambdas) {
+		panel.Lambdas = panel.Lambdas[:req.Points]
+	}
+	budget := experiments.DefaultSimBudget()
+	if b := req.Budget; b != nil {
+		if b.WarmupCycles != 0 {
+			budget.WarmupCycles = b.WarmupCycles
+		}
+		if b.MaxCycles != 0 {
+			budget.MaxCycles = b.MaxCycles
+		}
+		if b.MinMeasured != 0 {
+			budget.MinMeasured = b.MinMeasured
+		}
+		if b.Seed != 0 {
+			budget.Seed = b.Seed
+		}
+	}
+	jobs := req.Jobs
+	if jobs == 0 {
+		jobs = s.cfg.SweepJobs
+	}
+	sw := experiments.Sweep{
+		Jobs:    jobs,
+		Reps:    req.Reps,
+		Budget:  budget,
+		Model:   req.Model,
+		Metrics: s.reg,
+	}
+
+	if s.draining.Load() {
+		s.shed(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	j, err := s.jobs.launch(s.baseCtx, sw, []experiments.Panel{panel}, model)
+	switch {
+	case errors.Is(err, errTooManySweeps):
+		s.shed(w, http.StatusTooManyRequests, "sweep-cap")
+		return
+	case errors.Is(err, errDraining):
+		s.shed(w, http.StatusServiceUnavailable, "draining")
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/sweeps/"+j.id)
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// handleSweepGet is GET /v1/sweeps/{id}.
+func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown sweep job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleSweepCancel is DELETE /v1/sweeps/{id}: cancel the job's context.
+// Cancelling a terminal job is a no-op; the response always carries the
+// current status.
+func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown sweep job %q", r.PathValue("id")))
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// handleHealthz reports liveness; 503 while draining so load balancers
+// stop routing new work here during shutdown.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,23 @@
+package telemetry
+
+import (
+	"bytes"
+	"net/http"
+)
+
+// Handler serves the registry in the Prometheus text exposition format
+// (version 0.0.4) — the same bytes WritePrometheus produces — so a scrape
+// endpoint is one line of wiring: mux.Handle("GET /metrics", Handler(reg)).
+// The exposition is rendered into a buffer first, so an encoding failure
+// becomes a clean 500 instead of a truncated body.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			http.Error(w, "telemetry: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = buf.WriteTo(w)
+	})
+}

@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerServesPrometheusText(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("khs_test_requests_total", "test counter", Labels{"route": "/x"}).Add(3)
+	reg.Gauge("khs_test_gauge", "test gauge", nil).Set(1.5)
+
+	rr := httptest.NewRecorder()
+	Handler(reg).ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+
+	if rr.Code != 200 {
+		t.Fatalf("status = %d, want 200", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q, want Prometheus text 0.0.4", ct)
+	}
+	body := rr.Body.String()
+	for _, want := range []string{
+		`khs_test_requests_total{route="/x"} 3`,
+		`khs_test_gauge 1.5`,
+		`# TYPE khs_test_requests_total counter`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("body missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestHandlerMatchesWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("khs_test_seconds", "h", nil, LinearBuckets(0.1, 0.1, 3)).Observe(0.25)
+
+	rr := httptest.NewRecorder()
+	Handler(reg).ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+
+	var direct strings.Builder
+	if err := reg.WritePrometheus(&direct); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Body.String() != direct.String() {
+		t.Errorf("handler body differs from WritePrometheus:\n%q\nvs\n%q", rr.Body.String(), direct.String())
+	}
+}
