@@ -1,0 +1,157 @@
+// Command khs-bench converts `go test -bench` text output into the
+// machine-readable benchmark trajectory file BENCH_sim.json. The CI bench
+// job previously piped the human-readable bench text straight into a file
+// with a .json name; this tool emits actual JSON so the numbers can be
+// diffed, plotted, and regression-gated across commits:
+//
+//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/khs-bench -label after -append
+//
+// Each invocation appends (or writes) one labelled entry holding every
+// parsed benchmark: name, iterations, ns/op, B/op, allocs/op, and — for
+// the simulator Step benchmarks — the derived simulated cycles per second
+// (1e9 / ns_per_op), the headline number the event-driven hot-loop rework
+// is tracked by.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are always emitted (no omitempty): zero
+	// allocations is the load-bearing value for the hot-loop benchmarks.
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// CyclesPerSec is 1e9/NsPerOp for benchmarks that advance the
+	// simulator by one cycle per iteration (name contains "Step").
+	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
+}
+
+// Entry is one labelled benchmark run (one tool invocation).
+type Entry struct {
+	Label      string      `json:"label"`
+	Date       string      `json:"date"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	label := flag.String("label", "run", "label recorded on this entry (e.g. baseline, after)")
+	out := flag.String("o", "BENCH_sim.json", "output file")
+	appendTo := flag.Bool("append", false, "append to an existing trajectory file instead of overwriting")
+	flag.Parse()
+
+	entry, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "khs-bench:", err)
+		os.Exit(2)
+	}
+	if len(entry.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "khs-bench: no benchmark lines found on stdin")
+		os.Exit(2)
+	}
+	entry.Label = *label
+	entry.Date = time.Now().UTC().Format("2006-01-02")
+
+	var entries []Entry
+	if *appendTo {
+		if data, err := os.ReadFile(*out); err == nil {
+			if err := json.Unmarshal(data, &entries); err != nil {
+				fmt.Fprintf(os.Stderr, "khs-bench: existing %s is not a trajectory file: %v\n", *out, err)
+				os.Exit(2)
+			}
+		}
+	}
+	entries = append(entries, entry)
+
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "khs-bench:", err)
+		os.Exit(2)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "khs-bench:", err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "khs-bench: wrote %d benchmark(s) as %q to %s\n",
+		len(entry.Benchmarks), entry.Label, *out)
+}
+
+// parse reads `go test -bench` output and extracts every benchmark line
+// plus the most recent cpu: context line.
+func parse(r io.Reader) (Entry, error) {
+	var e Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if cpu, ok := strings.CutPrefix(line, "cpu:"); ok {
+			e.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		e.Benchmarks = append(e.Benchmarks, b)
+	}
+	return e, sc.Err()
+}
+
+// parseLine parses one result line of the form
+//
+//	BenchmarkName-8   123456   931.2 ns/op   6 B/op   0 allocs/op
+//
+// Unknown units are ignored; a line without an ns/op measurement is not a
+// result line (e.g. "BenchmarkFoo" printed alone when -v runs it).
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0]}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = iters
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = val
+			sawNs = true
+		case "B/op":
+			b.BytesPerOp = val
+		case "allocs/op":
+			b.AllocsPerOp = val
+		}
+	}
+	if !sawNs {
+		return Benchmark{}, false
+	}
+	if strings.Contains(b.Name, "Step") && b.NsPerOp > 0 {
+		b.CyclesPerSec = 1e9 / b.NsPerOp
+	}
+	return b, true
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: kncube
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSimulatorStep 	 3247651	       931.2 ns/op	       6 B/op	       0 allocs/op
+BenchmarkSolverFigure1-8 	     120	   9876543 ns/op
+PASS
+ok  	kncube	3.853s
+`
+
+func TestParseExtractsBenchmarks(t *testing.T) {
+	e, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("cpu = %q", e.CPU)
+	}
+	if len(e.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(e.Benchmarks), e.Benchmarks)
+	}
+	step := e.Benchmarks[0]
+	if step.Name != "BenchmarkSimulatorStep" || step.Iterations != 3247651 {
+		t.Errorf("step benchmark = %+v", step)
+	}
+	//lint:ignore floateq strconv round-trips the literal text exactly
+	if step.NsPerOp != 931.2 || step.BytesPerOp != 6 || step.AllocsPerOp != 0 {
+		t.Errorf("step metrics = %+v", step)
+	}
+	// A Step benchmark advances one simulated cycle per iteration, so the
+	// derived rate is 1e9/ns.
+	if got, want := step.CyclesPerSec, 1e9/931.2; got < want*0.999 || got > want*1.001 {
+		t.Errorf("cycles/sec = %v, want ~%v", got, want)
+	}
+	solver := e.Benchmarks[1]
+	//lint:ignore floateq strconv round-trips the literal text exactly
+	if solver.Name != "BenchmarkSolverFigure1-8" || solver.NsPerOp != 9876543 {
+		t.Errorf("solver benchmark = %+v", solver)
+	}
+	//lint:ignore floateq derived field must be exactly unset for non-Step benchmarks
+	if solver.CyclesPerSec != 0 {
+		t.Errorf("non-Step benchmark got cycles/sec %v", solver.CyclesPerSec)
+	}
+}
+
+func TestParseIgnoresNonResultLines(t *testing.T) {
+	in := "BenchmarkAlone\n=== RUN TestFoo\nBenchmarkBad abc 1 ns/op\n"
+	e, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from junk, want 0", len(e.Benchmarks))
+	}
+}

@@ -49,6 +49,7 @@ func TestLintGateCoversObservabilityPackages(t *testing.T) {
 		"kncube/cmd/khs-model",
 		"kncube/cmd/khs-figures",
 		"kncube/cmd/khs-serve",
+		"kncube/cmd/khs-bench",
 	} {
 		if !loaded[want] {
 			t.Errorf("lint gate does not cover %s (not in the ./... load)", want)

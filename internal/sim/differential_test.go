@@ -1,0 +1,186 @@
+package sim
+
+// Differential gate for the event-driven hot loop: drive two identically
+// configured and seeded networks — one with the production Step, one with
+// the scan-based reference step (refstep_test.go) — and require every
+// observable to be bit-identical: the full Result struct, the per-channel
+// flit counters, and the message counters. Any divergence in arbitration
+// order, RNG draw sequence, or statistics accounting fails here before it
+// could silently bias the paper-validation sweeps.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"kncube/internal/topology"
+	"kncube/internal/traffic"
+)
+
+// diffConfigs returns the routing × pattern matrix the ISSUE pins:
+// unidirectional/bidirectional/adaptive crossed with uniform/hot-spot/
+// transpose traffic. Hot-spot rows also exercise the contended ejection
+// channel.
+func diffConfigs(t *testing.T) []Config {
+	t.Helper()
+	type routingRow struct {
+		name string
+		vcs  int
+		bi   bool
+		mode Routing
+	}
+	routings := []routingRow{
+		{"unidirectional", 2, false, RoutingDimensionOrder},
+		{"bidirectional", 2, true, RoutingDimensionOrder},
+		{"adaptive", 4, true, RoutingAdaptive},
+	}
+	patterns := []string{"uniform", "hotspot", "transpose"}
+
+	cube := topology.MustNew(4, 2)
+	hot := cube.FromCoords([]int{2, 2})
+	var cfgs []Config
+	for _, rr := range routings {
+		for _, pat := range patterns {
+			var p traffic.Pattern
+			switch pat {
+			case "uniform":
+				p = traffic.Uniform{Cube: cube}
+			case "hotspot":
+				hs, err := traffic.NewHotSpot(cube, hot, 0.25)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p = hs
+			case "transpose":
+				p = traffic.Transpose{Cube: cube}
+			}
+			cfgs = append(cfgs, Config{
+				K: 4, Dims: 2, VCs: rr.vcs, BufDepth: 2, MsgLen: 8,
+				Lambda: 0.008, Pattern: p, Seed: 77,
+				Bidirectional: rr.bi, Routing: rr.mode,
+				EjectionContention: pat == "hotspot",
+			})
+		}
+	}
+	return cfgs
+}
+
+func diffConfigName(cfg Config) string {
+	routing := "dor-uni"
+	if cfg.Bidirectional {
+		routing = "dor-bi"
+	}
+	if cfg.Routing == RoutingAdaptive {
+		routing = "adaptive"
+	}
+	return fmt.Sprintf("%s/%v", routing, cfg.Pattern)
+}
+
+// TestStepMatchesReferenceRun runs both implementations through the full
+// Run machinery (warm-up, measurement window, steady-state detection) and
+// compares the complete Result plus the raw flit counters.
+func TestStepMatchesReferenceRun(t *testing.T) {
+	opts := RunOptions{WarmupCycles: 500, MaxCycles: 30000, MinMeasured: 400}
+	for _, cfg := range diffConfigs(t) {
+		cfg := cfg
+		t.Run(diffConfigName(cfg), func(t *testing.T) {
+			fast, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref.stepOverride = ref.refStep
+
+			fastRes, err := fast.Run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refRes, err := ref.Run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fastRes, refRes) {
+				t.Errorf("Result diverged:\n fast: %+v\n ref:  %+v", fastRes, refRes)
+			}
+			if fast.cycle != ref.cycle {
+				t.Errorf("cycle diverged: fast %d ref %d", fast.cycle, ref.cycle)
+			}
+			if !reflect.DeepEqual(fast.chanFlits, ref.chanFlits) {
+				t.Error("chanFlits diverged")
+			}
+			if fast.busyChanSamples != ref.busyChanSamples || fast.busyVCCt != ref.busyVCCt {
+				t.Errorf("multiplexing samples diverged: fast (%d,%d) ref (%d,%d)",
+					fast.busyChanSamples, fast.busyVCCt, ref.busyChanSamples, ref.busyVCCt)
+			}
+		})
+	}
+}
+
+// TestStepMatchesReferenceLockstep steps both implementations cycle by
+// cycle and compares the externally observable counters after every cycle,
+// so a divergence is localised to the first offending cycle rather than
+// surfacing as a scrambled end-of-run aggregate.
+func TestStepMatchesReferenceLockstep(t *testing.T) {
+	cycles := 4000
+	if testing.Short() {
+		cycles = 1000
+	}
+	for _, cfg := range diffConfigs(t) {
+		cfg := cfg
+		t.Run(diffConfigName(cfg), func(t *testing.T) {
+			fast, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			record := func(nw *Network) *[]deliveryRecord {
+				recs := &[]deliveryRecord{}
+				nw.OnDeliver(func(m *Message) {
+					*recs = append(*recs, deliveryRecord{
+						m.ID, m.Src, m.Dst, m.Hops, m.Blocked, m.Escaped,
+						m.GenCycle, m.InjectCycle, m.DeliverCycle,
+					})
+				})
+				return recs
+			}
+			fastRecs, refRecs := record(fast), record(ref)
+			for c := 0; c < cycles; c++ {
+				fast.Step()
+				ref.refStep()
+				if fast.injected != ref.injected || fast.delivered != ref.delivered {
+					t.Fatalf("cycle %d: injected/delivered diverged: fast (%d,%d) ref (%d,%d)",
+						c, fast.injected, fast.delivered, ref.injected, ref.delivered)
+				}
+				if !reflect.DeepEqual(fast.chanFlits, ref.chanFlits) {
+					t.Fatalf("cycle %d: chanFlits diverged", c)
+				}
+			}
+			// Per-message observables must match exactly: same messages
+			// delivered in the same order with identical timing, hop and
+			// blocking histories.
+			if !reflect.DeepEqual(*fastRecs, *refRecs) {
+				t.Fatalf("delivery records diverged (fast %d msgs, ref %d msgs)",
+					len(*fastRecs), len(*refRecs))
+			}
+		})
+	}
+}
+
+// deliveryRecord is every per-message observable a delivered message
+// carries, for exact old-vs-new comparison.
+type deliveryRecord struct {
+	ID       int64
+	Src, Dst topology.NodeID
+	Hops     int32
+	Blocked  int32
+	Escaped  bool
+	Gen      int64
+	Inj      int64
+	Del      int64
+}

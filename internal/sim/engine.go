@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"container/heap"
 	"fmt"
 	"time"
 
@@ -74,7 +75,22 @@ func (nw *Network) Run(opts RunOptions) (Result, error) {
 	nw.measureFrom = nw.cycle + opts.WarmupCycles
 	nw.measuring = false
 	nw.batch = stats.NewBatchMeans(opts.BatchSize, opts.Window, opts.RelTol)
+	// Reset the per-run measurement accumulators so a reused network
+	// starts a fresh window instead of averaging in the previous run's
+	// samples, and snapshot the per-channel flit counters so utilisation
+	// is computed over this run's cycles only.
+	nw.measured = 0
+	nw.latAll, nw.latReg, nw.latHot = stats.Running{}, stats.Running{}, stats.Running{}
+	nw.netAll, nw.waitSrc = stats.Running{}, stats.Running{}
+	nw.latHist = stats.NewHistogram(1)
+	nw.hopsTotal = 0
+	nw.busyChanSamples, nw.busyVCCt = 0, 0
+	copy(nw.chanFlitsStart, nw.chanFlits)
 
+	step := nw.Step
+	if nw.stepOverride != nil {
+		step = nw.stepOverride
+	}
 	end := nw.cycle + opts.MaxCycles
 	var backlogAtMeasure, injectedAtMeasure, deliveredAtMeasure int64
 	steady := false
@@ -92,7 +108,7 @@ func (nw *Network) Run(opts RunOptions) (Result, error) {
 			injectedAtMeasure = nw.injected
 			deliveredAtMeasure = nw.delivered
 		}
-		nw.Step()
+		step()
 		if nw.measuring && nw.measured >= opts.MinMeasured && nw.batch.Steady() {
 			steady = true
 			break
@@ -137,15 +153,16 @@ func (nw *Network) Run(opts RunOptions) (Result, error) {
 	res.Saturated = growth > 100 && float64(growth) > 0.10*float64(injMeas)
 
 	var totalFlits, maxFlits int64
-	for _, f := range nw.chanFlits {
-		totalFlits += f
-		if f > maxFlits {
-			maxFlits = f
+	for i, f := range nw.chanFlits {
+		d := f - nw.chanFlitsStart[i]
+		totalFlits += d
+		if d > maxFlits {
+			maxFlits = d
 		}
 	}
-	if nw.cycle > 0 {
-		res.ChannelUtilisation = float64(totalFlits) / float64(nw.cycle) / float64(len(nw.chanFlits))
-		res.MaxChannelUtilisation = float64(maxFlits) / float64(nw.cycle)
+	if runCycles := nw.cycle - cyclesAtStart; runCycles > 0 {
+		res.ChannelUtilisation = float64(totalFlits) / float64(runCycles) / float64(len(nw.chanFlits))
+		res.MaxChannelUtilisation = float64(maxFlits) / float64(runCycles)
 	}
 	if nw.busyChanSamples > 0 {
 		res.VCMultiplexing = float64(nw.busyVCCt) / float64(nw.busyChanSamples)
@@ -169,6 +186,12 @@ func (nw *Network) Run(opts RunOptions) (Result, error) {
 // Drain runs without generating new traffic until every in-flight message
 // is delivered or the cycle budget is exhausted; it reports whether the
 // network fully drained. Used by conservation and deadlock-freedom tests.
+//
+// The pre-drain generation schedule is saved and restored, so the network
+// remains usable afterwards: a subsequent Run or Step resumes injecting.
+// Arrivals whose scheduled time fell inside the drain window fire on the
+// first post-drain cycle (with their original, now past, generation
+// stamps), exactly as if the sources had been paused.
 func (nw *Network) Drain(maxCycles int64) bool {
 	// Push all generation times beyond the horizon.
 	if !nw.step.inited {
@@ -176,6 +199,10 @@ func (nw *Network) Drain(maxCycles int64) bool {
 	}
 	nw.draining = true
 	defer func() { nw.draining = false }()
+	saved := make([]int64, len(nw.routers))
+	for i := range nw.routers {
+		saved[i] = nw.routers[i].nextGen
+	}
 	horizon := nw.cycle + maxCycles + 1
 	for i := range nw.routers {
 		nw.routers[i].nextGen = horizon
@@ -187,6 +214,16 @@ func (nw *Network) Drain(maxCycles int64) bool {
 	for nw.cycle < end && nw.Backlog() > 0 {
 		nw.Step()
 	}
+	// Restore the generation schedule (per-router times and the heap).
+	st := &nw.step
+	st.gen.when = st.gen.when[:0]
+	st.gen.node = st.gen.node[:0]
+	for i := range nw.routers {
+		nw.routers[i].nextGen = saved[i]
+		st.gen.when = append(st.gen.when, saved[i])
+		st.gen.node = append(st.gen.node, int32(i))
+	}
+	heap.Init(&st.gen)
 	return nw.Backlog() == 0
 }
 

@@ -56,7 +56,11 @@ func TestRandomConfigurationsConserveMessages(t *testing.T) {
 		}
 		for i := 0; i < 6000; i++ {
 			nw.Step()
+			if i%500 == 0 {
+				checkSchedulingInvariants(t, nw)
+			}
 		}
+		checkSchedulingInvariants(t, nw)
 		if !nw.Drain(400000) {
 			t.Fatalf("trial %d: %d messages stuck (k=%d dims=%d vcs=%d depth=%d lm=%d bi=%v eject=%v lambda=%v)",
 				trial, nw.Backlog(), k, dims, vcs, depth, lm, bi, eject, lambda)
@@ -111,4 +115,161 @@ func TestRandomConfigurationsDeliverCorrectPaths(t *testing.T) {
 			t.Fatalf("trial %d: %d messages took the wrong path (bi=%v)", trial, bad, bi)
 		}
 	}
+}
+
+// contains16 reports membership of x in the (short) sorted list s.
+func contains16(s []int16, x int16) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// checkSchedulingInvariants cross-checks the event-driven hot loop's
+// incrementally-maintained scheduling state against a ground-truth scan of
+// every virtual channel. The load-bearing property is reachability: every
+// held VC must sit on exactly the list its wormhole state says the
+// corresponding phase will consult — a buffered eligible flit that is on no
+// list would silently never move again. Only networks advanced by the
+// production Step satisfy these (the scan-based reference step leaves the
+// lists empty by design).
+func checkSchedulingInvariants(t *testing.T, nw *Network) {
+	t.Helper()
+	for ri := range nw.routers {
+		r := &nw.routers[ri]
+		for _, list := range [][]int16{r.pending, r.ejectQ} {
+			for i := 1; i < len(list); i++ {
+				if list[i-1] >= list[i] {
+					t.Fatalf("node %d: scheduling list not strictly ascending: %v", r.node, list)
+				}
+			}
+		}
+		candTotal := 0
+		for ch := range r.out {
+			cand := r.out[ch].cand
+			candTotal += len(cand)
+			for i, idx := range cand {
+				if i > 0 && cand[i-1] >= idx {
+					t.Fatalf("node %d ch %d: candidate list not strictly ascending: %v", r.node, ch, cand)
+				}
+				in := &r.in[idx]
+				if in.msg == nil || int(in.outPort) != ch {
+					t.Fatalf("node %d ch %d: candidate %d holds no message routed here (outPort %d)",
+						r.node, ch, idx, in.outPort)
+				}
+			}
+		}
+		if candTotal != r.candLive {
+			t.Fatalf("node %d: candLive %d but %d candidates listed", r.node, r.candLive, candTotal)
+		}
+		busy, injLive := 0, 0
+		busyIn := make([]int32, nw.outputs)
+		for idx := range r.in {
+			in := &r.in[idx]
+			if in.msg == nil {
+				if contains16(r.pending, int16(idx)) || contains16(r.ejectQ, int16(idx)) {
+					t.Fatalf("node %d: free VC %d on a scheduling list", r.node, idx)
+				}
+				continue
+			}
+			busy++
+			p := idx / nw.nVC
+			if p < nw.injPort {
+				busyIn[p]++
+			} else if in.recvd < nw.msgLen {
+				injLive++
+			}
+			// Reachability: the phase that must next serve this VC sees it.
+			switch {
+			case in.outPort == noPort:
+				if !contains16(r.pending, int16(idx)) {
+					t.Fatalf("node %d: unallocated header in VC %d missing from pending list", r.node, idx)
+				}
+			case int(in.outPort) == nw.injPort:
+				if !contains16(r.ejectQ, int16(idx)) {
+					t.Fatalf("node %d: ejecting VC %d missing from eject queue", r.node, idx)
+				}
+			default:
+				if !contains16(r.out[in.outPort].cand, int16(idx)) {
+					t.Fatalf("node %d: VC %d routed to channel %d unreachable by its arbitration scan",
+						r.node, idx, in.outPort)
+				}
+			}
+		}
+		if busy != r.busyVCs {
+			t.Fatalf("node %d: busyVCs %d but %d VCs held", r.node, r.busyVCs, busy)
+		}
+		if injLive != r.injLive {
+			t.Fatalf("node %d: injLive %d but %d injection VCs receiving", r.node, r.injLive, injLive)
+		}
+		for p := 0; p < nw.outputs; p++ {
+			if busyIn[p] != r.busyIn[p] {
+				t.Fatalf("node %d port %d: busyIn %d but %d held VCs", r.node, p, r.busyIn[p], busyIn[p])
+			}
+		}
+		if (busy > 0 || r.queueLen() > 0) && nw.step.inited && !nw.step.isActive[ri] {
+			t.Fatalf("node %d holds work but is not on the active list", r.node)
+		}
+	}
+}
+
+// FuzzSchedulingInvariants drives random configurations through the
+// production Step and checks the candidate-list/scheduling invariants as
+// the network evolves, then requires a full drain (no stranded flits).
+func FuzzSchedulingInvariants(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(2), uint8(2), uint8(8), false, false, uint8(0))
+	f.Add(int64(99), uint8(5), uint8(1), uint8(4), uint8(3), true, true, uint8(1))
+	f.Add(int64(7), uint8(3), uint8(3), uint8(3), uint8(12), true, false, uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, k, dims, vcs, lm uint8, bi, adaptive bool, patSel uint8) {
+		cfgK := 2 + int(k)%5
+		cfgDims := 1 + int(dims)%3
+		cfgVCs := 2 + int(vcs)%3
+		cfgLen := 1 + int(lm)%12
+		routing := RoutingDimensionOrder
+		if adaptive {
+			routing = RoutingAdaptive
+			if cfgVCs < 3 {
+				cfgVCs = 3
+			}
+		}
+		cube := topology.MustNew(cfgK, cfgDims)
+		var pattern traffic.Pattern
+		switch patSel % 3 {
+		case 0:
+			pattern = traffic.Uniform{Cube: cube}
+		case 1:
+			hotIdx := int((seed >> 3) % int64(cube.Nodes()))
+			if hotIdx < 0 {
+				hotIdx += cube.Nodes()
+			}
+			hs, err := traffic.NewHotSpot(cube, topology.NodeID(hotIdx), 0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pattern = hs
+		default:
+			pattern = traffic.Transpose{Cube: cube}
+		}
+		nw, err := New(Config{
+			K: cfgK, Dims: cfgDims, VCs: cfgVCs, BufDepth: 1 + int(lm)%3,
+			MsgLen: cfgLen, Lambda: 0.01, Pattern: pattern, Seed: seed,
+			Bidirectional: bi, Routing: routing,
+			EjectionContention: patSel%2 == 1, CheckInvariants: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2500; i++ {
+			nw.Step()
+			if i%64 == 0 {
+				checkSchedulingInvariants(t, nw)
+			}
+		}
+		checkSchedulingInvariants(t, nw)
+		if !nw.Drain(200000) {
+			t.Fatalf("%d messages stranded", nw.Backlog())
+		}
+	})
 }

@@ -65,6 +65,16 @@ type vc struct {
 	// outVC is the downstream virtual-channel index claimed for msg.
 	outVC int8
 
+	// routeCh caches the deterministic routing decision for msg at this
+	// VC's router (the dimension-order output channel, or the ejection
+	// marker), and wrapped caches whether taking routeCh crosses the
+	// ring's wrap-around link (which selects the Dally-Seitz class and
+	// the escape VC). Both depend only on (msg, router), so a header
+	// that stays blocked for many cycles pays the coordinate arithmetic
+	// once instead of every retry. routeUnknown = not yet computed.
+	routeCh int8
+	wrapped int8
+
 	// in/out count flits that entered/left during cycle; touch() lazily
 	// resets them at each new cycle so that conservative eligibility can be
 	// computed without a global per-cycle sweep:
@@ -75,12 +85,16 @@ type vc struct {
 	out   int32
 }
 
-const noPort = int8(-1)
+const (
+	noPort       = int8(-1)
+	routeUnknown = int8(-1)
+)
 
 func (v *vc) reset() {
 	v.msg = nil
 	v.occ, v.recvd, v.sent = 0, 0, 0
 	v.outPort, v.outVC = noPort, noPort
+	v.routeCh, v.wrapped = routeUnknown, 0
 }
 
 func (v *vc) touch(cycle int64) {

@@ -9,19 +9,49 @@ import (
 	"kncube/internal/traffic"
 )
 
+// outChannel is one outgoing physical channel of a router, wired at
+// construction time to the input-VC group it feeds on the downstream
+// router (booksim-style explicit channel objects). The candidate list is
+// the hot-loop workhorse: it holds exactly the input VCs whose message has
+// been allocated to this channel, so per-cycle arbitration touches only
+// VCs that can actually move a flit instead of scanning every input VC.
+type outChannel struct {
+	// down is the router this channel feeds; base is the offset of the
+	// channel's VC group in down.in (input port index equals the output
+	// channel index, so base = ch*VCs).
+	down *router
+	base int
+
+	// cand lists the flattened input-VC indices of the owning router
+	// currently routed to this channel, in ascending order. Maintained
+	// incrementally: allocate inserts on a successful claim, forward
+	// removes when the tail flit leaves.
+	cand []int16
+
+	// rr is the round-robin arbitration pointer (flattened port*VCs+vc),
+	// advanced past the last grant.
+	rr int
+}
+
 // router holds the per-node state: input ports (one per dimension plus the
-// injection port), the infinite source queue, the arrival process, and
-// round-robin arbitration pointers.
+// injection port), the infinite source queue, the arrival process,
+// round-robin arbitration pointers, and the incrementally-maintained
+// scheduling lists that keep the hot loop proportional to the number of
+// movable flits rather than the number of virtual channels.
 type router struct {
 	node topology.NodeID
 
-	// in[p][v]: input virtual channel v of port p. Network ports are
-	// indexed d*dirs+dir: in the unidirectional network (dirs = 1) port d
-	// receives from the dimension-d predecessor; with bidirectional links
-	// (dirs = 2) port 2d receives positive-direction traffic and port
-	// 2d+1 negative-direction traffic. The last port is the injection
-	// port fed by the local PE.
-	in [][]vc
+	// in holds the input virtual channels, flattened as p*VCs+v. Network
+	// ports are indexed d*dirs+dir: in the unidirectional network
+	// (dirs = 1) port d receives from the dimension-d predecessor; with
+	// bidirectional links (dirs = 2) port 2d receives positive-direction
+	// traffic and port 2d+1 negative-direction traffic. The last port is
+	// the injection port fed by the local PE.
+	in []vc
+
+	// out holds the router's network output channels, wired to their
+	// downstream routers at construction.
+	out []outChannel
 
 	// srcQ is the infinite injection queue (FIFO; head index qHead avoids
 	// O(n) pops).
@@ -31,11 +61,10 @@ type router struct {
 	arr     traffic.Arrivals
 	nextGen int64
 
-	// rrOut[ch] is the round-robin pointer (flattened port*VCs+vc) for
-	// output channel ch; rrEj for the ejection channel; rrAlloc rotates
-	// the virtual-channel allocation scan so competing headers (e.g.
-	// through-traffic vs. local injection) share fairly.
-	rrOut   []int
+	// rrEj is the round-robin pointer for the ejection channel; rrAlloc
+	// rotates the virtual-channel allocation scan so competing headers
+	// (e.g. through-traffic vs. local injection) share fairly; rrInj
+	// rotates injection-VC service.
 	rrEj    int
 	rrInj   int
 	rrAlloc int
@@ -43,9 +72,53 @@ type router struct {
 	// busyVCs counts held input VCs; the router is skipped entirely when
 	// it has no held VCs and an empty queue.
 	busyVCs int
+
+	// pending lists (ascending, flattened) the held VCs whose header has
+	// no output allocated yet — the only VCs the allocation phase must
+	// visit. ejectQ lists the VCs allocated to the ejection channel.
+	pending []int16
+	ejectQ  []int16
+
+	// busyIn[p] counts held VCs on network input port p (msg != nil),
+	// maintained incrementally so multiplexing-degree sampling needs no
+	// VC scan. injLive counts injection VCs still receiving flits from
+	// the PE (msg held, recvd < MsgLen), gating the injection phase;
+	// candLive counts candidates across all output channels, gating the
+	// forwarding phase.
+	busyIn   []int32
+	injLive  int
+	candLive int
+
+	// flitBase is node*outputs, the router's offset into Network.chanFlits.
+	flitBase int
 }
 
 func (r *router) queueLen() int { return len(r.srcQ) - r.qHead }
+
+// insertSorted adds x to the ascending list s (which must not already
+// contain it). The scheduling lists hold a handful of entries, so an
+// insertion scan beats any clever structure.
+func insertSorted(s []int16, x int16) []int16 {
+	s = append(s, x)
+	i := len(s) - 1
+	for i > 0 && s[i-1] > x {
+		s[i] = s[i-1]
+		i--
+	}
+	s[i] = x
+	return s
+}
+
+// removeSorted deletes x from the ascending list s, preserving order.
+func removeSorted(s []int16, x int16) []int16 {
+	for i, v := range s {
+		if v == x {
+			copy(s[i:], s[i+1:])
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
 
 func (r *router) popQueue() *Message {
 	m := r.srcQ[r.qHead]
@@ -73,6 +146,7 @@ type Network struct {
 	dirs    int   // ring directions per dimension: 1 or 2
 	outputs int   // network output channels per node: Dims*dirs
 	injPort int   // index of the injection port (= outputs)
+	nVC     int   // virtual channels per physical channel (= cfg.VCs)
 	depth   int32 // buffer depth
 	msgLen  int32
 
@@ -89,10 +163,17 @@ type Network struct {
 	latHist                   *stats.Histogram
 	batch                     *stats.BatchMeans
 	chanFlits                 []int64 // flits moved per (node*Dims+dim) channel
+	chanFlitsStart            []int64 // chanFlits snapshot at the current Run's start
 	busyChanSamples, busyVCCt int64   // multiplexing-degree sampling
 	hopsTotal                 int64
 
 	delivCb func(*Message)
+
+	// stepOverride, when non-nil, replaces Step in Run's cycle loop. Test
+	// seam: the differential suite substitutes the scan-based reference
+	// step so Run drives both implementations through the exact same
+	// measurement machinery.
+	stepOverride func()
 
 	// coll receives instrumentation events; nil (the default) keeps the
 	// hot path uninstrumented. draining is set while Drain runs so the
@@ -129,6 +210,7 @@ func New(cfg Config) (*Network, error) {
 		dirs:    dirs,
 		outputs: outputs,
 		injPort: outputs,
+		nVC:     cfg.VCs,
 		depth:   int32(cfg.BufDepth),
 		msgLen:  int32(cfg.MsgLen),
 		latHist: stats.NewHistogram(1),
@@ -136,17 +218,17 @@ func New(cfg Config) (*Network, error) {
 		coll:    cfg.Collector,
 	}
 	nw.chanFlits = make([]int64, cube.Nodes()*outputs)
+	nw.chanFlitsStart = make([]int64, cube.Nodes()*outputs)
 	for i := range nw.routers {
 		r := &nw.routers[i]
 		r.node = topology.NodeID(i)
-		r.in = make([][]vc, outputs+1)
-		for p := range r.in {
-			r.in[p] = make([]vc, cfg.VCs)
-			for v := range r.in[p] {
-				r.in[p][v].reset()
-			}
+		r.flitBase = i * outputs
+		r.in = make([]vc, (outputs+1)*cfg.VCs)
+		for v := range r.in {
+			r.in[v].reset()
 		}
-		r.rrOut = make([]int, outputs)
+		r.out = make([]outChannel, outputs)
+		r.busyIn = make([]int32, outputs)
 		if cfg.ArrivalsFactory != nil {
 			r.arr = cfg.ArrivalsFactory(r.node)
 		} else {
@@ -158,8 +240,21 @@ func New(cfg Config) (*Network, error) {
 		}
 		r.nextGen = int64(r.arr.Next(nw.rng))
 	}
+	// Wire every output channel to the input-VC group it feeds downstream
+	// (after the router slice is fully built, so the pointers are stable).
+	for i := range nw.routers {
+		r := &nw.routers[i]
+		for ch := 0; ch < outputs; ch++ {
+			r.out[ch].down = nw.downRouter(r.node, ch)
+			r.out[ch].base = ch * cfg.VCs
+		}
+	}
 	return nw, nil
 }
+
+// vcAt returns input virtual channel v of port p of r (testing aid; the
+// hot loop indexes r.in directly).
+func (nw *Network) vcAt(r *router, p, v int) *vc { return &r.in[p*nw.nVC+v] }
 
 // Cube exposes the underlying topology.
 func (nw *Network) Cube() *topology.Cube { return nw.cube }
@@ -249,9 +344,9 @@ func (nw *Network) adaptiveCandidate(msg *Message, cur topology.NodeID) (ch, dv 
 		if dist <= bestDist {
 			continue
 		}
-		down := nw.downRouter(cur, out)
+		oc := &nw.routers[cur].out[out]
 		for v := 2; v < nw.cfg.VCs; v++ {
-			if down.in[out][v].msg == nil {
+			if oc.down.in[oc.base+v].msg == nil {
 				bestCh, bestDv, bestDist = out, v, dist
 				break
 			}

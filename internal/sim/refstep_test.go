@@ -1,0 +1,321 @@
+package sim
+
+// Scan-based reference implementation of the simulator hot loop. This is
+// the pre-event-driven Step, phase by phase: every phase scans the full
+// (ports+1)×VCs input array of every active router with a rotating
+// arbitration pointer, instead of consulting the incrementally-maintained
+// scheduling lists (pending / cand / ejectQ / injLive / candLive). It is
+// adapted only to the flattened r.in layout and the r.out[ch].rr pointer
+// home; the visit order, claim logic and statistics updates are verbatim.
+//
+// The differential suite steps a second Network with refStep (via the
+// stepOverride Run seam) and asserts bit-identical results against the
+// production Step, which pins the rewrite's contract: event-driven
+// scheduling must be a pure strength reduction with no observable effect.
+//
+// refStep never reads nor maintains the scheduling lists; on a network
+// driven exclusively by refStep they simply stay empty.
+
+import (
+	"container/heap"
+	"testing"
+
+	"kncube/internal/topology"
+	"kncube/internal/traffic"
+)
+
+// refStep advances the simulation by one cycle using full scans.
+func (nw *Network) refStep() {
+	if !nw.step.inited {
+		nw.initStep()
+	}
+	st := &nw.step
+	cyc := nw.cycle
+
+	snapshot := st.active
+
+	for _, ri := range snapshot {
+		nw.refAllocate(&nw.routers[ri], cyc)
+	}
+	for _, ri := range snapshot {
+		nw.refEject(&nw.routers[ri], cyc)
+	}
+	for _, ri := range snapshot {
+		nw.refForward(&nw.routers[ri], cyc)
+	}
+	for _, ri := range snapshot {
+		nw.refInject(&nw.routers[ri], cyc)
+	}
+	for st.gen.Len() > 0 && st.gen.when[0] <= cyc {
+		node := st.gen.node[0]
+		nw.generate(&nw.routers[node], cyc)
+		r := &nw.routers[node]
+		st.gen.when[0] = r.nextGen
+		heap.Fix(&st.gen, 0)
+		nw.activate(node)
+	}
+	for _, ri := range st.active {
+		nw.refBind(&nw.routers[ri], cyc)
+	}
+
+	keep := st.active[:0]
+	for _, ri := range st.active {
+		r := &nw.routers[ri]
+		if r.busyVCs > 0 || r.queueLen() > 0 {
+			keep = append(keep, ri)
+		} else {
+			st.isActive[ri] = false
+		}
+	}
+	st.active = keep
+
+	if nw.cycle%64 == 0 {
+		nw.refSampleMultiplexing()
+	}
+	nw.cycle++
+}
+
+// refAllocate scans every input VC of r from the rotating rrAlloc pointer
+// and assigns outputs/downstream VCs to ready headers.
+func (nw *Network) refAllocate(r *router, cyc int64) {
+	nVC := nw.nVC
+	total := (nw.outputs + 1) * nVC
+	lastGrant := -1
+	for off := 0; off < total; off++ {
+		idx := (r.rrAlloc + off) % total
+		in := &r.in[idx]
+		if !in.headerReady(cyc) {
+			continue
+		}
+		msg := in.msg
+		out := nw.route(msg, r.node)
+		if int(out) == nw.injPort { // arrived: mark for ejection
+			in.outPort = out
+			continue
+		}
+		claim := func(ch, dv int) {
+			down := nw.downRouter(r.node, ch)
+			dvc := &down.in[ch*nVC+dv]
+			dvc.msg = msg
+			dvc.outPort, dvc.outVC = noPort, noPort
+			down.busyVCs++
+			nw.activate(int32(down.node))
+			in.outPort, in.outVC = int8(ch), int8(dv)
+			lastGrant = idx
+		}
+		if nw.cfg.Routing == RoutingAdaptive && !msg.Escaped {
+			if ch, dv, ok := nw.adaptiveCandidate(msg, r.node); ok {
+				claim(ch, dv)
+				continue
+			}
+			ch := int(out)
+			dv := nw.escapeVC(msg, r.node, ch)
+			if nw.downRouter(r.node, ch).in[ch*nVC+dv].msg == nil {
+				msg.Escaped = true
+				claim(ch, dv)
+			} else {
+				msg.Blocked++
+			}
+			continue
+		}
+		ch := int(out)
+		if nw.cfg.Routing == RoutingAdaptive {
+			dv := nw.escapeVC(msg, r.node, ch)
+			if nw.downRouter(r.node, ch).in[ch*nVC+dv].msg == nil {
+				claim(ch, dv)
+			} else {
+				msg.Blocked++
+			}
+			continue
+		}
+		down := nw.downRouter(r.node, ch)
+		lo, hi := nw.vcClassRange(msg, r.node, ch)
+		for dv := lo; dv < hi; dv++ {
+			if down.in[ch*nVC+dv].msg == nil {
+				claim(ch, dv)
+				break
+			}
+		}
+		if in.outPort == noPort {
+			msg.Blocked++
+		}
+	}
+	if lastGrant >= 0 {
+		r.rrAlloc = (lastGrant + 1) % total
+	}
+}
+
+// refEject consumes flits that have reached their destination, scanning
+// every input VC.
+func (nw *Network) refEject(r *router, cyc int64) {
+	if nw.cfg.EjectionContention {
+		total := (nw.outputs + 1) * nw.nVC
+		for off := 0; off < total; off++ {
+			idx := (r.rrEj + off) % total
+			in := &r.in[idx]
+			if in.msg != nil && int(in.outPort) == nw.injPort && in.avail(cyc) > 0 {
+				nw.refConsume(r, in, cyc, 1)
+				r.rrEj = (idx + 1) % total
+				return
+			}
+		}
+		return
+	}
+	for idx := range r.in {
+		in := &r.in[idx]
+		if in.msg != nil && int(in.outPort) == nw.injPort {
+			if n := in.avail(cyc); n > 0 {
+				nw.refConsume(r, in, cyc, n)
+			}
+		}
+	}
+}
+
+// refConsume removes n buffered flits without maintaining the eject queue
+// or per-port busy counters.
+func (nw *Network) refConsume(r *router, in *vc, cyc int64, n int32) {
+	msg := in.msg
+	for i := int32(0); i < n; i++ {
+		in.moveOut(cyc)
+	}
+	if in.sent == nw.msgLen {
+		in.reset()
+		r.busyVCs--
+		nw.deliver(msg, cyc)
+	}
+}
+
+// refForward arbitrates each outgoing channel by scanning every input VC
+// from the rotating per-channel pointer.
+func (nw *Network) refForward(r *router, cyc int64) {
+	nVC := nw.nVC
+	total := (nw.outputs + 1) * nVC
+	for ch := 0; ch < nw.outputs; ch++ {
+		var granted *vc
+		var grantIdx int
+		var down *router
+		for off := 0; off < total; off++ {
+			idx := (r.out[ch].rr + off) % total
+			in := &r.in[idx]
+			if in.msg == nil || int(in.outPort) != ch || in.avail(cyc) <= 0 {
+				continue
+			}
+			dn := nw.downRouter(r.node, ch)
+			dvc := &dn.in[ch*nVC+int(in.outVC)]
+			if dvc.space(cyc, nw.depth) <= 0 {
+				continue
+			}
+			granted, grantIdx, down = in, idx, dn
+			break
+		}
+		if granted == nil {
+			continue
+		}
+		r.out[ch].rr = (grantIdx + 1) % total
+		dvc := &down.in[ch*nVC+int(granted.outVC)]
+		granted.moveOut(cyc)
+		dvc.moveIn(cyc)
+		nw.chanFlits[int(r.node)*nw.outputs+ch]++
+		msg := granted.msg
+		if dvc.recvd == 1 { // header crossed this channel
+			msg.Hops++
+			if nw.cfg.RecordPaths {
+				msg.Path = append(msg.Path, down.node)
+			}
+		}
+		if granted.sent == nw.msgLen { // tail left: release this VC
+			granted.reset()
+			r.busyVCs--
+		}
+	}
+}
+
+// refInject moves at most one flit from the PE into a bound injection VC.
+func (nw *Network) refInject(r *router, cyc int64) {
+	nVC := nw.nVC
+	base := nw.injPort * nVC
+	for off := 0; off < nVC; off++ {
+		v := (r.rrInj + off) % nVC
+		in := &r.in[base+v]
+		if in.msg == nil || in.recvd >= nw.msgLen || in.space(cyc, nw.depth) <= 0 {
+			continue
+		}
+		in.moveIn(cyc)
+		r.rrInj = (v + 1) % nVC
+		return
+	}
+}
+
+// refBind attaches queued messages to free injection virtual channels.
+func (nw *Network) refBind(r *router, cyc int64) {
+	base := nw.injPort * nw.nVC
+	for r.queueLen() > 0 {
+		free := -1
+		for v := 0; v < nw.nVC; v++ {
+			if r.in[base+v].msg == nil {
+				free = v
+				break
+			}
+		}
+		if free < 0 {
+			return
+		}
+		msg := r.popQueue()
+		in := &r.in[base+free]
+		in.reset()
+		in.msg = msg
+		r.busyVCs++
+		msg.InjectCycle = cyc
+	}
+}
+
+// refSampleMultiplexing scans every router and every network input VC.
+func (nw *Network) refSampleMultiplexing() {
+	for ri := range nw.routers {
+		r := &nw.routers[ri]
+		if r.busyVCs == 0 {
+			continue
+		}
+		for d := 0; d < nw.outputs; d++ {
+			busy := int64(0)
+			for v := 0; v < nw.nVC; v++ {
+				if r.in[d*nw.nVC+v].msg != nil {
+					busy++
+				}
+			}
+			if busy > 0 {
+				nw.busyChanSamples++
+				nw.busyVCCt += busy
+				if nw.coll != nil {
+					nw.coll.VCOccupancy(int(busy))
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkSimulatorStepReference times the scan-based reference loop on
+// the same 256-node hot-spot workload as the root package's
+// BenchmarkSimulatorStep, keeping the pre-rework baseline reproducible.
+// The ratio of the two is the speedup recorded in BENCH_sim.json.
+func BenchmarkSimulatorStepReference(b *testing.B) {
+	cube := topology.MustNew(16, 2)
+	hs, err := traffic.NewHotSpot(cube, 136, 0.4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw, err := New(Config{
+		K: 16, Dims: 2, VCs: 2, MsgLen: 32, Lambda: 2e-4,
+		Pattern: hs, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		nw.refStep()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.refStep()
+	}
+}

@@ -1,0 +1,187 @@
+package sim
+
+// Regression tests for Network reuse. Two historical bugs are pinned here:
+//
+//  1. Drain pushed every router's generation schedule past the horizon and
+//     never restored it, so a Run after a Drain simulated a dead network
+//     (zero injections) forever.
+//  2. Run never reset the measurement accumulators and divided the
+//     cumulative per-channel flit counters by the cumulative cycle count,
+//     so a second Run on the same network reported statistics polluted by
+//     the first run's samples and utilisation averaged over both runs.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kncube/internal/topology"
+	"kncube/internal/traffic"
+)
+
+// switchRate is an Arrivals whose rate can be swapped between runs; every
+// node shares the pointed-to rate, so a test can re-run one network under a
+// different offered load.
+type switchRate struct{ lambda *float64 }
+
+func (s switchRate) Next(rng *rand.Rand) int {
+	gap := rng.ExpFloat64() / *s.lambda
+	n := int(math.Ceil(gap))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (s switchRate) Rate() float64 { return *s.lambda }
+
+func reuseOpts() RunOptions {
+	return RunOptions{WarmupCycles: 1000, MaxCycles: 60000, MinMeasured: 500}
+}
+
+func TestRunAfterDrainResumesInjection(t *testing.T) {
+	nw, err := New(Config{K: 4, Dims: 2, VCs: 2, MsgLen: 8, Lambda: 0.01, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := nw.Run(reuseOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Measured == 0 {
+		t.Fatal("first run measured nothing")
+	}
+	if !nw.Drain(200000) {
+		t.Fatalf("drain failed with backlog %d", nw.Backlog())
+	}
+	injAfterDrain := nw.Injected()
+
+	res2, err := nw.Run(reuseOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Injected() == injAfterDrain {
+		t.Fatal("no messages generated after Drain: generation schedule not restored")
+	}
+	if res2.Measured == 0 {
+		t.Error("second run measured nothing")
+	}
+	// The restored schedule must keep injecting at the configured rate, not
+	// a one-off trickle: the post-drain run spans tens of thousands of
+	// cycles at lambda=0.01 on 16 nodes.
+	injected := nw.Injected() - injAfterDrain
+	cycles := res2.Cycles - res1.Cycles // includes the drain tail, which injects nothing
+	if float64(injected) < 0.3*0.01*float64(cycles)*16 {
+		t.Errorf("only %d messages injected over %d post-run1 cycles: injection rate collapsed", injected, cycles)
+	}
+}
+
+func TestRunAfterDrainFiresDeferredArrivals(t *testing.T) {
+	// With a high arrival rate, every router's next generation time falls
+	// inside the drain window; those arrivals must fire immediately after
+	// the drain instead of being lost.
+	nw, err := New(Config{K: 4, Dims: 2, VCs: 2, MsgLen: 4, Lambda: 0.05, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		nw.Step()
+	}
+	if !nw.Drain(100000) {
+		t.Fatalf("drain failed with backlog %d", nw.Backlog())
+	}
+	before := nw.Injected()
+	nw.Step()
+	if nw.Injected() == before {
+		t.Fatal("deferred arrivals did not fire on the first post-drain cycle")
+	}
+}
+
+func TestRunReuseMeasuresEachWindowSeparately(t *testing.T) {
+	nw, err := New(Config{K: 4, Dims: 2, VCs: 2, MsgLen: 8, Lambda: 0.005, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := nw.Run(reuseOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := nw.Run(reuseOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical load, fresh window: the second run gathers a steady-state
+	// sample of its own, about the size of the first one. The historical
+	// bug accumulated across runs, roughly doubling Measured.
+	if res2.Measured > int64(1.6*float64(res1.Measured)) {
+		t.Errorf("second run measured %d messages vs %d in the first: accumulators not reset",
+			res2.Measured, res1.Measured)
+	}
+	if res2.Measured == 0 {
+		t.Fatal("second run measured nothing")
+	}
+	// Same offered load in both windows: latency and utilisation must come
+	// out statistically close, not drift with run count.
+	if rel := math.Abs(res2.MeanLatency-res1.MeanLatency) / res1.MeanLatency; rel > 0.25 {
+		t.Errorf("mean latency drifted across identical runs: %v then %v", res1.MeanLatency, res2.MeanLatency)
+	}
+	if res2.ChannelUtilisation <= 0 || res2.MaxChannelUtilisation > 1 {
+		t.Errorf("second-run utilisation out of range: mean %v max %v",
+			res2.ChannelUtilisation, res2.MaxChannelUtilisation)
+	}
+}
+
+func TestRunReuseReflectsChangedLoad(t *testing.T) {
+	// Heavy run, then light run on the same network. The light run's
+	// statistics must reflect only the light window; the historical bug
+	// averaged both windows, dragging the second run's latency and
+	// utilisation towards the heavy run's.
+	lambda := 0.012
+	cfg := Config{
+		K: 4, Dims: 2, VCs: 2, MsgLen: 8, Seed: 24,
+		ArrivalsFactory: func(topology.NodeID) traffic.Arrivals {
+			return switchRate{lambda: &lambda}
+		},
+	}
+	nw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := nw.Run(reuseOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda = 0.0005
+	light, err := nw.Run(reuseOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh network run only at the light load gives the ground truth.
+	lambdaFresh := 0.0005
+	cfgFresh := cfg
+	cfgFresh.ArrivalsFactory = func(topology.NodeID) traffic.Arrivals {
+		return switchRate{lambda: &lambdaFresh}
+	}
+	fresh, err := New(cfgFresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Run(reuseOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if light.MeanLatency >= heavy.MeanLatency {
+		t.Errorf("light-load rerun latency %v not below heavy-load latency %v",
+			light.MeanLatency, heavy.MeanLatency)
+	}
+	if rel := math.Abs(light.MeanLatency-want.MeanLatency) / want.MeanLatency; rel > 0.20 {
+		t.Errorf("reused-network light latency %v, fresh-network %v (rel err %.2f): window polluted",
+			light.MeanLatency, want.MeanLatency, rel)
+	}
+	if light.ChannelUtilisation > 0.5*heavy.ChannelUtilisation {
+		t.Errorf("light-run utilisation %v not well below heavy-run %v: utilisation not per-run",
+			light.ChannelUtilisation, heavy.ChannelUtilisation)
+	}
+}

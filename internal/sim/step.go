@@ -36,6 +36,7 @@ type stepState struct {
 	gen      genHeap
 	active   []int32
 	isActive []bool
+	scratch  []int16 // per-phase snapshot of a router's scheduling list
 	inited   bool
 }
 
@@ -66,6 +67,17 @@ func (nw *Network) activate(i int32) {
 // generation, and source-queue binding to free injection virtual channels.
 // Eligibility uses start-of-cycle buffer state, so a flit crosses at most
 // one channel per cycle.
+//
+// The loop is event-driven at two levels. Routers join the active list
+// only when a buffer or credit of theirs changes (a downstream claim, a
+// generated message) and leave it when they hold nothing; within an active
+// router every phase consults an incrementally-maintained list (pending
+// headers, per-channel candidates, eject queue, live injection VCs) instead
+// of scanning the full (ports+1)×VCs input array, so per-cycle work is
+// proportional to the flits that can actually move. Arbitration visits the
+// lists in the same rotating flattened-index order a full scan would use,
+// which keeps every statistic bit-identical to the scan-based loop (the
+// differential suite in differential_test.go pins this).
 func (nw *Network) Step() {
 	if !nw.step.inited {
 		nw.initStep()
@@ -79,19 +91,27 @@ func (nw *Network) Step() {
 
 	// Phase 1: route computation and output virtual-channel allocation.
 	for _, ri := range snapshot {
-		nw.allocate(&nw.routers[ri], cyc)
+		if r := &nw.routers[ri]; len(r.pending) > 0 {
+			nw.allocate(r, cyc)
+		}
 	}
 	// Phase 2: ejection.
 	for _, ri := range snapshot {
-		nw.eject(&nw.routers[ri], cyc)
+		if r := &nw.routers[ri]; len(r.ejectQ) > 0 {
+			nw.eject(r, cyc)
+		}
 	}
 	// Phase 3: network channel arbitration (one flit per output channel).
 	for _, ri := range snapshot {
-		nw.forward(&nw.routers[ri], cyc)
+		if r := &nw.routers[ri]; r.candLive > 0 {
+			nw.forward(r, cyc)
+		}
 	}
 	// Phase 4: injection channel arbitration (one flit from the PE).
 	for _, ri := range snapshot {
-		nw.inject(&nw.routers[ri], cyc)
+		if r := &nw.routers[ri]; r.injLive > 0 {
+			nw.inject(r, cyc)
+		}
 	}
 	// Phase 5: message generation.
 	for st.gen.Len() > 0 && st.gen.when[0] <= cyc {
@@ -104,7 +124,9 @@ func (nw *Network) Step() {
 	}
 	// Phase 6: bind queued messages to free injection virtual channels.
 	for _, ri := range st.active {
-		nw.bind(&nw.routers[ri], cyc)
+		if r := &nw.routers[ri]; r.queueLen() > 0 {
+			nw.bind(r, cyc)
+		}
 	}
 
 	// Compact the active list.
@@ -125,70 +147,106 @@ func (nw *Network) Step() {
 	nw.cycle++
 }
 
+// rotate copies list into the step scratch buffer in round-robin order:
+// entries >= start first (ascending), then the wrapped prefix. The lists
+// are maintained ascending, so this reproduces exactly the visit order of
+// a full flattened scan starting at a rotating pointer.
+func (nw *Network) rotate(list []int16, start int) []int16 {
+	split := 0
+	for _, idx := range list {
+		if int(idx) < start {
+			split++
+		}
+	}
+	s := append(nw.step.scratch[:0], list[split:]...)
+	s = append(s, list[:split]...)
+	nw.step.scratch = s
+	return s
+}
+
 // allocate assigns an output port and claims a downstream virtual channel
-// for every input VC whose header flit is ready. The scan starts at a
-// rotating offset and advances past the last grant, so headers competing
-// for the same scarce downstream virtual channel take turns instead of the
-// lowest-numbered port winning every time.
+// for every input VC whose header flit is ready. Only the pending-header
+// list is visited, rotated at rrAlloc and advanced past the last grant, so
+// headers competing for the same scarce downstream virtual channel take
+// turns exactly as under the full scan.
 func (nw *Network) allocate(r *router, cyc int64) {
-	nVC := nw.cfg.VCs
+	nVC := nw.nVC
 	total := (nw.outputs + 1) * nVC
 	lastGrant := -1
-	for off := 0; off < total; off++ {
-		idx := (r.rrAlloc + off) % total
-		in := &r.in[idx/nVC][idx%nVC]
-		if !in.headerReady(cyc) {
-			continue
+	// Iterate a snapshot: claims remove entries from r.pending mid-loop.
+	for _, idx16 := range nw.rotate(r.pending, r.rrAlloc) {
+		idx := int(idx16)
+		in := &r.in[idx]
+		if in.avail(cyc) <= 0 {
+			continue // claimed downstream VC, header not arrived yet
 		}
 		msg := in.msg
-		out := nw.route(msg, r.node)
-		if int(out) == nw.injPort { // arrived: mark for ejection
-			in.outPort = out
+		if in.routeCh == routeUnknown {
+			in.routeCh = nw.route(msg, r.node)
+			if int(in.routeCh) != nw.injPort && nw.wrappedAfter(msg, r.node, int(in.routeCh)) {
+				in.wrapped = 1
+			}
+		}
+		if int(in.routeCh) == nw.injPort { // arrived: mark for ejection
+			in.outPort = in.routeCh
+			r.pending = removeSorted(r.pending, idx16)
+			r.ejectQ = insertSorted(r.ejectQ, idx16)
 			continue
 		}
 		claim := func(ch, dv int) {
-			down := nw.downRouter(r.node, ch)
-			dvc := &down.in[ch][dv]
+			oc := &r.out[ch]
+			down := oc.down
+			dvc := &down.in[oc.base+dv]
 			dvc.msg = msg
 			dvc.outPort, dvc.outVC = noPort, noPort
 			down.busyVCs++
+			down.busyIn[ch]++
+			down.pending = insertSorted(down.pending, int16(oc.base+dv))
 			nw.activate(int32(down.node))
 			in.outPort, in.outVC = int8(ch), int8(dv)
+			r.pending = removeSorted(r.pending, idx16)
+			oc.cand = insertSorted(oc.cand, idx16)
+			r.candLive++
 			lastGrant = idx
 		}
-		if nw.cfg.Routing == RoutingAdaptive && !msg.Escaped {
-			// Try an adaptive virtual channel on any productive output.
-			if ch, dv, ok := nw.adaptiveCandidate(msg, r.node); ok {
-				claim(ch, dv)
+		ch := int(in.routeCh)
+		if nw.cfg.Routing == RoutingAdaptive {
+			// The escape VC index is the cached wrap state: VC 0 holds
+			// escape class 1, VC 1 escape class 0.
+			dv := int(in.wrapped)
+			if !msg.Escaped {
+				// Try an adaptive virtual channel on any productive
+				// output, falling back to the escape network on the
+				// dimension-order output.
+				if ach, adv, ok := nw.adaptiveCandidate(msg, r.node); ok {
+					claim(ach, adv)
+					continue
+				}
+				if r.out[ch].down.in[r.out[ch].base+dv].msg == nil {
+					msg.Escaped = true
+					claim(ch, dv)
+				} else {
+					msg.Blocked++
+				}
 				continue
 			}
-			// Fall back to the escape network on the dimension-order
-			// output; the message then stays on escape channels.
-			ch := int(out)
-			dv := nw.escapeVC(msg, r.node, ch)
-			if nw.downRouter(r.node, ch).in[ch][dv].msg == nil {
-				msg.Escaped = true
-				claim(ch, dv)
-			} else {
-				msg.Blocked++
-			}
-			continue
-		}
-		ch := int(out)
-		if nw.cfg.Routing == RoutingAdaptive {
 			// Escaped message: only its escape-class virtual channel.
-			dv := nw.escapeVC(msg, r.node, ch)
-			if nw.downRouter(r.node, ch).in[ch][dv].msg == nil {
+			if r.out[ch].down.in[r.out[ch].base+dv].msg == nil {
 				claim(ch, dv)
 			} else {
 				msg.Blocked++
 			}
 			continue
 		}
-		down := nw.downRouter(r.node, ch)
-		lo, hi := nw.vcClassRange(msg, r.node, ch)
+		// Deterministic routing: any free VC of the Dally-Seitz class for
+		// this hop (class 1 in [0, V/2) before the wrap, class 0 after).
+		oc := &r.out[ch]
+		lo, hi := 0, nVC/2
+		if in.wrapped == 1 {
+			lo, hi = nVC/2, nVC
+		}
 		for dv := lo; dv < hi; dv++ {
-			if down.in[ch][dv].msg == nil {
+			if oc.down.in[oc.base+dv].msg == nil {
 				claim(ch, dv)
 				break
 			}
@@ -202,109 +260,138 @@ func (nw *Network) allocate(r *router, cyc int64) {
 	}
 }
 
-// eject consumes flits that have reached their destination.
+// eject consumes flits that have reached their destination. Only VCs on
+// the eject queue (output allocated to the ejection channel) are visited.
 func (nw *Network) eject(r *router, cyc int64) {
 	if nw.cfg.EjectionContention {
 		// One ejection channel: a single flit per cycle, round-robin.
-		nVC := nw.cfg.VCs
-		total := (nw.outputs + 1) * nVC
-		for off := 0; off < total; off++ {
-			idx := (r.rrEj + off) % total
-			in := &r.in[idx/nVC][idx%nVC]
-			if in.msg != nil && int(in.outPort) == nw.injPort && in.avail(cyc) > 0 {
-				nw.consume(r, in, cyc, 1)
-				r.rrEj = (idx + 1) % total
+		total := (nw.outputs + 1) * nw.nVC
+		for _, idx16 := range nw.rotate(r.ejectQ, r.rrEj) {
+			in := &r.in[idx16]
+			if in.avail(cyc) > 0 {
+				nw.consume(r, int(idx16), in, cyc, 1)
+				r.rrEj = (int(idx16) + 1) % total
 				return
 			}
 		}
 		return
 	}
 	// Contention-free ejection (assumption (iv)): drain everything that
-	// arrived by the start of the cycle.
-	for p := range r.in {
-		for v := range r.in[p] {
-			in := &r.in[p][v]
-			if in.msg != nil && int(in.outPort) == nw.injPort {
-				if n := in.avail(cyc); n > 0 {
-					nw.consume(r, in, cyc, n)
-				}
-			}
+	// arrived by the start of the cycle. Iterate a snapshot, since
+	// consuming a tail removes the VC from the queue.
+	for _, idx16 := range nw.rotate(r.ejectQ, 0) {
+		in := &r.in[idx16]
+		if n := in.avail(cyc); n > 0 {
+			nw.consume(r, int(idx16), in, cyc, n)
 		}
 	}
 }
 
-// consume removes n buffered flits of the message holding in, completing
-// delivery when the tail is consumed.
-func (nw *Network) consume(r *router, in *vc, cyc int64, n int32) {
+// consume removes n buffered flits of the message holding in (the VC at
+// flattened index idx), completing delivery when the tail is consumed.
+func (nw *Network) consume(r *router, idx int, in *vc, cyc int64, n int32) {
 	msg := in.msg
 	for i := int32(0); i < n; i++ {
 		in.moveOut(cyc)
 	}
-	nw.invariant(in.occ >= 0, "negative occupancy at node %d", r.node)
+	if nw.cfg.CheckInvariants {
+		nw.invariant(in.occ >= 0, "negative occupancy at node %d", r.node)
+	}
 	if in.sent == nw.msgLen {
 		in.reset()
 		r.busyVCs--
+		if p := idx / nw.nVC; p < nw.injPort {
+			r.busyIn[p]--
+		}
+		r.ejectQ = removeSorted(r.ejectQ, int16(idx))
 		nw.deliver(msg, cyc)
 	}
 }
 
 // forward arbitrates each outgoing network channel of r and moves at most
-// one flit across it.
+// one flit across it. Arbitration consults only the channel's candidate
+// list; the common uncontended case (one message holding the channel) is a
+// single eligibility check — the arbitration decision made at allocation
+// time carries the whole message across, flit by flit, with no rescan.
 func (nw *Network) forward(r *router, cyc int64) {
-	nVC := nw.cfg.VCs
-	total := (nw.outputs + 1) * nVC
+	total := (nw.outputs + 1) * nw.nVC
 	for ch := 0; ch < nw.outputs; ch++ {
-		var granted *vc
+		oc := &r.out[ch]
+		var granted, dvc *vc
 		var grantIdx int
-		var down *router
-		for off := 0; off < total; off++ {
-			idx := (r.rrOut[ch] + off) % total
-			in := &r.in[idx/nVC][idx%nVC]
-			if in.msg == nil || int(in.outPort) != ch || in.avail(cyc) <= 0 {
-				continue
-			}
-			dn := nw.downRouter(r.node, ch)
-			dvc := &dn.in[ch][in.outVC]
-			if dvc.space(cyc, nw.depth) <= 0 {
-				continue
-			}
-			granted, grantIdx, down = in, idx, dn
-			break
-		}
-		if granted == nil {
+		switch n := len(oc.cand); {
+		case n == 0:
 			continue
+		case n == 1:
+			// Sole candidate: the rotated scan can only pick it.
+			grantIdx = int(oc.cand[0])
+			in := &r.in[grantIdx]
+			if in.avail(cyc) <= 0 {
+				continue
+			}
+			d := &oc.down.in[oc.base+int(in.outVC)]
+			if d.space(cyc, nw.depth) <= 0 {
+				continue
+			}
+			granted, dvc = in, d
+		default:
+			for _, idx16 := range nw.rotate(oc.cand, oc.rr) {
+				in := &r.in[idx16]
+				if in.avail(cyc) <= 0 {
+					continue
+				}
+				d := &oc.down.in[oc.base+int(in.outVC)]
+				if d.space(cyc, nw.depth) <= 0 {
+					continue
+				}
+				granted, grantIdx, dvc = in, int(idx16), d
+				break
+			}
+			if granted == nil {
+				continue
+			}
 		}
-		r.rrOut[ch] = (grantIdx + 1) % total
-		dvc := &down.in[ch][granted.outVC]
-		nw.invariant(dvc.msg == granted.msg, "downstream VC stolen at node %d channel %d", r.node, ch)
+		oc.rr = (grantIdx + 1) % total
+		if nw.cfg.CheckInvariants {
+			nw.invariant(dvc.msg == granted.msg, "downstream VC stolen at node %d channel %d", r.node, ch)
+		}
 		granted.moveOut(cyc)
 		dvc.moveIn(cyc)
-		nw.chanFlits[int(r.node)*nw.outputs+ch]++
+		nw.chanFlits[r.flitBase+ch]++
 		msg := granted.msg
 		if dvc.recvd == 1 { // header crossed this channel
 			msg.Hops++
 			if nw.cfg.RecordPaths {
-				msg.Path = append(msg.Path, down.node)
+				msg.Path = append(msg.Path, oc.down.node)
 			}
 		}
 		if granted.sent == nw.msgLen { // tail left: release this VC
 			granted.reset()
 			r.busyVCs--
+			if p := grantIdx / nw.nVC; p < nw.injPort {
+				r.busyIn[p]--
+			}
+			oc.cand = removeSorted(oc.cand, int16(grantIdx))
+			r.candLive--
 		}
 	}
 }
 
 // inject moves at most one flit from the PE into a bound injection VC.
 func (nw *Network) inject(r *router, cyc int64) {
-	nVC := nw.cfg.VCs
+	nVC := nw.nVC
+	base := nw.injPort * nVC
 	for off := 0; off < nVC; off++ {
-		idx := (r.rrInj + off) % nVC
-		in := &r.in[nw.injPort][idx]
+		v := (r.rrInj + off) % nVC
+		in := &r.in[base+v]
 		if in.msg == nil || in.recvd >= nw.msgLen || in.space(cyc, nw.depth) <= 0 {
 			continue
 		}
 		in.moveIn(cyc)
-		r.rrInj = (idx + 1) % nVC
+		if in.recvd == nw.msgLen {
+			r.injLive--
+		}
+		r.rrInj = (v + 1) % nVC
 		return
 	}
 }
@@ -347,26 +434,33 @@ type hotClassifier interface {
 
 // bind attaches queued messages to free injection virtual channels.
 func (nw *Network) bind(r *router, cyc int64) {
+	base := nw.injPort * nw.nVC
 	for r.queueLen() > 0 {
-		var free *vc
-		for v := range r.in[nw.injPort] {
-			if r.in[nw.injPort][v].msg == nil {
-				free = &r.in[nw.injPort][v]
+		free := -1
+		for v := 0; v < nw.nVC; v++ {
+			if r.in[base+v].msg == nil {
+				free = v
 				break
 			}
 		}
-		if free == nil {
+		if free < 0 {
 			return
 		}
 		msg := r.popQueue()
-		free.reset()
-		free.msg = msg
+		in := &r.in[base+free]
+		in.reset()
+		in.msg = msg
 		r.busyVCs++
+		r.injLive++
+		r.pending = insertSorted(r.pending, int16(base+free))
 		msg.InjectCycle = cyc
 	}
 }
 
-// deliver finalises a message and records statistics.
+// deliver finalises a message and records statistics. Messages measured by
+// an earlier Run on the same network (their generation predates the
+// current measurement window) are excluded, so reuse cannot leak samples
+// across runs.
 func (nw *Network) deliver(msg *Message, cyc int64) {
 	msg.DeliverCycle = cyc
 	nw.delivered++
@@ -379,7 +473,7 @@ func (nw *Network) deliver(msg *Message, cyc int64) {
 			nw.coll.MessageDrained()
 		}
 	}
-	if !msg.Measured {
+	if !msg.Measured || msg.GenCycle < nw.measureFrom {
 		return
 	}
 	nw.measured++
@@ -398,21 +492,18 @@ func (nw *Network) deliver(msg *Message, cyc int64) {
 }
 
 // sampleMultiplexing samples the number of busy virtual channels on busy
-// physical channels to estimate the empirical multiplexing degree.
+// physical channels to estimate the empirical multiplexing degree. Every
+// router holding a VC is on the active list, and per-port busy counts are
+// maintained incrementally, so the sample costs one counter read per
+// network port per busy router.
 func (nw *Network) sampleMultiplexing() {
-	for ri := range nw.routers {
+	for _, ri := range nw.step.active {
 		r := &nw.routers[ri]
 		if r.busyVCs == 0 {
 			continue
 		}
 		for d := 0; d < nw.outputs; d++ {
-			busy := int64(0)
-			for v := range r.in[d] {
-				if r.in[d][v].msg != nil {
-					busy++
-				}
-			}
-			if busy > 0 {
+			if busy := int64(r.busyIn[d]); busy > 0 {
 				nw.busyChanSamples++
 				nw.busyVCCt += busy
 				if nw.coll != nil {

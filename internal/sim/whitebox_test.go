@@ -17,8 +17,8 @@ func sweepVCs(nw *Network, f func(node topology.NodeID, ch, vcIdx int, v *vc)) {
 	for ri := range nw.routers {
 		r := &nw.routers[ri]
 		for ch := 0; ch < nw.outputs; ch++ {
-			for i := range r.in[ch] {
-				f(r.node, ch, i, &r.in[ch][i])
+			for i := 0; i < nw.nVC; i++ {
+				f(r.node, ch, i, nw.vcAt(r, ch, i))
 			}
 		}
 	}
@@ -115,7 +115,7 @@ func TestWormholeVCHeldUntilTail(t *testing.T) {
 	held := 0
 	for i := 0; i < 200; i++ {
 		nw.Step()
-		v := &nw.routers[mid].in[0][0] // class-1 VC of dim-x input at mid node
+		v := nw.vcAt(&nw.routers[mid], 0, 0) // class-1 VC of dim-x input at mid node
 		if v.msg != nil {
 			held++
 			if v.sent == 6 {
