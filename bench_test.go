@@ -317,20 +317,34 @@ func BenchmarkModelSolve(b *testing.B) {
 	}
 }
 
+// benchSolveSpecs is the per-variant golden operating shape shared by the
+// BenchmarkSolve* family; Lambda is the common light-load point.
+var benchSolveSpecs = map[string]kncube.ModelSpec{
+	"hotspot-2d":       {K: 16, Dims: 2, V: 2, Lm: 32, H: 0.2, Lambda: 7.5e-5},
+	"bidirectional-2d": {K: 16, Dims: 2, V: 2, Lm: 32, H: 0.2, Lambda: 7.5e-5},
+	"uniform":          {K: 16, Dims: 2, V: 2, Lm: 32, H: 0, Lambda: 7.5e-5},
+	"hypercube":        {K: 2, Dims: 8, V: 2, Lm: 32, H: 0.2, Lambda: 7.5e-5},
+	"ndim":             {K: 16, Dims: 2, V: 2, Lm: 32, H: 0.2, Lambda: 7.5e-5},
+}
+
+// benchNearSatLambda is an offered load close to (but below) each variant's
+// saturation point at its benchSolveSpecs shape — the regime where the
+// damped contraction rate approaches 1 and iteration counts blow up.
+var benchNearSatLambda = map[string]float64{
+	"hotspot-2d":       2.2e-4,
+	"bidirectional-2d": 4.0e-4,
+	"uniform":          1.5e-3,
+	"hypercube":        1.05e-3,
+	"ndim":             2.2e-4,
+}
+
 // BenchmarkSolve measures every registered model variant through the
 // shared fixed-point driver, one sub-benchmark per registry name
 // (BenchmarkSolve/hotspot-2d, BenchmarkSolve/uniform, ...), at a common
 // light-load operating point each variant can represent.
 func BenchmarkSolve(b *testing.B) {
-	specs := map[string]kncube.ModelSpec{
-		"hotspot-2d":       {K: 16, Dims: 2, V: 2, Lm: 32, H: 0.2, Lambda: 7.5e-5},
-		"bidirectional-2d": {K: 16, Dims: 2, V: 2, Lm: 32, H: 0.2, Lambda: 7.5e-5},
-		"uniform":          {K: 16, Dims: 2, V: 2, Lm: 32, H: 0, Lambda: 7.5e-5},
-		"hypercube":        {K: 2, Dims: 8, V: 2, Lm: 32, H: 0.2, Lambda: 7.5e-5},
-		"ndim":             {K: 16, Dims: 2, V: 2, Lm: 32, H: 0.2, Lambda: 7.5e-5},
-	}
 	for _, name := range kncube.Models() {
-		spec, ok := specs[name]
+		spec, ok := benchSolveSpecs[name]
 		if !ok {
 			b.Fatalf("no benchmark spec for registered solver %q — add one", name)
 		}
@@ -340,6 +354,92 @@ func BenchmarkSolve(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkSolveNearSat compares the damped baseline against safeguarded
+// Anderson mixing at every variant's near-saturation operating point,
+// reporting the fixed-point round count as iters/op alongside ns/op —
+// khs-bench commits both to BENCH_solve.json, where the acceptance
+// criterion is a reduced Anderson iteration count on every variant.
+func BenchmarkSolveNearSat(b *testing.B) {
+	schemes := []struct {
+		label string
+		accel kncube.Acceleration
+	}{
+		{"damped", kncube.AccelNone},
+		{"anderson", kncube.AccelAnderson},
+	}
+	for _, name := range kncube.Models() {
+		spec := benchSolveSpecs[name]
+		spec.Lambda = benchNearSatLambda[name]
+		for _, sc := range schemes {
+			b.Run(name+"/"+sc.label, func(b *testing.B) {
+				var o kncube.ModelOptions
+				o.FixPoint.Acceleration = sc.accel
+				var iters int64
+				for i := 0; i < b.N; i++ {
+					res, err := kncube.Solve(name, spec, o)
+					if err != nil {
+						b.Fatal(err)
+					}
+					iters += int64(res.Convergence.Iterations)
+				}
+				b.ReportMetric(float64(iters)/float64(b.N), "iters/op")
+			})
+		}
+	}
+}
+
+// BenchmarkSolveBatch runs a sweep-shaped workload — one topology shape,
+// a grid of offered loads from light load to near saturation — through
+// repeated one-shot Solve calls, the batch driver, and the warm-started
+// batch driver. One op is the full grid, so the single/batch ns/op ratio
+// is exactly the per-spec speedup of shared preparation; iters/op is the
+// grid's summed fixed-point round count (warm starts shrink it).
+func BenchmarkSolveBatch(b *testing.B) {
+	const model, points = "hotspot-2d", 16
+	base := benchSolveSpecs[model]
+	lo, hi := base.Lambda, benchNearSatLambda[model]
+	specs := make([]kncube.ModelSpec, points)
+	for i := range specs {
+		specs[i] = base
+		specs[i].Lambda = lo + float64(i)*(hi-lo)/(points-1)
+	}
+	b.Run("single", func(b *testing.B) {
+		var iters int64
+		for i := 0; i < b.N; i++ {
+			for _, sp := range specs {
+				res, err := kncube.Solve(model, sp, kncube.ModelOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters += int64(res.Convergence.Iterations)
+			}
+		}
+		b.ReportMetric(float64(iters)/float64(b.N), "iters/op")
+	})
+	for _, warm := range []bool{false, true} {
+		label := "batch"
+		if warm {
+			label = "batch-warm"
+		}
+		b.Run(label, func(b *testing.B) {
+			var iters int64
+			for i := 0; i < b.N; i++ {
+				items, err := kncube.SolveBatch(model, specs, kncube.BatchOptions{WarmStart: warm})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j, it := range items {
+					if it.Err != nil {
+						b.Fatalf("item %d (λ=%g): %v", j, specs[j].Lambda, it.Err)
+					}
+					iters += int64(it.Result.Convergence.Iterations)
+				}
+			}
+			b.ReportMetric(float64(iters)/float64(b.N), "iters/op")
 		})
 	}
 }

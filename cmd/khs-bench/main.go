@@ -1,16 +1,20 @@
-// Command khs-bench converts `go test -bench` text output into the
-// machine-readable benchmark trajectory file BENCH_sim.json. The CI bench
-// job previously piped the human-readable bench text straight into a file
-// with a .json name; this tool emits actual JSON so the numbers can be
-// diffed, plotted, and regression-gated across commits:
+// Command khs-bench converts `go test -bench` text output into a
+// machine-readable benchmark trajectory file (BENCH_sim.json,
+// BENCH_solve.json). The CI bench job previously piped the human-readable
+// bench text straight into a file with a .json name; this tool emits actual
+// JSON so the numbers can be diffed, plotted, and regression-gated across
+// commits:
 //
 //	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/khs-bench -label after -append
+//	go test -run '^$' -bench '^BenchmarkSolve' . | go run ./cmd/khs-bench -o BENCH_solve.json
 //
 // Each invocation appends (or writes) one labelled entry holding every
-// parsed benchmark: name, iterations, ns/op, B/op, allocs/op, and — for
-// the simulator Step benchmarks — the derived simulated cycles per second
-// (1e9 / ns_per_op), the headline number the event-driven hot-loop rework
-// is tracked by.
+// parsed benchmark: name, iterations, ns/op, B/op, allocs/op, the custom
+// iters/op metric the BenchmarkSolve* family reports (fixed-point rounds
+// per solve — the number the Anderson acceleration work is tracked by),
+// and — for the simulator Step benchmarks — the derived simulated cycles
+// per second (1e9 / ns_per_op), the headline number the event-driven
+// hot-loop rework is tracked by.
 package main
 
 import (
@@ -34,6 +38,9 @@ type Benchmark struct {
 	// allocations is the load-bearing value for the hot-loop benchmarks.
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// ItersPerOp is the custom iters/op metric reported by the
+	// BenchmarkSolve* family: fixed-point substitution rounds per op.
+	ItersPerOp float64 `json:"iters_per_op,omitempty"`
 	// CyclesPerSec is 1e9/NsPerOp for benchmarks that advance the
 	// simulator by one cycle per iteration (name contains "Step").
 	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
@@ -145,6 +152,8 @@ func parseLine(line string) (Benchmark, bool) {
 			b.BytesPerOp = val
 		case "allocs/op":
 			b.AllocsPerOp = val
+		case "iters/op":
+			b.ItersPerOp = val
 		}
 	}
 	if !sawNs {

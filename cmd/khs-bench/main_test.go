@@ -11,6 +11,7 @@ pkg: kncube
 cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkSimulatorStep 	 3247651	       931.2 ns/op	       6 B/op	       0 allocs/op
 BenchmarkSolverFigure1-8 	     120	   9876543 ns/op
+BenchmarkSolveNearSat/hotspot-2d/anderson-8 	   10000	    104500 ns/op	       102.0 iters/op
 PASS
 ok  	kncube	3.853s
 `
@@ -23,8 +24,8 @@ func TestParseExtractsBenchmarks(t *testing.T) {
 	if e.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
 		t.Errorf("cpu = %q", e.CPU)
 	}
-	if len(e.Benchmarks) != 2 {
-		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(e.Benchmarks), e.Benchmarks)
+	if len(e.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(e.Benchmarks), e.Benchmarks)
 	}
 	step := e.Benchmarks[0]
 	if step.Name != "BenchmarkSimulatorStep" || step.Iterations != 3247651 {
@@ -47,6 +48,15 @@ func TestParseExtractsBenchmarks(t *testing.T) {
 	//lint:ignore floateq derived field must be exactly unset for non-Step benchmarks
 	if solver.CyclesPerSec != 0 {
 		t.Errorf("non-Step benchmark got cycles/sec %v", solver.CyclesPerSec)
+	}
+	accel := e.Benchmarks[2]
+	//lint:ignore floateq strconv round-trips the literal text exactly
+	if accel.ItersPerOp != 102 || accel.NsPerOp != 104500 {
+		t.Errorf("solve benchmark = %+v, want 102 iters/op at 104500 ns/op", accel)
+	}
+	//lint:ignore floateq strconv round-trips the literal text exactly
+	if solver.ItersPerOp != 0 || step.ItersPerOp != 0 {
+		t.Errorf("iters/op leaked onto benchmarks that do not report it: %+v %+v", solver, step)
 	}
 }
 

@@ -134,6 +134,59 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 }
 
+// TestDaemonBatchSolve drives POST /v1/solve:batch over TCP: per-item
+// results must be bit-identical to core.Solve, and per-item failures must
+// ride inside a 200 batch answer.
+func TestDaemonBatchSolve(t *testing.T) {
+	baseURL, shutdown := startDaemon(t)
+	defer shutdown()
+
+	body := `{"items":[
+		{"k":16,"v":2,"lm":32,"h":0.2,"lambda":0.00015},
+		{"k":1,"v":2,"lm":32,"h":0.2,"lambda":0.0001},
+		{"k":16,"v":2,"lm":32,"h":0.2,"lambda":0.01}
+	]}`
+	resp, err := http.Post(baseURL+"/v1/solve:batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("batch status = %d: %s", resp.StatusCode, raw)
+	}
+	var batch struct {
+		Model string `json:"model"`
+		Items []struct {
+			Status string `json:"status"`
+			Result *struct {
+				Latency float64 `json:"latency"`
+			} `json:"result"`
+		} `json:"items"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Items) != 3 {
+		t.Fatalf("batch returned %d items, want 3", len(batch.Items))
+	}
+	want, err := core.Solve(experiments.DefaultModel,
+		core.Spec{K: 16, V: 2, Lm: 32, H: 0.2, Lambda: 0.00015}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Items[0].Status != "ok" || batch.Items[0].Result == nil ||
+		math.Float64bits(batch.Items[0].Result.Latency) != math.Float64bits(want.Latency) {
+		t.Errorf("batch item 0 = %+v, want ok with latency bit-identical to %v", batch.Items[0], want.Latency)
+	}
+	if batch.Items[1].Status != "invalid" {
+		t.Errorf("batch item 1 status = %q, want invalid", batch.Items[1].Status)
+	}
+	if batch.Items[2].Status != "saturated" {
+		t.Errorf("batch item 2 status = %q, want saturated", batch.Items[2].Status)
+	}
+}
+
 // TestDaemonSweepMatchesCanonicalCSV submits a one-point async sweep over
 // TCP and checks the returned point against the first row of the published
 // results/fig1-h20.csv.

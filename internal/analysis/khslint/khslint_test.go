@@ -41,6 +41,8 @@ func TestLintGateCoversObservabilityPackages(t *testing.T) {
 	}
 	for _, want := range []string{
 		"kncube",
+		"kncube/internal/fixpoint",
+		"kncube/internal/core",
 		"kncube/internal/telemetry",
 		"kncube/internal/sim",
 		"kncube/internal/experiments",

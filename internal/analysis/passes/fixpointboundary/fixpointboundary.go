@@ -1,10 +1,12 @@
 // Package fixpointboundary defines an analyzer enforcing the solver.go
 // layering contract: fixpoint.Solve is called only by the shared driver in
 // internal/core (and by the fixpoint package itself). Every model variant
-// must go through that driver, because it is the single place where
-// defaulted tolerances, ErrSaturated classification of divergence, and the
-// Convergence summary are produced; a direct fixpoint.Solve call would
-// ship a result missing all three.
+// and every solve entry point — the one-shot core.Solve, the prepared
+// path (core.Prepare / PreparedSolver), and the batch driver
+// (core.SolveBatch) — must funnel through that driver (core.finishSolve),
+// because it is the single place where defaulted tolerances, ErrSaturated
+// classification of divergence, and the Convergence summary are produced;
+// a direct fixpoint.Solve call would ship a result missing all three.
 package fixpointboundary
 
 import (
@@ -19,9 +21,12 @@ var Analyzer = &analysis.Analyzer{
 	Doc: `restrict fixpoint.Solve calls to the shared driver in internal/core
 
 Nothing below internal/core may call fixpoint.Solve directly: the driver
-(core.solveWith) owns option defaulting, saturation classification, and
-convergence reporting. Test files are exempt — the fixpoint package's own
-tests exercise Solve directly by design.`,
+(core.finishSolve, shared by core.Solve, the PreparedSolver re-solve path,
+and core.SolveBatch) owns option defaulting, saturation classification, and
+convergence reporting. Batch or prepared callers in higher layers
+(experiments, serve) must go through those core entry points. Test files
+are exempt — the fixpoint package's own tests exercise Solve directly by
+design.`,
 	Run: run,
 }
 

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"kncube/internal/fixpoint"
+)
+
+// nearSatLambda holds, per variant, an offered load close to (but below) the
+// saturation point at the goldenSpec shape — the regime where the damped
+// contraction rate approaches 1 and acceleration pays off most.
+func nearSatLambda(name string) float64 {
+	switch name {
+	case "uniform":
+		return 1.5e-3
+	case "hypercube":
+		return 1.05e-3
+	case "bidirectional-2d":
+		return 4.0e-4
+	default: // hotspot-2d, ndim
+		return 2.2e-4
+	}
+}
+
+// TestAcceleratedMatchesDampedGoldens pins the accelerated schemes to the
+// damped solution: at a tight tolerance (where both iterations have actually
+// closed in on the fixed point, rather than stopping a scheme-dependent
+// distance away) the latencies must agree within the 1e-9 regression
+// tolerance the golden results use — at the golden load and near saturation.
+func TestAcceleratedMatchesDampedGoldens(t *testing.T) {
+	tight := fixpoint.Options{Tolerance: 1e-12}
+	for _, name := range Solvers() {
+		for _, lambda := range []float64{goldenSpec(name).Lambda, nearSatLambda(name)} {
+			spec := goldenSpec(name)
+			spec.Lambda = lambda
+			damped, err := Solve(name, spec, Options{FixPoint: tight})
+			if err != nil {
+				t.Errorf("Solve(%q, λ=%g) damped: %v", name, lambda, err)
+				continue
+			}
+			for _, accel := range []fixpoint.Acceleration{fixpoint.AccelAnderson, fixpoint.AccelAitken} {
+				fo := tight
+				fo.Acceleration = accel
+				acc, err := Solve(name, spec, Options{FixPoint: fo})
+				if err != nil {
+					t.Errorf("Solve(%q, λ=%g) accel %d: %v", name, lambda, accel, err)
+					continue
+				}
+				if diff := math.Abs(acc.Latency - damped.Latency); diff > 1e-9 {
+					t.Errorf("Solve(%q, λ=%g) accel %d latency %.15g, damped %.15g (|diff| %.3g)",
+						name, lambda, accel, acc.Latency, damped.Latency, diff)
+				}
+			}
+		}
+	}
+}
+
+// TestAccelNoneIsBitIdenticalToDefault pins that requesting AccelNone
+// explicitly changes nothing: the damped baseline arithmetic is untouched by
+// the acceleration layer.
+func TestAccelNoneIsBitIdenticalToDefault(t *testing.T) {
+	for _, name := range Solvers() {
+		def, err := Solve(name, goldenSpec(name), Options{})
+		if err != nil {
+			t.Fatalf("Solve(%q): %v", name, err)
+		}
+		none, err := Solve(name, goldenSpec(name), Options{FixPoint: fixpoint.Options{Acceleration: fixpoint.AccelNone}})
+		if err != nil {
+			t.Fatalf("Solve(%q) AccelNone: %v", name, err)
+		}
+		if math.Float64bits(def.Latency) != math.Float64bits(none.Latency) {
+			t.Errorf("%q: AccelNone latency %.17g differs from default %.17g", name, none.Latency, def.Latency)
+		}
+	}
+}
+
+// TestAndersonReducesIterationsNearSaturation is the performance contract:
+// on every variant's near-saturation golden point, Anderson mixing must
+// converge in strictly fewer substitution rounds than the damped baseline,
+// and the trace must attribute rounds to the extrapolation.
+func TestAndersonReducesIterationsNearSaturation(t *testing.T) {
+	for _, name := range Solvers() {
+		spec := goldenSpec(name)
+		spec.Lambda = nearSatLambda(name)
+		damped, err := Solve(name, spec, Options{})
+		if err != nil {
+			t.Fatalf("Solve(%q) damped: %v", name, err)
+		}
+		var accelRounds int
+		acc, err := Solve(name, spec, Options{FixPoint: fixpoint.Options{
+			Acceleration: fixpoint.AccelAnderson,
+			Trace: func(r fixpoint.TraceRecord) {
+				if r.Accelerated {
+					accelRounds++
+				}
+			},
+		}})
+		if err != nil {
+			t.Fatalf("Solve(%q) Anderson: %v", name, err)
+		}
+		if acc.Convergence.Iterations >= damped.Convergence.Iterations {
+			t.Errorf("%q near saturation: Anderson took %d iterations, damped %d",
+				name, acc.Convergence.Iterations, damped.Convergence.Iterations)
+		}
+		if accelRounds == 0 || accelRounds != acc.Convergence.AcceleratedRounds {
+			t.Errorf("%q: trace saw %d accelerated rounds, summary %d (want > 0)",
+				name, accelRounds, acc.Convergence.AcceleratedRounds)
+		}
+		if acc.Convergence.AcceleratedRounds+acc.Convergence.DampedRounds != acc.Convergence.Iterations {
+			t.Errorf("%q: round counters %+v do not sum to iterations", name, acc.Convergence)
+		}
+	}
+}
+
+// TestAitkenNeverDivergesWhereDampedConverges pins the rewind safeguard at
+// the model level: componentwise Δ² extrapolation overshoots into the
+// saturated region on several variants, and the solver must recover rather
+// than misreport saturation.
+func TestAitkenNeverDivergesWhereDampedConverges(t *testing.T) {
+	for _, name := range Solvers() {
+		for _, lambda := range []float64{goldenSpec(name).Lambda, nearSatLambda(name)} {
+			spec := goldenSpec(name)
+			spec.Lambda = lambda
+			if _, err := Solve(name, spec, Options{}); err != nil {
+				t.Fatalf("Solve(%q, λ=%g) damped: %v", name, lambda, err)
+			}
+			if _, err := Solve(name, spec, Options{FixPoint: fixpoint.Options{Acceleration: fixpoint.AccelAitken}}); err != nil {
+				t.Errorf("Solve(%q, λ=%g) Aitken failed where damped converges: %v", name, lambda, err)
+			}
+		}
+	}
+}

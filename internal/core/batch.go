@@ -1,0 +1,126 @@
+package core
+
+// Prepared solves and the batch driver. A PreparedSolver is a validated,
+// Prepare()d solver instance plus a reusable state buffer: re-solving it
+// for a new offered load costs only SetLambda (a rate recomputation) and
+// the iteration itself, skipping the topology/layout construction and the
+// state allocation that Solve pays per call. SolveBatch runs many specs of
+// one variant through a map of prepared solvers keyed by topology shape —
+// exactly the load profile of sweeps, surface builds, and batch requests.
+
+// PreparedSolver is a reusable solver instance: validated and prepared
+// once, re-solvable for many offered loads. It is not safe for concurrent
+// use — the state buffer is shared across solves.
+type PreparedSolver struct {
+	name string
+	s    Solver
+	o    Options
+	x    []float64
+	warm bool // previous solve converged; its state seeds SolveWarm
+}
+
+// Prepare validates and prepares the named variant once, returning a
+// solver that can be re-solved for many offered loads without repeating
+// the spec-invariant setup.
+func Prepare(name string, s Spec, o Options) (*PreparedSolver, error) {
+	sol, err := NewSolver(name, s, o)
+	if err != nil {
+		return nil, err
+	}
+	if err := sol.Validate(); err != nil {
+		return nil, err
+	}
+	sol.Prepare()
+	return &PreparedSolver{name: name, s: sol, o: o, x: make([]float64, sol.StateSize())}, nil
+}
+
+// Name returns the registry name the solver was prepared for.
+func (ps *PreparedSolver) Name() string { return ps.name }
+
+// Solve re-solves the prepared model at the given offered load from the
+// zero-load starting point. The result is bit-identical to
+// Solve(name, spec, opts) with the same λ.
+func (ps *PreparedSolver) Solve(lambda float64) (*SolveResult, error) {
+	return ps.solve(lambda, false)
+}
+
+// SolveWarm re-solves at a new offered load, seeding the iteration from
+// the previous converged state when one is available (falling back to the
+// zero-load start otherwise). Nearby loads then converge in far fewer
+// rounds, but the iteration follows a different path than a cold solve:
+// results agree with Solve only to within the convergence tolerance, not
+// bit-for-bit.
+func (ps *PreparedSolver) SolveWarm(lambda float64) (*SolveResult, error) {
+	return ps.solve(lambda, true)
+}
+
+func (ps *PreparedSolver) solve(lambda float64, warm bool) (*SolveResult, error) {
+	ps.s.SetLambda(lambda)
+	if err := ps.s.Validate(); err != nil {
+		return nil, err
+	}
+	if !warm || !ps.warm {
+		ps.s.InitState(ps.x)
+	}
+	res, err := finishSolve(ps.s, ps.x, ps.o)
+	// A failed iteration (saturation, cancellation) leaves the buffer
+	// mid-flight or non-finite; only a converged state may seed the next
+	// warm solve.
+	ps.warm = err == nil
+	return res, err
+}
+
+// BatchOptions configure SolveBatch.
+type BatchOptions struct {
+	Options
+	// WarmStart seeds each solve from the previous converged solve of the
+	// same topology shape when only λ changed. Off by default: cold-started
+	// batch items are bit-identical to independent Solve calls; warm starts
+	// converge faster but agree with cold results only to within the solve
+	// tolerance (see PreparedSolver.SolveWarm).
+	WarmStart bool
+}
+
+// BatchItem is one spec's outcome in a SolveBatch: exactly one of Result
+// and Err is set.
+type BatchItem struct {
+	Result *SolveResult
+	Err    error
+}
+
+// SolveBatch solves many specs of one model variant, validating and
+// preparing once per distinct topology shape (all Spec fields except
+// Lambda) and reusing that preparation across the specs that share it.
+// Items are solved in input order; per-spec failures (validation,
+// saturation, cancellation) land in the item's Err and the batch
+// continues. Only an unknown model name fails the whole batch.
+func SolveBatch(name string, specs []Spec, o BatchOptions) ([]BatchItem, error) {
+	if _, err := lookup(name); err != nil {
+		return nil, err
+	}
+	items := make([]BatchItem, len(specs))
+	prepared := map[Spec]*PreparedSolver{}
+	for i, sp := range specs {
+		key := sp
+		key.Lambda = 0
+		ps := prepared[key]
+		if ps == nil {
+			var err error
+			ps, err = Prepare(name, sp, o.Options)
+			if err != nil {
+				// A per-spec failure (bad shape or bad λ): record it and move
+				// on. Failures are not cached — like independent Solve calls,
+				// each bad spec reports its own error.
+				items[i].Err = err
+				continue
+			}
+			prepared[key] = ps
+		}
+		if o.WarmStart {
+			items[i].Result, items[i].Err = ps.SolveWarm(sp.Lambda)
+		} else {
+			items[i].Result, items[i].Err = ps.Solve(sp.Lambda)
+		}
+	}
+	return items, nil
+}

@@ -63,13 +63,14 @@ type biView struct {
 // biModel carries the direction-split constants.
 type biModel struct {
 	solverBase
-	p  Params
-	l  biLayout
-	n  int          // flat state size
-	d  [2]int       // max hops per direction class: {floor(k/2), ceil(k/2)-1}
-	r  [2]float64   // regular per-channel rate per direction class
-	hx [2][]float64 // hot rate on x-channels, [dir][1..d[dir]]
-	hy [2][]float64 // hot rate on hot-column channels, [dir][1..d[dir]]
+	p        Params
+	prepared bool
+	l        biLayout
+	n        int          // flat state size
+	d        [2]int       // max hops per direction class: {floor(k/2), ceil(k/2)-1}
+	r        [2]float64   // regular per-channel rate per direction class
+	hx       [2][]float64 // hot rate on x-channels, [dir][1..d[dir]]
+	hy       [2][]float64 // hot rate on hot-column channels, [dir][1..d[dir]]
 
 	pHy, pHyB, pX   float64
 	cXo, cXHy, cXHb float64
@@ -86,32 +87,29 @@ type biRow struct {
 }
 
 func newBiModel(p Params, o Options) *biModel {
-	k := p.K
+	return &biModel{solverBase: newSolverBase(o, p.V, p.Lm), p: p}
+}
+
+// Prepare builds the spec-invariant machinery: direction classes, row
+// classification, the flat-state layout and case probabilities, then
+// derives the rates for the constructed load.
+func (m *biModel) Prepare() {
+	if m.prepared {
+		m.SetLambda(m.p.Lambda)
+		return
+	}
+	k := m.p.K
 	if k < 0 {
 		k = 0
 	}
-	m := &biModel{solverBase: newSolverBase(o, p.V, p.Lm), p: p}
 	m.d[0] = k / 2
 	m.d[1] = (k+1)/2 - 1
 	if m.d[1] < 0 {
 		m.d[1] = 0
 	}
 	for i := 0; i < 2; i++ {
-		sum := 0
-		for j := 1; j <= m.d[i]; j++ {
-			sum += j
-		}
-		if k > 0 {
-			m.r[i] = p.Lambda * (1 - p.H) * float64(sum) / float64(k)
-		}
 		m.hx[i] = make([]float64, m.d[i]+1)
 		m.hy[i] = make([]float64, m.d[i]+1)
-		for j := 1; j <= m.d[i]; j++ {
-			// Sources at direction-i distance >= j cross channel j.
-			count := float64(m.d[i] - j + 1)
-			m.hx[i][j] = p.Lambda * p.H * count
-			m.hy[i][j] = p.Lambda * p.H * float64(k) * count
-		}
 	}
 	kf := float64(k)
 	if k > 0 {
@@ -146,7 +144,33 @@ func newBiModel(p Params, o Options) *biModel {
 		}
 	}
 	m.n = b.Size()
-	return m
+	m.prepared = true
+	m.SetLambda(m.p.Lambda)
+}
+
+// SetLambda recomputes the direction-split traffic rates in place.
+func (m *biModel) SetLambda(lambda float64) {
+	m.p.Lambda = lambda
+	p := m.p
+	k := p.K
+	if k < 0 {
+		k = 0
+	}
+	for i := 0; i < 2; i++ {
+		sum := 0
+		for j := 1; j <= m.d[i]; j++ {
+			sum += j
+		}
+		if k > 0 {
+			m.r[i] = p.Lambda * (1 - p.H) * float64(sum) / float64(k)
+		}
+		for j := 1; j <= m.d[i]; j++ {
+			// Sources at direction-i distance >= j cross channel j.
+			count := float64(m.d[i] - j + 1)
+			m.hx[i][j] = p.Lambda * p.H * count
+			m.hy[i][j] = p.Lambda * p.H * float64(k) * count
+		}
+	}
 }
 
 func (m *biModel) Validate() error { return m.p.Validate() }

@@ -245,32 +245,39 @@ func newLayout(k int) layout {
 
 type model struct {
 	solverBase
-	p    Params
-	l    layout
-	lr   float64   // Eq. 3
-	lhy  []float64 // Eq. 7, index j = 1..k (j = k is zero)
-	lhx  []float64 // Eq. 6, index j = 1..k (j = k is zero)
-	pHy  float64   // case probabilities (Eqs. 11-15); see DESIGN.md §4.4
-	pHyB float64
-	pX   float64
-	cXo  float64 // P(x only | via x)
-	cXHy float64 // P(x then hot y | via x)
-	cXHb float64 // P(x then non-hot y | via x)
+	p        Params
+	prepared bool
+	l        layout
+	lr       float64   // Eq. 3
+	lhy      []float64 // Eq. 7, index j = 1..k (j = k is zero)
+	lhx      []float64 // Eq. 6, index j = 1..k (j = k is zero)
+	pHy      float64   // case probabilities (Eqs. 11-15); see DESIGN.md §4.4
+	pHyB     float64
+	pX       float64
+	cXo      float64 // P(x only | via x)
+	cXHy     float64 // P(x then hot y | via x)
+	cXHb     float64 // P(x then non-hot y | via x)
 }
 
 func newModel(p Params, o Options) *model {
-	k := p.K
+	return &model{solverBase: newSolverBase(o, p.V, p.Lm), p: p}
+}
+
+// Prepare builds the spec-invariant machinery: the flat-state layout, the
+// case probabilities (functions of K only), and the hot-spot rate arrays,
+// then derives the rates for the constructed load.
+func (m *model) Prepare() {
+	if m.prepared {
+		m.SetLambda(m.p.Lambda)
+		return
+	}
+	k := m.p.K
 	if k < 0 {
 		k = 0
 	}
-	m := &model{solverBase: newSolverBase(o, p.V, p.Lm), p: p, l: newLayout(k)}
-	m.lr = p.Lambda * (1 - p.H) * p.KBar()
+	m.l = newLayout(k)
 	m.lhy = make([]float64, k+1)
 	m.lhx = make([]float64, k+1)
-	for j := 1; j <= k; j++ {
-		m.lhy[j] = p.Lambda * p.H * float64(k) * float64(k-j)
-		m.lhx[j] = p.Lambda * p.H * float64(k-j)
-	}
 	kf := float64(k)
 	m.pHy = 1 / (kf * (kf + 1))
 	m.pHyB = (kf - 1) / (kf * (kf + 1))
@@ -278,7 +285,21 @@ func newModel(p Params, o Options) *model {
 	m.cXo = 1 / kf
 	m.cXHy = (kf - 1) / (kf * kf)
 	m.cXHb = (kf - 1) * (kf - 1) / (kf * kf)
-	return m
+	m.prepared = true
+	m.SetLambda(m.p.Lambda)
+}
+
+// SetLambda recomputes the λ-dependent traffic rates (Eqs. 3, 6-7) in
+// place; everything else is load-invariant.
+func (m *model) SetLambda(lambda float64) {
+	m.p.Lambda = lambda
+	p := m.p
+	k := len(m.lhy) - 1
+	m.lr = p.Lambda * (1 - p.H) * p.KBar()
+	for j := 1; j <= k; j++ {
+		m.lhy[j] = p.Lambda * p.H * float64(k) * float64(k-j)
+		m.lhx[j] = p.Lambda * p.H * float64(k-j)
+	}
 }
 
 // entrance reduces a 1-indexed service vector (remaining hops 1..k-1) to

@@ -90,35 +90,58 @@ type HypercubeResult struct {
 
 type hyperModel struct {
 	solverBase
-	p  HypercubeParams
-	lu float64   // regular per-channel rate lambda(1-h)/2
-	lh []float64 // hot rate on the dim-d hot channel: lambda*h*2^d
+	p        HypercubeParams
+	prepared bool
+	lu       float64   // regular per-channel rate lambda(1-h)/2
+	lh       []float64 // hot rate on the dim-d hot channel: lambda*h*2^d
 	// pHotChan[d] = fraction of dim-d channels that are hot channels,
 	// 2^(n-1-d) of 2^n.
 	pHotChan []float64
 }
 
 func newHyperModel(p HypercubeParams, o Options) *hyperModel {
-	m := &hyperModel{solverBase: newSolverBase(o, p.V, p.Lm), p: p}
+	return &hyperModel{solverBase: newSolverBase(o, p.V, p.Lm), p: p}
+}
+
+// Prepare builds the e-cube hot-channel topology (the per-dimension hot
+// fractions) and derives the rates for the constructed load.
+func (m *hyperModel) Prepare() {
+	if !m.prepared {
+		n := m.p.N
+		if n < 0 {
+			n = 0
+		}
+		m.lh = make([]float64, n)
+		m.pHotChan = make([]float64, n)
+		for d := 0; d < n; d++ {
+			m.pHotChan[d] = math.Pow(2, float64(-1-d))
+		}
+		m.prepared = true
+	}
+	m.SetLambda(m.p.Lambda)
+}
+
+// SetLambda recomputes the per-dimension traffic rates in place.
+func (m *hyperModel) SetLambda(lambda float64) {
+	m.p.Lambda = lambda
+	p := m.p
 	m.lu = p.Lambda * (1 - p.H) / 2
-	n := p.N
-	if n < 0 {
-		n = 0
-	}
-	m.lh = make([]float64, n)
-	m.pHotChan = make([]float64, n)
-	for d := 0; d < n; d++ {
+	for d := range m.lh {
 		m.lh[d] = p.Lambda * p.H * float64(int64(1)<<d)
-		m.pHotChan[d] = math.Pow(2, float64(-1-d))
 	}
-	return m
 }
 
 func (m *hyperModel) Validate() error { return m.p.Validate() }
 
 // StateSize: [0..n) S^h_d (hot service at the dim-d hot channel);
 // [n..2n) S^r_d (regular service at a dim-d channel).
-func (m *hyperModel) StateSize() int { return 2 * len(m.lh) }
+func (m *hyperModel) StateSize() int {
+	n := m.p.N
+	if n < 0 {
+		n = 0
+	}
+	return 2 * n
+}
 
 // InitState writes the zero-load services: the mean remaining path from
 // dimension d is 1 + half the higher dimensions.

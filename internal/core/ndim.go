@@ -102,31 +102,52 @@ type NDimResult struct {
 
 type ndimModel struct {
 	solverBase
-	p  NDimParams
-	lr float64     // Eq. 3
-	lh [][]float64 // lh[d][j] = lambda·h·k^d·(k-j)
+	p        NDimParams
+	prepared bool
+	lr       float64     // Eq. 3
+	lh       [][]float64 // lh[d][j] = lambda·h·k^d·(k-j)
 }
 
 func newNDimModel(p NDimParams, o Options) *ndimModel {
-	m := &ndimModel{solverBase: newSolverBase(o, p.V, p.Lm), p: p}
-	m.lr = p.Lambda * (1 - p.H) * float64(p.K-1) / 2
-	n, k := p.N, p.K
-	if n < 0 {
-		n = 0
+	return &ndimModel{solverBase: newSolverBase(o, p.V, p.Lm), p: p}
+}
+
+// Prepare allocates the hot-spot rate tree and derives the rates for the
+// constructed load.
+func (m *ndimModel) Prepare() {
+	if !m.prepared {
+		n, k := m.p.N, m.p.K
+		if n < 0 {
+			n = 0
+		}
+		if k < 0 {
+			k = 0
+		}
+		m.lh = make([][]float64, n)
+		for d := 0; d < n; d++ {
+			m.lh[d] = make([]float64, k+1)
+		}
+		m.prepared = true
 	}
+	m.SetLambda(m.p.Lambda)
+}
+
+// SetLambda recomputes the λ-dependent traffic rates in place.
+func (m *ndimModel) SetLambda(lambda float64) {
+	m.p.Lambda = lambda
+	p := m.p
+	m.lr = p.Lambda * (1 - p.H) * float64(p.K-1) / 2
+	k := p.K
 	if k < 0 {
 		k = 0
 	}
-	m.lh = make([][]float64, n)
 	kd := 1.0
-	for d := 0; d < n; d++ {
-		m.lh[d] = make([]float64, k+1)
+	for d := range m.lh {
 		for j := 1; j <= k; j++ {
 			m.lh[d][j] = p.Lambda * p.H * kd * float64(k-j)
 		}
 		kd *= float64(k)
 	}
-	return m
 }
 
 func (m *ndimModel) Validate() error { return m.p.Validate() }

@@ -22,6 +22,7 @@ func Rates(p Params) (ChannelRates, error) {
 		return ChannelRates{}, err
 	}
 	m := newModel(p, Options{})
+	m.Prepare()
 	cr := ChannelRates{
 		Regular: m.lr,
 		HotY:    make([]float64, p.K+1),

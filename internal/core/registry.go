@@ -65,14 +65,24 @@ func Solvers() []string {
 	return names
 }
 
-// NewSolver builds the named variant's Solver for the given spec.
-func NewSolver(name string, s Spec, o Options) (Solver, error) {
+// lookup resolves a solver name to its factory, with the structured
+// unknown-model error shared by every registry entry point.
+func lookup(name string) (Factory, error) {
 	registryMu.RLock()
 	f, ok := registry[name]
 	registryMu.RUnlock()
 	if !ok {
 		return nil, fieldErrf("model", "core: unknown solver %q (registered: %s)",
 			name, strings.Join(Solvers(), ", "))
+	}
+	return f, nil
+}
+
+// NewSolver builds the named variant's Solver for the given spec.
+func NewSolver(name string, s Spec, o Options) (Solver, error) {
+	f, err := lookup(name)
+	if err != nil {
+		return nil, err
 	}
 	return f(s, o)
 }

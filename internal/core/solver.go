@@ -24,12 +24,29 @@ import (
 type Convergence = fixpoint.Convergence
 
 // Solver is one latency-model variant, expressed as the fixed-point system
-// the shared driver iterates. Implementations are cheap to construct: all
-// heavy work happens in Iterate and Assemble.
+// the shared driver iterates. Construction is trivial; the spec-invariant
+// setup happens in Prepare and the heavy work in Iterate and Assemble.
+//
+// The solve phases split along the λ boundary: Prepare builds everything
+// that depends only on the topology shape (ring/row enumeration, hot-spot
+// rate topology, channel indexing, case probabilities), while SetLambda
+// recomputes only the offered-load-dependent traffic rates. A prepared
+// solver can therefore be re-solved for many loads — the shape of sweeps,
+// surface builds, and batch requests — without repeating the setup; see
+// PreparedSolver and SolveBatch in batch.go.
 type Solver interface {
 	// Validate reports the first problem with the solver's parameters; the
 	// driver calls it before touching any state.
 	Validate() error
+	// Prepare builds the spec-invariant machinery and computes the traffic
+	// rates for the constructed load. Idempotent: a second call is a no-op
+	// apart from re-deriving the rates. The driver calls it after Validate
+	// and before any other state access.
+	Prepare()
+	// SetLambda re-points the prepared solver at a new offered load,
+	// recomputing only the λ-dependent traffic rates in place. Prepare
+	// must have been called first.
+	SetLambda(lambda float64)
 	// StateSize is the length of the flattened fixed-point vector.
 	StateSize() int
 	// InitState writes the zero-load (blocking-free) starting point into
@@ -84,9 +101,18 @@ func solveWith(s Solver, o Options) (*SolveResult, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
+	s.Prepare()
 	x := make([]float64, s.StateSize())
 	s.InitState(x)
-	res, err := fixpoint.Solve(x, s.Iterate, defaultFixPoint(o.FixPoint))
+	return finishSolve(s, x, o)
+}
+
+// finishSolve runs the fixed-point iteration on a prepared solver over an
+// initialised state vector, classifies failures, and assembles the result.
+// It is shared by solveWith and the prepared/batch path, so both follow the
+// same arithmetic bit-for-bit.
+func finishSolve(s Solver, x []float64, o Options) (*SolveResult, error) {
+	conv, err := fixpoint.Solve(x, s.Iterate, defaultFixPoint(o.FixPoint))
 	if err != nil {
 		// Divergence and budget exhaustion are how an analytical latency
 		// model expresses operation beyond its saturation point; anything
@@ -99,7 +125,7 @@ func solveWith(s Solver, o Options) (*SolveResult, error) {
 		}
 		return nil, err
 	}
-	return s.Assemble(x, res.Convergence)
+	return s.Assemble(x, conv)
 }
 
 // solverBase carries the knobs every variant's blocking and variance

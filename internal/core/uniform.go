@@ -77,19 +77,30 @@ type UniformResult struct {
 // hot-spot model's assembly.
 type uniformModel struct {
 	solverBase
-	p    UniformParams
-	lc   float64 // per-channel message rate lambda·k̄
-	dbar float64 // mean path length n(k-1)/2
+	p        UniformParams
+	prepared bool
+	lc       float64 // per-channel message rate lambda·k̄
+	dbar     float64 // mean path length n(k-1)/2
 }
 
 func newUniformModel(p UniformParams, o Options) *uniformModel {
-	kbar := float64(p.K-1) / 2
-	return &uniformModel{
-		solverBase: newSolverBase(o, p.V, p.Lm),
-		p:          p,
-		lc:         p.Lambda * kbar,
-		dbar:       float64(p.Dims) * kbar,
+	return &uniformModel{solverBase: newSolverBase(o, p.V, p.Lm), p: p}
+}
+
+// Prepare computes the mean path length (shape-invariant) and derives the
+// channel rate for the constructed load.
+func (m *uniformModel) Prepare() {
+	if !m.prepared {
+		m.dbar = float64(m.p.Dims) * (float64(m.p.K-1) / 2)
+		m.prepared = true
 	}
+	m.SetLambda(m.p.Lambda)
+}
+
+// SetLambda recomputes the per-channel message rate λ·k̄ in place.
+func (m *uniformModel) SetLambda(lambda float64) {
+	m.p.Lambda = lambda
+	m.lc = lambda * (float64(m.p.K-1) / 2)
 }
 
 func (m *uniformModel) Validate() error { return m.p.Validate() }

@@ -135,6 +135,16 @@ func SolveNamedModel(model string, p Panel, lambda float64, opts core.Options) (
 	}, opts)
 }
 
+// PrepareNamedModel validates and prepares the named variant once for a
+// panel's topology shape so the whole λ axis can be re-solved through the
+// returned core.PreparedSolver without repeating the spec-invariant setup.
+// Cold re-solves are bit-identical to SolveNamedModel at the same λ.
+func PrepareNamedModel(model string, p Panel, lambda float64, opts core.Options) (*core.PreparedSolver, error) {
+	return core.Prepare(model, core.Spec{
+		K: p.K, Dims: 2, V: p.V, Lm: p.Lm, H: p.H, Lambda: lambda,
+	}, opts)
+}
+
 // simBidirectional maps a model-variant name to the simulator channel
 // configuration it is validated against.
 func simBidirectional(model string) bool { return model == "bidirectional-2d" }

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestSweepReproducesPublishedCSV regenerates the fig1-h20 reference table
+// through the full sweep engine — prepared analytical solves, derived
+// simulation seeds, CSV rendering — and requires the output to match the
+// committed results/fig1-h20.csv byte for byte. This is the end-to-end
+// reproducibility contract: any change to solver arithmetic, seed
+// derivation, or formatting shows up here.
+func TestSweepReproducesPublishedCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-budget sweep of fig1-h20 (~10 s): skipped with -short")
+	}
+	want, err := os.ReadFile("../../results/fig1-h20.csv")
+	if err != nil {
+		t.Skipf("published CSV not available: %v", err)
+	}
+	p, err := PanelByID("fig1-h20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Sweep{Budget: DefaultSimBudget()}.RunPanels(context.Background(), []Panel{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, res[0].Points); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != string(want) {
+		t.Errorf("regenerated fig1-h20.csv differs from the published file:\ngot:\n%s\nwant:\n%s",
+			sb.String(), want)
+	}
+}

@@ -175,6 +175,24 @@ func (s Sweep) RunPanels(ctx context.Context, panels []Panel) ([]PanelResult, er
 		modelSat[i] = make([]bool, len(p.Lambdas))
 	}
 
+	// The analytical curves are evaluated up front, one prepared solver per
+	// panel (a panel is one topology shape swept over many loads). The
+	// simulation jobs then only consult the stored outcomes: manifests,
+	// traces and failure semantics are unchanged, but the per-point
+	// topology/layout setup is paid once per panel instead of once per point.
+	model := s.Model
+	if model == "" {
+		model = DefaultModel
+	}
+	modelPts := make([][]modelPoint, len(panels))
+	for i, p := range panels {
+		pts, err := s.solvePanelModels(ctx, model, p)
+		if err != nil {
+			return nil, err
+		}
+		modelPts[i] = pts
+	}
+
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -203,6 +221,7 @@ func (s Sweep) RunPanels(ctx context.Context, panels []Panel) ([]PanelResult, er
 					continue // sweep aborted: drain the queue
 				}
 				s.runJob(cctx, panels[jb.panel], jb, reps, total,
+					modelPts[jb.panel][jb.point],
 					simRes, modelVal, modelSat, &mu, &done, fail)
 			}
 		}()
@@ -263,10 +282,12 @@ feed:
 }
 
 // runJob executes one (panel, point, rep) unit: the replication-0 job also
-// evaluates the analytical model for its point (the model is deterministic,
-// so one evaluation per point suffices). Each writes only its own result
-// slot; completion counting and the Progress callback serialise on mu.
+// records its point's precomputed analytical outcome (the model is
+// deterministic, so the per-panel prepared solve suffices). Each writes only
+// its own result slot; completion counting and the Progress callback
+// serialise on mu.
 func (s Sweep) runJob(ctx context.Context, p Panel, jb sweepJob, reps, total int,
+	mp modelPoint,
 	simRes [][][]sim.Result, modelVal [][]float64, modelSat [][]bool,
 	mu *sync.Mutex, done *int, fail func(error)) {
 
@@ -295,18 +316,18 @@ func (s Sweep) runJob(ctx context.Context, p Panel, jb sweepJob, reps, total int
 	}
 
 	if jb.rep == 0 {
-		res, err := s.solveModel(model, p, lam, jb.point, &rec)
+		mp.fill(&rec)
 		switch {
-		case err == nil:
-			modelVal[jb.panel][jb.point] = res.Latency
-		case errors.Is(err, core.ErrSaturated):
+		case mp.err == nil:
+			modelVal[jb.panel][jb.point] = mp.res.Latency
+		case errors.Is(mp.err, core.ErrSaturated):
 			modelVal[jb.panel][jb.point] = math.NaN()
 			modelSat[jb.panel][jb.point] = true
 		default:
 			rec.Outcome = "error"
-			rec.Error = err.Error()
+			rec.Error = mp.err.Error()
 			writeManifest()
-			fail(fmt.Errorf("experiments: model %s lambda=%g: %w", p.ID, lam, err))
+			fail(fmt.Errorf("experiments: model %s lambda=%g: %w", p.ID, lam, mp.err))
 			return
 		}
 	}
@@ -353,47 +374,91 @@ func (s Sweep) runJob(ctx context.Context, p Panel, jb sweepJob, reps, total int
 	mu.Unlock()
 }
 
-// solveModel runs the analytical model for one load point, wiring the
-// sweep's trace sink into the fixed-point iteration and filling rec's
-// model fields. The trace label is "<panelID>-lam<idx>", matching the file
-// name DirTraceSink derives.
-func (s Sweep) solveModel(model string, p Panel, lam float64, lambdaIdx int, rec *RunManifest) (*core.SolveResult, error) {
-	opts := s.Opts
-	iterations := 0
-	prev := opts.FixPoint.Trace
-	var hook func(fixpoint.TraceRecord)
-	var traceDone func() error
-	if s.TraceSink != nil {
-		hook, traceDone = s.TraceSink.Solve(fmt.Sprintf("%s-lam%02d", p.ID, lambdaIdx))
-	}
-	opts.FixPoint.Trace = func(tr fixpoint.TraceRecord) {
-		iterations = tr.Iteration
-		if prev != nil {
-			prev(tr)
-		}
-		if hook != nil {
-			hook(tr)
-		}
-	}
-	res, err := SolveNamedModel(model, p, lam, opts)
-	if traceDone != nil {
-		if terr := traceDone(); terr != nil && err == nil {
-			err = fmt.Errorf("experiments: trace %s-lam%02d: %w", p.ID, lambdaIdx, terr)
-		}
-	}
+// modelPoint is one precomputed analytical solve: the result (or error) and
+// the iteration count observed when a solve failed mid-iteration.
+type modelPoint struct {
+	res        *core.SolveResult
+	err        error
+	iterations int
+}
+
+// fill copies the solve outcome into a manifest record's model fields.
+func (mp modelPoint) fill(rec *RunManifest) {
 	switch {
-	case err == nil:
+	case mp.err == nil:
 		rec.ModelOutcome = "ok"
-		rec.ModelLatency = res.Latency
-		rec.ModelIterations = res.Convergence.Iterations
-	case errors.Is(err, core.ErrSaturated):
+		rec.ModelLatency = mp.res.Latency
+		rec.ModelIterations = mp.res.Convergence.Iterations
+	case errors.Is(mp.err, core.ErrSaturated):
 		rec.ModelOutcome = "saturated"
-		rec.ModelIterations = iterations
-		rec.ModelError = err.Error()
+		rec.ModelIterations = mp.iterations
+		rec.ModelError = mp.err.Error()
 	default:
 		rec.ModelOutcome = "error"
-		rec.ModelIterations = iterations
-		rec.ModelError = err.Error()
+		rec.ModelIterations = mp.iterations
+		rec.ModelError = mp.err.Error()
 	}
-	return res, err
+}
+
+// solvePanelModels evaluates the panel's analytical curve through one
+// prepared solver: the topology-dependent setup runs once, then each load
+// point is a cold re-solve (bit-identical to the per-point driver). The
+// sweep's trace sink receives each point's convergence trace under the same
+// "<panelID>-lam<idx>" label the per-point driver used, matching the file
+// name DirTraceSink derives.
+func (s Sweep) solvePanelModels(ctx context.Context, model string, p Panel) ([]modelPoint, error) {
+	opts := s.Opts
+	// The prepared solver captures its options once, but each load point
+	// needs its own trace plumbing — route through a per-point hook variable.
+	var cur func(fixpoint.TraceRecord)
+	prev := opts.FixPoint.Trace
+	opts.FixPoint.Trace = func(tr fixpoint.TraceRecord) {
+		if cur != nil {
+			cur(tr)
+		}
+	}
+	var ps *core.PreparedSolver
+	out := make([]modelPoint, len(p.Lambdas))
+	for j, lam := range p.Lambdas {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		mp := &out[j]
+		var hook func(fixpoint.TraceRecord)
+		var traceDone func() error
+		if s.TraceSink != nil {
+			hook, traceDone = s.TraceSink.Solve(fmt.Sprintf("%s-lam%02d", p.ID, j))
+		}
+		cur = func(tr fixpoint.TraceRecord) {
+			mp.iterations = tr.Iteration
+			if prev != nil {
+				prev(tr)
+			}
+			if hook != nil {
+				hook(tr)
+			}
+		}
+		if ps == nil {
+			// Prepared lazily so a point-specific validation failure (e.g. a
+			// non-positive λ) is charged to its own point, exactly as the
+			// per-point driver charged it; the next point retries.
+			var perr error
+			ps, perr = PrepareNamedModel(model, p, lam, opts)
+			if perr != nil {
+				ps = nil
+				mp.err = perr
+				if traceDone != nil {
+					traceDone() //nolint:errcheck // the validation error wins
+				}
+				continue
+			}
+		}
+		mp.res, mp.err = ps.Solve(lam)
+		if traceDone != nil {
+			if terr := traceDone(); terr != nil && mp.err == nil {
+				mp.err = fmt.Errorf("experiments: trace %s-lam%02d: %w", p.ID, j, terr)
+			}
+		}
+	}
+	return out, nil
 }

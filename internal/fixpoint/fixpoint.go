@@ -3,9 +3,11 @@
 // 3, final paragraph) notes that a closed-form solution of the
 // interdependencies is intractable and resorts to iterative techniques;
 // this package provides that machinery: damped successive substitution with
-// convergence and divergence detection, plus an observability layer (a
-// per-iteration trace hook and a Convergence summary) so saturation and
-// slow-convergence diagnostics are data rather than opaque errors.
+// convergence and divergence detection, optional Anderson/Aitken
+// acceleration for the slow-convergence regime near saturation, and an
+// observability layer (a per-iteration trace hook and a Convergence summary)
+// so saturation and slow-convergence diagnostics are data rather than opaque
+// errors.
 package fixpoint
 
 import (
@@ -23,6 +25,27 @@ var ErrDiverged = errors.New("fixpoint: iteration diverged (non-finite value)")
 // configured budget.
 var ErrMaxIterations = errors.New("fixpoint: maximum iterations exceeded")
 
+// Acceleration selects the extrapolation scheme layered on the damped
+// substitution baseline.
+type Acceleration int
+
+const (
+	// AccelNone is plain damped successive substitution (the default). Its
+	// arithmetic is exactly the historical iteration: existing golden
+	// results are reproduced bit-for-bit.
+	AccelNone Acceleration = iota
+	// AccelAnderson is windowed Anderson mixing (type II): each round
+	// combines the last Window residual differences by least squares to
+	// extrapolate toward the fixed point, typically cutting the iteration
+	// count by an order of magnitude near saturation where the damped
+	// contraction rate approaches 1.
+	AccelAnderson
+	// AccelAitken is componentwise Aitken Δ² extrapolation over triples of
+	// successive damped iterates — a cheap fallback needing no linear
+	// algebra: two damped rounds, then one extrapolated round.
+	AccelAitken
+)
+
 // TraceRecord describes one substitution round; see Options.Trace.
 type TraceRecord struct {
 	// Iteration is the 1-based round index.
@@ -37,6 +60,10 @@ type TraceRecord struct {
 	// NaN or infinite this round, or -1 while the state is finite. A
 	// record with NonFiniteIndex >= 0 is the iteration's last.
 	NonFiniteIndex int
+	// Accelerated marks a round whose state update came from the configured
+	// extrapolation scheme rather than the plain damped step (safeguard
+	// fallbacks and warm-up rounds report false).
+	Accelerated bool
 }
 
 // Options configure a Solve run. The zero value is replaced by Defaults.
@@ -50,6 +77,17 @@ type Options struct {
 	// x' = (1-Damping)*x + Damping*F(x). 1 is plain substitution; smaller
 	// values trade speed for robustness near saturation.
 	Damping float64
+	// Acceleration selects an extrapolation scheme on top of the damped
+	// baseline (AccelNone leaves the iteration untouched). Accelerated
+	// rounds are safeguarded: a round whose residual increased relative to
+	// the previous round discards the acceleration history and falls back
+	// to a plain damped step, so a wild extrapolation can slow convergence
+	// but never destabilise it.
+	Acceleration Acceleration
+	// Window is the Anderson mixing depth — how many past residual
+	// differences the least-squares extrapolation combines. 0 means 5.
+	// Ignored unless Acceleration is AccelAnderson.
+	Window int
 	// Trace, when non-nil, is called once per substitution round after the
 	// state update (and once more, with NonFiniteIndex set, when a round
 	// diverges). It must not retain the record past the call.
@@ -67,6 +105,9 @@ func Defaults() Options {
 	return Options{Tolerance: 1e-6, MaxIterations: 10000, Damping: 0.5}
 }
 
+// defaultWindow is the Anderson mixing depth when Options.Window is 0.
+const defaultWindow = 5
+
 func (o Options) withDefaults() (Options, error) {
 	d := Defaults()
 	// This package stays free of internal dependencies, so the unset-field
@@ -82,6 +123,9 @@ func (o Options) withDefaults() (Options, error) {
 	if o.Damping == 0 {
 		o.Damping = d.Damping
 	}
+	if o.Window == 0 {
+		o.Window = defaultWindow
+	}
 	if o.Tolerance < 0 {
 		return o, fmt.Errorf("fixpoint: negative tolerance %v", o.Tolerance)
 	}
@@ -91,12 +135,20 @@ func (o Options) withDefaults() (Options, error) {
 	if o.Damping < 0 || o.Damping > 1 {
 		return o, fmt.Errorf("fixpoint: damping %v outside (0, 1]", o.Damping)
 	}
+	if o.Acceleration < AccelNone || o.Acceleration > AccelAitken {
+		return o, fmt.Errorf("fixpoint: unknown acceleration scheme %d", o.Acceleration)
+	}
+	if o.Window < 1 {
+		return o, fmt.Errorf("fixpoint: Window %d < 1", o.Window)
+	}
 	return o, nil
 }
 
-// Convergence summarises how an iteration ended, for diagnostics: models
-// propagate it into their results so callers can distinguish a comfortable
-// fixed point from one found at the iteration budget's edge.
+// Convergence summarises how an iteration ended: the round count, the final
+// residual, the effective settings, and the outcome flags. It is Solve's
+// result; models propagate it into their own results so callers can
+// distinguish a comfortable fixed point from one found at the iteration
+// budget's edge.
 type Convergence struct {
 	// Iterations is the number of substitution rounds performed.
 	Iterations int
@@ -113,17 +165,12 @@ type Convergence struct {
 	// NonFiniteIndex is the index of the first non-finite state variable
 	// when Diverged, -1 otherwise.
 	NonFiniteIndex int
-}
-
-// Result reports how a Solve run ended.
-type Result struct {
-	// Iterations is the number of substitution rounds performed.
-	Iterations int
-	// Residual is the final maximum relative change.
-	Residual float64
-	// Convergence is the full diagnostic summary (it repeats Iterations and
-	// Residual alongside the effective settings and the outcome flags).
-	Convergence Convergence
+	// AcceleratedRounds counts rounds whose update came from the configured
+	// extrapolation scheme; DampedRounds counts plain damped-substitution
+	// rounds, including warm-up rounds and safeguard fallbacks. The two sum
+	// to Iterations.
+	AcceleratedRounds int
+	DampedRounds      int
 }
 
 // Map evaluates one substitution round: given the current state it writes
@@ -133,57 +180,128 @@ type Result struct {
 type Map func(in, out []float64) error
 
 // Solve iterates x <- (1-d)x + d F(x) from the given initial state until the
-// maximum relative change falls below the tolerance. The state slice is
-// modified in place and also returned. The returned Result carries a
-// populated Convergence summary on every exit path, including errors.
-func Solve(state []float64, f Map, opts Options) (Result, error) {
+// maximum relative change falls below the tolerance, optionally accelerating
+// rounds per Options.Acceleration. The state slice is modified in place and
+// also returned. The returned Convergence summary is populated on every exit
+// path, including errors.
+func Solve(state []float64, f Map, opts Options) (Convergence, error) {
 	o, err := opts.withDefaults()
 	if err != nil {
-		return Result{Convergence: Convergence{NonFiniteIndex: -1}}, err
+		return Convergence{NonFiniteIndex: -1}, err
 	}
 	next := make([]float64, len(state))
-	res := Result{Convergence: Convergence{
+	conv := Convergence{
 		Tolerance:      o.Tolerance,
 		Damping:        o.Damping,
 		NonFiniteIndex: -1,
-	}}
-	trace := func(maxRel float64, nonFinite int) {
+	}
+	trace := func(maxRel float64, nonFinite int, accelerated bool) {
 		if o.Trace != nil {
 			o.Trace(TraceRecord{
-				Iteration:      res.Iterations,
+				Iteration:      conv.Iterations,
 				MaxRelDelta:    maxRel,
 				Damping:        o.Damping,
 				NonFiniteIndex: nonFinite,
+				Accelerated:    accelerated,
 			})
 		}
 	}
-	sync := func() {
-		res.Convergence.Iterations = res.Iterations
-		res.Convergence.Residual = res.Residual
+	var acc *accelState
+	var rollback, rollbackF []float64
+	// lastAccel marks that the most recent state update was an accelerated
+	// step whose pre-step state (and its map value) are held in
+	// rollback/rollbackF. An extrapolation can land outside the model's
+	// domain — the map then errors or the next update goes non-finite even
+	// though the fixed point exists — so any failure in the round after an
+	// accelerated step restores the pre-step state and redoes the round
+	// damped instead of reporting divergence.
+	lastAccel := false
+	if o.Acceleration != AccelNone && len(state) > 0 {
+		acc = newAccelState(o.Acceleration, o.Window, o.Damping, len(state))
+		rollback = make([]float64, len(state))
+		rollbackF = make([]float64, len(state))
 	}
 	for iter := 1; iter <= o.MaxIterations; iter++ {
 		if o.Ctx != nil {
 			if cerr := o.Ctx.Err(); cerr != nil {
-				sync()
-				return res, fmt.Errorf("fixpoint: cancelled after %d iterations: %w",
-					res.Iterations, cerr)
+				return conv, fmt.Errorf("fixpoint: cancelled after %d iterations: %w",
+					conv.Iterations, cerr)
 			}
 		}
-		res.Iterations = iter
+		conv.Iterations = iter
+		redo := false
 		if err := f(state, next); err != nil {
-			sync()
-			return res, err
+			if !lastAccel {
+				return conv, err
+			}
+			// Rejected extrapolation: restore the pre-acceleration state and
+			// its (already evaluated) map value, then take a damped step.
+			copy(state, rollback)
+			copy(next, rollbackF)
+			acc.reset()
+			lastAccel = false
+			redo = true
 		}
+		if acc != nil && !redo {
+			cand, undo := acc.step(state, next, lastAccel)
+			if undo {
+				// The previous round's accelerated step increased the
+				// residual: rewind it and take the damped step from the
+				// pre-acceleration state instead.
+				copy(state, rollback)
+				copy(next, rollbackF)
+				lastAccel = false
+			} else if cand != nil {
+				// acc.step has verified the candidate finite. state still
+				// holds the pre-step iterate: snapshot it for rollback before
+				// applying the update.
+				copy(rollback, state)
+				copy(rollbackF, next)
+				maxRel := 0.0
+				for i := range state {
+					nv := cand[i]
+					den := math.Abs(state[i])
+					if den < 1 {
+						den = 1
+					}
+					rel := math.Abs(nv-state[i]) / den
+					if rel > maxRel {
+						maxRel = rel
+					}
+					state[i] = nv
+				}
+				lastAccel = true
+				conv.Residual = maxRel
+				conv.AcceleratedRounds++
+				trace(maxRel, -1, true)
+				if maxRel <= o.Tolerance {
+					conv.Converged = true
+					return conv, nil
+				}
+				continue
+			}
+		}
+		// Damped round: the exact baseline arithmetic (golden results pin
+		// this path bit-for-bit under AccelNone).
+	damped:
 		maxRel := 0.0
 		for i := range state {
 			nv := (1-o.Damping)*state[i] + o.Damping*next[i]
 			if math.IsNaN(nv) || math.IsInf(nv, 0) {
-				res.Residual = maxRel
-				res.Convergence.Diverged = true
-				res.Convergence.NonFiniteIndex = i
-				sync()
-				trace(maxRel, i)
-				return res, ErrDiverged
+				if lastAccel {
+					// Overflow downstream of an extrapolation, not genuine
+					// divergence: restore and redo the round damped.
+					copy(state, rollback)
+					copy(next, rollbackF)
+					acc.reset()
+					lastAccel = false
+					goto damped
+				}
+				conv.Residual = maxRel
+				conv.Diverged = true
+				conv.NonFiniteIndex = i
+				trace(maxRel, i, false)
+				return conv, ErrDiverged
 			}
 			den := math.Abs(state[i])
 			if den < 1 {
@@ -195,13 +313,315 @@ func Solve(state []float64, f Map, opts Options) (Result, error) {
 			}
 			state[i] = nv
 		}
-		res.Residual = maxRel
-		sync()
-		trace(maxRel, -1)
+		lastAccel = false
+		conv.Residual = maxRel
+		conv.DampedRounds++
+		if acc != nil {
+			acc.observeDamped(state)
+		}
+		trace(maxRel, -1, false)
 		if maxRel <= o.Tolerance {
-			res.Convergence.Converged = true
-			return res, nil
+			conv.Converged = true
+			return conv, nil
 		}
 	}
-	return res, ErrMaxIterations
+	return conv, ErrMaxIterations
+}
+
+// accelState carries the history an extrapolation scheme keeps between
+// rounds: recent iterates and map values for Anderson, the last two damped
+// iterates for Aitken, and the previous round's residual for the safeguard.
+type accelState struct {
+	mode Acceleration
+	beta float64 // mixing/damping factor
+
+	// Safeguard: the residual norm observed on the previous round. A round
+	// whose residual grew rejects acceleration, clears the history and
+	// falls back to a damped step.
+	prevRes float64
+	hasPrev bool
+
+	// Anderson history: the most recent iterates and their map values,
+	// oldest first, at most window+1 entries. Backing storage is recycled.
+	window int
+	xs, fs [][]float64
+	spare  [][]float64
+
+	// Aitken chain: the last one or two consecutive post-damped-step
+	// states (p1, p2 with p2 = G(p1)); an accelerated round or a safeguard
+	// rejection breaks the chain.
+	chain [][]float64
+
+	// cand receives the extrapolated candidate state; keeping it separate
+	// from the caller's buffers leaves F(x) intact for rollback.
+	cand []float64
+
+	// Anderson normal-equation scratch.
+	gram []float64
+	rhs  []float64
+}
+
+func newAccelState(mode Acceleration, window int, beta float64, n int) *accelState {
+	return &accelState{
+		mode:   mode,
+		beta:   beta,
+		window: window,
+		cand:   make([]float64, n),
+		gram:   make([]float64, window*window),
+		rhs:    make([]float64, window),
+	}
+}
+
+// resNorm is the residual measure used by the safeguard: the maximum
+// relative magnitude of g = F(x) - x, consistent with the convergence
+// measure up to the damping factor.
+func resNorm(x, fx []float64) float64 {
+	max := 0.0
+	for i := range x {
+		den := math.Abs(x[i])
+		if den < 1 {
+			den = 1
+		}
+		r := math.Abs(fx[i]-x[i]) / den
+		if r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// step decides this round's update. state is the current iterate, fx its map
+// value (left untouched), and lastAccel whether the previous round's update
+// was an accelerated step. A non-nil cand is the accelerated, finite
+// candidate state; undo asks the caller to rewind the previous accelerated
+// step (its residual grew) before taking a damped step. cand == nil && !undo
+// means a plain damped step from the current state.
+func (a *accelState) step(state, fx []float64, lastAccel bool) (cand []float64, undo bool) {
+	res := resNorm(state, fx)
+	if a.hasPrev && res > a.prevRes {
+		// Safeguard: the previous round's update made things worse. Both
+		// schemes discard the extrapolation history and fall back to a
+		// damped step; Aitken additionally rewinds the offending step —
+		// its componentwise extrapolations can overshoot so far that
+		// continuing from the bad iterate wastes many rounds undoing it,
+		// whereas Anderson's rejected least-squares candidates are still
+		// reasonable iterates worth keeping.
+		a.reset()
+		if a.mode == AccelAitken && lastAccel {
+			// prevRes still describes the restored state, keeping the
+			// comparison anchored there.
+			return nil, true
+		}
+		a.prevRes = res
+		return nil, false
+	}
+	a.prevRes = res
+	a.hasPrev = true
+	ok := false
+	switch a.mode {
+	case AccelAnderson:
+		ok = a.anderson(state, fx)
+	case AccelAitken:
+		ok = a.aitken(state, fx)
+	}
+	if !ok {
+		return nil, false
+	}
+	return a.cand, false
+}
+
+// observeDamped records the state produced by a damped round (the Aitken
+// chain needs consecutive damped iterates; Anderson records at step time).
+func (a *accelState) observeDamped(state []float64) {
+	if a.mode != AccelAitken {
+		return
+	}
+	if len(a.chain) == 2 {
+		a.chain[0], a.chain[1] = a.chain[1], a.chain[0]
+		copy(a.chain[1], state)
+		return
+	}
+	a.chain = append(a.chain, append(a.take(len(state))[:0], state...))
+}
+
+// reset drops all extrapolation history (safeguard rejection).
+func (a *accelState) reset() {
+	for _, v := range a.xs {
+		a.spare = append(a.spare, v)
+	}
+	for _, v := range a.fs {
+		a.spare = append(a.spare, v)
+	}
+	for _, v := range a.chain {
+		a.spare = append(a.spare, v)
+	}
+	a.xs, a.fs, a.chain = a.xs[:0], a.fs[:0], a.chain[:0]
+}
+
+// take returns a recycled or fresh length-n vector.
+func (a *accelState) take(n int) []float64 {
+	if k := len(a.spare); k > 0 {
+		v := a.spare[k-1]
+		a.spare = a.spare[:k-1]
+		return v[:n]
+	}
+	return make([]float64, n)
+}
+
+// push appends copies of (x, fx) to the Anderson history, trimming it to
+// window+1 entries.
+func (a *accelState) push(x, fx []float64) {
+	a.xs = append(a.xs, append(a.take(len(x))[:0], x...))
+	a.fs = append(a.fs, append(a.take(len(fx))[:0], fx...))
+	if len(a.xs) > a.window+1 {
+		a.spare = append(a.spare, a.xs[0], a.fs[0])
+		copy(a.xs, a.xs[1:])
+		copy(a.fs, a.fs[1:])
+		a.xs = a.xs[:len(a.xs)-1]
+		a.fs = a.fs[:len(a.fs)-1]
+	}
+}
+
+// anderson computes the type-II Anderson-mixing candidate
+//
+//	x' = x + β g - Σ_j γ_j (Δx_j + β Δg_j),  g_j = F(x_j) - x_j,
+//
+// with γ the least-squares combination of the stored residual differences
+// Δg_j that best cancels the current residual. The candidate is written to
+// a.cand; a singular system or non-finite candidate rejects the round.
+func (a *accelState) anderson(state, fx []float64) bool {
+	a.push(state, fx)
+	m := len(a.xs) - 1 // number of difference columns
+	if m < 1 {
+		return false
+	}
+	n := len(state)
+	dg := func(j, i int) float64 { // Δg_j at component i
+		return (a.fs[j+1][i] - a.xs[j+1][i]) - (a.fs[j][i] - a.xs[j][i])
+	}
+	gcur := func(i int) float64 { // current residual g at component i
+		return a.fs[m][i] - a.xs[m][i]
+	}
+	// Normal equations Aγ = b with Tikhonov regularisation scaled to the
+	// Gram diagonal, so near-collinear histories stay solvable.
+	gram, rhs := a.gram[:m*m], a.rhs[:m]
+	diag := 0.0
+	for j := 0; j < m; j++ {
+		for k := j; k < m; k++ {
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s += dg(j, i) * dg(k, i)
+			}
+			gram[j*m+k], gram[k*m+j] = s, s
+		}
+		diag += gram[j*m+j]
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += dg(j, i) * gcur(i)
+		}
+		rhs[j] = s
+	}
+	reg := 1e-12 * diag / float64(m)
+	if reg <= 0 || math.IsNaN(reg) || math.IsInf(reg, 0) {
+		a.reset()
+		return false
+	}
+	for j := 0; j < m; j++ {
+		gram[j*m+j] += reg
+	}
+	gamma, ok := solveSPD(gram, rhs, m)
+	if !ok {
+		a.reset()
+		return false
+	}
+	for i := 0; i < n; i++ {
+		v := a.xs[m][i] + a.beta*gcur(i)
+		for j := 0; j < m; j++ {
+			dx := a.xs[j+1][i] - a.xs[j][i]
+			v -= gamma[j] * (dx + a.beta*dg(j, i))
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			a.reset()
+			return false
+		}
+		a.cand[i] = v
+	}
+	return true
+}
+
+// aitken extrapolates componentwise from three successive damped iterates
+// (p1, p2 = G(p1), p3 = G(p2), where p2 is the current state and p3 the
+// damped candidate computed here): x' = p3 - (p3-p2)² / ((p3-p2)-(p2-p1)).
+// Components with a vanishing or near-cancelling second difference — where
+// the correction would be ill-conditioned — keep the damped value. The
+// candidate is written to a.cand.
+func (a *accelState) aitken(state, fx []float64) bool {
+	if len(a.chain) < 2 {
+		return false
+	}
+	p1 := a.chain[0]
+	for i := range state {
+		p3 := (1-a.beta)*state[i] + a.beta*fx[i]
+		d2 := state[i] - p1[i]
+		d3 := p3 - state[i]
+		den := d3 - d2
+		v := p3
+		// Extrapolate only when the denominator is well away from
+		// cancellation: a tiny second difference means a near-unit (or
+		// noisy) contraction ratio, where Δ² overshoots wildly.
+		if math.Abs(den) > 1e-3*(math.Abs(d3)+math.Abs(d2)) {
+			v = p3 - d3*d3/den
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			a.reset()
+			return false
+		}
+		a.cand[i] = v
+	}
+	// The extrapolated point is not a damped iterate: restart the chain.
+	a.reset()
+	return true
+}
+
+// solveSPD solves the m×m symmetric positive-definite system given row-major
+// in a (overwritten) with right-hand side b (overwritten with the solution),
+// by Cholesky decomposition. Returns false when the matrix is not positive
+// definite within floating-point tolerance.
+func solveSPD(a, b []float64, m int) ([]float64, bool) {
+	// Cholesky: a = LLᵀ, stored in the lower triangle of a.
+	for j := 0; j < m; j++ {
+		d := a[j*m+j]
+		for k := 0; k < j; k++ {
+			d -= a[j*m+k] * a[j*m+k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, false
+		}
+		d = math.Sqrt(d)
+		a[j*m+j] = d
+		for i := j + 1; i < m; i++ {
+			s := a[i*m+j]
+			for k := 0; k < j; k++ {
+				s -= a[i*m+k] * a[j*m+k]
+			}
+			a[i*m+j] = s / d
+		}
+	}
+	// Forward substitution Ly = b.
+	for i := 0; i < m; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= a[i*m+k] * b[k]
+		}
+		b[i] = s / a[i*m+i]
+	}
+	// Back substitution Lᵀγ = y.
+	for i := m - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < m; k++ {
+			s -= a[k*m+i] * b[k]
+		}
+		b[i] = s / a[i*m+i]
+	}
+	return b, true
 }

@@ -10,6 +10,7 @@
 // Routes (see DESIGN.md §8):
 //
 //	POST   /v1/solve        spec + model name  → latency decomposition
+//	POST   /v1/solve:batch  many specs, one model → per-item results
 //	POST   /v1/sweeps       async sweep job    → 202 + job id
 //	GET    /v1/sweeps/{id}  job status, progress, per-point results
 //	DELETE /v1/sweeps/{id}  cancel a running job
@@ -129,6 +130,75 @@ type SolveResult struct {
 	Residual   float64 `json:"residual"`
 }
 
+// BatchSolveRequest is the POST /v1/solve:batch body: one model and option
+// set applied to many specs in a single request. The whole batch occupies
+// one admission slot and shares one deadline; each item interacts with the
+// solve cache under exactly the key its /v1/solve equivalent would use, and
+// cache misses that share a topology shape (all spec fields except lambda)
+// reuse one prepared solver instance.
+type BatchSolveRequest struct {
+	// Model is a registry name (core.Solvers); empty selects "hotspot-2d".
+	// It applies to every item — batches are per-variant, like sweeps.
+	Model string `json:"model,omitempty"`
+	// Options apply to every item; the zero value is the calibrated default.
+	Options *SolveOptions `json:"options,omitempty"`
+	// TimeoutMS bounds the whole batch (capped by the server's per-request
+	// timeout). 0 means the server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Items are the specs to solve, in order. At least one is required; at
+	// most maxBatchItems are accepted.
+	Items []BatchSpec `json:"items"`
+}
+
+// BatchSpec is one spec in a batch request, mirroring the spec fields of
+// SolveRequest (zero fields keep the variant's natural defaults).
+type BatchSpec struct {
+	K      int     `json:"k,omitempty"`
+	Dims   int     `json:"dims,omitempty"`
+	V      int     `json:"v,omitempty"`
+	Lm     int     `json:"lm,omitempty"`
+	H      float64 `json:"h,omitempty"`
+	Lambda float64 `json:"lambda,omitempty"`
+}
+
+// BatchSolveResponse is the POST /v1/solve:batch success body: one item per
+// request spec, in request order. Per-item failures (invalid spec,
+// saturation, solver error) land in their item and never fail the batch;
+// only a malformed request, an unknown model, a bad option name, or the
+// batch deadline fail the whole request.
+type BatchSolveResponse struct {
+	Model string           `json:"model"`
+	Items []BatchSolveItem `json:"items"`
+}
+
+// BatchSolveItem is one spec's outcome. Status is "ok" (Result set),
+// "saturated" (the model's real answer at this load — Detail explains),
+// "invalid" (the spec failed validation — Fields name the bad field), or
+// "error" (the solver failed). Cache mirrors SolveResponse.Cache for the
+// statuses that reached the cache.
+type BatchSolveItem struct {
+	Status    string       `json:"status"`
+	Cache     string       `json:"cache,omitempty"`
+	Saturated bool         `json:"saturated,omitempty"`
+	Detail    string       `json:"detail,omitempty"`
+	Fields    []FieldIssue `json:"fields,omitempty"`
+	Result    *SolveResult `json:"result,omitempty"`
+}
+
+// toAPIResult maps a core solve result onto the JSON result shape shared by
+// /v1/solve and /v1/solve:batch.
+func toAPIResult(res *core.SolveResult) *SolveResult {
+	return &SolveResult{
+		Latency:    res.Latency,
+		Regular:    res.Regular,
+		Hot:        res.Hot,
+		SourceWait: res.SourceWait,
+		VBar:       res.VBar,
+		Iterations: res.Convergence.Iterations,
+		Residual:   res.Convergence.Residual,
+	}
+}
+
 // SweepRequest is the POST /v1/sweeps body: an async sweep of one figure
 // panel through the parallel sweep engine.
 type SweepRequest struct {
@@ -215,12 +285,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // wraps) is a core.FieldError the response carries the (field, reason)
 // pair, so bad specs surface as actionable 400s rather than opaque 500s.
 func writeError(w http.ResponseWriter, status int, err error) {
-	resp := ErrorResponse{Error: err.Error()}
+	writeJSON(w, status, ErrorResponse{Error: err.Error(), Fields: fieldIssues(err)})
+}
+
+// fieldIssues extracts the structured (field, reason) pair err carries when
+// it wraps a core.FieldError; nil otherwise.
+func fieldIssues(err error) []FieldIssue {
 	var fe *core.FieldError
 	if errors.As(err, &fe) {
-		resp.Fields = append(resp.Fields, FieldIssue{Field: fe.Field, Reason: fe.Reason})
+		return []FieldIssue{{Field: fe.Field, Reason: fe.Reason}}
 	}
-	writeJSON(w, status, resp)
+	return nil
 }
 
 // writeFieldIssues writes a 400 carrying explicit issues (used where the

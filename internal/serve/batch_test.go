@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"kncube/internal/experiments"
+	"kncube/internal/stats"
+	"kncube/internal/telemetry"
+)
+
+// batchRequest builds a small batch over the figure shape: three loads of
+// the 16x16 torus plus one 8x8 shape in the middle, so preparation reuse
+// spans both a revisited shape and an interleaved different one.
+func batchRequest() BatchSolveRequest {
+	return BatchSolveRequest{Items: []BatchSpec{
+		{K: 16, V: 2, Lm: 32, H: 0.2, Lambda: 7.5e-5},
+		{K: 8, V: 2, Lm: 32, H: 0.2, Lambda: 1e-4},
+		{K: 16, V: 2, Lm: 32, H: 0.2, Lambda: 1.5e-4},
+		{K: 16, V: 2, Lm: 32, H: 0.2, Lambda: 2.2e-4},
+	}}
+}
+
+// TestBatchSolveMatchesSingleSolves is the batch endpoint's core contract:
+// each item of a POST /v1/solve:batch answer is bit-for-bit the response the
+// same spec gets from POST /v1/solve — the shared preparation is a cost
+// optimisation, never an arithmetic change.
+func TestBatchSolveMatchesSingleSolves(t *testing.T) {
+	h := New(Config{}).Handler()
+	req := batchRequest()
+
+	rr := postJSON(t, h, "/v1/solve:batch", req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s, want 200", rr.Code, rr.Body.String())
+	}
+	resp := decodeBody[BatchSolveResponse](t, rr)
+	if resp.Model != experiments.DefaultModel {
+		t.Errorf("model = %q, want the default", resp.Model)
+	}
+	if len(resp.Items) != len(req.Items) {
+		t.Fatalf("%d items for %d specs", len(resp.Items), len(req.Items))
+	}
+	for i, bs := range req.Items {
+		it := resp.Items[i]
+		if it.Status != "ok" || it.Result == nil {
+			t.Fatalf("item %d: status %q, detail %q — want ok with a result", i, it.Status, it.Detail)
+		}
+		if it.Cache != cacheMiss {
+			t.Errorf("item %d: cache %q on a cold server, want miss", i, it.Cache)
+		}
+		single := decodeBody[SolveResponse](t, postJSON(t, h, "/v1/solve", SolveRequest{
+			K: bs.K, Dims: bs.Dims, V: bs.V, Lm: bs.Lm, H: bs.H, Lambda: bs.Lambda,
+		}))
+		if single.Result == nil {
+			t.Fatalf("item %d: single solve returned no result", i)
+		}
+		// The single solve must have been served from the entry the batch
+		// item populated: one cache, one key space.
+		if single.Cache != cacheHit {
+			t.Errorf("item %d: single solve after batch: cache %q, want hit", i, single.Cache)
+		}
+		if math.Float64bits(it.Result.Latency) != math.Float64bits(single.Result.Latency) {
+			t.Errorf("item %d: batch latency %.17g, single %.17g — not bit-identical",
+				i, it.Result.Latency, single.Result.Latency)
+		}
+		if it.Result.Iterations != single.Result.Iterations {
+			t.Errorf("item %d: batch iterations %d, single %d", i, it.Result.Iterations, single.Result.Iterations)
+		}
+	}
+
+	// A repeat batch is served wholly from the cache.
+	again := decodeBody[BatchSolveResponse](t, postJSON(t, h, "/v1/solve:batch", req))
+	for i, it := range again.Items {
+		if it.Cache != cacheHit {
+			t.Errorf("repeat batch item %d: cache %q, want hit", i, it.Cache)
+		}
+	}
+}
+
+// TestBatchSolvePerItemOutcomes: a batch mixing clean, invalid and saturated
+// specs answers 200 with each item reporting its own outcome — per-item
+// failure never fails the batch, and the surrounding items solve normally.
+func TestBatchSolvePerItemOutcomes(t *testing.T) {
+	s := New(Config{})
+	h := s.Handler()
+	req := BatchSolveRequest{Items: []BatchSpec{
+		{K: 16, V: 2, Lm: 32, H: 0.2, Lambda: 7.5e-5},
+		{K: 1, V: 2, Lm: 32, H: 0.2, Lambda: 1e-4},    // radix below the 2D minimum
+		{K: 16, V: 2, Lm: 32, H: 0.2, Lambda: 0.01},   // far beyond saturation
+		{K: 16, V: 2, Lm: 32, H: 0.2, Lambda: 7.5e-5}, // repeat of item 0: cache hit
+	}}
+	rr := postJSON(t, h, "/v1/solve:batch", req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s, want 200 with per-item outcomes", rr.Code, rr.Body.String())
+	}
+	items := decodeBody[BatchSolveResponse](t, rr).Items
+
+	if items[0].Status != "ok" || items[0].Result == nil {
+		t.Errorf("item 0: %+v, want a clean solve", items[0])
+	}
+	if items[1].Status != "invalid" || len(items[1].Fields) == 0 || items[1].Fields[0].Field != "k" {
+		t.Errorf("item 1: status %q fields %+v, want invalid naming field k", items[1].Status, items[1].Fields)
+	}
+	if items[1].Result != nil || items[1].Cache != "" {
+		t.Errorf("invalid item carries result/cache: %+v", items[1])
+	}
+	if items[2].Status != "saturated" || !items[2].Saturated || items[2].Detail == "" || items[2].Result != nil {
+		t.Errorf("item 2: %+v, want saturated with detail and no result", items[2])
+	}
+	if items[3].Status != "ok" || items[3].Cache != cacheHit {
+		t.Errorf("item 3: status %q cache %q, want an ok cache hit of item 0", items[3].Status, items[3].Cache)
+	}
+
+	for outcome, want := range map[string]int64{"ok": 2, "invalid": 1, "saturated": 1} {
+		if n := s.Registry().Counter("khs_serve_batch_items_total", "",
+			telemetry.Labels{"model": experiments.DefaultModel, "outcome": outcome}).Value(); n != want {
+			t.Errorf("khs_serve_batch_items_total{outcome=%q} = %d, want %d", outcome, n, want)
+		}
+	}
+}
+
+// TestBatchSolveRequestValidation: request-level failures — malformed body,
+// unknown model, bad option names, a bad timeout, an empty or oversized item
+// list — reject the whole batch as structured 400s before any solving.
+func TestBatchSolveRequestValidation(t *testing.T) {
+	h := New(Config{}).Handler()
+	huge := make([]BatchSpec, maxBatchItems+1)
+	for i := range huge {
+		huge[i] = BatchSpec{K: 16, V: 2, Lm: 32, H: 0.2, Lambda: 1e-4}
+	}
+	cases := []struct {
+		name  string
+		body  any
+		field string
+	}{
+		{"no items", BatchSolveRequest{}, "items"},
+		{"too many items", BatchSolveRequest{Items: huge}, "items"},
+		{"unknown model", BatchSolveRequest{Model: "no-such-model",
+			Items: []BatchSpec{{K: 16, V: 2, Lm: 32, H: 0.2, Lambda: 1e-4}}}, "model"},
+		{"unknown option", BatchSolveRequest{Options: &SolveOptions{Variance: "psychic"},
+			Items: []BatchSpec{{K: 16, V: 2, Lm: 32, H: 0.2, Lambda: 1e-4}}}, "options.variance"},
+		{"negative timeout", BatchSolveRequest{TimeoutMS: -1,
+			Items: []BatchSpec{{K: 16, V: 2, Lm: 32, H: 0.2, Lambda: 1e-4}}}, "timeout_ms"},
+		{"unknown json field", map[string]any{"items": []map[string]any{{"k": 16}}, "modell": "x"}, "body"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rr := postJSON(t, h, "/v1/solve:batch", tc.body)
+			if rr.Code != http.StatusBadRequest {
+				t.Fatalf("status = %d, body %s, want 400", rr.Code, rr.Body.String())
+			}
+			resp := decodeBody[ErrorResponse](t, rr)
+			if len(resp.Fields) == 0 || resp.Fields[0].Field != tc.field {
+				t.Errorf("fields = %+v, want first field %q", resp.Fields, tc.field)
+			}
+		})
+	}
+}
+
+// TestBatchSolveDeadlineBecomes504: when the batch deadline expires
+// mid-batch the whole request answers 504 — a partially-solved batch is not
+// a success.
+func TestBatchSolveDeadlineBecomes504(t *testing.T) {
+	s := New(Config{RequestTimeout: time.Nanosecond})
+	rr := postJSON(t, s.Handler(), "/v1/solve:batch", batchRequest())
+	if rr.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, body %s, want 504", rr.Code, rr.Body.String())
+	}
+	resp := decodeBody[ErrorResponse](t, rr)
+	if !strings.Contains(resp.Error, "deadline") {
+		t.Errorf("error %q does not mention the deadline", resp.Error)
+	}
+	if n := s.Registry().Counter("khs_serve_batch_items_total", "",
+		telemetry.Labels{"model": experiments.DefaultModel, "outcome": "cancelled"}).Value(); n != 1 {
+		t.Errorf("cancelled-item counter = %d, want 1", n)
+	}
+}
+
+// TestBatchSolveAdmission: a batch occupies exactly one admission slot, is
+// shed with 429 when all slots are held, and refused with 503 while
+// draining.
+func TestBatchSolveAdmission(t *testing.T) {
+	s := New(Config{MaxInflight: 1})
+	s.slots <- struct{}{}
+	if rr := postJSON(t, s.Handler(), "/v1/solve:batch", batchRequest()); rr.Code != http.StatusTooManyRequests {
+		t.Errorf("batch with slots full: %d, want 429", rr.Code)
+	}
+	<-s.slots
+	if rr := postJSON(t, s.Handler(), "/v1/solve:batch", batchRequest()); rr.Code != http.StatusOK {
+		t.Errorf("batch after slot freed: %d, want 200", rr.Code)
+	}
+	if got := s.inflight.Value(); !stats.IsZero(got) {
+		t.Errorf("inflight gauge after batch = %v, want 0", got)
+	}
+
+	drained := New(Config{})
+	drained.draining.Store(true)
+	if rr := postJSON(t, drained.Handler(), "/v1/solve:batch", batchRequest()); rr.Code != http.StatusServiceUnavailable {
+		t.Errorf("batch while draining: %d, want 503", rr.Code)
+	}
+}
+
+// TestBatchSolveMetricsExposed: the khs_serve_batch_* set shows up in the
+// Prometheus exposition after one batch.
+func TestBatchSolveMetricsExposed(t *testing.T) {
+	h := New(Config{}).Handler()
+	postJSON(t, h, "/v1/solve:batch", batchRequest())
+	body := getPath(h, "/metrics").Body.String()
+	for _, want := range []string{
+		"khs_serve_batch_size_count 1",
+		"khs_serve_batch_seconds_count 1",
+		`khs_serve_batch_items_total{model="hotspot-2d",outcome="ok"} 4`,
+		`khs_serve_requests_total{code="200",route="POST /v1/solve:batch"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}

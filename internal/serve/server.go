@@ -102,6 +102,7 @@ func New(cfg Config) *Server {
 
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/solve", s.handleSolve)
+	s.route("POST /v1/solve:batch", s.handleSolveBatch)
 	s.route("POST /v1/sweeps", s.handleSweepCreate)
 	s.route("GET /v1/sweeps/{id}", s.handleSweepGet)
 	s.route("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
@@ -258,16 +259,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, SolveResponse{
-			Model: model, Cache: how,
-			Result: &SolveResult{
-				Latency:    res.Latency,
-				Regular:    res.Regular,
-				Hot:        res.Hot,
-				SourceWait: res.SourceWait,
-				VBar:       res.VBar,
-				Iterations: res.Convergence.Iterations,
-				Residual:   res.Convergence.Residual,
-			},
+			Model: model, Cache: how, Result: toAPIResult(res),
 		})
 	case errors.Is(err, core.ErrSaturated):
 		// Saturation is the model's answer, not a failure: the configuration
@@ -285,6 +277,150 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusInternalServerError, err)
 	}
+}
+
+// maxBatchItems bounds one POST /v1/solve:batch request. Larger workloads
+// should be split by the client or submitted as async sweep jobs — a batch
+// holds one admission slot for its whole duration, so unbounded batches
+// would starve interactive solves.
+const maxBatchItems = 256
+
+// handleSolveBatch is POST /v1/solve:batch: many specs of one model through
+// one admission slot. Request-level validation (model, options, item count)
+// happens before admission; per-item spec validation and solves run inside
+// it, reusing one prepared solver per distinct topology shape across the
+// cache misses. Per-item failures never fail the batch — only a deadline or
+// client hang-up aborts it.
+func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchSolveRequest
+	if err := decodeStrict(r, &req); err != nil {
+		writeFieldIssues(w, FieldIssue{Field: "body", Reason: err.Error()})
+		return
+	}
+	model := req.Model
+	if model == "" {
+		model = experiments.DefaultModel
+	}
+	if !slices.Contains(core.Solvers(), model) {
+		writeFieldIssues(w, FieldIssue{Field: "model",
+			Reason: fmt.Sprintf("unknown model %q (registered: %v)", model, core.Solvers())})
+		return
+	}
+	opts, issue := req.Options.toCore()
+	if issue != nil {
+		writeFieldIssues(w, *issue)
+		return
+	}
+	if req.TimeoutMS < 0 {
+		writeFieldIssues(w, FieldIssue{Field: "timeout_ms", Reason: "must be >= 0"})
+		return
+	}
+	if len(req.Items) == 0 {
+		writeFieldIssues(w, FieldIssue{Field: "items", Reason: "required: at least one spec"})
+		return
+	}
+	if len(req.Items) > maxBatchItems {
+		writeFieldIssues(w, FieldIssue{Field: "items",
+			Reason: fmt.Sprintf("batch of %d items exceeds the %d-item cap", len(req.Items), maxBatchItems)})
+		return
+	}
+
+	if s.draining.Load() {
+		s.shed(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	select {
+	case s.slots <- struct{}{}:
+		s.inflight.Add(1)
+	default:
+		s.shed(w, http.StatusTooManyRequests, "inflight-cap")
+		return
+	}
+	defer func() {
+		<-s.slots
+		s.inflight.Add(-1)
+	}()
+
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	s.reg.Histogram("khs_serve_batch_size", "specs per batch solve request",
+		nil, telemetry.ExponentialBuckets(1, 2, 9)).Observe(float64(len(req.Items)))
+	start := time.Now()
+	defer func() {
+		s.reg.Histogram("khs_serve_batch_seconds", "end-to-end batch solve time (cache included)",
+			nil, telemetry.ExponentialBuckets(1e-5, 4, 12)).Observe(time.Since(start).Seconds())
+	}()
+	itemOutcome := func(outcome string) {
+		s.reg.Counter("khs_serve_batch_items_total", "batch solve items by model and outcome",
+			telemetry.Labels{"model": model, "outcome": outcome}).Inc()
+	}
+
+	prepared := map[core.Spec]*core.PreparedSolver{}
+	items := make([]BatchSolveItem, len(req.Items))
+	for i, bs := range req.Items {
+		spec := core.Spec{K: bs.K, Dims: bs.Dims, V: bs.V, Lm: bs.Lm, H: bs.H, Lambda: bs.Lambda}
+		item := &items[i]
+		sol, err := core.NewSolver(model, spec, opts)
+		if err == nil {
+			err = sol.Validate()
+		}
+		if err != nil {
+			item.Status = "invalid"
+			item.Detail = err.Error()
+			item.Fields = fieldIssues(err)
+			itemOutcome("invalid")
+			continue
+		}
+		res, how, err := s.cache.do(ctx, solveKey(model, spec, opts),
+			func(ctx context.Context) (*core.SolveResult, error) {
+				o := opts
+				o.FixPoint.Ctx = ctx
+				shape := spec
+				shape.Lambda = 0
+				ps := prepared[shape]
+				if ps == nil {
+					var perr error
+					if ps, perr = core.Prepare(model, spec, o); perr != nil {
+						return nil, perr
+					}
+					prepared[shape] = ps
+				}
+				return ps.Solve(spec.Lambda)
+			})
+		item.Cache = how
+		switch {
+		case err == nil:
+			item.Status = "ok"
+			item.Result = toAPIResult(res)
+			itemOutcome("ok")
+		case errors.Is(err, core.ErrSaturated):
+			item.Status = "saturated"
+			item.Saturated = true
+			item.Detail = err.Error()
+			itemOutcome("saturated")
+		case errors.Is(err, context.DeadlineExceeded):
+			itemOutcome("cancelled")
+			writeError(w, http.StatusGatewayTimeout,
+				fmt.Errorf("batch item %d exceeded the request deadline (%s): %w", i, timeout, err))
+			return
+		case errors.Is(err, context.Canceled):
+			itemOutcome("cancelled")
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		default:
+			item.Status = "error"
+			item.Detail = err.Error()
+			itemOutcome("error")
+		}
+	}
+	writeJSON(w, http.StatusOK, BatchSolveResponse{Model: model, Items: items})
 }
 
 // handleSweepCreate is POST /v1/sweeps: resolve the panel, build a Sweep

@@ -71,6 +71,46 @@ func Solve(model string, s ModelSpec, o ModelOptions) (*SolveResult, error) {
 	return core.Solve(model, s, o)
 }
 
+// Acceleration selects the fixed-point iteration's extrapolation scheme,
+// set through ModelOptions.FixPoint.Acceleration.
+type Acceleration = fixpoint.Acceleration
+
+// Acceleration schemes: the damped baseline (default), safeguarded
+// Anderson mixing, and componentwise Aitken Δ². AccelNone is bit-identical
+// to the historical iteration; the accelerated schemes agree with it to
+// within the convergence tolerance and cut the round count near saturation.
+const (
+	AccelNone     = fixpoint.AccelNone
+	AccelAnderson = fixpoint.AccelAnderson
+	AccelAitken   = fixpoint.AccelAitken
+)
+
+// PreparedSolver is a validated, prepared model instance re-solvable for
+// many offered loads without repeating the spec-invariant setup. Not safe
+// for concurrent use.
+type PreparedSolver = core.PreparedSolver
+
+// Prepare validates and prepares the named variant once; see
+// PreparedSolver.Solve and PreparedSolver.SolveWarm.
+func Prepare(model string, s ModelSpec, o ModelOptions) (*PreparedSolver, error) {
+	return core.Prepare(model, s, o)
+}
+
+// BatchOptions configure SolveBatch; the zero value solves each item
+// cold, bit-identical to independent Solve calls.
+type BatchOptions = core.BatchOptions
+
+// BatchItem is one spec's outcome in a SolveBatch: exactly one of Result
+// and Err is set.
+type BatchItem = core.BatchItem
+
+// SolveBatch solves many specs of one model variant, preparing once per
+// distinct topology shape. Per-spec failures land in the item's Err; only
+// an unknown model fails the whole batch.
+func SolveBatch(model string, specs []ModelSpec, o BatchOptions) ([]BatchItem, error) {
+	return core.SolveBatch(model, specs, o)
+}
+
 // --- Analytical models -------------------------------------------------------
 
 // ModelParams parameterise the hot-spot analytical model (2-D torus,
