@@ -25,8 +25,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
+	"syscall"
 	"time"
 
 	"kncube/internal/core"
@@ -121,8 +123,13 @@ func main() {
 			len(panels), *jobs, *reps, *seed)
 	}
 
+	// Ctrl-C cancels the sweep cooperatively: in-flight points finish,
+	// queued points are skipped, and RunPanels returns ctx.Err().
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
-	results, err := sweep.RunPanels(context.Background(), panels)
+	results, err := sweep.RunPanels(ctx, panels)
 	if perr := stopProf(); perr != nil {
 		fatal(perr)
 	}

@@ -1,9 +1,16 @@
 // Command khs-lint runs the project's analyzer suite — the compiler-checked
-// form of the solver, seeding, and numerics contracts — over the named
-// package patterns (default ./...). It prints one line per finding and
+// form of the solver, seeding, numerics, and hot-path contracts — over the
+// named package patterns (default ./...). It prints one line per finding and
 // exits non-zero if there are any, so CI can gate on it:
 //
 //	go run ./cmd/khs-lint ./...
+//	go run ./cmd/khs-lint -json ./... > diagnostics.json
+//
+// With -json the full diagnostic inventory — suppressed sites included, each
+// with its suppression state — is written to stdout as a JSON array, and the
+// human-readable finding lines go to stderr; the exit code still reflects
+// only unsuppressed findings. CI archives the JSON so reviews can audit the
+// //lint:ignore inventory alongside the live findings.
 //
 // Findings can be suppressed case-by-case with a reasoned directive on the
 // offending line or the line above:
@@ -15,43 +22,91 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"kncube/internal/analysis"
 	"kncube/internal/analysis/khslint"
 )
 
+// jsonDiagnostic is the -json wire form of one diagnostic. Suppressed
+// sites are included (with their state) so the output is the complete
+// audit inventory, not just the failure list.
+type jsonDiagnostic struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Column     int    `json:"column"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+func toJSON(diags []analysis.Diagnostic) []jsonDiagnostic {
+	out := make([]jsonDiagnostic, len(diags))
+	for i, d := range diags {
+		out[i] = jsonDiagnostic{
+			File:       d.Pos.Filename,
+			Line:       d.Pos.Line,
+			Column:     d.Pos.Column,
+			Analyzer:   d.Analyzer,
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+		}
+	}
+	return out
+}
+
 func main() {
+	jsonOut := flag.Bool("json", false, "emit the full diagnostic inventory (suppressed sites included) as JSON on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: khs-lint [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: khs-lint [-json] [packages]\n\nAnalyzers:\n")
 		for _, a := range khslint.All {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-18s %s\n", a.Name, firstLine(a.Doc))
 		}
 	}
 	flag.Parse()
-	os.Exit(run(flag.Args()))
+	os.Exit(run(flag.Args(), *jsonOut, os.Stdout, os.Stderr))
 }
 
-func run(patterns []string) int {
+func run(patterns []string, jsonOut bool, stdout, stderr io.Writer) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	wd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "khs-lint:", err)
+		fmt.Fprintln(stderr, "khs-lint:", err)
 		return 2
 	}
-	diags, err := khslint.Run(wd, patterns...)
+	all, err := khslint.RunAll(wd, patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "khs-lint:", err)
+		fmt.Fprintln(stderr, "khs-lint:", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	findings := 0
+	lineOut := stdout
+	if jsonOut {
+		lineOut = stderr
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "khs-lint: %d finding(s)\n", len(diags))
+	for _, d := range all {
+		if d.Suppressed {
+			continue
+		}
+		findings++
+		fmt.Fprintln(lineOut, d)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(toJSON(all)); err != nil {
+			fmt.Fprintln(stderr, "khs-lint:", err)
+			return 2
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "khs-lint: %d finding(s)\n", findings)
 		return 1
 	}
 	return 0

@@ -1,12 +1,96 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"io"
+	"reflect"
+	"testing"
+
+	"kncube/internal/analysis"
+)
 
 // TestRunSelf lints this command's own package end-to-end through the
 // same code path main uses; a clean tree exits 0.
 func TestRunSelf(t *testing.T) {
-	if code := run([]string{"./..."}); code != 0 {
+	if code := run([]string{"./..."}, false, io.Discard, io.Discard); code != 0 {
 		t.Fatalf("run(./...) = %d, want 0", code)
+	}
+}
+
+// TestRunSelfJSON runs the same self-lint through the -json path: exit 0,
+// a decodable JSON array on stdout, and no unsuppressed entries (this
+// package carries no ignore directives, so the inventory may be empty but
+// must still be an array).
+func TestRunSelfJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, true, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-json ./...) = %d, stderr: %s", code, stderr.String())
+	}
+	var inv []jsonDiagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &inv); err != nil {
+		t.Fatalf("stdout is not a JSON diagnostic array: %v\n%s", err, stdout.String())
+	}
+	for _, d := range inv {
+		if !d.Suppressed {
+			t.Errorf("unsuppressed finding in a run that exited 0: %+v", d)
+		}
+		if d.File == "" || d.Line == 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("incomplete diagnostic in inventory: %+v", d)
+		}
+	}
+}
+
+// TestJSONRoundTrip pins the -json wire form: every field of a diagnostic
+// — position, analyzer, message, and crucially the suppression state —
+// survives encode/decode unchanged, so the archived CI artifact is a
+// faithful audit inventory.
+func TestJSONRoundTrip(t *testing.T) {
+	diags := []analysis.Diagnostic{
+		{
+			Pos:      token.Position{Filename: "internal/sim/step.go", Line: 405, Column: 10},
+			Analyzer: "hotalloc",
+			Message:  "heap-escaping composite literal (&T{...}) on hot path (sim.(*Network).Step → sim.(*Network).generate)",
+			// Suppressed with a reason in the tree; the JSON must say so.
+			Suppressed: true,
+		},
+		{
+			Pos:      token.Position{Filename: "internal/core/hotspot.go", Line: 12, Column: 3},
+			Analyzer: "floateq",
+			Message:  "== on float64 operands",
+		},
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(toJSON(diags)); err != nil {
+		t.Fatal(err)
+	}
+	var back []jsonDiagnostic
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("decoding emitted JSON: %v", err)
+	}
+	want := []jsonDiagnostic{
+		{File: "internal/sim/step.go", Line: 405, Column: 10, Analyzer: "hotalloc",
+			Message:    "heap-escaping composite literal (&T{...}) on hot path (sim.(*Network).Step → sim.(*Network).generate)",
+			Suppressed: true},
+		{File: "internal/core/hotspot.go", Line: 12, Column: 3, Analyzer: "floateq",
+			Message: "== on float64 operands"},
+	}
+	if !reflect.DeepEqual(back, want) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", back, want)
+	}
+}
+
+// TestJSONEmptyInventoryIsAnArray: a clean tree must emit [] rather than
+// null, so downstream jq/matcher tooling never special-cases the happy
+// path.
+func TestJSONEmptyInventoryIsAnArray(t *testing.T) {
+	raw, err := json.Marshal(toJSON(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "[]" {
+		t.Errorf("empty inventory encodes as %s, want []", raw)
 	}
 }
 

@@ -164,10 +164,10 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 			reg.Counter("khs_model_solves_total", "analytical solves by outcome",
 				telemetry.Labels{"model": name, "outcome": outcome}).Inc()
 			if r != nil {
-				reg.Histogram("khs_model_iterations", "fixed-point iterations per converged solve",
+				reg.Histogram("khs_model_solve_iterations", "fixed-point iterations per converged solve",
 					nil, telemetry.ExponentialBuckets(1, 2, 12)).
 					Observe(float64(r.Convergence.Iterations))
-				reg.Gauge("khs_model_residual", "final residual of the last converged solve", nil).
+				reg.Gauge("khs_model_solve_residual", "final residual of the last converged solve", nil).
 					Set(r.Convergence.Residual)
 			}
 		}

@@ -230,8 +230,8 @@ func TestMetricsOutFormats(t *testing.T) {
 	}
 	for _, want := range []string{
 		`khs_model_solves_total{model="hotspot-2d",outcome="ok"} 3`,
-		"khs_model_iterations_count 3",
-		"khs_model_residual ",
+		"khs_model_solve_iterations_count 3",
+		"khs_model_solve_residual ",
 	} {
 		if !strings.Contains(string(pb), want) {
 			t.Errorf("Prometheus metrics missing %q:\n%s", want, pb)

@@ -94,6 +94,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 	}
 
 	fmt.Fprintf(stdout, "khs-serve: draining (up to %s)\n", *drainTimeout)
+	//lint:ignore ctxflow the drain deadline must outlive the already-cancelled signal ctx
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(dctx); err != nil {

@@ -5,11 +5,12 @@
 // The x/tools module is deliberately not a dependency — the repo builds
 // against the standard library only — so this package re-implements just
 // the subset the khs-lint suite needs: single-package analyzers with full
-// type information, positional diagnostics, and staticcheck-style
-// "//lint:ignore" suppression. Modular facts, SSA, and cross-package
-// result passing are out of scope; if the project ever takes an x/tools
-// dependency, the analyzers here port over almost mechanically (the Run
-// signature drops its Pass methods in favour of pass.Report).
+// type information, whole-program analyzers that see every loaded unit at
+// once (the call-graph passes), positional diagnostics, and
+// staticcheck-style "//lint:ignore" suppression. Modular facts and SSA
+// are out of scope; if the project ever takes an x/tools dependency, the
+// analyzers here port over almost mechanically (the Run signature drops
+// its Pass methods in favour of pass.Report).
 package analysis
 
 import (
@@ -24,6 +25,11 @@ import (
 // Analyzer is one static check. Name identifies it in diagnostics and in
 // //lint:ignore directives; Doc states the enforced invariant (first line
 // is the summary shown by khs-lint's usage text).
+//
+// Exactly one of Run and RunProgram must be set. Run analyzers see one
+// type-checked package at a time; RunProgram analyzers see every loaded
+// unit at once, which is what the call-graph passes need — an allocation
+// two packages below a hot root is invisible to any single-unit view.
 type Analyzer struct {
 	Name string
 	Doc  string
@@ -31,13 +37,21 @@ type Analyzer struct {
 	// pass.Reportf. Returning an error aborts the whole lint run — it
 	// means the analyzer itself failed, not that the code has findings.
 	Run func(pass *Pass) error
+	// RunProgram inspects the whole load set at once. Diagnostics may be
+	// attributed to any file in any unit; suppression directives are
+	// likewise honoured across the whole program.
+	RunProgram func(pass *ProgramPass) error
 }
 
 // Diagnostic is one finding, attributed to the analyzer that produced it.
+// Suppressed marks findings silenced by a reasoned //lint:ignore
+// directive; RunUnit and the khs-lint exit code drop them, but they stay
+// visible to machine consumers (khs-lint -json) as the audit trail.
 type Diagnostic struct {
-	Pos      token.Position
-	Analyzer string
-	Message  string
+	Pos        token.Position
+	Analyzer   string
+	Message    string
+	Suppressed bool
 }
 
 func (d Diagnostic) String() string {
@@ -81,11 +95,110 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
 }
 
-// RunUnit runs the analyzers over one unit, drops findings suppressed by
-// //lint:ignore directives, and returns the rest in position order.
+// Program is the whole load set as seen by RunProgram analyzers: every
+// unit shares one FileSet (the loader guarantees this), so positions from
+// any unit are comparable. Cached lets independent program passes share
+// one expensive artifact per run — in practice the call graph — without
+// this package depending on who builds it.
+type Program struct {
+	Fset  *token.FileSet
+	Units []Unit
+
+	cache map[string]any
+}
+
+// Cached returns the value stored under key, building and storing it with
+// build on first use. Not safe for concurrent use; the runner is serial.
+func (p *Program) Cached(key string, build func() any) any {
+	if p.cache == nil {
+		p.cache = map[string]any{}
+	}
+	if v, ok := p.cache[key]; ok {
+		return v
+	}
+	v := build()
+	p.cache[key] = v
+	return v
+}
+
+// ProgramPass carries one program analyzer's view of the whole load set
+// plus the report sink.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Program  *Program
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Program.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (p *ProgramPass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Program.Fset.Position(pos).Filename, "_test.go")
+}
+
+// RunUnit runs the unit-scoped analyzers over one unit, drops findings
+// suppressed by //lint:ignore directives, and returns the rest in
+// position order. Program analyzers in the list are skipped — they need
+// the whole load set; use Run for a mixed suite.
 func RunUnit(u Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, err := runUnitRaw(u, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	markSuppressed(directivesIn([]Unit{u}), diags)
+	return sortAndDrop(diags), nil
+}
+
+// Run executes a mixed suite over the whole load set: unit analyzers run
+// once per unit, program analyzers once over everything. Suppression
+// directives are collected from every unit's files, so a program pass
+// reporting into a file owned by another unit is still suppressible at
+// the site. All diagnostics are returned in position order with
+// Suppressed set; callers that only act on live findings filter on it.
+func Run(units []Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var fset *token.FileSet
+	if len(units) > 0 {
+		fset = units[0].Fset
+	}
+	var diags []Diagnostic
+	prog := &Program{Fset: fset, Units: units}
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		pass := &ProgramPass{Analyzer: a, Program: prog, diags: &diags}
+		if err := a.RunProgram(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	for _, u := range units {
+		ds, err := runUnitRaw(u, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	markSuppressed(directivesIn(units), diags)
+	sortDiags(diags)
+	return diags, nil
+}
+
+// runUnitRaw runs the unit-scoped analyzers in the list over u without
+// suppression filtering or sorting.
+func runUnitRaw(u Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      u.Fset,
@@ -98,7 +211,10 @@ func RunUnit(u Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
 		}
 	}
-	diags = filterSuppressed(u, diags)
+	return diags, nil
+}
+
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -107,9 +223,25 @@ func RunUnit(u Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return a.Column < b.Column
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
 	})
-	return diags, nil
+}
+
+func sortAndDrop(diags []Diagnostic) []Diagnostic {
+	sortDiags(diags)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !d.Suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
 }
 
 // ignoreDirective is one parsed "//lint:ignore <checks> <reason>" comment.
@@ -126,52 +258,57 @@ func (d ignoreDirective) matches(name string) bool {
 	return false
 }
 
-// filterSuppressed drops diagnostics whose line carries (or whose previous
-// line carries) a matching //lint:ignore directive. The directive names
-// one or more comma-separated analyzers and must include a reason:
+// lineKey addresses one source line for suppression lookup.
+type lineKey struct {
+	file string
+	line int
+}
+
+// directivesIn parses every "//lint:ignore <checks> <reason>" comment in
+// the units' files. The directive names one or more comma-separated
+// analyzers and must include a reason:
 //
 //	//lint:ignore floateq exact zero selects the degenerate branch
 //	x := avg == 0
-func filterSuppressed(u Unit, diags []Diagnostic) []Diagnostic {
-	type key struct {
-		file string
-		line int
-	}
-	directives := map[key]ignoreDirective{}
-	for _, f := range u.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
-				if !ok {
-					continue
-				}
-				fields := strings.Fields(text)
-				if len(fields) < 2 {
-					// A directive with no reason is ignored: the reason
-					// is the audit trail that makes suppression reviewable.
-					continue
-				}
-				pos := u.Fset.Position(c.Pos())
-				directives[key{pos.Filename, pos.Line}] = ignoreDirective{
-					checks: strings.Split(fields[0], ","),
+//
+// A directive with no reason is ignored: the reason is the audit trail
+// that makes suppression reviewable.
+func directivesIn(units []Unit) map[lineKey]ignoreDirective {
+	directives := map[lineKey]ignoreDirective{}
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(text)
+					if len(fields) < 2 {
+						continue
+					}
+					pos := u.Fset.Position(c.Pos())
+					directives[lineKey{pos.Filename, pos.Line}] = ignoreDirective{
+						checks: strings.Split(fields[0], ","),
+					}
 				}
 			}
 		}
 	}
+	return directives
+}
+
+// markSuppressed sets Suppressed on diagnostics whose line carries (or
+// whose previous line carries) a matching //lint:ignore directive.
+func markSuppressed(directives map[lineKey]ignoreDirective, diags []Diagnostic) {
 	if len(directives) == 0 {
-		return diags
+		return
 	}
-	kept := diags[:0]
-	for _, d := range diags {
-		sameLine, okSame := directives[key{d.Pos.Filename, d.Pos.Line}]
-		prevLine, okPrev := directives[key{d.Pos.Filename, d.Pos.Line - 1}]
-		if okSame && sameLine.matches(d.Analyzer) {
-			continue
+	for i, d := range diags {
+		sameLine, okSame := directives[lineKey{d.Pos.Filename, d.Pos.Line}]
+		prevLine, okPrev := directives[lineKey{d.Pos.Filename, d.Pos.Line - 1}]
+		if (okSame && sameLine.matches(d.Analyzer)) || (okPrev && prevLine.matches(d.Analyzer)) {
+			diags[i].Suppressed = true
 		}
-		if okPrev && prevLine.matches(d.Analyzer) {
-			continue
-		}
-		kept = append(kept, d)
 	}
-	return kept
 }

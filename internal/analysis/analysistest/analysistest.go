@@ -70,9 +70,18 @@ func runFixture(t *testing.T, checker *load.Checker, fixtureDir, name string, a 
 		t.Errorf("fixture %s: type error: %v", name, err)
 	}
 	unit := analysis.Unit{Fset: checker.Fset, Files: files, Pkg: pkg, TypesInfo: info}
-	diags, err := analysis.RunUnit(unit, []*analysis.Analyzer{a})
+	// analysis.Run handles both unit and program analyzers; a fixture
+	// package is simply a one-unit program. Suppressed findings are
+	// dropped so //lint:ignore fixtures assert silence.
+	all, err := analysis.Run([]analysis.Unit{unit}, []*analysis.Analyzer{a})
 	if err != nil {
 		t.Fatalf("fixture %s: %v", name, err)
+	}
+	var diags []analysis.Diagnostic
+	for _, d := range all {
+		if !d.Suppressed {
+			diags = append(diags, d)
+		}
 	}
 
 	type key struct {

@@ -1,0 +1,539 @@
+// Package callgraph builds a conservative, class-hierarchy-style call
+// graph over the units loaded by internal/analysis/load, pure-stdlib like
+// the rest of the analysis framework. It is the substrate for the
+// hot-path passes (hotalloc, hotblock): they mark roots with a
+// //khs:hotpath annotation and walk everything reachable from them.
+//
+// Resolution model, in decreasing order of precision:
+//
+//   - Static calls and concrete-method calls resolve to the declared
+//     function or method (promoted methods resolve to the embedded
+//     type's declaration — that is the function that actually runs).
+//   - Interface calls resolve conservatively against every type in the
+//     load set that declares a method with the same name and signature
+//     (class-hierarchy analysis, per method rather than per interface).
+//     Matching is by name plus fully-qualified signature string, which is
+//     robust to the loader's source-versus-export-data split: the same
+//     method seen through two type-check universes has distinct
+//     go/types objects but an identical signature string.
+//   - Calls into functions outside the load set (stdlib, e.g.
+//     container/heap) add callback edges: for every parameter whose type
+//     is a non-empty interface, the concrete argument's matching methods
+//     are assumed callable (heap.Init(h) may call h.Len/Less/Swap/...).
+//
+// Known limitation, by design: calls through plain function values —
+// stored fields like sim.Network.delivCb or fixpoint.Options.Trace,
+// locals, and parameters — are not resolved (that needs SSA-level
+// dataflow). They are counted per function as Dynamic sites so passes
+// and tooling can at least see where the graph is blind.
+//
+// Function literals do not get nodes of their own: a FuncLit body is
+// attributed to the enclosing declared function, since the literal runs
+// (if at all) under that function's contract.
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"kncube/internal/analysis"
+)
+
+// HotPathDirective is the doc-comment annotation that marks a function as
+// a hot root. It may carry a trailing note: "//khs:hotpath inner solver loop".
+const HotPathDirective = "//khs:hotpath"
+
+// EdgeKind classifies how a call site was resolved.
+type EdgeKind int
+
+const (
+	// KindStatic is a direct call of a declared function.
+	KindStatic EdgeKind = iota
+	// KindMethod is a method call on a concrete (non-interface) receiver.
+	KindMethod
+	// KindInterface is an interface-dispatch call, resolved against every
+	// load-set type declaring a matching method.
+	KindInterface
+	// KindCallback is a conservative edge through an interface-typed
+	// argument handed to a function outside the load set.
+	KindCallback
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case KindStatic:
+		return "static"
+	case KindMethod:
+		return "method"
+	case KindInterface:
+		return "interface"
+	case KindCallback:
+		return "callback"
+	}
+	return fmt.Sprintf("EdgeKind(%d)", int(k))
+}
+
+// Edge is one resolved call: the enclosing function may invoke Callee
+// from the site at Pos.
+type Edge struct {
+	Kind   EdgeKind
+	Pos    token.Pos
+	Callee *Node
+}
+
+// Node is one declared function or method in the load set.
+type Node struct {
+	// Func is the go/types object from the unit that declares the
+	// function (the source-checked one, not an export-data mirror).
+	Func *types.Func
+	// Decl is the declaration; Decl.Body is nil for assembly stubs.
+	Decl *ast.FuncDecl
+	// Info is the type-resolution table of the declaring unit, valid for
+	// every node inside Decl.
+	Info *types.Info
+	// Hot reports whether the declaration's doc comment carries the
+	// //khs:hotpath directive.
+	Hot bool
+	// Edges are the resolved out-calls, in source order.
+	Edges []Edge
+	// Dynamic are call sites through plain function values that the
+	// graph cannot resolve (see the package comment).
+	Dynamic []token.Pos
+
+	key string
+}
+
+// String renames the node the way a human would: pkgname.Func or
+// pkgname.(*Recv).Method.
+func (n *Node) String() string {
+	fn := n.Func
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Name() + "."
+	}
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		ptr := ""
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			ptr = "*"
+		}
+		if named, ok := t.(*types.Named); ok {
+			return fmt.Sprintf("%s(%s%s).%s", pkg, ptr, named.Obj().Name(), fn.Name())
+		}
+	}
+	return pkg + fn.Name()
+}
+
+// Summary is the per-function rollup exposed for tooling: out-edge
+// counts by resolution kind plus the number of unresolved dynamic sites.
+type Summary struct {
+	Static, Method, Interface, Callback, Dynamic int
+}
+
+// Summary computes the node's edge rollup.
+func (n *Node) Summary() Summary {
+	s := Summary{Dynamic: len(n.Dynamic)}
+	for _, e := range n.Edges {
+		switch e.Kind {
+		case KindStatic:
+			s.Static++
+		case KindMethod:
+			s.Method++
+		case KindInterface:
+			s.Interface++
+		case KindCallback:
+			s.Callback++
+		}
+	}
+	return s
+}
+
+// Graph is the whole-program call graph.
+type Graph struct {
+	Fset *token.FileSet
+
+	nodes map[string]*Node
+	order []*Node
+}
+
+// Nodes returns every node in declaration-position order.
+func (g *Graph) Nodes() []*Node { return g.order }
+
+// Lookup resolves a function object (from any type-check universe) to
+// its node, or nil if the function is not declared in the load set.
+func (g *Graph) Lookup(fn *types.Func) *Node {
+	if fn == nil {
+		return nil
+	}
+	return g.nodes[funcKey(fn)]
+}
+
+// LookupName resolves "pkgpath.Func" or "pkgpath.Recv.Method" (receiver
+// type name without pointer star). Intended for tests and tooling.
+func (g *Graph) LookupName(key string) *Node { return g.nodes[key] }
+
+// HotRoots returns the //khs:hotpath-annotated nodes in position order.
+func (g *Graph) HotRoots() []*Node {
+	var roots []*Node
+	for _, n := range g.order {
+		if n.Hot {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+// funcKey is the universe-independent identity of a declared function:
+// package path, receiver type name (if any), function name. The loader
+// type-checks each package from source once and its importers serve
+// export data, so the same function can appear behind distinct go/types
+// objects; the key collapses them.
+func funcKey(fn *types.Func) string {
+	fn = fn.Origin()
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, okp := t.(*types.Pointer); okp {
+			t = p.Elem()
+		}
+		switch t := t.(type) {
+		case *types.Named:
+			return pkg + "." + t.Obj().Name() + "." + fn.Name()
+		case *types.Interface:
+			// Interface methods are resolution inputs, not nodes; key
+			// them distinctly so they never collide with declarations.
+			return pkg + ".<interface>." + fn.Name()
+		}
+	}
+	return pkg + "." + fn.Name()
+}
+
+// sigString renders a function signature with package-path qualifiers,
+// the universe-independent form used for interface-method matching.
+func sigString(sig *types.Signature) string {
+	// Strip the receiver: interface methods and their implementations
+	// differ only there.
+	noRecv := types.NewSignatureType(nil, nil, nil, sig.Params(), sig.Results(), sig.Variadic())
+	return types.TypeString(noRecv, func(p *types.Package) string { return p.Path() })
+}
+
+// methodSigKey indexes a method by name and qualified signature.
+func methodSigKey(name string, sig *types.Signature) string {
+	return name + "|" + sigString(sig)
+}
+
+// Build constructs the graph over the given units. All units must share
+// one FileSet (the loader guarantees this).
+func Build(units []analysis.Unit) *Graph {
+	g := &Graph{nodes: map[string]*Node{}}
+	if len(units) > 0 {
+		g.Fset = units[0].Fset
+	}
+
+	// Pass 1: create a node per declared function/method and index
+	// methods by name+signature for interface resolution.
+	methodIndex := map[string][]*Node{}
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := u.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &Node{
+					Func: fn,
+					Decl: fd,
+					Info: u.TypesInfo,
+					Hot:  hasHotPathDirective(fd),
+					key:  funcKey(fn),
+				}
+				if prev, dup := g.nodes[n.key]; dup {
+					// An xtest unit can re-check files already seen, or a
+					// test helper can collide by name; keep the first and
+					// fold hotness so annotations are never lost.
+					prev.Hot = prev.Hot || n.Hot
+					continue
+				}
+				g.nodes[n.key] = n
+				g.order = append(g.order, n)
+				if sig, okSig := fn.Type().(*types.Signature); okSig && sig.Recv() != nil {
+					k := methodSigKey(fn.Name(), sig)
+					methodIndex[k] = append(methodIndex[k], n)
+				}
+			}
+		}
+	}
+	sort.Slice(g.order, func(i, j int) bool {
+		pi, pj := g.Fset.Position(g.order[i].Decl.Pos()), g.Fset.Position(g.order[j].Decl.Pos())
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Offset < pj.Offset
+	})
+
+	// Pass 2: resolve call sites.
+	for _, n := range g.nodes {
+		if n.Decl.Body == nil {
+			continue
+		}
+		b := &builder{g: g, info: n.Info, methods: methodIndex, node: n}
+		ast.Inspect(n.Decl.Body, b.visit)
+	}
+	return g
+}
+
+// builder accumulates edges for one node.
+type builder struct {
+	g       *Graph
+	info    *types.Info
+	methods map[string][]*Node
+	node    *Node
+}
+
+func (b *builder) visit(nd ast.Node) bool {
+	call, ok := nd.(*ast.CallExpr)
+	if !ok {
+		return true
+	}
+	b.call(call)
+	return true
+}
+
+func (b *builder) call(call *ast.CallExpr) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		// Conversion to a non-named type, func-literal call, indexed
+		// call, etc.
+		if b.isDynamic(call) {
+			b.node.Dynamic = append(b.node.Dynamic, call.Lparen)
+		}
+		return
+	}
+	switch obj := b.info.Uses[id].(type) {
+	case *types.Func:
+		fn := obj.Origin()
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+			// Interface dispatch: every load-set type declaring a
+			// matching method is a potential callee.
+			for _, callee := range b.methods[methodSigKey(fn.Name(), sig)] {
+				b.edge(KindInterface, call.Lparen, callee)
+			}
+			return
+		}
+		if callee := b.g.nodes[funcKey(fn)]; callee != nil {
+			kind := KindStatic
+			if sig != nil && sig.Recv() != nil {
+				kind = KindMethod
+			}
+			b.edge(kind, call.Lparen, callee)
+			return
+		}
+		// Call out of the load set: assume it may invoke the methods of
+		// any interface-typed argument (container/heap, sort, ...).
+		b.external(call, sig)
+	case *types.Builtin, *types.TypeName, nil:
+		// Builtins and conversions never produce edges. A nil object on
+		// an ident call means a func-typed variable or parameter.
+		if obj == nil && b.isDynamic(call) {
+			b.node.Dynamic = append(b.node.Dynamic, call.Lparen)
+		}
+	default:
+		// *types.Var: a func-valued field, local, or parameter.
+		if b.isDynamic(call) {
+			b.node.Dynamic = append(b.node.Dynamic, call.Lparen)
+		}
+	}
+}
+
+// isDynamic reports whether call invokes a function value (as opposed to
+// a conversion or a resolved function).
+func (b *builder) isDynamic(call *ast.CallExpr) bool {
+	tv, ok := b.info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return false
+	}
+	_, isSig := tv.Type.Underlying().(*types.Signature)
+	return isSig
+}
+
+// external adds callback edges for a call that leaves the load set: for
+// every parameter whose type is a non-empty interface, the concrete
+// argument's methods that satisfy it are assumed callable.
+func (b *builder) external(call *ast.CallExpr, sig *types.Signature) {
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i == params.Len()-1 && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case params.Len() > 0 && sig.Variadic():
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type()
+			} else if s, oks := params.At(params.Len() - 1).Type().(*types.Slice); oks {
+				pt = s.Elem()
+			}
+		}
+		if pt == nil {
+			continue
+		}
+		iface, okIface := pt.Underlying().(*types.Interface)
+		if !okIface || iface.NumMethods() == 0 {
+			continue
+		}
+		at := b.info.TypeOf(arg)
+		if at == nil {
+			continue
+		}
+		if types.IsInterface(at) {
+			// Interface-to-interface hand-off: fall back to per-method
+			// class-hierarchy resolution.
+			for m := range iface.NumMethods() {
+				meth := iface.Method(m)
+				msig, _ := meth.Type().(*types.Signature)
+				if msig == nil {
+					continue
+				}
+				for _, callee := range b.methods[methodSigKey(meth.Name(), msig)] {
+					b.edge(KindCallback, call.Lparen, callee)
+				}
+			}
+			continue
+		}
+		ms := types.NewMethodSet(at)
+		for m := range iface.NumMethods() {
+			meth := iface.Method(m)
+			sel := ms.Lookup(nil, meth.Name())
+			if sel == nil {
+				// Unexported interface method from another package, or
+				// the method set lookup needs the addressable form.
+				sel = types.NewMethodSet(types.NewPointer(at)).Lookup(nil, meth.Name())
+			}
+			if sel == nil {
+				continue
+			}
+			fn, okFn := sel.Obj().(*types.Func)
+			if !okFn {
+				continue
+			}
+			if callee := b.g.nodes[funcKey(fn)]; callee != nil {
+				b.edge(KindCallback, call.Lparen, callee)
+			}
+		}
+	}
+}
+
+func (b *builder) edge(kind EdgeKind, pos token.Pos, callee *Node) {
+	b.node.Edges = append(b.node.Edges, Edge{Kind: kind, Pos: pos, Callee: callee})
+}
+
+// hasHotPathDirective reports whether the declaration's doc comment
+// carries //khs:hotpath.
+func hasHotPathDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == HotPathDirective || strings.HasPrefix(c.Text, HotPathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// Reach is the result of a reachability query: the set of nodes
+// reachable from the roots, with BFS predecessors for path reporting.
+type Reach struct {
+	g    *Graph
+	prev map[*Node]*Node // predecessor; roots map to nil
+	in   map[*Node]bool
+}
+
+// Reachable walks the graph breadth-first from the roots (which are
+// themselves reachable).
+func (g *Graph) Reachable(roots ...*Node) *Reach {
+	r := &Reach{g: g, prev: map[*Node]*Node{}, in: map[*Node]bool{}}
+	queue := make([]*Node, 0, len(roots))
+	for _, n := range roots {
+		if n == nil || r.in[n] {
+			continue
+		}
+		r.in[n] = true
+		r.prev[n] = nil
+		queue = append(queue, n)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Edges {
+			if e.Callee == nil || r.in[e.Callee] {
+				continue
+			}
+			r.in[e.Callee] = true
+			r.prev[e.Callee] = n
+			queue = append(queue, e.Callee)
+		}
+	}
+	return r
+}
+
+// Has reports whether n is reachable.
+func (r *Reach) Has(n *Node) bool { return r.in[n] }
+
+// Nodes returns the reachable nodes in the graph's declaration order.
+func (r *Reach) Nodes() []*Node {
+	var out []*Node
+	for _, n := range r.g.order {
+		if r.in[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Path returns a shortest root→n call chain, nil if n is unreachable.
+func (r *Reach) Path(n *Node) []*Node {
+	if !r.in[n] {
+		return nil
+	}
+	var rev []*Node
+	for cur := n; cur != nil; cur = r.prev[cur] {
+		rev = append(rev, cur)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// PathString renders Path(n) as "root → ... → n" for diagnostics.
+func (r *Reach) PathString(n *Node) string {
+	path := r.Path(n)
+	parts := make([]string, len(path))
+	for i, p := range path {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " → ")
+}

@@ -1,0 +1,134 @@
+package callgraph_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"kncube/internal/analysis"
+	"kncube/internal/analysis/analysistest"
+	"kncube/internal/analysis/callgraph"
+	"kncube/internal/analysis/load"
+)
+
+// buildFixture type-checks testdata/src/graphfix and builds its graph.
+func buildFixture(t *testing.T) *callgraph.Graph {
+	t.Helper()
+	ix, _, err := load.NewIndex(analysistest.ModuleRoot(t))
+	if err != nil {
+		t.Fatalf("building export index: %v", err)
+	}
+	checker := load.NewChecker(ix)
+	files, err := checker.ParseFiles(filepath.Join("testdata", "src", "graphfix"), []string{"graphfix.go"})
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	pkg, info, typeErrs := checker.Check("graphfix", files)
+	for _, err := range typeErrs {
+		t.Errorf("fixture type error: %v", err)
+	}
+	return callgraph.Build([]analysis.Unit{{Fset: checker.Fset, Files: files, Pkg: pkg, TypesInfo: info}})
+}
+
+// edgeKeys collects the callee names of a node's edges of one kind.
+func edgeKeys(n *callgraph.Node, kind callgraph.EdgeKind) map[string]bool {
+	out := map[string]bool{}
+	for _, e := range n.Edges {
+		if e.Kind == kind {
+			out[e.Callee.String()] = true
+		}
+	}
+	return out
+}
+
+func TestStaticAndMethodEdges(t *testing.T) {
+	g := buildFixture(t)
+	root := g.LookupName("graphfix.Root")
+	if root == nil {
+		t.Fatal("graphfix.Root not in graph")
+	}
+	static := edgeKeys(root, callgraph.KindStatic)
+	// helper(1) directly plus helper(3) inside the function literal: the
+	// literal's body is attributed to Root.
+	if !static["graphfix.helper"] {
+		t.Errorf("Root static edges = %v, want graphfix.helper (incl. the FuncLit body)", static)
+	}
+	method := edgeKeys(root, callgraph.KindMethod)
+	if !method["graphfix.(A).Do"] {
+		t.Errorf("Root method edges = %v, want graphfix.(A).Do", method)
+	}
+	if s := root.Summary(); s.Dynamic == 0 {
+		t.Errorf("Root summary %+v records no dynamic site; f() should be one", s)
+	}
+}
+
+func TestInterfaceDispatchEdges(t *testing.T) {
+	g := buildFixture(t)
+	root := g.LookupName("graphfix.Root")
+	iface := edgeKeys(root, callgraph.KindInterface)
+	for _, want := range []string{"graphfix.(A).Do", "graphfix.(*B).Do"} {
+		if !iface[want] {
+			t.Errorf("interface dispatch d.Do missing conservative callee %s (got %v)", want, iface)
+		}
+	}
+}
+
+func TestCallbackEdgesThroughStdlib(t *testing.T) {
+	g := buildFixture(t)
+	sortIt := g.LookupName("graphfix.SortIt")
+	if sortIt == nil {
+		t.Fatal("graphfix.SortIt not in graph")
+	}
+	cb := edgeKeys(sortIt, callgraph.KindCallback)
+	for _, want := range []string{"graphfix.(ints).Len", "graphfix.(ints).Less", "graphfix.(ints).Swap"} {
+		if !cb[want] {
+			t.Errorf("sort.Sort(s) missing callback edge %s (got %v)", want, cb)
+		}
+	}
+}
+
+func TestHotRootsAndReachability(t *testing.T) {
+	g := buildFixture(t)
+	roots := g.HotRoots()
+	if len(roots) != 1 || roots[0].String() != "graphfix.Root" {
+		t.Fatalf("HotRoots = %v, want exactly graphfix.Root", roots)
+	}
+	reach := g.Reachable(roots...)
+	for _, want := range []string{"graphfix.Root", "graphfix.helper", "graphfix.A.Do", "graphfix.B.Do"} {
+		if n := g.LookupName(want); n == nil || !reach.Has(n) {
+			t.Errorf("%s should be reachable from the hot root", want)
+		}
+	}
+	for _, dont := range []string{"graphfix.Unreached", "graphfix.SortIt", "graphfix.ints.Len"} {
+		n := g.LookupName(dont)
+		if n == nil {
+			t.Fatalf("%s not in graph", dont)
+		}
+		if reach.Has(n) {
+			t.Errorf("%s should NOT be reachable from the hot root", dont)
+		}
+	}
+	// (*B).Do reaches helper through the interface edge; the path runs
+	// Root → (*B).Do or Root → helper directly (shortest wins).
+	helper := g.LookupName("graphfix.helper")
+	path := reach.Path(helper)
+	if len(path) == 0 || path[0].String() != "graphfix.Root" || path[len(path)-1].String() != "graphfix.helper" {
+		t.Errorf("Path(helper) = %q, want a Root→…→helper chain", reach.PathString(helper))
+	}
+	if got := reach.PathString(helper); got != "graphfix.Root → graphfix.helper" {
+		t.Errorf("PathString(helper) = %q, want the direct two-hop chain", got)
+	}
+}
+
+func TestUnreachableFunctionHasOwnReachability(t *testing.T) {
+	g := buildFixture(t)
+	sortIt := g.LookupName("graphfix.SortIt")
+	reach := g.Reachable(sortIt)
+	for _, want := range []string{"graphfix.ints.Len", "graphfix.ints.Less", "graphfix.ints.Swap"} {
+		if n := g.LookupName(want); n == nil || !reach.Has(n) {
+			t.Errorf("%s should be reachable from SortIt via callback edges", want)
+		}
+	}
+	if root := g.LookupName("graphfix.Root"); reach.Has(root) {
+		t.Error("Root should not be reachable from SortIt")
+	}
+}

@@ -1,8 +1,8 @@
 // Package khslint aggregates the project's analyzers and provides the
 // load-and-run entry point shared by the khs-lint command and the
-// self-lint test. The suite encodes the numerics, seeding, and layering
-// contracts documented in DESIGN.md §6; see each analyzer's Doc for the
-// invariant it enforces.
+// self-lint test. The suite encodes the numerics, seeding, layering,
+// and hot-path contracts documented in DESIGN.md §6; see each
+// analyzer's Doc for the invariant it enforces.
 package khslint
 
 import (
@@ -10,47 +10,71 @@ import (
 
 	"kncube/internal/analysis"
 	"kncube/internal/analysis/load"
+	"kncube/internal/analysis/passes/ctxflow"
 	"kncube/internal/analysis/passes/fixpointboundary"
 	"kncube/internal/analysis/passes/floateq"
+	"kncube/internal/analysis/passes/hotalloc"
+	"kncube/internal/analysis/passes/hotblock"
+	"kncube/internal/analysis/passes/metricname"
 	"kncube/internal/analysis/passes/registerinit"
 	"kncube/internal/analysis/passes/saturationerr"
 	"kncube/internal/analysis/passes/seedderive"
 )
 
-// All is the khs-lint analyzer suite.
+// All is the khs-lint analyzer suite: the five per-package passes from
+// the original suite plus the four whole-program passes built on the
+// call graph (hotalloc, hotblock) and cross-package state (metricname),
+// with ctxflow guarding cancellation plumbing.
 var All = []*analysis.Analyzer{
+	ctxflow.Analyzer,
 	fixpointboundary.Analyzer,
 	floateq.Analyzer,
+	hotalloc.Analyzer,
+	hotblock.Analyzer,
+	metricname.Analyzer,
 	registerinit.Analyzer,
 	saturationerr.Analyzer,
 	seedderive.Analyzer,
 }
 
 // Run loads the packages matching patterns in the module at dir (test
-// files included) and runs the whole suite, returning the surviving
-// diagnostics in position order. Type-checking failures are reported as
-// errors: diagnostics computed from broken type information would be
-// noise.
+// files included) and runs the whole suite, returning the live
+// (unsuppressed) diagnostics in position order. Type-checking failures
+// are reported as errors: diagnostics computed from broken type
+// information would be noise.
 func Run(dir string, patterns ...string) ([]analysis.Diagnostic, error) {
+	all, err := RunAll(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var live []analysis.Diagnostic
+	for _, d := range all {
+		if !d.Suppressed {
+			live = append(live, d)
+		}
+	}
+	return live, nil
+}
+
+// RunAll is Run without the suppression filter: every diagnostic comes
+// back with its Suppressed state, which is what khs-lint -json emits so
+// reviews can audit the ignore inventory alongside the live findings.
+func RunAll(dir string, patterns ...string) ([]analysis.Diagnostic, error) {
 	pkgs, err := load.Load(dir, patterns...)
 	if err != nil {
 		return nil, err
 	}
-	var diags []analysis.Diagnostic
+	units := make([]analysis.Unit, 0, len(pkgs))
 	for _, p := range pkgs {
 		if len(p.TypeErrors) > 0 {
 			return nil, fmt.Errorf("khslint: type errors in %s: %v", p.ImportPath, p.TypeErrors[0])
 		}
-		ds, err := analysis.RunUnit(analysis.Unit{
+		units = append(units, analysis.Unit{
 			Fset:      p.Fset,
 			Files:     p.Files,
 			Pkg:       p.Types,
 			TypesInfo: p.TypesInfo,
-		}, All)
-		if err != nil {
-			return nil, err
-		}
-		diags = append(diags, ds...)
+		})
 	}
-	return diags, nil
+	return analysis.Run(units, All)
 }

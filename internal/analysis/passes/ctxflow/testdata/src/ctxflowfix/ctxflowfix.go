@@ -1,0 +1,24 @@
+// Package ctxflowfix exercises the ctxflow analyzer: mid-stack
+// re-rooting, nil contexts, and a reasoned compat-wrapper suppression.
+package ctxflowfix
+
+import "context"
+
+func Work(ctx context.Context) error {
+	_ = ctx
+	return step(context.Background()) // want `context.Background\(\) outside a designated root`
+}
+
+func step(ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+func nilCtx() error {
+	return step(nil) // want `nil context passed`
+}
+
+func suppressed() error {
+	//lint:ignore ctxflow compat wrapper for pre-context callers
+	return step(context.Background())
+}

@@ -1,0 +1,20 @@
+// The ctxflowmain fixture checks the designated-root exemption: func
+// main of a package main may mint the process context; everything
+// below it must thread that context.
+package main
+
+import "context"
+
+func main() {
+	_ = run(context.Background()) // a designated root: no finding
+}
+
+func run(ctx context.Context) error {
+	_ = ctx
+	return helper(context.Background()) // want `context.Background\(\) outside a designated root`
+}
+
+func helper(ctx context.Context) error {
+	_ = ctx
+	return nil
+}

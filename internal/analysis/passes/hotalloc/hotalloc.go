@@ -1,0 +1,231 @@
+// Package hotalloc defines the whole-program analyzer enforcing the
+// repo's "0 allocs/op" story structurally: no allocation site may be
+// reachable from a //khs:hotpath root. BenchmarkSimulatorStep and
+// BenchmarkTelemetryOverhead sample the property at one configuration;
+// this pass proves it over every call path the class-hierarchy call
+// graph can see, so a future helper that quietly appends three layers
+// below sim.Step fails lint instead of a later profiling session.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"kncube/internal/analysis"
+	"kncube/internal/analysis/callgraph"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: `forbid allocation sites reachable from //khs:hotpath roots
+
+Walks the call graph from every //khs:hotpath-annotated function and
+flags, in any reachable production function: make/new, composite
+literals that allocate (&T{...} and slice/map literals), growing append,
+non-constant string concatenation, string<->[]byte/[]rune conversions,
+closure creation, interface boxing at call boundaries, and any call into
+package fmt. Two cold sub-paths are exempt by rule rather than by
+directive, because both terminate the hot loop by definition: return
+statements that construct an error (saturation and cancellation exits),
+and panic arguments (invariant-failure formatting). Boxing of
+pointer-shaped values (pointers, channels, maps, funcs) is not flagged —
+the interface stores the word directly. Everything else that stays —
+lazy one-time init, recycled scratch, per-message buffers — carries a
+reasoned //lint:ignore directive: the audit trail replacing "the
+benchmark said 0 allocs".`,
+	RunProgram: run,
+}
+
+func run(pass *analysis.ProgramPass) error {
+	g := pass.Program.Cached("callgraph", func() any {
+		return callgraph.Build(pass.Program.Units)
+	}).(*callgraph.Graph)
+	reach := g.Reachable(g.HotRoots()...)
+	for _, n := range reach.Nodes() {
+		if n.Decl.Body == nil || pass.InTestFile(n.Decl.Pos()) {
+			continue
+		}
+		via := reach.PathString(n)
+		report := func(pos token.Pos, what string) {
+			pass.Reportf(pos, "%s on hot path (%s)", what, via)
+		}
+		info := n.Info
+		ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+			switch x := nd.(type) {
+			case *ast.ReturnStmt:
+				if returnsError(info, x) {
+					return false // error construction ends the hot loop
+				}
+			case *ast.CallExpr:
+				if isPanicCall(info, x) {
+					return false // failure-path formatting, not the hot path
+				}
+				checkCall(info, x, report)
+			case *ast.UnaryExpr:
+				if x.Op == token.AND {
+					if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+						report(x.Pos(), "heap-escaping composite literal (&T{...})")
+					}
+				}
+			case *ast.CompositeLit:
+				if t := info.TypeOf(x); t != nil {
+					switch t.Underlying().(type) {
+					case *types.Slice:
+						report(x.Pos(), "slice literal allocation")
+					case *types.Map:
+						report(x.Pos(), "map literal allocation")
+					}
+				}
+			case *ast.BinaryExpr:
+				if x.Op == token.ADD && isStringType(info.TypeOf(x)) {
+					if tv, ok := info.Types[x]; ok && tv.Value == nil {
+						report(x.Pos(), "string concatenation")
+					}
+				}
+			case *ast.FuncLit:
+				report(x.Pos(), "closure creation")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall flags the allocation shapes that live in call syntax:
+// builtins, conversions, fmt calls, and interface boxing of arguments.
+func checkCall(info *types.Info, call *ast.CallExpr, report func(token.Pos, string)) {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		checkConversion(info, call, report)
+		return
+	}
+	if id := calleeIdent(call); id != nil {
+		switch obj := info.Uses[id].(type) {
+		case *types.Builtin:
+			switch obj.Name() {
+			case "make":
+				report(call.Pos(), "allocation (make)")
+			case "new":
+				report(call.Pos(), "allocation (new)")
+			case "append":
+				report(call.Pos(), "growing append")
+			}
+			return
+		case *types.Func:
+			if obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+				report(call.Pos(), "fmt call (fmt."+obj.Name()+")")
+			}
+		}
+	}
+	checkBoxing(info, call, report)
+}
+
+// checkConversion flags string<->[]byte/[]rune conversions, the ones
+// that copy into a fresh backing array.
+func checkConversion(info *types.Info, call *ast.CallExpr, report func(token.Pos, string)) {
+	if len(call.Args) != 1 {
+		return
+	}
+	dst, src := info.TypeOf(call), info.TypeOf(call.Args[0])
+	if tv, ok := info.Types[call]; ok && tv.Value != nil {
+		return // constant-folded
+	}
+	if (isStringType(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isStringType(src)) {
+		report(call.Pos(), "string conversion")
+	}
+}
+
+// checkBoxing flags concrete values passed at interface-typed parameter
+// positions — the runtime.convT* family. Constants are exempt: the
+// compiler materialises them in read-only data, no per-call allocation.
+func checkBoxing(info *types.Info, call *ast.CallExpr, report func(token.Pos, string)) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return // builtin
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i == params.Len()-1 && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case params.Len() > 0 && sig.Variadic() && !call.Ellipsis.IsValid():
+			if s, okS := params.At(params.Len() - 1).Type().(*types.Slice); okS {
+				pt = s.Elem()
+			}
+		}
+		if pt == nil || !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		atv, okA := info.Types[arg]
+		if !okA || atv.Type == nil || atv.IsNil() || atv.Value != nil {
+			continue
+		}
+		switch atv.Type.Underlying().(type) {
+		case *types.Interface:
+			continue // interface-to-interface, no box
+		case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+			continue // pointer-shaped: stored in the interface word directly
+		}
+		report(arg.Pos(), "interface boxing of "+atv.Type.String())
+	}
+}
+
+// returnsError reports whether the return statement hands back an
+// expression of the error interface type (other than a plain nil).
+func returnsError(info *types.Info, ret *ast.ReturnStmt) bool {
+	for _, res := range ret.Results {
+		tv, ok := info.Types[res]
+		if !ok || tv.Type == nil || tv.IsNil() {
+			continue
+		}
+		if types.Identical(tv.Type, types.Universe.Lookup("error").Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isPanicCall reports whether call is the predeclared panic.
+func isPanicCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun
+	case *ast.SelectorExpr:
+		return fun.Sel
+	}
+	return nil
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,43 @@
+// Package hotallocfix exercises every allocation shape hotalloc flags,
+// reachability through a helper, an unreachable function, and a
+// reasoned suppression.
+package hotallocfix
+
+import "fmt"
+
+//khs:hotpath
+func Hot(xs []int, name string) int {
+	s := make([]int, 4)               // want `allocation \(make\)`
+	s = append(s, 1)                  // want `growing append`
+	p := new(int)                     // want `allocation \(new\)`
+	box := &pair{}                    // want `heap-escaping composite literal`
+	lit := []int{1, 2}                // want `slice literal allocation`
+	m := map[string]int{}             // want `map literal allocation`
+	msg := name + "!"                 // want `string concatenation`
+	b := []byte(name)                 // want `string conversion`
+	f := func() int { return len(b) } // want `closure creation`
+	sink(len(lit))                    // want `interface boxing`
+	fmt.Sprint("x")                   // want `fmt call`
+	helper(xs)
+	_, _, _, _ = p, box, m, msg
+	return s[0] + f()
+}
+
+type pair struct{ a, b int }
+
+func sink(v any) { _ = v }
+
+func helper(xs []int) []int {
+	return append(xs, 2) // want `growing append`
+}
+
+func cold(xs []int) []int {
+	return append(xs, 3) // unreachable from any hot root: no finding
+}
+
+//khs:hotpath
+func HotSuppressed() []byte {
+	//lint:ignore hotalloc one-time lazy buffer, amortized over the run
+	buf := make([]byte, 16)
+	return buf
+}

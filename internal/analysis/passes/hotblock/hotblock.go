@@ -1,0 +1,104 @@
+// Package hotblock defines the whole-program analyzer keeping the hot
+// loops non-blocking: nothing reachable from a //khs:hotpath root may
+// park the goroutine. The simulator's cycle loop and the fixpoint
+// iteration owe their throughput to running lock-free on atomics; a
+// channel op or mutex introduced anywhere in their reachable set is a
+// latency cliff the benchmarks would only catch under contention.
+package hotblock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"kncube/internal/analysis"
+	"kncube/internal/analysis/analysisutil"
+	"kncube/internal/analysis/callgraph"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotblock",
+	Doc: `forbid blocking operations reachable from //khs:hotpath roots
+
+Walks the call graph from every //khs:hotpath-annotated function and
+flags, in any reachable production function: channel sends, receives,
+ranges and selects; blocking sync calls (Lock, RLock, Wait, Once.Do);
+time.Sleep; and calls into the file/network/logging packages (os, io,
+bufio, net, net/http, log). Genuinely uncontended or setup-phase sites
+carry reasoned //lint:ignore directives.`,
+	RunProgram: run,
+}
+
+// blockingSyncMethods are the sync / sync.* methods that can park the
+// calling goroutine.
+var blockingSyncMethods = map[string]bool{
+	"Lock":  true,
+	"RLock": true,
+	"Wait":  true, // WaitGroup.Wait, Cond.Wait
+	"Do":    true, // Once.Do blocks until the first call returns
+}
+
+// ioPkgs are packages whose calls mean file/network I/O or logging.
+var ioPkgs = map[string]bool{
+	"os":       true,
+	"io":       true,
+	"bufio":    true,
+	"net":      true,
+	"net/http": true,
+	"log":      true,
+}
+
+func run(pass *analysis.ProgramPass) error {
+	g := pass.Program.Cached("callgraph", func() any {
+		return callgraph.Build(pass.Program.Units)
+	}).(*callgraph.Graph)
+	reach := g.Reachable(g.HotRoots()...)
+	for _, n := range reach.Nodes() {
+		if n.Decl.Body == nil || pass.InTestFile(n.Decl.Pos()) {
+			continue
+		}
+		via := reach.PathString(n)
+		report := func(pos token.Pos, what string) {
+			pass.Reportf(pos, "%s on hot path (%s)", what, via)
+		}
+		info := n.Info
+		ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+			switch x := nd.(type) {
+			case *ast.SendStmt:
+				report(x.Arrow, "channel send")
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					report(x.Pos(), "channel receive")
+				}
+			case *ast.SelectStmt:
+				report(x.Select, "select")
+			case *ast.RangeStmt:
+				if t := info.TypeOf(x.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						report(x.For, "range over channel")
+					}
+				}
+			case *ast.CallExpr:
+				checkCall(info, x, report)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(info *types.Info, call *ast.CallExpr, report func(token.Pos, string)) {
+	fn := analysisutil.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	path := fn.Pkg().Path()
+	switch {
+	case path == "sync" && blockingSyncMethods[fn.Name()]:
+		report(call.Pos(), "blocking sync call (sync."+fn.Name()+")")
+	case path == "time" && fn.Name() == "Sleep":
+		report(call.Pos(), "time.Sleep")
+	case ioPkgs[path]:
+		report(call.Pos(), "I/O or logging call ("+path+"."+fn.Name()+")")
+	}
+}

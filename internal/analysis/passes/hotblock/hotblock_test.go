@@ -1,0 +1,12 @@
+package hotblock_test
+
+import (
+	"testing"
+
+	"kncube/internal/analysis/analysistest"
+	"kncube/internal/analysis/passes/hotblock"
+)
+
+func TestHotBlock(t *testing.T) {
+	analysistest.Run(t, "testdata", hotblock.Analyzer, "hotblockfix")
+}

@@ -1,0 +1,40 @@
+// Package hotblockfix exercises every blocking shape hotblock flags,
+// reachability through a helper, an unreachable function, and a
+// reasoned suppression.
+package hotblockfix
+
+import (
+	"sync"
+	"time"
+)
+
+//khs:hotpath
+func Hot(ch chan int, mu *sync.Mutex, wg *sync.WaitGroup) {
+	ch <- 1                      // want `channel send`
+	<-ch                         // want `channel receive`
+	mu.Lock()                    // want `blocking sync call \(sync.Lock\)`
+	wg.Wait()                    // want `blocking sync call \(sync.Wait\)`
+	time.Sleep(time.Millisecond) // want `time.Sleep`
+	blockingHelper(ch)
+	for range ch { // want `range over channel`
+		break
+	}
+}
+
+func blockingHelper(ch chan int) {
+	select { // want `select`
+	case <-ch: // want `channel receive`
+	default:
+	}
+}
+
+func cold(ch chan int) {
+	ch <- 2 // unreachable from any hot root: no finding
+}
+
+//khs:hotpath
+func HotSuppressed(mu *sync.Mutex) {
+	//lint:ignore hotblock init-order lock, uncontended by construction
+	mu.Lock()
+	mu.Unlock()
+}

@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"kncube/internal/analysis/analysistest"
+	"kncube/internal/analysis/passes/metricname"
+)
+
+func TestMetricName(t *testing.T) {
+	analysistest.Run(t, "testdata", metricname.Analyzer, "metricnamefix")
+}

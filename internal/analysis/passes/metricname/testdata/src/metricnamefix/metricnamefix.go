@@ -1,0 +1,21 @@
+// Package metricnamefix exercises the metricname analyzer: the naming
+// convention, the constant-name rule, duplicate registration, and a
+// reasoned suppression.
+package metricnamefix
+
+import "kncube/internal/telemetry"
+
+const good = "khs_sim_things_total"
+
+func register(r *telemetry.Registry, dynamic string) {
+	r.Counter(good, "a well-named counter", nil)
+	r.Counter("not_khs", "bad prefix", nil)             // want `does not match the khs_<layer>_<name>_<unit> convention`
+	r.Counter("khs_widget_foo_total", "bad layer", nil) // want `unknown layer "widget"`
+	r.Gauge("khs_sim_foo_bananas", "bad unit", nil)     // want `unknown unit suffix "bananas"`
+	r.Counter(dynamic, "computed at runtime", nil)      // want `compile-time constant`
+	r.Gauge("khs_sim_dup_total", "first registration", nil)
+	r.Counter("khs_sim_dup_total", "kind conflict", nil) // want `registered as both Gauge and Counter`
+	r.Counter(good, "second site", nil)                  // want `already registered`
+	//lint:ignore metricname legacy dashboard name kept until the v2 migration
+	r.Counter("legacy_thing", "grandfathered", nil)
+}

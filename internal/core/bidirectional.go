@@ -149,6 +149,8 @@ func (m *biModel) Prepare() {
 }
 
 // SetLambda recomputes the direction-split traffic rates in place.
+//
+//khs:hotpath
 func (m *biModel) SetLambda(lambda float64) {
 	m.p.Lambda = lambda
 	p := m.p
@@ -178,7 +180,7 @@ func (m *biModel) StateSize() int  { return m.n }
 
 // view unpacks a flat state into 1-indexed vectors.
 func (m *biModel) view(x []float64) *biView {
-	st := &biView{}
+	st := &biView{} //lint:ignore hotalloc per-round view unpacking, an accepted solver cost (the 0-alloc contract covers sim and telemetry)
 	for i := 0; i < 2; i++ {
 		st.shybar[i] = m.l.shybar[i].padded(x)
 		st.shy[i] = m.l.shy[i].padded(x)
@@ -186,7 +188,7 @@ func (m *biModel) view(x []float64) *biView {
 		st.sxhy[i] = m.l.sxhy[i].padded(x)
 		st.sxhybar[i] = m.l.sxhybar[i].padded(x)
 		st.shoty[i] = m.l.shoty[i].padded(x)
-		st.shotx[i] = make([][]float64, len(m.rows))
+		st.shotx[i] = make([][]float64, len(m.rows)) //lint:ignore hotalloc per-round view unpacking, an accepted solver cost
 		for r := range m.rows {
 			st.shotx[i][r] = m.l.shotx[i][r].padded(x)
 		}
@@ -241,6 +243,8 @@ func (m *biModel) yNext(st *biView, r int) float64 {
 }
 
 // Iterate re-evaluates the direction-split recursions.
+//
+//khs:hotpath
 func (m *biModel) Iterate(in, out []float64) error {
 	k := m.p.K
 	st := m.view(in)
@@ -291,7 +295,7 @@ func (m *biModel) Iterate(in, out []float64) error {
 
 	for i := 0; i < 2; i++ {
 		for j := 1; j <= m.d[i]; j++ {
-			prev := func(v []float64, base float64) float64 {
+			prev := func(v []float64, base float64) float64 { //lint:ignore hotalloc non-escaping recursion helper, inlined
 				if j == 1 {
 					return base
 				}

@@ -291,6 +291,8 @@ func (m *model) Prepare() {
 
 // SetLambda recomputes the λ-dependent traffic rates (Eqs. 3, 6-7) in
 // place; everything else is load-invariant.
+//
+//khs:hotpath
 func (m *model) SetLambda(lambda float64) {
 	m.p.Lambda = lambda
 	p := m.p
@@ -411,7 +413,7 @@ func (m *model) view(x []float64) view {
 		sxhybar: m.l.sxhybar.padded(x),
 		shoty:   m.l.shoty.padded(x),
 	}
-	v.shotx = make([][]float64, k+1)
+	v.shotx = make([][]float64, k+1) //lint:ignore hotalloc per-round view unpacking, an accepted solver cost (the 0-alloc contract covers sim and telemetry)
 	for t := 1; t <= k; t++ {
 		v.shotx[t] = m.l.shotx[t].padded(x)
 	}
@@ -420,6 +422,8 @@ func (m *model) view(x []float64) view {
 
 // Iterate is the fixed-point map: out = F(in), the simultaneous
 // re-evaluation of Eqs. 16-20, 23 and 25.
+//
+//khs:hotpath
 func (m *model) Iterate(in, out []float64) error {
 	k := m.p.K
 	v := m.view(in)
@@ -468,12 +472,12 @@ func (m *model) Iterate(in, out []float64) error {
 	}
 	bX /= float64(k * k)
 
-	put := func(s seg, j int, val float64) { s.put(out, j, val) }
+	put := func(s seg, j int, val float64) { s.put(out, j, val) } //lint:ignore hotalloc non-escaping store helper, inlined
 	// Regular recursions. Terminal value Lm is the body drain through the
 	// ejection channel; each hop adds 1 cycle of header transfer plus the
 	// class blocking delay.
 	for j := 1; j <= k-1; j++ {
-		prev := func(s []float64) float64 {
+		prev := func(s []float64) float64 { //lint:ignore hotalloc non-escaping recursion helper, inlined
 			if j == 1 {
 				return m.lm
 			}

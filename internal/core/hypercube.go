@@ -122,6 +122,8 @@ func (m *hyperModel) Prepare() {
 }
 
 // SetLambda recomputes the per-dimension traffic rates in place.
+//
+//khs:hotpath
 func (m *hyperModel) SetLambda(lambda float64) {
 	m.p.Lambda = lambda
 	p := m.p
@@ -160,7 +162,7 @@ func (m *hyperModel) InitState(x []float64) {
 // independently with probability 1/2 for uniform (and hot) destinations.
 func (m *hyperModel) nextWeights(d int) (next []float64, done float64) {
 	n := m.p.N
-	next = make([]float64, n)
+	next = make([]float64, n) //lint:ignore hotalloc per-hop weight vector of length n, an accepted solver cost
 	rem := 1.0
 	for d2 := d + 1; d2 < n; d2++ {
 		next[d2] = rem / 2
@@ -169,6 +171,7 @@ func (m *hyperModel) nextWeights(d int) (next []float64, done float64) {
 	return next, rem
 }
 
+//khs:hotpath
 func (m *hyperModel) Iterate(in, out []float64) error {
 	n := m.p.N
 	sh := in[:n]

@@ -133,6 +133,8 @@ func (m *ndimModel) Prepare() {
 }
 
 // SetLambda recomputes the λ-dependent traffic rates in place.
+//
+//khs:hotpath
 func (m *ndimModel) SetLambda(lambda float64) {
 	m.p.Lambda = lambda
 	p := m.p
@@ -215,6 +217,7 @@ func (m *ndimModel) regEntrance(in []float64, d int) float64 {
 	return sum / float64(m.p.K-1)
 }
 
+//khs:hotpath
 func (m *ndimModel) Iterate(in, out []float64) error {
 	k, n := m.p.K, m.p.N
 	for d := 0; d < n; d++ {

@@ -27,7 +27,7 @@ func (b *vecBuilder) Size() int { return b.size }
 // padded returns a 1-indexed copy of the segment (index 0 unused), the
 // shape the service-time recursions are written in.
 func (s seg) padded(x []float64) []float64 {
-	out := make([]float64, s.n+1)
+	out := make([]float64, s.n+1) //lint:ignore hotalloc 1-indexed copies are the view representation, an accepted solver cost
 	copy(out[1:], x[s.off:s.off+s.n])
 	return out
 }

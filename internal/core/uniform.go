@@ -98,6 +98,8 @@ func (m *uniformModel) Prepare() {
 }
 
 // SetLambda recomputes the per-channel message rate λ·k̄ in place.
+//
+//khs:hotpath
 func (m *uniformModel) SetLambda(lambda float64) {
 	m.p.Lambda = lambda
 	m.lc = lambda * (float64(m.p.K-1) / 2)
@@ -108,6 +110,7 @@ func (m *uniformModel) StateSize() int  { return 1 }
 
 func (m *uniformModel) InitState(x []float64) { x[0] = m.lm + m.dbar }
 
+//khs:hotpath
 func (m *uniformModel) Iterate(in, out []float64) error {
 	b, err := m.blocking(m.lc, in[0], 0, 0)
 	if err != nil {

@@ -153,6 +153,7 @@ func simBidirectional(model string) bool { return model == "bidirectional-2d" }
 // node is placed at the centre of the torus (its location is immaterial on
 // a torus; tests verify the symmetry).
 func RunSim(p Panel, lambda float64, budget SimBudget) (sim.Result, error) {
+	//lint:ignore ctxflow compat wrapper for pre-context callers; new code uses RunSimContext
 	return RunSimContext(context.Background(), p, lambda, budget)
 }
 
@@ -198,6 +199,7 @@ func RunSimModelContext(ctx context.Context, model string, p Panel, lambda float
 // are independent rather than correlated copies of one stream.
 func RunPanel(p Panel, budget SimBudget, opts core.Options) ([]Point, error) {
 	res, err := Sweep{Jobs: 1, Reps: 1, Budget: budget, Opts: opts}.
+		//lint:ignore ctxflow compat wrapper for pre-context callers; new code uses RunPanels
 		RunPanels(context.Background(), []Panel{p})
 	if err != nil {
 		return nil, err

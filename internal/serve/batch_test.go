@@ -24,6 +24,43 @@ func batchRequest() BatchSolveRequest {
 	}}
 }
 
+// TestBatchSolveAccelerationSharesSingleSolveKeys: batch items solved with
+// acceleration options interact with the cache under exactly the keys their
+// /v1/solve equivalents use — an accelerated single solve afterwards is a
+// hit, and the accelerated entries are distinct from the damped ones.
+func TestBatchSolveAccelerationSharesSingleSolveKeys(t *testing.T) {
+	h := New(Config{}).Handler()
+	req := batchRequest()
+	req.Options = &SolveOptions{Acceleration: "anderson", AndersonWindow: 4}
+
+	resp := decodeBody[BatchSolveResponse](t, postJSON(t, h, "/v1/solve:batch", req))
+	for i, it := range resp.Items {
+		if it.Status != "ok" || it.Cache != cacheMiss {
+			t.Fatalf("item %d: status %q cache %q, want ok/miss", i, it.Status, it.Cache)
+		}
+	}
+
+	bs := req.Items[0]
+	single := decodeBody[SolveResponse](t, postJSON(t, h, "/v1/solve", SolveRequest{
+		K: bs.K, V: bs.V, Lm: bs.Lm, H: bs.H, Lambda: bs.Lambda,
+		Options: req.Options,
+	}))
+	if single.Cache != cacheHit {
+		t.Errorf("accelerated single solve after the batch: cache=%q, want hit", single.Cache)
+	}
+	if math.Float64bits(single.Result.Latency) != math.Float64bits(resp.Items[0].Result.Latency) {
+		t.Errorf("accelerated single latency %v differs from batch item %v",
+			single.Result.Latency, resp.Items[0].Result.Latency)
+	}
+
+	damped := decodeBody[SolveResponse](t, postJSON(t, h, "/v1/solve", SolveRequest{
+		K: bs.K, V: bs.V, Lm: bs.Lm, H: bs.H, Lambda: bs.Lambda,
+	}))
+	if damped.Cache != cacheMiss {
+		t.Errorf("damped solve of the same spec: cache=%q, want miss (acceleration keys its own entry)", damped.Cache)
+	}
+}
+
 // TestBatchSolveMatchesSingleSolves is the batch endpoint's core contract:
 // each item of a POST /v1/solve:batch answer is bit-for-bit the response the
 // same spec gets from POST /v1/solve — the shared preparation is a cost

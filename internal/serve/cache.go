@@ -18,10 +18,11 @@ import (
 // keyed by their IEEE-754 bit patterns, so two requests share an entry iff
 // their solves are bit-for-bit identical — no epsilon, no float equality.
 func solveKey(model string, spec core.Spec, o core.Options) string {
-	return fmt.Sprintf("%s|%d|%d|%d|%d|%016x|%016x|%d|%d|%d|%t",
+	return fmt.Sprintf("%s|%d|%d|%d|%d|%016x|%016x|%d|%d|%d|%t|%d|%d",
 		model, spec.K, spec.Dims, spec.V, spec.Lm,
 		math.Float64bits(spec.H), math.Float64bits(spec.Lambda),
-		o.Entrance, o.Blocking, o.Variance, o.NoVCSplit)
+		o.Entrance, o.Blocking, o.Variance, o.NoVCSplit,
+		o.FixPoint.Acceleration, o.FixPoint.Window)
 }
 
 // cacheEntry is a completed solve outcome. err is nil or wraps

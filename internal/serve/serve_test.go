@@ -13,6 +13,7 @@ import (
 
 	"kncube/internal/core"
 	"kncube/internal/experiments"
+	"kncube/internal/fixpoint"
 	"kncube/internal/telemetry"
 )
 
@@ -101,6 +102,77 @@ func TestSolveMatchesCoreBitForBit(t *testing.T) {
 	}
 }
 
+// TestSolveAcceleration pins the acceleration options end to end:
+// "none" is bit-identical to the default (and shares its cache entry),
+// "anderson" reproduces the library's accelerated solve — same answer
+// within tolerance, same iteration count in the convergence metadata —
+// and each acceleration setting keys its own cache entry.
+func TestSolveAcceleration(t *testing.T) {
+	s := New(Config{})
+	h := s.Handler()
+	spec := core.Spec{K: 16, V: 2, Lm: 32, H: 0.2, Lambda: 0.00015}
+
+	base := decodeBody[SolveResponse](t, postJSON(t, h, "/v1/solve", figureRequest()))
+	if base.Result == nil {
+		t.Fatalf("baseline solve failed: %+v", base)
+	}
+
+	// Explicit "none" must not just match bit for bit — it must hit the
+	// very cache entry the default solve populated, proving the key does
+	// not distinguish them.
+	req := figureRequest()
+	req.Options = &SolveOptions{Acceleration: "none"}
+	none := decodeBody[SolveResponse](t, postJSON(t, h, "/v1/solve", req))
+	if none.Cache != cacheHit {
+		t.Errorf(`acceleration "none": cache=%q, want hit on the default entry`, none.Cache)
+	}
+	if math.Float64bits(none.Result.Latency) != math.Float64bits(base.Result.Latency) {
+		t.Errorf(`acceleration "none" latency %v is not bit-identical to default %v`,
+			none.Result.Latency, base.Result.Latency)
+	}
+
+	// Anderson: distinct cache entry, answer matches a direct accelerated
+	// core.Solve, and the convergence metadata reflects the accelerated
+	// trajectory rather than the damped one.
+	req.Options = &SolveOptions{Acceleration: "anderson", AndersonWindow: 4}
+	and := decodeBody[SolveResponse](t, postJSON(t, h, "/v1/solve", req))
+	if and.Cache != cacheMiss || and.Result == nil {
+		t.Fatalf("anderson solve: cache=%q result=%v, want a fresh miss", and.Cache, and.Result)
+	}
+	opts := core.Options{}
+	opts.FixPoint.Acceleration = fixpoint.AccelAnderson
+	opts.FixPoint.Window = 4
+	want, err := core.Solve(experiments.DefaultModel, spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(and.Result.Latency-want.Latency) > 1e-9 {
+		t.Errorf("anderson latency %v differs from core.Solve %v by more than 1e-9",
+			and.Result.Latency, want.Latency)
+	}
+	if and.Result.Iterations != want.Convergence.Iterations {
+		t.Errorf("anderson iterations = %d over the API, %d from core.Solve",
+			and.Result.Iterations, want.Convergence.Iterations)
+	}
+	if math.Abs(and.Result.Latency-base.Result.Latency) > 1e-6 {
+		t.Errorf("anderson latency %v and damped latency %v disagree beyond tolerance — not the same fixed point",
+			and.Result.Latency, base.Result.Latency)
+	}
+
+	again := decodeBody[SolveResponse](t, postJSON(t, h, "/v1/solve", req))
+	if again.Cache != cacheHit {
+		t.Errorf("repeated anderson solve: cache=%q, want hit", again.Cache)
+	}
+
+	// A different window is a different solve: it must not collide with
+	// the window-4 entry.
+	req.Options = &SolveOptions{Acceleration: "anderson", AndersonWindow: 2}
+	other := decodeBody[SolveResponse](t, postJSON(t, h, "/v1/solve", req))
+	if other.Cache != cacheMiss {
+		t.Errorf("window-2 anderson solve: cache=%q, want miss (own cache key)", other.Cache)
+	}
+}
+
 // TestSolveValidationIsStructured: every class of bad request comes back
 // as a 400 naming the offending field — never a plain 500.
 func TestSolveValidationIsStructured(t *testing.T) {
@@ -121,6 +193,12 @@ func TestSolveValidationIsStructured(t *testing.T) {
 		{"unknown blocking option", SolveRequest{K: 16, V: 2, Lm: 32, H: 0.2, Lambda: 1e-4,
 			Options: &SolveOptions{Blocking: "none"}}, "options.blocking"},
 		{"negative timeout", SolveRequest{K: 16, V: 2, Lm: 32, H: 0.2, Lambda: 1e-4, TimeoutMS: -5}, "timeout_ms"},
+		{"unknown acceleration", SolveRequest{K: 16, V: 2, Lm: 32, H: 0.2, Lambda: 1e-4,
+			Options: &SolveOptions{Acceleration: "psychic"}}, "options.acceleration"},
+		{"negative anderson window", SolveRequest{K: 16, V: 2, Lm: 32, H: 0.2, Lambda: 1e-4,
+			Options: &SolveOptions{Acceleration: "anderson", AndersonWindow: -1}}, "options.anderson_window"},
+		{"window without anderson", SolveRequest{K: 16, V: 2, Lm: 32, H: 0.2, Lambda: 1e-4,
+			Options: &SolveOptions{AndersonWindow: 3}}, "options.anderson_window"},
 		{"unknown json field", map[string]any{"k": 16, "v": 2, "lm": 32, "h": 0.2, "lambda": 1e-4, "kk": 1}, "body"},
 	}
 	for _, tc := range cases {

@@ -99,7 +99,7 @@ func (r *router) queueLen() int { return len(r.srcQ) - r.qHead }
 // contain it). The scheduling lists hold a handful of entries, so an
 // insertion scan beats any clever structure.
 func insertSorted(s []int16, x int16) []int16 {
-	s = append(s, x)
+	s = append(s, x) //lint:ignore hotalloc scheduling lists reuse capacity; len is bounded by VCs per router
 	i := len(s) - 1
 	for i > 0 && s[i-1] > x {
 		s[i] = s[i-1]

@@ -20,8 +20,8 @@ func (h *genHeap) Swap(i, j int) {
 }
 func (h *genHeap) Push(x any) {
 	p := x.([2]int64)
-	h.when = append(h.when, p[0])
-	h.node = append(h.node, int32(p[1]))
+	h.when = append(h.when, p[0])        //lint:ignore hotalloc heap len never exceeds router count; capacity retained across Pop/Push
+	h.node = append(h.node, int32(p[1])) //lint:ignore hotalloc heap len never exceeds router count; capacity retained across Pop/Push
 }
 func (h *genHeap) Pop() any {
 	n := len(h.when) - 1
@@ -42,12 +42,12 @@ type stepState struct {
 
 func (nw *Network) initStep() {
 	st := &nw.step
-	st.isActive = make([]bool, len(nw.routers))
-	st.gen.when = make([]int64, 0, len(nw.routers))
-	st.gen.node = make([]int32, 0, len(nw.routers))
+	st.isActive = make([]bool, len(nw.routers))     //lint:ignore hotalloc one-time lazy init on the first Step
+	st.gen.when = make([]int64, 0, len(nw.routers)) //lint:ignore hotalloc one-time lazy init on the first Step
+	st.gen.node = make([]int32, 0, len(nw.routers)) //lint:ignore hotalloc one-time lazy init on the first Step
 	for i := range nw.routers {
-		st.gen.when = append(st.gen.when, nw.routers[i].nextGen)
-		st.gen.node = append(st.gen.node, int32(i))
+		st.gen.when = append(st.gen.when, nw.routers[i].nextGen) //lint:ignore hotalloc one-time lazy init on the first Step
+		st.gen.node = append(st.gen.node, int32(i))              //lint:ignore hotalloc one-time lazy init on the first Step
 	}
 	heap.Init(&st.gen)
 	st.inited = true
@@ -57,7 +57,7 @@ func (nw *Network) activate(i int32) {
 	st := &nw.step
 	if !st.isActive[i] {
 		st.isActive[i] = true
-		st.active = append(st.active, i)
+		st.active = append(st.active, i) //lint:ignore hotalloc active list grows to router count once, then compaction reslices in place
 	}
 }
 
@@ -78,6 +78,8 @@ func (nw *Network) activate(i int32) {
 // lists in the same rotating flattened-index order a full scan would use,
 // which keeps every statistic bit-identical to the scan-based loop (the
 // differential suite in differential_test.go pins this).
+//
+//khs:hotpath
 func (nw *Network) Step() {
 	if !nw.step.inited {
 		nw.initStep()
@@ -134,7 +136,7 @@ func (nw *Network) Step() {
 	for _, ri := range st.active {
 		r := &nw.routers[ri]
 		if r.busyVCs > 0 || r.queueLen() > 0 {
-			keep = append(keep, ri)
+			keep = append(keep, ri) //lint:ignore hotalloc filter-in-place over st.active[:0]; never outgrows its capacity
 		} else {
 			st.isActive[ri] = false
 		}
@@ -158,8 +160,8 @@ func (nw *Network) rotate(list []int16, start int) []int16 {
 			split++
 		}
 	}
-	s := append(nw.step.scratch[:0], list[split:]...)
-	s = append(s, list[:split]...)
+	s := append(nw.step.scratch[:0], list[split:]...) //lint:ignore hotalloc round-robin snapshot reuses the retained step scratch buffer
+	s = append(s, list[:split]...)                    //lint:ignore hotalloc round-robin snapshot reuses the retained step scratch buffer
 	nw.step.scratch = s
 	return s
 }
@@ -193,7 +195,7 @@ func (nw *Network) allocate(r *router, cyc int64) {
 			r.ejectQ = insertSorted(r.ejectQ, idx16)
 			continue
 		}
-		claim := func(ch, dv int) {
+		claim := func(ch, dv int) { //lint:ignore hotalloc non-escaping grant helper, inlined into the allocation loop
 			oc := &r.out[ch]
 			down := oc.down
 			dvc := &down.in[oc.base+dv]
@@ -295,7 +297,7 @@ func (nw *Network) consume(r *router, idx int, in *vc, cyc int64, n int32) {
 		in.moveOut(cyc)
 	}
 	if nw.cfg.CheckInvariants {
-		nw.invariant(in.occ >= 0, "negative occupancy at node %d", r.node)
+		nw.invariant(in.occ >= 0, "negative occupancy at node %d", r.node) //lint:ignore hotalloc debug-only: boxing happens inside the CheckInvariants guard
 	}
 	if in.sent == nw.msgLen {
 		in.reset()
@@ -353,7 +355,7 @@ func (nw *Network) forward(r *router, cyc int64) {
 		}
 		oc.rr = (grantIdx + 1) % total
 		if nw.cfg.CheckInvariants {
-			nw.invariant(dvc.msg == granted.msg, "downstream VC stolen at node %d channel %d", r.node, ch)
+			nw.invariant(dvc.msg == granted.msg, "downstream VC stolen at node %d channel %d", r.node, ch) //lint:ignore hotalloc debug-only: boxing happens inside the CheckInvariants guard
 		}
 		granted.moveOut(cyc)
 		dvc.moveIn(cyc)
@@ -362,7 +364,7 @@ func (nw *Network) forward(r *router, cyc int64) {
 		if dvc.recvd == 1 { // header crossed this channel
 			msg.Hops++
 			if nw.cfg.RecordPaths {
-				msg.Path = append(msg.Path, oc.down.node)
+				msg.Path = append(msg.Path, oc.down.node) //lint:ignore hotalloc debug-only: RecordPaths tracing
 			}
 		}
 		if granted.sent == nw.msgLen { // tail left: release this VC
@@ -400,8 +402,8 @@ func (nw *Network) inject(r *router, cyc int64) {
 func (nw *Network) generate(r *router, cyc int64) {
 	for r.nextGen <= cyc {
 		dst := nw.pattern.Destination(r.node, nw.rng)
-		nw.invariant(dst != r.node, "pattern returned source %d", r.node)
-		msg := &Message{
+		nw.invariant(dst != r.node, "pattern returned source %d", r.node) //lint:ignore hotalloc per generated message, dwarfed by the Message allocation below
+		msg := &Message{                                                  //lint:ignore hotalloc one Message per injected packet, alive until delivery; per-message, not per-cycle
 			ID:           nw.nextID,
 			Src:          r.node,
 			Dst:          dst,
@@ -414,11 +416,11 @@ func (nw *Network) generate(r *router, cyc int64) {
 			msg.Hot = hc.IsHot(dst)
 		}
 		if nw.cfg.RecordPaths {
-			msg.Path = append(msg.Path, r.node)
+			msg.Path = append(msg.Path, r.node) //lint:ignore hotalloc debug-only: RecordPaths tracing
 		}
 		nw.nextID++
 		nw.injected++
-		r.srcQ = append(r.srcQ, msg)
+		r.srcQ = append(r.srcQ, msg) //lint:ignore hotalloc source queue append per generated message; drained and resliced by the injector
 		if nw.coll != nil {
 			nw.coll.MessageInjected(r.queueLen())
 		}

@@ -177,7 +177,7 @@ func NewBatchMeans(batchSize, window int, relTol float64) *BatchMeans {
 func (b *BatchMeans) Add(x float64) bool {
 	b.cur.Add(x)
 	if int(b.cur.Count()) >= b.BatchSize {
-		b.means = append(b.means, b.cur.Mean())
+		b.means = append(b.means, b.cur.Mean()) //lint:ignore hotalloc one append per completed batch (thousands of cycles), amortized
 		b.cur = Running{}
 		return true
 	}
@@ -258,7 +258,7 @@ func (h *Histogram) Add(x float64) {
 	}
 	idx := int(x / h.Width)
 	for idx >= len(h.buckets) {
-		h.buckets = append(h.buckets, 0)
+		h.buckets = append(h.buckets, 0) //lint:ignore hotalloc histogram widens to the largest observed latency once, then stays flat
 	}
 	h.buckets[idx]++
 	h.n++

@@ -36,9 +36,13 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//khs:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n; n must be non-negative (counters are monotone).
+//
+//khs:hotpath
 func (c *Counter) Add(n int64) {
 	if n < 0 {
 		panic("telemetry: Counter.Add with negative increment")
@@ -55,9 +59,13 @@ type Gauge struct {
 }
 
 // Set replaces the gauge's value.
+//
+//khs:hotpath
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add adjusts the gauge by delta (lock-free compare-and-swap).
+//
+//khs:hotpath
 func (g *Gauge) Add(delta float64) {
 	for {
 		old := g.bits.Load()
@@ -100,10 +108,14 @@ func NewHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one observation.
+//
+//khs:hotpath
 func (h *Histogram) Observe(v float64) { h.ObserveN(v, 1) }
 
 // ObserveN records n identical observations (used to fold pre-binned
 // distributions, e.g. the simulator's latency histogram, into a metric).
+//
+//khs:hotpath
 func (h *Histogram) ObserveN(v float64, n int64) {
 	if n <= 0 {
 		return
@@ -145,9 +157,13 @@ type Timer struct {
 func NewTimer(h *Histogram) Timer { return Timer{h: h} }
 
 // Observe records one duration.
+//
+//khs:hotpath
 func (t Timer) Observe(d time.Duration) { t.h.Observe(d.Seconds()) }
 
 // ObserveSince records the time elapsed since start.
+//
+//khs:hotpath
 func (t Timer) ObserveSince(start time.Time) { t.Observe(time.Since(start)) }
 
 // atomicFloat is a lock-free float64 accumulator.

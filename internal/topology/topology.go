@@ -80,7 +80,7 @@ func (c *Cube) Coord(id NodeID, d int) int {
 
 // Coords returns all n digits of id, lowest dimension first.
 func (c *Cube) Coords(id NodeID) []int {
-	out := make([]int, c.n)
+	out := make([]int, c.n) //lint:ignore hotalloc per-message coords scratch for permutation patterns, not on the cycle loop
 	v := int(id)
 	for d := 0; d < c.n; d++ {
 		out[d] = v % c.k

@@ -62,7 +62,7 @@ func Degree(v int, lambda, s float64) (float64, error) {
 // Occupancy returns the stationary distribution P_0..P_V of the number of
 // busy virtual channels for utilisation rho = lambda*s in [0, 1).
 func Occupancy(v int, rho float64) []float64 {
-	q := make([]float64, v+1)
+	q := make([]float64, v+1) //lint:ignore hotalloc occupancy vector per blocking evaluation, an accepted solver cost
 	q[0] = 1
 	for i := 1; i < v; i++ {
 		q[i] = q[i-1] * rho
