@@ -23,10 +23,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
 	"time"
+
+	"kncube/internal/telemetry"
 )
 
 // Benchmark is one parsed `go test -bench` result line.
@@ -54,20 +57,28 @@ type Entry struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
+// logger carries the CLI's diagnostics on stderr; the trajectory JSON goes
+// to the -o file. Set in main once -log-format is parsed; nil until then.
+var logger *slog.Logger
+
 func main() {
 	label := flag.String("label", "run", "label recorded on this entry (e.g. baseline, after)")
 	out := flag.String("o", "BENCH_sim.json", "output file")
 	appendTo := flag.Bool("append", false, "append to an existing trajectory file instead of overwriting")
+	logFormat := flag.String("log-format", "text", "structured log format for diagnostics: text or json")
 	flag.Parse()
+	lg, err := telemetry.NewLogger(os.Stderr, *logFormat)
+	if err != nil {
+		fatal(err)
+	}
+	logger = lg
 
 	entry, err := parse(os.Stdin)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "khs-bench:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 	if len(entry.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "khs-bench: no benchmark lines found on stdin")
-		os.Exit(2)
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
 	}
 	entry.Label = *label
 	entry.Date = time.Now().UTC().Format("2006-01-02")
@@ -76,8 +87,7 @@ func main() {
 	if *appendTo {
 		if data, err := os.ReadFile(*out); err == nil {
 			if err := json.Unmarshal(data, &entries); err != nil {
-				fmt.Fprintf(os.Stderr, "khs-bench: existing %s is not a trajectory file: %v\n", *out, err)
-				os.Exit(2)
+				fatal(fmt.Errorf("existing %s is not a trajectory file: %w", *out, err))
 			}
 		}
 	}
@@ -85,16 +95,25 @@ func main() {
 
 	data, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "khs-bench:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 	data = append(data, '\n')
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "khs-bench:", err)
-		os.Exit(2)
+		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "khs-bench: wrote %d benchmark(s) as %q to %s\n",
-		len(entry.Benchmarks), entry.Label, *out)
+	logger.Info("wrote benchmarks",
+		"count", len(entry.Benchmarks), "label", entry.Label, "path", *out)
+}
+
+func fatal(err error) {
+	// Pre-parse failures (a bad -log-format itself) fall back to plain
+	// stderr; everything after flag parsing goes through the logger.
+	if logger != nil {
+		logger.Error("fatal", "err", err.Error())
+	} else {
+		fmt.Fprintln(os.Stderr, "khs-bench:", err)
+	}
+	os.Exit(2)
 }
 
 // parse reads `go test -bench` output and extracts every benchmark line

@@ -24,6 +24,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -35,6 +36,11 @@ import (
 	"kncube/internal/experiments"
 	"kncube/internal/telemetry"
 )
+
+// logger carries progress and status diagnostics on stderr so stdout stays
+// clean for tables, plots, and piping. Set in main once -log-format is
+// parsed; nil until then.
+var logger *slog.Logger
 
 func main() {
 	var (
@@ -50,6 +56,7 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "per-point simulation timeout (0 = none)")
 		quiet   = flag.Bool("quiet", false, "suppress per-point progress lines")
 		// Observability (DESIGN.md §7).
+		logFormat  = flag.String("log-format", "text", "structured log format for progress/status lines: text or json")
 		manifest   = flag.String("manifest", "", "write one JSONL run-manifest record per simulation job to this file")
 		traceOut   = flag.String("trace-out", "", "directory for per-solve convergence traces (one JSONL file per load point)")
 		metricsOut = flag.String("metrics-out", "", "write sweep metrics to this file (.json = JSON snapshot, anything else = Prometheus text)")
@@ -57,6 +64,11 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+	lg, err := telemetry.NewLogger(os.Stderr, *logFormat)
+	if err != nil {
+		fatal(err)
+	}
+	logger = lg
 
 	budget := experiments.DefaultSimBudget()
 	if *fast {
@@ -111,16 +123,15 @@ func main() {
 	}
 	if !*quiet {
 		sweep.Progress = func(ev experiments.SweepProgress) {
-			note := ""
-			if ev.Result.Saturated {
-				note = " (saturated)"
-			}
-			fmt.Fprintf(os.Stderr, "  [%d/%d] %s lambda=%-10.4g rep %d/%d  latency %.1f±%.1f%s\n",
-				ev.Done, ev.Total, ev.Panel.ID, ev.Panel.Lambdas[ev.LambdaIdx],
-				ev.Rep+1, *reps, ev.Result.MeanLatency, ev.Result.CI95, note)
+			logger.Info("point",
+				"done", ev.Done, "total", ev.Total,
+				"panel", ev.Panel.ID, "lambda", ev.Panel.Lambdas[ev.LambdaIdx],
+				"rep", ev.Rep+1, "reps", *reps,
+				"latency", ev.Result.MeanLatency, "ci95", ev.Result.CI95,
+				"saturated", ev.Result.Saturated)
 		}
-		fmt.Fprintf(os.Stderr, "sweeping %d panel(s) on %d worker(s), %d rep(s)/point, base seed %d...\n",
-			len(panels), *jobs, *reps, *seed)
+		logger.Info("sweeping",
+			"panels", len(panels), "workers", *jobs, "reps", *reps, "seed", *seed)
 	}
 
 	// Ctrl-C cancels the sweep cooperatively: in-flight points finish,
@@ -147,7 +158,7 @@ func main() {
 		fatal(err)
 	}
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "sweep finished in %v\n", time.Since(start).Round(time.Millisecond))
+		logger.Info("sweep finished", "elapsed", time.Since(start).Round(time.Millisecond).String())
 	}
 
 	for _, pr := range results {
@@ -173,7 +184,7 @@ func main() {
 			}
 			// Status lines go to stderr so stdout stays clean for piping
 			// (the CSV itself goes to files; tables/plots to stdout).
-			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			logger.Info("wrote", "path", path)
 			continue
 		}
 		if err := experiments.WriteTable(os.Stdout, title, points); err != nil {
@@ -189,6 +200,12 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "khs-figures:", err)
+	// Pre-parse failures (a bad -log-format itself) fall back to plain
+	// stderr; everything after flag parsing goes through the logger.
+	if logger != nil {
+		logger.Error("fatal", "err", err.Error())
+	} else {
+		fmt.Fprintln(os.Stderr, "khs-figures:", err)
+	}
 	os.Exit(1)
 }

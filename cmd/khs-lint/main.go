@@ -26,10 +26,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 
 	"kncube/internal/analysis"
 	"kncube/internal/analysis/khslint"
+	"kncube/internal/telemetry"
 )
 
 // jsonDiagnostic is the -json wire form of one diagnostic. Suppressed
@@ -61,28 +63,38 @@ func toJSON(diags []analysis.Diagnostic) []jsonDiagnostic {
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit the full diagnostic inventory (suppressed sites included) as JSON on stdout")
+	logFormat := flag.String("log-format", "text", "structured log format for diagnostics (not finding lines): text or json")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: khs-lint [-json] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: khs-lint [-json] [-log-format text|json] [packages]\n\nAnalyzers:\n")
 		for _, a := range khslint.All {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-18s %s\n", a.Name, firstLine(a.Doc))
 		}
 	}
 	flag.Parse()
-	os.Exit(run(flag.Args(), *jsonOut, os.Stdout, os.Stderr))
+	logger, err := telemetry.NewLogger(os.Stderr, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "khs-lint:", err)
+		os.Exit(2)
+	}
+	os.Exit(run(flag.Args(), *jsonOut, os.Stdout, os.Stderr, logger))
 }
 
-func run(patterns []string, jsonOut bool, stdout, stderr io.Writer) int {
+// run prints findings one per line on stdout (stderr with -json) in the
+// fixed "file:line:col: message [analyzer]" form the CI problem matcher
+// parses; only the summary/error diagnostics go through the structured
+// logger.
+func run(patterns []string, jsonOut bool, stdout, stderr io.Writer, logger *slog.Logger) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	wd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(stderr, "khs-lint:", err)
+		logger.Error("fatal", "err", err.Error())
 		return 2
 	}
 	all, err := khslint.RunAll(wd, patterns...)
 	if err != nil {
-		fmt.Fprintln(stderr, "khs-lint:", err)
+		logger.Error("fatal", "err", err.Error())
 		return 2
 	}
 	findings := 0
@@ -101,12 +113,12 @@ func run(patterns []string, jsonOut bool, stdout, stderr io.Writer) int {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(toJSON(all)); err != nil {
-			fmt.Fprintln(stderr, "khs-lint:", err)
+			logger.Error("fatal", "err", err.Error())
 			return 2
 		}
 	}
 	if findings > 0 {
-		fmt.Fprintf(stderr, "khs-lint: %d finding(s)\n", findings)
+		logger.Error("findings", "count", findings)
 		return 1
 	}
 	return 0

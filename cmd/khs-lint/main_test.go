@@ -5,16 +5,19 @@ import (
 	"encoding/json"
 	"go/token"
 	"io"
+	"log/slog"
 	"reflect"
 	"testing"
 
 	"kncube/internal/analysis"
 )
 
+func discardLogger() *slog.Logger { return slog.New(slog.DiscardHandler) }
+
 // TestRunSelf lints this command's own package end-to-end through the
 // same code path main uses; a clean tree exits 0.
 func TestRunSelf(t *testing.T) {
-	if code := run([]string{"./..."}, false, io.Discard, io.Discard); code != 0 {
+	if code := run([]string{"./..."}, false, io.Discard, io.Discard, discardLogger()); code != 0 {
 		t.Fatalf("run(./...) = %d, want 0", code)
 	}
 }
@@ -25,7 +28,7 @@ func TestRunSelf(t *testing.T) {
 // must still be an array).
 func TestRunSelfJSON(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"./..."}, true, &stdout, &stderr); code != 0 {
+	if code := run([]string{"./..."}, true, &stdout, &stderr, discardLogger()); code != 0 {
 		t.Fatalf("run(-json ./...) = %d, stderr: %s", code, stderr.String())
 	}
 	var inv []jsonDiagnostic

@@ -49,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 		worst  = fs.Bool("worst-case-entrance", false, "use the worst-case entrance policy (ablation A)")
 		paperB = fs.Bool("paper-blocking", false, "use the per-VC M/G/1 blocking form of Eq. 26 (ablation B)")
 		// Observability (DESIGN.md §7).
+		logFormat  = fs.String("log-format", "text", "structured log format for diagnostics: text or json")
 		traceOut   = fs.String("trace-out", "", "directory for per-solve convergence traces (one JSONL file per solve)")
 		metricsOut = fs.String("metrics-out", "", "write solver metrics to this file (.json = JSON snapshot, anything else = Prometheus text)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -61,6 +62,10 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	logger, err := telemetry.NewLogger(stderr, *logFormat)
+	if err != nil {
+		return err
+	}
 
 	name := *model
 	if *bi {
@@ -68,14 +73,14 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 			return fmt.Errorf("-bidirectional conflicts with -model %s", name)
 		}
 		name = "bidirectional-2d"
-		fmt.Fprintln(stderr, "khs-model: -bidirectional is deprecated; use -model bidirectional-2d")
+		logger.Warn("-bidirectional is deprecated; use -model bidirectional-2d")
 	}
 	if *uniform {
 		if name != "" && name != "uniform" {
 			return fmt.Errorf("-uniform conflicts with -model %s", name)
 		}
 		name = "uniform"
-		fmt.Fprintln(stderr, "khs-model: -uniform is deprecated; use -model uniform")
+		logger.Warn("-uniform is deprecated; use -model uniform")
 	}
 	if name == "" {
 		name = "hotspot-2d"

@@ -1,6 +1,7 @@
 // Command khs-serve runs the latency-model service: an HTTP JSON API over
 // the analytical solvers and the parallel sweep engine, with a keyed solve
-// cache, admission control, async sweep jobs, and Prometheus metrics.
+// cache, admission control, async sweep jobs, request tracing, and
+// Prometheus metrics.
 //
 // Usage:
 //
@@ -10,6 +11,12 @@
 //	  -d '{"k":16,"v":2,"lm":32,"h":0.2,"lambda":0.00015}'
 //	curl -s -X POST localhost:8080/v1/sweeps -d '{"panel":"fig1-h20"}'
 //	curl -s localhost:8080/metrics
+//	curl -s localhost:8080/v1/version
+//
+// Every request is traced (send a W3C traceparent header to join your own
+// trace; the response echoes ours) and logged as one structured line on
+// stderr — text by default, JSON with -log-format json. Kept traces are
+// retrievable at /v1/traces/{id} and exported as JSONL via -span-out.
 //
 // On SIGINT/SIGTERM the server drains: health turns 503, new work is
 // refused, running sweep jobs get -drain-timeout to finish (then are
@@ -30,6 +37,7 @@ import (
 	"time"
 
 	"kncube/internal/serve"
+	"kncube/internal/telemetry"
 )
 
 func main() {
@@ -55,6 +63,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 		sweepJobs    = fs.Int("sweep-jobs", 0, "default worker-pool size per sweep job (0 = NumCPU)")
 		maxSweeps    = fs.Int("max-sweeps", 2, "concurrently-running sweep jobs before shedding")
 		drainTimeout = fs.Duration("drain-timeout", 60*time.Second, "how long shutdown waits for running sweep jobs")
+		logFormat    = fs.String("log-format", "text", "structured log format: text or json")
+		spanOut      = fs.String("span-out", "", "append kept traces as JSONL span records to this file")
+		traceBuffer  = fs.Int("trace-buffer", 0, "traces retained for GET /v1/traces/{id} (0 = default 256)")
+		traceSlow    = fs.Duration("trace-slow", 0, "always keep traces at least this slow (0 = default 250ms, negative disables)")
+		traceRatio   = fs.Float64("trace-keep-ratio", 0, "fraction of unremarkable traces kept (0 = keep all, negative = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,13 +75,32 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
+	logger, err := telemetry.NewLogger(stderr, *logFormat)
+	if err != nil {
+		return err
+	}
+
+	var spanFile *os.File
+	var spanSink io.Writer
+	if *spanOut != "" {
+		f, err := os.Create(*spanOut)
+		if err != nil {
+			return err
+		}
+		spanFile, spanSink = f, f
+	}
 
 	srv := serve.New(serve.Config{
-		MaxInflight:     *maxInflight,
-		CacheSize:       *cacheSize,
-		RequestTimeout:  *reqTimeout,
-		SweepJobs:       *sweepJobs,
-		MaxActiveSweeps: *maxSweeps,
+		MaxInflight:        *maxInflight,
+		CacheSize:          *cacheSize,
+		RequestTimeout:     *reqTimeout,
+		SweepJobs:          *sweepJobs,
+		MaxActiveSweeps:    *maxSweeps,
+		Logger:             logger,
+		TraceExport:        spanSink,
+		TraceBuffer:        *traceBuffer,
+		SlowTraceThreshold: *traceSlow,
+		TraceKeepRatio:     *traceRatio,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -79,7 +111,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	fmt.Fprintf(stdout, "khs-serve: listening on %s\n", ln.Addr())
+	logger.Info("listening on", "addr", ln.Addr().String(), "log_format", *logFormat)
 	if ready != nil {
 		ready(ln.Addr().String())
 	}
@@ -93,13 +125,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 	case <-ctx.Done():
 	}
 
-	fmt.Fprintf(stdout, "khs-serve: draining (up to %s)\n", *drainTimeout)
+	logger.Info("draining", "timeout", (*drainTimeout).String())
 	//lint:ignore ctxflow the drain deadline must outlive the already-cancelled signal ctx
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(dctx); err != nil {
 		// Jobs were cut short; report it but still close the listener cleanly.
-		fmt.Fprintf(stderr, "khs-serve: %v\n", err)
+		logger.Warn("drain cut short", "err", err.Error())
 	}
 	if err := httpSrv.Shutdown(dctx); err != nil {
 		return fmt.Errorf("http shutdown: %w", err)
@@ -107,6 +139,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	fmt.Fprintln(stdout, "khs-serve: stopped")
+	if spanFile != nil {
+		if err := spanFile.Close(); err != nil {
+			return err
+		}
+	}
+	logger.Info("stopped")
 	return nil
 }

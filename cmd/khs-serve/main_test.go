@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -18,13 +19,13 @@ import (
 
 // startDaemon runs the daemon on an ephemeral port and returns its base
 // URL plus a shutdown function that triggers the drain and returns run's
-// error along with everything written to stdout.
+// error along with the structured log written to stderr.
 func startDaemon(t *testing.T, args ...string) (baseURL string, shutdown func() (string, error)) {
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	readyCh := make(chan string, 1)
 	errCh := make(chan error, 1)
-	var stdout, stderr strings.Builder
+	var stdout, stderr syncBuilder
 	go func() {
 		errCh <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...),
 			&stdout, &stderr, func(addr string) { readyCh <- addr })
@@ -41,11 +42,30 @@ func startDaemon(t *testing.T, args ...string) (baseURL string, shutdown func() 
 		cancel()
 		select {
 		case err := <-errCh:
-			return stdout.String(), err
+			return stderr.String(), err
 		case <-time.After(30 * time.Second):
-			return stdout.String(), fmt.Errorf("daemon did not stop")
+			return stderr.String(), fmt.Errorf("daemon did not stop")
 		}
 	}
+}
+
+// syncBuilder is a strings.Builder safe for the concurrent writes slog
+// performs from handler goroutines while the test reads lifecycle lines.
+type syncBuilder struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuilder) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuilder) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
 }
 
 func postSolve(t *testing.T, baseURL, body string) (int, map[string]json.RawMessage) {
@@ -123,14 +143,18 @@ func TestDaemonEndToEnd(t *testing.T) {
 		}
 	}
 
-	stdout, err := shutdown()
+	logOut, err := shutdown()
 	if err != nil {
 		t.Fatalf("graceful shutdown: %v", err)
 	}
 	for _, wantLine := range []string{"listening on", "draining", "stopped"} {
-		if !strings.Contains(stdout, wantLine) {
-			t.Errorf("stdout missing %q:\n%s", wantLine, stdout)
+		if !strings.Contains(logOut, wantLine) {
+			t.Errorf("structured log missing %q:\n%s", wantLine, logOut)
 		}
+	}
+	// Every request leaves one access-log line carrying its trace id.
+	if !strings.Contains(logOut, "trace_id=") {
+		t.Errorf("access log missing trace_id attrs:\n%s", logOut)
 	}
 }
 

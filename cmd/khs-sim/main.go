@@ -9,11 +9,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"kncube"
 	"kncube/internal/telemetry"
 )
+
+// logger carries the CLI's structured diagnostics (errors, notices); the
+// measurement report itself stays plain text on stdout. Set in main once
+// -log-format is parsed; nil until then.
+var logger *slog.Logger
 
 func main() {
 	var (
@@ -30,11 +36,17 @@ func main() {
 		eject    = flag.Bool("ejection-contention", false, "model a single 1-flit/cycle ejection channel")
 		pattern  = flag.String("pattern", "hotspot", "traffic pattern: hotspot, uniform, transpose, bitreversal")
 		// Observability (DESIGN.md §7).
+		logFormat  = flag.String("log-format", "text", "structured log format for diagnostics: text or json")
 		metricsOut = flag.String("metrics-out", "", "write khs_sim_* metrics to this file (.json = JSON snapshot, anything else = Prometheus text)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+	lg, err := telemetry.NewLogger(os.Stderr, *logFormat)
+	if err != nil {
+		fatal(err)
+	}
+	logger = lg
 
 	cube, err := kncube.NewCube(*k, *n)
 	if err != nil {
@@ -119,6 +131,12 @@ func centre(k, n int) []int {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "khs-sim:", err)
+	// Pre-parse failures (a bad -log-format itself) fall back to plain
+	// stderr; everything after flag parsing goes through the logger.
+	if logger != nil {
+		logger.Error("fatal", "err", err.Error())
+	} else {
+		fmt.Fprintln(os.Stderr, "khs-sim:", err)
+	}
 	os.Exit(1)
 }

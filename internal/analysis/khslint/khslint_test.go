@@ -49,6 +49,7 @@ func TestLintGateCoversObservabilityPackages(t *testing.T) {
 		"kncube/internal/queueing",
 		"kncube/internal/stats",
 		"kncube/internal/telemetry",
+		"kncube/internal/telemetry/span",
 		"kncube/internal/topology",
 		"kncube/internal/traffic",
 		"kncube/internal/vcmodel",

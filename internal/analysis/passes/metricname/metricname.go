@@ -28,23 +28,27 @@ var Analyzer = &analysis.Analyzer{
 Names passed to telemetry Registry constructors (Counter, Gauge,
 Histogram, Timer) must be compile-time constant strings matching
 khs_<layer>_..._<unit> with a known layer (sim, model, sweep, serve,
-fixpoint) and a known unit suffix (total, seconds, second, cycles,
-ratio, size, entries, solves, sweeps, depth, channel, iterations,
-residual, bytes). Each name may be registered at one production call
-site only, and always with the same metric kind. Test files are exempt.`,
+fixpoint, runtime) and a known unit suffix (total, seconds, second,
+cycles, ratio, size, entries, solves, sweeps, depth, channel,
+iterations, residual, bytes, goroutines, info). The <name> segment may
+be empty when the layer and unit say it all (khs_runtime_goroutines).
+Each name may be registered at one production call site only, and
+always with the same metric kind. Test files are exempt.`,
 	RunProgram: run,
 }
 
-var nameRE = regexp.MustCompile(`^khs(_[a-z0-9]+){3,}$`)
+var nameRE = regexp.MustCompile(`^khs(_[a-z0-9]+){2,}$`)
 
 // layers are the sanctioned <layer> segments — the subsystem that owns
-// the metric.
+// the metric. "runtime" covers the Go runtime health gauges the daemon
+// samples (goroutines, heap, GC pauses).
 var layers = map[string]bool{
 	"sim":      true,
 	"model":    true,
 	"sweep":    true,
 	"serve":    true,
 	"fixpoint": true,
+	"runtime":  true,
 }
 
 // unitSuffixes are the sanctioned trailing <unit> segments. "total"
@@ -65,6 +69,10 @@ var unitSuffixes = map[string]bool{
 	"iterations": true,
 	"residual":   true,
 	"bytes":      true,
+	"goroutines": true,
+	// "info" marks the build-info gauge idiom: constant value 1 with
+	// identifying labels (khs_serve_build_info).
+	"info": true,
 }
 
 // constructors are the Registry methods that mint metrics.
@@ -130,7 +138,7 @@ func checkConvention(pass *analysis.ProgramPass, pos token.Pos, name string) {
 	}
 	segs := splitSegments(name)
 	if !layers[segs[1]] {
-		pass.Reportf(pos, "metric name %q uses unknown layer %q (want one of sim, model, sweep, serve, fixpoint)", name, segs[1])
+		pass.Reportf(pos, "metric name %q uses unknown layer %q (want one of sim, model, sweep, serve, fixpoint, runtime)", name, segs[1])
 	}
 	if last := segs[len(segs)-1]; !unitSuffixes[last] {
 		pass.Reportf(pos, "metric name %q uses unknown unit suffix %q (see the metricname analyzer doc for the vocabulary)", name, last)

@@ -9,6 +9,8 @@ const good = "khs_sim_things_total"
 
 func register(r *telemetry.Registry, dynamic string) {
 	r.Counter(good, "a well-named counter", nil)
+	r.Gauge("khs_runtime_goroutines", "two segments: layer + unit alone", nil)
+	r.Gauge("khs_serve_build_info", "info idiom: constant 1 with labels", nil)
 	r.Counter("not_khs", "bad prefix", nil)             // want `does not match the khs_<layer>_<name>_<unit> convention`
 	r.Counter("khs_widget_foo_total", "bad layer", nil) // want `unknown layer "widget"`
 	r.Gauge("khs_sim_foo_bananas", "bad unit", nil)     // want `unknown unit suffix "bananas"`

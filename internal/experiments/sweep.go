@@ -16,6 +16,7 @@ import (
 	"kncube/internal/sim"
 	"kncube/internal/stats"
 	"kncube/internal/telemetry"
+	"kncube/internal/telemetry/span"
 )
 
 // JobSeed derives the deterministic simulator seed for one sweep job from
@@ -129,6 +130,11 @@ type RunManifest struct {
 	ModelLatency    float64 `json:"model_latency,omitempty"`
 	ModelIterations int     `json:"model_iterations,omitempty"`
 	ModelError      string  `json:"model_error,omitempty"`
+	// TraceID and SpanID correlate this record with the job's "sweep.sim"
+	// span when the sweep ran under a tracer (khs-serve sweep jobs);
+	// absent otherwise.
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
 }
 
 // PanelResult pairs a panel with its swept points.
@@ -297,9 +303,23 @@ func (s Sweep) runJob(ctx context.Context, p Panel, jb sweepJob, reps, total int
 	if model == "" {
 		model = DefaultModel
 	}
+	// One span per (panel, λ, rep) unit when the sweep runs under a tracer
+	// (khs-serve hands its linked job span down through ctx; CLI sweeps
+	// carry none and pay nothing — StartChild returns nil). The manifest
+	// record carries the same ids, correlating JSONL rows with the trace.
+	ctx, jsp := span.StartChild(ctx, "sweep.sim",
+		span.String("panel", p.ID),
+		span.Float64("lambda", lam),
+		span.Int("lambda_idx", jb.point),
+		span.Int("rep", jb.rep))
+	defer jsp.End()
 	rec := RunManifest{
 		Panel: p.ID, Lambda: lam, LambdaIdx: jb.point, Rep: jb.rep,
 		Model: model,
+	}
+	if jsp != nil {
+		rec.TraceID = jsp.TraceID().String()
+		rec.SpanID = jsp.SpanID().String()
 	}
 	writeManifest := func() {
 		if s.Manifest != nil {
@@ -327,6 +347,7 @@ func (s Sweep) runJob(ctx context.Context, p Panel, jb sweepJob, reps, total int
 		default:
 			rec.Outcome = "error"
 			rec.Error = mp.err.Error()
+			jsp.SetAttr("outcome", "error")
 			writeManifest()
 			fail(fmt.Errorf("experiments: model %s lambda=%g: %w", p.ID, lam, mp.err))
 			return
@@ -336,6 +357,7 @@ func (s Sweep) runJob(ctx context.Context, p Panel, jb sweepJob, reps, total int
 	budget := s.Budget
 	budget.Seed = JobSeed(s.Budget.Seed, p.ID, jb.point, jb.rep)
 	rec.Seed = budget.Seed
+	jsp.SetAttr("seed", budget.Seed)
 	jctx := ctx
 	if s.JobTimeout > 0 {
 		var jcancel context.CancelFunc
@@ -351,6 +373,7 @@ func (s Sweep) runJob(ctx context.Context, p Panel, jb sweepJob, reps, total int
 		}
 		rec.Outcome = "error"
 		rec.Error = err.Error()
+		jsp.SetAttr("outcome", "error")
 		writeManifest()
 		fail(fmt.Errorf("experiments: sim %s lambda=%g rep %d (seed %d): %w",
 			p.ID, lam, jb.rep, budget.Seed, err))
@@ -362,6 +385,8 @@ func (s Sweep) runJob(ctx context.Context, p Panel, jb sweepJob, reps, total int
 	if res.Saturated {
 		rec.Outcome = "saturated"
 	}
+	jsp.SetAttr("outcome", rec.Outcome)
+	jsp.SetAttr("cycles", rec.Cycles)
 	writeManifest()
 
 	mu.Lock()
@@ -408,6 +433,12 @@ func (mp modelPoint) fill(rec *RunManifest) {
 // "<panelID>-lam<idx>" label the per-point driver used, matching the file
 // name DirTraceSink derives.
 func (s Sweep) solvePanelModels(ctx context.Context, model string, p Panel) ([]modelPoint, error) {
+	// The whole analytical curve of one panel under one span (it is one
+	// prepared solver reused across the loads); nil and free untraced.
+	_, msp := span.StartChild(ctx, "sweep.model",
+		span.String("panel", p.ID),
+		span.Int("points", len(p.Lambdas)))
+	defer msp.End()
 	opts := s.Opts
 	// The prepared solver captures its options once, but each load point
 	// needs its own trace plumbing — route through a per-point hook variable.

@@ -11,6 +11,7 @@ import (
 	"kncube/internal/fixpoint"
 	"kncube/internal/stats"
 	"kncube/internal/telemetry"
+	"kncube/internal/telemetry/span"
 )
 
 // TestSweepManifestRoundTrip runs a real sweep with a manifest writer and
@@ -84,6 +85,86 @@ func TestSweepManifestRoundTrip(t *testing.T) {
 	}
 	if got := reg.Histogram("khs_sweep_job_seconds", "", nil, nil).Count(); got != int64(len(recs)) {
 		t.Errorf("job-seconds histogram count = %d, manifest records = %d", got, len(recs))
+	}
+}
+
+// TestSweepManifestCarriesSpanIDs runs a sweep under a request span (the
+// khs-serve job path) and checks the correlation contract both ways: every
+// manifest record names the trace and the exact sweep.sim span that
+// produced it, and every sweep.sim span in the exported trace is named by
+// exactly one record. A sweep without an upstream span writes no ids.
+func TestSweepManifestCarriesSpanIDs(t *testing.T) {
+	p := sweepTestPanel()
+	ring := span.NewRingExporter(4, nil)
+	tr := span.New(span.Config{Exporter: ring, Seed: 7})
+	ctx, root := tr.Start(context.Background(), "test.sweep")
+
+	var buf bytes.Buffer
+	s := Sweep{Jobs: 2, Reps: 2, Budget: sweepTestBudget(),
+		Manifest: telemetry.NewManifestWriter(&buf)}
+	if _, err := s.RunPanels(ctx, []Panel{p}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	recs, err := telemetry.ReadJSONL[RunManifest](&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := ring.Trace(root.TraceID().String())
+	if spans == nil {
+		t.Fatal("sweep trace was not exported")
+	}
+	simSpans := map[string]span.Record{}
+	for _, r := range spans {
+		if r.Name == "sweep.sim" {
+			simSpans[r.SpanID] = r
+		}
+	}
+	if len(simSpans) != len(recs) {
+		t.Fatalf("%d sweep.sim spans for %d manifest records", len(simSpans), len(recs))
+	}
+	for _, r := range recs {
+		if r.TraceID != root.TraceID().String() {
+			t.Errorf("record (%d,%d) trace id %q, want %s", r.LambdaIdx, r.Rep, r.TraceID, root.TraceID())
+		}
+		sp, ok := simSpans[r.SpanID]
+		if !ok {
+			t.Errorf("record (%d,%d) names span %q, absent from the trace", r.LambdaIdx, r.Rep, r.SpanID)
+			continue
+		}
+		if got := fmt.Sprint(sp.Attrs["lambda_idx"]); got != fmt.Sprint(r.LambdaIdx) {
+			t.Errorf("span %s lambda_idx = %s, record says %d", r.SpanID, got, r.LambdaIdx)
+		}
+		if got := fmt.Sprint(sp.Attrs["rep"]); got != fmt.Sprint(r.Rep) {
+			t.Errorf("span %s rep = %s, record says %d", r.SpanID, got, r.Rep)
+		}
+		if got := fmt.Sprint(sp.Attrs["seed"]); got != fmt.Sprint(r.Seed) {
+			t.Errorf("span %s seed = %s, record says %d", r.SpanID, got, r.Seed)
+		}
+		if got := fmt.Sprint(sp.Attrs["outcome"]); got != r.Outcome {
+			t.Errorf("span %s outcome = %s, record says %q", r.SpanID, got, r.Outcome)
+		}
+	}
+
+	// The ids are span-scoped, not unconditional: a plain CLI sweep (no
+	// span in ctx) must not invent them.
+	var plain bytes.Buffer
+	s2 := Sweep{Jobs: 1, Budget: sweepTestBudget(),
+		Manifest: telemetry.NewManifestWriter(&plain)}
+	p2 := p
+	p2.Lambdas = p2.Lambdas[:1]
+	if _, err := s2.RunPanels(context.Background(), []Panel{p2}); err != nil {
+		t.Fatal(err)
+	}
+	plainRecs, err := telemetry.ReadJSONL[RunManifest](&plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range plainRecs {
+		if r.TraceID != "" || r.SpanID != "" {
+			t.Errorf("untraced sweep wrote span ids: %+v", r)
+		}
 	}
 }
 

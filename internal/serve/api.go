@@ -13,9 +13,15 @@
 //	POST   /v1/solve:batch  many specs, one model → per-item results
 //	POST   /v1/sweeps       async sweep job    → 202 + job id
 //	GET    /v1/sweeps/{id}  job status, progress, per-point results
+//	GET    /v1/traces/{id}  retained span tree of one trace (debug)
+//	GET    /v1/version      build identity (module version, VCS revision)
 //	DELETE /v1/sweeps/{id}  cancel a running job
 //	GET    /healthz         liveness (503 while draining)
 //	GET    /metrics         Prometheus text exposition
+//
+// Every request is traced (DESIGN.md §11): the root span adopts an
+// inbound W3C traceparent, handlers hang admission/cache/solve child
+// spans off it, and the access log carries the trace id.
 package serve
 
 import (
@@ -26,6 +32,7 @@ import (
 
 	"kncube/internal/core"
 	"kncube/internal/fixpoint"
+	"kncube/internal/telemetry/span"
 )
 
 // SolveRequest is the POST /v1/solve body. Zero-valued spec fields keep
@@ -273,6 +280,11 @@ type SweepStatus struct {
 	// Points carries the per-point results once State is "done".
 	Points []SweepPoint `json:"points,omitempty"`
 	Error  string       `json:"error,omitempty"`
+	// TraceID identifies the job's own trace (the job outlives its
+	// originating request, so it roots a fresh trace linked back to the
+	// request via link.trace_id). Fetch it at GET /v1/traces/{id} once
+	// the job is terminal.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // SweepPoint is one swept load point, mirroring the columns of the
@@ -299,6 +311,27 @@ type FieldIssue struct {
 type ErrorResponse struct {
 	Error  string       `json:"error"`
 	Fields []FieldIssue `json:"fields,omitempty"`
+}
+
+// TraceResponse is the body of GET /v1/traces/{id}: the retained span
+// tree of one trace, in span-end order (root last).
+type TraceResponse struct {
+	TraceID string        `json:"trace_id"`
+	Spans   []span.Record `json:"spans"`
+}
+
+// VersionResponse is the body of GET /v1/version and the label set of the
+// khs_serve_build_info gauge.
+type VersionResponse struct {
+	// Version is the main module version ("(devel)" for local builds).
+	Version string `json:"version"`
+	// Revision and VCSTime identify the VCS commit the binary was built
+	// from; empty when the build carried no VCS stamp (tests, go run).
+	Revision string `json:"revision,omitempty"`
+	VCSTime  string `json:"vcs_time,omitempty"`
+	// Modified marks a build from a dirty working tree.
+	Modified  bool   `json:"modified,omitempty"`
+	GoVersion string `json:"go_version"`
 }
 
 // writeJSON writes v with the given status; encoding failures are beyond

@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 
 	"kncube/internal/experiments"
 	"kncube/internal/telemetry"
+	"kncube/internal/telemetry/span"
 )
 
 // Job states. A job is terminal in every state but JobRunning.
@@ -36,12 +38,13 @@ type job struct {
 	cancel   context.CancelFunc
 	finished chan struct{}
 
-	mu     sync.Mutex
-	state  string
-	done   int
-	total  int
-	points []SweepPoint
-	errMsg string
+	mu      sync.Mutex
+	state   string
+	done    int
+	total   int
+	points  []SweepPoint
+	errMsg  string
+	traceID string
 }
 
 // status snapshots the job for the API.
@@ -51,7 +54,7 @@ func (j *job) status() SweepStatus {
 	st := SweepStatus{
 		ID: j.id, Panel: j.panel, Model: j.model,
 		State: j.state, Done: j.done, Total: j.total,
-		Error: j.errMsg,
+		Error: j.errMsg, TraceID: j.traceID,
 	}
 	if j.state == JobDone {
 		st.Points = j.points
@@ -77,13 +80,17 @@ type jobStore struct {
 
 	jobsTotal  func(state string) *telemetry.Counter
 	activeJobs *telemetry.Gauge
+	tracer     *span.Tracer
+	log        *slog.Logger
 }
 
-func newJobStore(maxActive, maxStored int, reg *telemetry.Registry) *jobStore {
+func newJobStore(maxActive, maxStored int, reg *telemetry.Registry, tracer *span.Tracer, log *slog.Logger) *jobStore {
 	st := &jobStore{
 		maxActive: maxActive,
 		maxStored: maxStored,
 		jobs:      make(map[string]*job),
+		tracer:    tracer,
+		log:       log,
 	}
 	st.jobsTotal = func(state string) *telemetry.Counter {
 		return reg.Counter("khs_serve_sweep_jobs_total",
@@ -95,8 +102,9 @@ func newJobStore(maxActive, maxStored int, reg *telemetry.Registry) *jobStore {
 
 // launch starts sw over panels as a new job under parent (the server's
 // lifetime context; per-job cancellation is layered on top). It fails fast
-// with errTooManySweeps or errDraining instead of queueing.
-func (st *jobStore) launch(parent context.Context, sw experiments.Sweep, panels []experiments.Panel, model string) (*job, error) {
+// with errTooManySweeps or errDraining instead of queueing. link ties the
+// job's fresh trace back to the originating request's span.
+func (st *jobStore) launch(parent context.Context, sw experiments.Sweep, panels []experiments.Panel, model string, link span.Parent) (*job, error) {
 	reps := sw.Reps
 	if reps <= 0 {
 		reps = 1
@@ -140,9 +148,23 @@ func (st *jobStore) launch(parent context.Context, sw experiments.Sweep, panels 
 		j.mu.Unlock()
 	}
 
+	// The job outlives its originating request, so it roots a fresh trace
+	// carrying a link back to the request span; every (panel, λ, rep)
+	// simulation span the sweep engine starts nests under it.
+	jctx, jspan := st.tracer.StartLinked(ctx, "sweep.job", link,
+		span.String("sweep_id", j.id),
+		span.String("panel", j.panel),
+		span.String("model", model))
+	j.mu.Lock()
+	j.traceID = jspan.TraceID().String()
+	j.mu.Unlock()
+	st.log.Info("sweep job started",
+		"sweep_id", j.id, "panel", j.panel, "model", model, "total", total,
+		"trace_id", jspan.TraceID().String(), "span_id", jspan.SpanID().String())
+
 	go func() {
 		defer st.wg.Done()
-		res, err := sw.RunPanels(ctx, panels)
+		res, err := sw.RunPanels(jctx, panels)
 		j.mu.Lock()
 		switch {
 		case err == nil:
@@ -162,6 +184,15 @@ func (st *jobStore) launch(parent context.Context, sw experiments.Sweep, panels 
 		j.mu.Unlock()
 		close(j.finished)
 		cancel()
+
+		jspan.SetAttr("state", state)
+		if state == JobFailed {
+			jspan.Keep("job-failed")
+		}
+		jspan.End()
+		st.log.Info("sweep job finished",
+			"sweep_id", j.id, "panel", j.panel, "model", model, "state", state,
+			"trace_id", jspan.TraceID().String(), "span_id", jspan.SpanID().String())
 
 		st.mu.Lock()
 		st.active--

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"kncube/internal/telemetry"
+)
+
+// runtimeSampler publishes process health as khs_runtime_* metrics:
+// goroutine count, heap in use, and GC pause durations, plus the server
+// uptime. Sampled on a ticker rather than at scrape time so the registry
+// handler stays a pure reader and a stalled scraper never blocks on
+// ReadMemStats.
+type runtimeSampler struct {
+	goroutines *telemetry.Gauge
+	heap       *telemetry.Gauge
+	gcPause    *telemetry.Histogram
+	uptime     *telemetry.Gauge
+	start      time.Time
+	lastNumGC  uint32
+}
+
+func newRuntimeSampler(reg *telemetry.Registry, start time.Time) *runtimeSampler {
+	return &runtimeSampler{
+		goroutines: reg.Gauge("khs_runtime_goroutines", "live goroutines", nil),
+		heap:       reg.Gauge("khs_runtime_heap_bytes", "heap bytes currently allocated", nil),
+		gcPause: reg.Histogram("khs_runtime_gc_pause_seconds",
+			"stop-the-world GC pause durations", nil,
+			telemetry.ExponentialBuckets(1e-6, 4, 10)),
+		uptime:    reg.Gauge("khs_serve_uptime_seconds", "seconds since server construction", nil),
+		start:     start,
+		lastNumGC: readMemStats().NumGC, // pauses before construction are not ours
+	}
+}
+
+func readMemStats() runtime.MemStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms
+}
+
+// sample takes one reading. Only pauses of collections since the previous
+// sample enter the histogram; runtime.MemStats retains the last 256 pause
+// times in a ring indexed by collection number, so a sampler outpaced by
+// the GC loses the oldest pauses (bounded, never double-counted).
+func (rs *runtimeSampler) sample(now time.Time) {
+	rs.goroutines.Set(float64(runtime.NumGoroutine()))
+	ms := readMemStats()
+	rs.heap.Set(float64(ms.HeapAlloc))
+	newGC := ms.NumGC - rs.lastNumGC
+	if newGC > uint32(len(ms.PauseNs)) {
+		newGC = uint32(len(ms.PauseNs))
+	}
+	for i := uint32(0); i < newGC; i++ {
+		idx := (ms.NumGC - i + uint32(len(ms.PauseNs)) - 1) % uint32(len(ms.PauseNs))
+		rs.gcPause.Observe(float64(ms.PauseNs[idx]) / 1e9)
+	}
+	rs.lastNumGC = ms.NumGC
+	rs.uptime.Set(now.Sub(rs.start).Seconds())
+}
+
+// startRuntimeSampler registers the khs_runtime_* metrics, takes one
+// synchronous sample (so /metrics is populated from the first scrape),
+// and — unless interval is negative — keeps sampling on a ticker until
+// ctx (the server's lifetime context) is cancelled.
+func startRuntimeSampler(ctx context.Context, reg *telemetry.Registry, interval time.Duration) {
+	rs := newRuntimeSampler(reg, time.Now())
+	rs.sample(rs.start)
+	if interval < 0 {
+		return
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case now := <-t.C:
+				rs.sample(now)
+			}
+		}
+	}()
+}
+
+// registerBuildInfo publishes the binary's identity as the constant-value
+// khs_serve_build_info gauge (value 1; the information is in the labels,
+// the idiomatic Prometheus shape for build metadata).
+func registerBuildInfo(reg *telemetry.Registry) {
+	v := buildVersion()
+	reg.Gauge("khs_serve_build_info", "build metadata (constant 1; see labels)",
+		telemetry.Labels{
+			"version":    v.Version,
+			"revision":   v.Revision,
+			"go_version": v.GoVersion,
+		}).Set(1)
+}
+
+// buildVersion reads the module and VCS identity stamped into the binary.
+// Test binaries and plain `go run` builds carry no VCS stamp; those
+// fields stay empty rather than guessed.
+func buildVersion() VersionResponse {
+	v := VersionResponse{Version: "(devel)", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return v
+	}
+	if bi.Main.Version != "" {
+		v.Version = bi.Main.Version
+	}
+	if bi.GoVersion != "" {
+		v.GoVersion = bi.GoVersion
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			v.Revision = s.Value
+		case "vcs.time":
+			v.VCSTime = s.Value
+		case "vcs.modified":
+			v.Modified = s.Value == "true"
+		}
+	}
+	return v
+}
+
+// handleVersion is GET /v1/version: the same build identity as the
+// khs_serve_build_info gauge, as JSON.
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, buildVersion())
+}

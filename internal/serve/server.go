@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"slices"
@@ -15,6 +17,7 @@ import (
 	"kncube/internal/core"
 	"kncube/internal/experiments"
 	"kncube/internal/telemetry"
+	"kncube/internal/telemetry/span"
 )
 
 // Config tunes the service layer. The zero value of any field selects the
@@ -42,6 +45,25 @@ type Config struct {
 	// Registry receives the khs_serve_* metric set and serves GET /metrics.
 	// Default: a fresh registry.
 	Registry *telemetry.Registry
+	// Logger receives the structured access log (one line per request,
+	// carrying trace_id/span_id) and job lifecycle lines. Default: discard.
+	Logger *slog.Logger
+	// TraceExport, when non-nil, additionally receives every kept trace as
+	// JSONL (the GET /v1/traces/{id} ring retains them regardless).
+	TraceExport io.Writer
+	// TraceBuffer bounds the in-memory trace ring serving /v1/traces/{id},
+	// in distinct traces. Default 256.
+	TraceBuffer int
+	// SlowTraceThreshold, TraceKeepRatio and TraceSeed configure the
+	// tail-sampling policy; see span.TailPolicy for the zero-value
+	// defaults (250ms, keep-all, clock-seeded ids).
+	SlowTraceThreshold time.Duration
+	TraceKeepRatio     float64
+	TraceSeed          int64
+	// RuntimeMetricsInterval paces the khs_runtime_* process-metric
+	// sampler. Default 10s; negative disables the ticker (one synchronous
+	// sample is still taken at construction).
+	RuntimeMetricsInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -66,6 +88,15 @@ func (c Config) withDefaults() Config {
 	if c.Registry == nil {
 		c.Registry = telemetry.NewRegistry()
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
+	if c.TraceBuffer == 0 {
+		c.TraceBuffer = 256
+	}
+	if c.RuntimeMetricsInterval == 0 {
+		c.RuntimeMetricsInterval = 10 * time.Second
+	}
 	return c
 }
 
@@ -75,6 +106,9 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg      Config
 	reg      *telemetry.Registry
+	log      *slog.Logger
+	tracer   *span.Tracer
+	traces   *span.RingExporter
 	cache    *solveCache
 	jobs     *jobStore
 	slots    chan struct{}
@@ -91,14 +125,27 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		reg:   cfg.Registry,
-		cache: newSolveCache(cfg.CacheSize, cfg.Registry),
-		jobs:  newJobStore(cfg.MaxActiveSweeps, cfg.MaxStoredSweeps, cfg.Registry),
-		slots: make(chan struct{}, cfg.MaxInflight),
+		cfg:    cfg,
+		reg:    cfg.Registry,
+		log:    cfg.Logger,
+		traces: span.NewRingExporter(cfg.TraceBuffer, cfg.TraceExport),
+		cache:  newSolveCache(cfg.CacheSize, cfg.Registry),
+		slots:  make(chan struct{}, cfg.MaxInflight),
 	}
+	s.tracer = span.New(span.Config{
+		Exporter: s.traces,
+		Seed:     cfg.TraceSeed,
+		Tail: span.TailPolicy{
+			SlowThreshold: cfg.SlowTraceThreshold,
+			KeepRatio:     cfg.TraceKeepRatio,
+			Seed:          cfg.TraceSeed,
+		},
+	})
+	s.jobs = newJobStore(cfg.MaxActiveSweeps, cfg.MaxStoredSweeps, cfg.Registry, s.tracer, s.log)
 	s.inflight = s.reg.Gauge("khs_serve_inflight_solves", "solves currently admitted", nil)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	registerBuildInfo(s.reg)
+	startRuntimeSampler(s.baseCtx, s.reg, cfg.RuntimeMetricsInterval)
 
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/solve", s.handleSolve)
@@ -106,6 +153,8 @@ func New(cfg Config) *Server {
 	s.route("POST /v1/sweeps", s.handleSweepCreate)
 	s.route("GET /v1/sweeps/{id}", s.handleSweepGet)
 	s.route("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
+	s.route("GET /v1/traces/{id}", s.handleTraceGet)
+	s.route("GET /v1/version", s.handleVersion)
 	s.route("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /metrics", telemetry.Handler(s.reg))
 	return s
@@ -129,17 +178,59 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// route mounts a handler wrapped with the request-metrics middleware; the
-// route pattern itself is the metric label, keeping cardinality fixed.
+// route mounts a handler wrapped with the request-metrics and tracing
+// middleware; the route pattern itself is the metric label, keeping
+// cardinality fixed. Every request gets a root span — adopting the
+// caller's trace id when a valid traceparent header is inbound, minting a
+// fresh one otherwise — and one structured access-log line carrying the
+// same trace_id/span_id, so logs, metrics, and traces cross-reference.
 func (s *Server) route(pattern string, h http.HandlerFunc) {
 	seconds := s.reg.Histogram("khs_serve_request_seconds",
 		"request latency by route", telemetry.Labels{"route": pattern},
 		telemetry.ExponentialBuckets(1e-4, 4, 10))
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		ctx := r.Context()
+		if tp := r.Header.Get(span.TraceparentHeader); tp != "" {
+			// A malformed header starts a fresh trace rather than failing
+			// the request, per the W3C processing model.
+			if p, perr := span.ParseTraceparent(tp); perr == nil {
+				ctx = span.ContextWithParent(ctx, p)
+			}
+		}
+		ctx, sp := s.tracer.Start(ctx, "http "+pattern,
+			span.String("http.method", r.Method),
+			span.String("http.route", pattern))
+		// Hand our context back so the caller (and any downstream hop it
+		// makes) can correlate with this server's spans.
+		w.Header().Set(span.TraceparentHeader, span.FormatTraceparent(span.Parent{
+			TraceID: sp.TraceID(), SpanID: sp.SpanID(), Sampled: true,
+		}))
+
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		h(rec, r)
-		seconds.Observe(time.Since(start).Seconds())
+		h(rec, r.WithContext(ctx))
+
+		elapsed := time.Since(start)
+		sp.SetAttr("http.status", int64(rec.status))
+		if rec.status >= 400 {
+			sp.Keep("http-error")
+		}
+		logAttrs := []any{
+			"method", r.Method,
+			"route", pattern,
+			"status", rec.status,
+			"duration_ms", float64(elapsed.Nanoseconds()) / 1e6,
+			"trace_id", sp.TraceID().String(),
+			"span_id", sp.SpanID().String(),
+		}
+		// Handlers surface the cache outcome on the root span; lift it
+		// into the access log when present.
+		if v, ok := sp.AttrValue("cache"); ok {
+			logAttrs = append(logAttrs, "cache", v)
+		}
+		sp.End()
+		s.log.Info("request", logAttrs...)
+		seconds.Observe(elapsed.Seconds())
 		s.reg.Counter("khs_serve_requests_total", "requests by route and status code",
 			telemetry.Labels{"route": pattern, "code": strconv.Itoa(rec.status)}).Inc()
 	})
@@ -209,15 +300,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	if s.draining.Load() {
-		s.shed(w, http.StatusServiceUnavailable, "draining")
-		return
-	}
-	select {
-	case s.slots <- struct{}{}:
-		s.inflight.Add(1)
-	default:
-		s.shed(w, http.StatusTooManyRequests, "inflight-cap")
+	if !s.admit(w, r) {
 		return
 	}
 	defer func() {
@@ -231,16 +314,24 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			timeout = d
 		}
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	cctx, csp := span.StartChild(r.Context(), "cache")
+	ctx, cancel := context.WithTimeout(cctx, timeout)
 	defer cancel()
 
+	runner := newSolveRunner(ctx, model, opts)
 	start := time.Now()
 	res, how, err := s.cache.do(ctx, solveKey(model, spec, opts),
 		func(ctx context.Context) (*core.SolveResult, error) {
-			o := opts
-			o.FixPoint.Ctx = ctx
-			return core.Solve(model, spec, o)
+			return runner.solve(ctx, spec)
 		})
+	csp.SetAttr("outcome", how)
+	if how == cacheMiss {
+		// Miss leaders carry the full solver span tree — the interesting
+		// traces; hits and coalesced followers are ratio-sampled.
+		csp.Keep("cache-miss")
+	}
+	csp.End()
+	span.FromContext(r.Context()).SetAttr("cache", how)
 	s.reg.Histogram("khs_serve_solve_seconds", "end-to-end solve time (cache included)",
 		nil, telemetry.ExponentialBuckets(1e-5, 4, 12)).Observe(time.Since(start).Seconds())
 
@@ -325,15 +416,7 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	if s.draining.Load() {
-		s.shed(w, http.StatusServiceUnavailable, "draining")
-		return
-	}
-	select {
-	case s.slots <- struct{}{}:
-		s.inflight.Add(1)
-	default:
-		s.shed(w, http.StatusTooManyRequests, "inflight-cap")
+	if !s.admit(w, r) {
 		return
 	}
 	defer func() {
@@ -362,7 +445,7 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 			telemetry.Labels{"model": model, "outcome": outcome}).Inc()
 	}
 
-	prepared := map[core.Spec]*core.PreparedSolver{}
+	runner := newSolveRunner(ctx, model, opts)
 	items := make([]BatchSolveItem, len(req.Items))
 	for i, bs := range req.Items {
 		spec := core.Spec{K: bs.K, Dims: bs.Dims, V: bs.V, Lm: bs.Lm, H: bs.H, Lambda: bs.Lambda}
@@ -380,19 +463,7 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		res, how, err := s.cache.do(ctx, solveKey(model, spec, opts),
 			func(ctx context.Context) (*core.SolveResult, error) {
-				o := opts
-				o.FixPoint.Ctx = ctx
-				shape := spec
-				shape.Lambda = 0
-				ps := prepared[shape]
-				if ps == nil {
-					var perr error
-					if ps, perr = core.Prepare(model, spec, o); perr != nil {
-						return nil, perr
-					}
-					prepared[shape] = ps
-				}
-				return ps.Solve(spec.Lambda)
+				return runner.solve(ctx, spec)
 			})
 		item.Cache = how
 		switch {
@@ -487,7 +558,9 @@ func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 		s.shed(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
-	j, err := s.jobs.launch(s.baseCtx, sw, []experiments.Panel{panel}, model)
+	rs := span.FromContext(r.Context())
+	link := span.Parent{TraceID: rs.TraceID(), SpanID: rs.SpanID()}
+	j, err := s.jobs.launch(s.baseCtx, sw, []experiments.Panel{panel}, model, link)
 	switch {
 	case errors.Is(err, errTooManySweeps):
 		s.shed(w, http.StatusTooManyRequests, "sweep-cap")

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"kncube/internal/core"
+	"kncube/internal/fixpoint"
+	"kncube/internal/telemetry/span"
+)
+
+// admit runs admission control for a solve-family request under an
+// "admission" child span: the drain check, then the non-blocking slot
+// grab (requests beyond MaxInflight shed rather than queue, so the span
+// is a decision record, not a wait). On false the request has already
+// been answered (503/429) and the caller holds no slot.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+	_, adm := span.StartChild(r.Context(), "admission",
+		span.Int("max_inflight", s.cfg.MaxInflight))
+	defer adm.End()
+	if s.draining.Load() {
+		adm.SetAttr("outcome", "shed-draining")
+		s.shed(w, http.StatusServiceUnavailable, "draining")
+		return false
+	}
+	select {
+	case s.slots <- struct{}{}:
+		s.inflight.Add(1)
+		adm.SetAttr("outcome", "admitted")
+		return true
+	default:
+		adm.SetAttr("outcome", "shed-inflight")
+		s.shed(w, http.StatusTooManyRequests, "inflight-cap")
+		return false
+	}
+}
+
+// solveRunner owns the solver side of one request: prepared solvers keyed
+// by topology shape (λ excluded), plus the tracing of each cache-miss
+// leader solve. fixpoint.Options captures its Trace callback at Prepare
+// time while the fixpoint span only exists per solve, so rounds route
+// through the `round` indirection — the same hook-variable pattern as
+// experiments.solvePanelModels. Leaders run sequentially per request
+// (singleflight calls fn synchronously), so `round` needs no lock.
+type solveRunner struct {
+	model    string
+	opts     core.Options
+	prepared map[core.Spec]*core.PreparedSolver
+	round    func(fixpoint.TraceRecord)
+}
+
+// newSolveRunner builds a runner whose solves are cancelled by ctx.
+func newSolveRunner(ctx context.Context, model string, opts core.Options) *solveRunner {
+	r := &solveRunner{
+		model:    model,
+		opts:     opts,
+		prepared: map[core.Spec]*core.PreparedSolver{},
+	}
+	r.opts.FixPoint.Ctx = ctx
+	r.opts.FixPoint.Trace = func(tr fixpoint.TraceRecord) {
+		if r.round != nil {
+			r.round(tr)
+		}
+	}
+	return r
+}
+
+// solve runs one cache-miss solve as the singleflight leader: preparation
+// and the fixed-point iteration become child spans, and each substitution
+// round an event on the fixpoint span. A cold prepared solve is
+// bit-identical to a one-shot core.Solve — tracing observes the
+// iteration, it never alters it.
+func (r *solveRunner) solve(ctx context.Context, spec core.Spec) (*core.SolveResult, error) {
+	ctx, sp := span.StartChild(ctx, "solve",
+		span.String("model", r.model),
+		span.Float64("lambda", spec.Lambda))
+	defer sp.End()
+
+	shape := spec
+	shape.Lambda = 0
+	ps := r.prepared[shape]
+	if ps == nil {
+		_, prep := span.StartChild(ctx, "core.prepare")
+		var err error
+		ps, err = core.Prepare(r.model, spec, r.opts)
+		prep.End()
+		if err != nil {
+			return nil, err
+		}
+		r.prepared[shape] = ps
+	}
+
+	_, fp := span.StartChild(ctx, "fixpoint.solve")
+	if fp != nil {
+		r.round = func(tr fixpoint.TraceRecord) {
+			fp.Event("round",
+				span.Int("iteration", tr.Iteration),
+				span.Float64("max_rel_delta", tr.MaxRelDelta),
+				span.Bool("accelerated", tr.Accelerated))
+		}
+	}
+	res, err := ps.Solve(spec.Lambda)
+	r.round = nil
+	if res != nil {
+		fp.SetAttr("iterations", int64(res.Convergence.Iterations))
+		fp.SetAttr("accelerated_rounds", int64(res.Convergence.AcceleratedRounds))
+		fp.SetAttr("damped_rounds", int64(res.Convergence.DampedRounds))
+		fp.SetAttr("residual", res.Convergence.Residual)
+	}
+	fp.End()
+	if errors.Is(err, core.ErrSaturated) {
+		sp.SetAttr("saturated", true)
+		sp.Keep("saturated")
+	}
+	return res, err
+}
+
+// handleTraceGet is GET /v1/traces/{id}: return the retained span tree of
+// one trace from the in-memory ring. Traces appear here once their root
+// span ends (i.e. after the traced request's response), survive until
+// evicted by newer traces, and only exist at all if the tail policy kept
+// them.
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	recs := s.traces.Trace(id)
+	if recs == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("serve: no retained trace %q (not yet finished, dropped by the tail policy, or evicted)", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, TraceResponse{TraceID: id, Spans: recs})
+}

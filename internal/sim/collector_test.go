@@ -263,3 +263,30 @@ func BenchmarkStepCollector(b *testing.B) {
 		}
 	})
 }
+
+// TestStepSteadyStateAllocFree pins the hot-loop allocation contract as a
+// plain test so tier-1 `go test ./...` enforces it: once the event queue
+// and message pools have warmed up, a simulation cycle allocates nothing.
+// This is the baseline the observability layers (collector, tracing) are
+// measured against — they may only add constant per-run cost elsewhere,
+// never per-cycle allocations here.
+func TestStepSteadyStateAllocFree(t *testing.T) {
+	cube := topology.MustNew(16, 2)
+	hs, err := traffic.NewHotSpot(cube, 136, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(Config{
+		K: 16, Dims: 2, VCs: 2, MsgLen: 32, Lambda: 2e-4,
+		Pattern: hs, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		nw.Step()
+	}
+	if n := testing.AllocsPerRun(2000, func() { nw.Step() }); !stats.IsZero(n) {
+		t.Errorf("steady-state Step allocates %v objects/cycle, want 0", n)
+	}
+}

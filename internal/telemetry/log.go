@@ -1,0 +1,23 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the structured logger behind every CLI's -log-format
+// flag: "" or "text" selects slog's logfmt-style text handler, "json" the
+// JSON handler (one object per line, machine-parseable — the format the
+// serve-smoke CI job asserts on). Anything else is an error naming the
+// accepted values, surfaced as flag-validation feedback.
+func NewLogger(w io.Writer, format string) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log format %q (want text or json)", format)
+	}
+}
