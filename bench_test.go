@@ -444,6 +444,62 @@ func BenchmarkSolveBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkSurfaceLookup prices the latency-surface serving path against
+// the exact solver it replaces, at an off-grid hotspot-2d query hugging
+// the near-saturation operating point — the regime where the exact fixed
+// point is at its most expensive and the surface pays off hardest. One op
+// answers one (h, λ) query; the surface build is amortised outside the
+// timer. BENCH_solve.json tracks the exact/surface ns/op ratio with a
+// >= 10x acceptance floor.
+func BenchmarkSurfaceLookup(b *testing.B) {
+	const model = "hotspot-2d"
+	base := benchSolveSpecs[model]
+	const nl = 24
+	lams := make([]float64, nl)
+	for i := range lams {
+		lams[i] = base.Lambda + float64(i)*(benchNearSatLambda[model]-base.Lambda)/float64(nl-1)
+	}
+	sfc, err := kncube.BuildSurface(kncube.SurfaceDef{
+		Model: model, K: base.K, Dims: base.Dims, V: base.V, Lm: base.Lm,
+		Hs: []float64{0.1, 0.2, 0.3}, Lambdas: lams,
+	}, kncube.SurfaceBuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := base
+	q.Lambda = (lams[nl-2] + lams[nl-1]) / 2 // off-grid, inside the last interval
+
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := kncube.Solve(model, q, kncube.ModelOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("surface", func(b *testing.B) {
+		// The speedup only counts if the interpolant still agrees with the
+		// exact answer at this query.
+		exact, err := kncube.Solve(model, q, kncube.ModelOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lk, err := sfc.Eval(q.H, q.Lambda)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rel := (lk.Latency - exact.Latency) / exact.Latency; rel > 0.01 || rel < -0.01 {
+			b.Fatalf("interpolated latency %v vs exact %v: relative error %v beyond 1%%",
+				lk.Latency, exact.Latency, rel)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sfc.Eval(q.H, q.Lambda); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkSimulatorStep measures the simulator's cycle throughput on the
 // paper's 256-node network under moderate hot-spot load.
 func BenchmarkSimulatorStep(b *testing.B) {

@@ -18,12 +18,14 @@
 //	khs-figures -timeout 2m            # per-point simulation timeout
 //	khs-figures -model bidirectional-2d  # sweep another model variant
 //	                                     # (simulator channels follow the model)
+//	khs-figures -accel anderson        # accelerate the model solves
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
 	"os/signal"
@@ -34,41 +36,61 @@ import (
 
 	"kncube/internal/core"
 	"kncube/internal/experiments"
+	"kncube/internal/fixpoint"
 	"kncube/internal/telemetry"
 )
 
-// logger carries progress and status diagnostics on stderr so stdout stays
-// clean for tables, plots, and piping. Set in main once -log-format is
-// parsed; nil until then.
-var logger *slog.Logger
-
 func main() {
-	var (
-		panelID = flag.String("panel", "", "run only this panel (e.g. fig1-h20); empty = all")
-		csv     = flag.Bool("csv", false, "write CSV files instead of tables")
-		outdir  = flag.String("outdir", ".", "directory for CSV output")
-		fast    = flag.Bool("fast", false, "reduced simulation budget (quick look)")
-		noPlot  = flag.Bool("no-plot", false, "suppress the ASCII plots")
-		model   = flag.String("model", experiments.DefaultModel, "analytical model variant (a core registry name, e.g. hotspot-2d, bidirectional-2d)")
-		seed    = flag.Int64("seed", 1, "base simulation seed (per-job seeds are derived from it)")
-		jobs    = flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers")
-		reps    = flag.Int("reps", 1, "independent replications pooled per point")
-		timeout = flag.Duration("timeout", 0, "per-point simulation timeout (0 = none)")
-		quiet   = flag.Bool("quiet", false, "suppress per-point progress lines")
-		// Observability (DESIGN.md §7).
-		logFormat  = flag.String("log-format", "text", "structured log format for progress/status lines: text or json")
-		manifest   = flag.String("manifest", "", "write one JSONL run-manifest record per simulation job to this file")
-		traceOut   = flag.String("trace-out", "", "directory for per-solve convergence traces (one JSONL file per load point)")
-		metricsOut = flag.String("metrics-out", "", "write sweep metrics to this file (.json = JSON snapshot, anything else = Prometheus text)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
-	)
-	flag.Parse()
-	lg, err := telemetry.NewLogger(os.Stderr, *logFormat)
-	if err != nil {
-		fatal(err)
+	// Ctrl-C cancels the sweep cooperatively: in-flight points finish,
+	// queued points are skipped, and RunPanels returns ctx.Err().
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "khs-figures:", err)
+		os.Exit(1)
 	}
-	logger = lg
+}
+
+// run executes one full figure sweep and blocks until it finishes or ctx
+// is cancelled. Tables and plots go to stdout; progress, status, and
+// structured diagnostics go to stderr.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("khs-figures", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		panelID = fs.String("panel", "", "run only this panel (e.g. fig1-h20); empty = all")
+		csv     = fs.Bool("csv", false, "write CSV files instead of tables")
+		outdir  = fs.String("outdir", ".", "directory for CSV output")
+		fast    = fs.Bool("fast", false, "reduced simulation budget (quick look)")
+		noPlot  = fs.Bool("no-plot", false, "suppress the ASCII plots")
+		model   = fs.String("model", experiments.DefaultModel, "analytical model variant (a core registry name, e.g. hotspot-2d, bidirectional-2d)")
+		seed    = fs.Int64("seed", 1, "base simulation seed (per-job seeds are derived from it)")
+		jobs    = fs.Int("jobs", runtime.NumCPU(), "parallel simulation workers")
+		reps    = fs.Int("reps", 1, "independent replications pooled per point")
+		timeout = fs.Duration("timeout", 0, "per-point simulation timeout (0 = none)")
+		quiet   = fs.Bool("quiet", false, "suppress per-point progress lines")
+		// Fixed-point iteration knobs (DESIGN.md §10). "none" keeps the
+		// damped baseline bit-identical to an unset flag.
+		accel    = fs.String("accel", "none", "fixed-point acceleration scheme for the model solves: none, anderson, aitken")
+		accelWin = fs.Int("accel-window", 0, "Anderson mixing window, past residual differences combined per round (0 = solver default; requires -accel anderson)")
+		// Observability (DESIGN.md §7).
+		logFormat  = fs.String("log-format", "text", "structured log format for progress/status lines: text or json")
+		manifest   = fs.String("manifest", "", "write one JSONL run-manifest record per simulation job to this file")
+		traceOut   = fs.String("trace-out", "", "directory for per-solve convergence traces (one JSONL file per load point)")
+		metricsOut = fs.String("metrics-out", "", "write sweep metrics to this file (.json = JSON snapshot, anything else = Prometheus text)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	logger, err := telemetry.NewLogger(stderr, *logFormat)
+	if err != nil {
+		return err
+	}
 
 	budget := experiments.DefaultSimBudget()
 	if *fast {
@@ -78,12 +100,24 @@ func main() {
 	}
 	budget.Seed = *seed
 	opts := core.Options{}
+	scheme, err := fixpoint.ParseAcceleration(*accel)
+	if err != nil {
+		return fmt.Errorf("-accel: %w", err)
+	}
+	if *accelWin < 0 {
+		return fmt.Errorf("-accel-window must be non-negative, got %d", *accelWin)
+	}
+	if *accelWin > 0 && scheme != fixpoint.AccelAnderson {
+		return fmt.Errorf("-accel-window is only meaningful with -accel anderson")
+	}
+	opts.FixPoint.Acceleration = scheme
+	opts.FixPoint.Window = *accelWin
 
 	panels := experiments.Figures()
 	if *panelID != "" {
 		p, err := experiments.PanelByID(*panelID)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		panels = []experiments.Panel{p}
 	}
@@ -100,7 +134,7 @@ func main() {
 	if *manifest != "" {
 		f, err := os.Create(*manifest)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		manifestFile = f
 		sweep.Manifest = telemetry.NewManifestWriter(f)
@@ -108,7 +142,7 @@ func main() {
 	if *traceOut != "" {
 		sink, err := telemetry.NewDirTraceSink(*traceOut)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		sweep.TraceSink = sink
 	}
@@ -119,7 +153,7 @@ func main() {
 	}
 	stopProf, err := telemetry.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if !*quiet {
 		sweep.Progress = func(ev experiments.SweepProgress) {
@@ -134,78 +168,69 @@ func main() {
 			"panels", len(panels), "workers", *jobs, "reps", *reps, "seed", *seed)
 	}
 
-	// Ctrl-C cancels the sweep cooperatively: in-flight points finish,
-	// queued points are skipped, and RunPanels returns ctx.Err().
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
 	start := time.Now()
 	results, err := sweep.RunPanels(ctx, panels)
 	if perr := stopProf(); perr != nil {
-		fatal(perr)
+		return perr
 	}
 	if manifestFile != nil {
 		if cerr := manifestFile.Close(); cerr != nil {
-			fatal(cerr)
+			return cerr
 		}
 	}
 	if reg != nil {
 		if werr := reg.WriteFile(*metricsOut); werr != nil {
-			fatal(werr)
+			return werr
 		}
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if !*quiet {
 		logger.Info("sweep finished", "elapsed", time.Since(start).Round(time.Millisecond).String())
 	}
 
+	return render(stdout, results, *csv, *outdir, *model, *noPlot, logger)
+}
+
+// render writes the sweep results as CSV files (status on the logger) or
+// as tables and ASCII plots on out.
+func render(out io.Writer, results []experiments.PanelResult, csv bool, outdir, model string, noPlot bool, logger *slog.Logger) error {
 	for _, pr := range results {
 		p, points := pr.Panel, pr.Points
 		title := fmt.Sprintf("%s %s — N=%d, V=%d, Lm=%d", p.Figure, p.Label, p.K*p.K, p.V, p.Lm)
-		if *csv {
+		if csv {
 			// Non-default variants get their own files so they can never
 			// overwrite the published hotspot-2d reference CSVs.
 			base := p.ID
-			if *model != experiments.DefaultModel {
-				base += "-" + *model
+			if model != experiments.DefaultModel {
+				base += "-" + model
 			}
-			path := filepath.Join(*outdir, base+".csv")
+			path := filepath.Join(outdir, base+".csv")
 			f, err := os.Create(path)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			if err := experiments.WriteCSV(f, points); err != nil {
-				fatal(err)
+				return err
 			}
 			if err := f.Close(); err != nil {
-				fatal(err)
+				return err
 			}
 			// Status lines go to stderr so stdout stays clean for piping
 			// (the CSV itself goes to files; tables/plots to stdout).
 			logger.Info("wrote", "path", path)
 			continue
 		}
-		if err := experiments.WriteTable(os.Stdout, title, points); err != nil {
-			fatal(err)
+		if err := experiments.WriteTable(out, title, points); err != nil {
+			return err
 		}
-		if !*noPlot {
-			if err := experiments.AsciiPlot(os.Stdout, title, points, 64, 16); err != nil {
-				fatal(err)
+		if !noPlot {
+			if err := experiments.AsciiPlot(out, title, points, 64, 16); err != nil {
+				return err
 			}
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
-}
-
-func fatal(err error) {
-	// Pre-parse failures (a bad -log-format itself) fall back to plain
-	// stderr; everything after flag parsing goes through the logger.
-	if logger != nil {
-		logger.Error("fatal", "err", err.Error())
-	} else {
-		fmt.Fprintln(os.Stderr, "khs-figures:", err)
-	}
-	os.Exit(1)
+	return nil
 }

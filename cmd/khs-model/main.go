@@ -11,6 +11,7 @@
 //	khs-model -model bidirectional-2d -k 16 -h 0.2 -sweep 0.0006 -points 12
 //	khs-model -model uniform -k 16 -saturation
 //	khs-model -model hypercube -k 2 -n 10 -h 0.1 -lambda 0.001
+//	khs-model -k 16 -h 0.2 -sweep 0.0006 -accel anderson -accel-window 4
 package main
 
 import (
@@ -48,6 +49,10 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 		sat    = fs.Bool("saturation", false, "locate the saturation rate by bisection")
 		worst  = fs.Bool("worst-case-entrance", false, "use the worst-case entrance policy (ablation A)")
 		paperB = fs.Bool("paper-blocking", false, "use the per-VC M/G/1 blocking form of Eq. 26 (ablation B)")
+		// Fixed-point iteration knobs (DESIGN.md §10). "none" keeps the
+		// damped baseline bit-identical to an unset flag.
+		accel    = fs.String("accel", "none", "fixed-point acceleration scheme: none, anderson, aitken")
+		accelWin = fs.Int("accel-window", 0, "Anderson mixing window, past residual differences combined per round (0 = solver default; requires -accel anderson)")
 		// Observability (DESIGN.md §7).
 		logFormat  = fs.String("log-format", "text", "structured log format for diagnostics: text or json")
 		traceOut   = fs.String("trace-out", "", "directory for per-solve convergence traces (one JSONL file per solve)")
@@ -105,6 +110,18 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 	if *paperB {
 		opts.Blocking = kncube.BlockingPaper
 	}
+	scheme, err := kncube.ParseAcceleration(*accel)
+	if err != nil {
+		return fmt.Errorf("-accel: %w", err)
+	}
+	if *accelWin < 0 {
+		return fmt.Errorf("-accel-window must be non-negative, got %d", *accelWin)
+	}
+	if *accelWin > 0 && scheme != kncube.AccelAnderson {
+		return fmt.Errorf("-accel-window is only meaningful with -accel anderson")
+	}
+	opts.FixPoint.Acceleration = scheme
+	opts.FixPoint.Window = *accelWin
 	spec := func(lam float64) kncube.ModelSpec {
 		return kncube.ModelSpec{K: *k, Dims: *n, V: *v, Lm: *lm, H: *h, Lambda: lam}
 	}

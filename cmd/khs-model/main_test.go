@@ -127,6 +127,84 @@ func TestDeprecatedAliases(t *testing.T) {
 	}
 }
 
+// TestAccelFlagBitIdentity: -accel none selects the damped baseline, whose
+// arithmetic is exactly the historical iteration — output must be
+// bit-identical to not passing the flag at all.
+func TestAccelFlagBitIdentity(t *testing.T) {
+	args := []string{"-k", "8", "-lm", "16", "-h", "0.2", "-sweep", "4e-4", "-points", "6"}
+	base, _, err := runCLI(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, _, err := runCLI(t, append([]string{"-accel", "none"}, args...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none != base {
+		t.Fatalf("-accel none output differs from the unflagged run:\n%s\nvs\n%s", none, base)
+	}
+}
+
+// TestAccelFlagReachesSameFixedPoint: the accelerated schemes must agree
+// with the damped baseline on every converged sweep point — same fixed
+// point, possibly different iteration counts.
+func TestAccelFlagReachesSameFixedPoint(t *testing.T) {
+	args := []string{"-k", "8", "-lm", "16", "-h", "0.2", "-sweep", "4e-4", "-points", "6"}
+	base, _, err := runCLI(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, accel := range [][]string{
+		{"-accel", "anderson", "-accel-window", "4"},
+		{"-accel", "aitken"},
+	} {
+		out, _, err := runCLI(t, append(accel, args...)...)
+		if err != nil {
+			t.Fatalf("%v: %v", accel, err)
+		}
+		baseLines := strings.Split(strings.TrimSpace(base), "\n")
+		accLines := strings.Split(strings.TrimSpace(out), "\n")
+		if len(accLines) != len(baseLines) {
+			t.Fatalf("%v: %d sweep lines vs %d in the baseline", accel, len(accLines), len(baseLines))
+		}
+		for i := range baseLines[1:] {
+			bf := strings.Split(baseLines[i+1], ",")
+			af := strings.Split(accLines[i+1], ",")
+			if bf[1] == "saturated" || af[1] == "saturated" {
+				if bf[1] != af[1] {
+					t.Errorf("%v: line %d saturation disagrees: %q vs %q", accel, i+1, accLines[i+1], baseLines[i+1])
+				}
+				continue
+			}
+			bl, err1 := strconv.ParseFloat(bf[1], 64)
+			al, err2 := strconv.ParseFloat(af[1], 64)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%v: bad latency fields %q / %q", accel, bf[1], af[1])
+			}
+			if diff := al - bl; diff < -0.05 || diff > 0.05 {
+				t.Errorf("%v: latency %v differs from baseline %v at lambda %s — not the same fixed point",
+					accel, al, bl, bf[0])
+			}
+		}
+	}
+}
+
+func TestAccelFlagValidation(t *testing.T) {
+	point := []string{"-k", "8", "-lm", "16", "-h", "0.1", "-lambda", "1e-4"}
+	for _, tc := range []struct {
+		name  string
+		extra []string
+	}{
+		{"unknown scheme", []string{"-accel", "psychic"}},
+		{"negative window", []string{"-accel", "anderson", "-accel-window", "-1"}},
+		{"window without anderson", []string{"-accel-window", "3"}},
+	} {
+		if _, _, err := runCLI(t, append(tc.extra, point...)...); err == nil {
+			t.Errorf("%s (%v) accepted", tc.name, tc.extra)
+		}
+	}
+}
+
 func TestModelAliasConflict(t *testing.T) {
 	if _, _, err := runCLI(t, "-uniform", "-model", "hotspot-2d", "-lambda", "1e-4"); err == nil {
 		t.Fatal("conflicting -uniform and -model should fail")

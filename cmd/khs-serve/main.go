@@ -33,6 +33,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -63,6 +64,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 		sweepJobs    = fs.Int("sweep-jobs", 0, "default worker-pool size per sweep job (0 = NumCPU)")
 		maxSweeps    = fs.Int("max-sweeps", 2, "concurrently-running sweep jobs before shedding")
 		drainTimeout = fs.Duration("drain-timeout", 60*time.Second, "how long shutdown waits for running sweep jobs")
+		surfaceDir   = fs.String("surface-dir", "", "persist built latency surfaces here and load them at startup")
+		surfaceErr   = fs.Float64("surface-max-error", 0, "auto-mode interpolation error-estimate threshold (0 = default 0.01, negative disables)")
+		shardID      = fs.String("shard-id", "", "this replica's name on the consistent-hash surface ring")
+		shardPeers   = fs.String("shard-peers", "", "comma-separated ring membership (surface builds for shapes owned elsewhere are refused with 421)")
 		logFormat    = fs.String("log-format", "text", "structured log format: text or json")
 		spanOut      = fs.String("span-out", "", "append kept traces as JSONL span records to this file")
 		traceBuffer  = fs.Int("trace-buffer", 0, "traces retained for GET /v1/traces/{id} (0 = default 256)")
@@ -90,18 +95,37 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready fun
 		spanFile, spanSink = f, f
 	}
 
+	var peers []string
+	for _, p := range strings.Split(*shardPeers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	if len(peers) > 0 && *shardID == "" {
+		return fmt.Errorf("-shard-peers requires -shard-id (this replica's own ring name)")
+	}
+
 	srv := serve.New(serve.Config{
 		MaxInflight:        *maxInflight,
 		CacheSize:          *cacheSize,
 		RequestTimeout:     *reqTimeout,
 		SweepJobs:          *sweepJobs,
 		MaxActiveSweeps:    *maxSweeps,
+		SurfaceDir:         *surfaceDir,
+		SurfaceMaxError:    *surfaceErr,
+		ShardID:            *shardID,
+		ShardPeers:         peers,
 		Logger:             logger,
 		TraceExport:        spanSink,
 		TraceBuffer:        *traceBuffer,
 		SlowTraceThreshold: *traceSlow,
 		TraceKeepRatio:     *traceRatio,
 	})
+	if n, err := srv.LoadSurfaces(); err != nil {
+		return fmt.Errorf("loading surfaces from %s: %w", *surfaceDir, err)
+	} else if n > 0 {
+		logger.Info("surfaces loaded", "dir", *surfaceDir, "count", n)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -56,6 +56,8 @@ func TestLintGateCoversObservabilityPackages(t *testing.T) {
 		"kncube/internal/sim",
 		"kncube/internal/experiments",
 		"kncube/internal/serve",
+		"kncube/internal/surface",
+		"kncube/internal/surface/shard",
 		"kncube/internal/analysis",
 		"kncube/internal/analysis/callgraph",
 		"kncube/internal/analysis/passes/ctxflow",

@@ -28,8 +28,8 @@ var Analyzer = &analysis.Analyzer{
 Names passed to telemetry Registry constructors (Counter, Gauge,
 Histogram, Timer) must be compile-time constant strings matching
 khs_<layer>_..._<unit> with a known layer (sim, model, sweep, serve,
-fixpoint, runtime) and a known unit suffix (total, seconds, second,
-cycles, ratio, size, entries, solves, sweeps, depth, channel,
+surface, fixpoint, runtime) and a known unit suffix (total, seconds, second,
+cycles, ratio, size, entries, solves, sweeps, surfaces, depth, channel,
 iterations, residual, bytes, goroutines, info). The <name> segment may
 be empty when the layer and unit say it all (khs_runtime_goroutines).
 Each name may be registered at one production call site only, and
@@ -47,6 +47,7 @@ var layers = map[string]bool{
 	"model":    true,
 	"sweep":    true,
 	"serve":    true,
+	"surface":  true,
 	"fixpoint": true,
 	"runtime":  true,
 }
@@ -64,6 +65,7 @@ var unitSuffixes = map[string]bool{
 	"entries":    true,
 	"solves":     true,
 	"sweeps":     true,
+	"surfaces":   true,
 	"depth":      true,
 	"channel":    true,
 	"iterations": true,
@@ -138,7 +140,7 @@ func checkConvention(pass *analysis.ProgramPass, pos token.Pos, name string) {
 	}
 	segs := splitSegments(name)
 	if !layers[segs[1]] {
-		pass.Reportf(pos, "metric name %q uses unknown layer %q (want one of sim, model, sweep, serve, fixpoint, runtime)", name, segs[1])
+		pass.Reportf(pos, "metric name %q uses unknown layer %q (want one of sim, model, sweep, serve, surface, fixpoint, runtime)", name, segs[1])
 	}
 	if last := segs[len(segs)-1]; !unitSuffixes[last] {
 		pass.Reportf(pos, "metric name %q uses unknown unit suffix %q (see the metricname analyzer doc for the vocabulary)", name, last)

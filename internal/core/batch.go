@@ -1,5 +1,10 @@
 package core
 
+import (
+	"errors"
+	"fmt"
+)
+
 // Prepared solves and the batch driver. A PreparedSolver is a validated,
 // Prepare()d solver instance plus a reusable state buffer: re-solving it
 // for a new offered load costs only SetLambda (a rate recomputation) and
@@ -86,6 +91,58 @@ type BatchOptions struct {
 type BatchItem struct {
 	Result *SolveResult
 	Err    error
+}
+
+// GridOptions configure SolveLambdas.
+type GridOptions struct {
+	BatchOptions
+	// StopAtSaturation marks every load beyond the first saturated one as
+	// saturated without solving it. The models' latency is monotone in the
+	// offered load, so once a λ saturates every larger λ of the same shape
+	// saturates too; skipping them avoids paying the full iteration budget
+	// (the most expensive failure mode — up to MaxIterations rounds) once
+	// per point beyond the frontier. The skipped items' Err wraps
+	// ErrSaturated like a solved saturation would.
+	StopAtSaturation bool
+}
+
+// SolveLambdas solves one topology shape across an ascending grid of
+// offered loads — the access pattern of sweeps and latency-surface builds.
+// The shape (every Spec field but Lambda) is validated and prepared once;
+// shape.Lambda is ignored. Items map 1:1 onto lambdas, in order. A shape
+// that fails validation fails the call (there is nothing per-item about
+// it); per-load failures land in their item like SolveBatch.
+func SolveLambdas(name string, shape Spec, lambdas []float64, o GridOptions) ([]BatchItem, error) {
+	if len(lambdas) == 0 {
+		return nil, fieldErrf("lambda", "core: SolveLambdas needs at least one load")
+	}
+	for i := 1; i < len(lambdas); i++ {
+		if !(lambdas[i] > lambdas[i-1]) {
+			return nil, fieldErrf("lambda", "core: SolveLambdas loads must be strictly ascending (index %d: %v after %v)",
+				i, lambdas[i], lambdas[i-1])
+		}
+	}
+	shape.Lambda = lambdas[0]
+	ps, err := Prepare(name, shape, o.Options)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]BatchItem, len(lambdas))
+	for i, lam := range lambdas {
+		if o.WarmStart {
+			items[i].Result, items[i].Err = ps.SolveWarm(lam)
+		} else {
+			items[i].Result, items[i].Err = ps.Solve(lam)
+		}
+		if o.StopAtSaturation && errors.Is(items[i].Err, ErrSaturated) {
+			for j := i + 1; j < len(lambdas); j++ {
+				items[j].Err = fmt.Errorf("%w: beyond the saturation frontier (lambda %v saturated)",
+					ErrSaturated, lam)
+			}
+			break
+		}
+	}
+	return items, nil
 }
 
 // SolveBatch solves many specs of one model variant, validating and

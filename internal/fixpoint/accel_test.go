@@ -134,6 +134,27 @@ func TestAccelerationOptionValidation(t *testing.T) {
 	}
 }
 
+func TestParseAcceleration(t *testing.T) {
+	for name, want := range map[string]Acceleration{
+		"": AccelNone, "none": AccelNone,
+		"anderson": AccelAnderson, "aitken": AccelAitken,
+	} {
+		got, err := ParseAcceleration(name)
+		if err != nil || got != want {
+			t.Errorf("ParseAcceleration(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseAcceleration("psychic"); err == nil {
+		t.Error("ParseAcceleration accepted an unknown scheme")
+	}
+	// Parse and String round-trip so flag defaults and diagnostics agree.
+	for _, a := range []Acceleration{AccelNone, AccelAnderson, AccelAitken} {
+		if got, err := ParseAcceleration(a.String()); err != nil || got != a {
+			t.Errorf("round-trip %v: got %v, %v", a, got, err)
+		}
+	}
+}
+
 func TestAccelerationPreservesCancellation(t *testing.T) {
 	// The accelerated paths must not swallow map errors unrelated to
 	// extrapolation: an error on a round that did not follow an accelerated

@@ -46,6 +46,37 @@ const (
 	AccelAitken
 )
 
+// String returns the scheme's canonical name as accepted by
+// ParseAcceleration ("none", "anderson", "aitken").
+func (a Acceleration) String() string {
+	switch a {
+	case AccelNone:
+		return "none"
+	case AccelAnderson:
+		return "anderson"
+	case AccelAitken:
+		return "aitken"
+	default:
+		return fmt.Sprintf("acceleration(%d)", int(a))
+	}
+}
+
+// ParseAcceleration maps a scheme name to its Acceleration value. The
+// empty string and "none" both select AccelNone, so an unset flag or
+// API field means the bit-identical damped baseline.
+func ParseAcceleration(name string) (Acceleration, error) {
+	switch name {
+	case "", "none":
+		return AccelNone, nil
+	case "anderson":
+		return AccelAnderson, nil
+	case "aitken":
+		return AccelAitken, nil
+	default:
+		return AccelNone, fmt.Errorf("fixpoint: unknown acceleration scheme %q (none, anderson, aitken)", name)
+	}
+}
+
 // TraceRecord describes one substitution round; see Options.Trace.
 type TraceRecord struct {
 	// Iteration is the 1-based round index.

@@ -13,6 +13,10 @@
 //	POST   /v1/solve:batch  many specs, one model → per-item results
 //	POST   /v1/sweeps       async sweep job    → 202 + job id
 //	GET    /v1/sweeps/{id}  job status, progress, per-point results
+//	POST   /v1/surfaces     async surface build job → 202 + job id
+//	GET    /v1/surfaces     surface inventory + shard membership
+//	GET    /v1/surfaces/{id} build-job status or one surface's summary
+//	GET    /v1/models       registered solver names + spec constraints
 //	GET    /v1/traces/{id}  retained span tree of one trace (debug)
 //	GET    /v1/version      build identity (module version, VCS revision)
 //	DELETE /v1/sweeps/{id}  cancel a running job
@@ -72,6 +76,37 @@ type SolveOptions struct {
 	// AndersonWindow is the Anderson mixing depth (0 selects the library
 	// default). Only meaningful with acceleration "anderson".
 	AndersonWindow int `json:"anderson_window,omitempty"`
+	// Mode selects how the answer is produced: "exact" (the solver, today's
+	// default), "surface" (interpolate from a precomputed latency surface,
+	// falling back to the exact solver only near the saturation frontier or
+	// outside the grid), or "auto" (interpolate when a covering surface
+	// exists and its error estimate is under the server threshold, else
+	// solve exactly). Mode is a serving decision, not a model knob: it never
+	// enters the solve cache key, and interpolated answers bypass the cache.
+	Mode string `json:"mode,omitempty"`
+}
+
+// Serving modes for SolveOptions.Mode.
+const (
+	ModeExact   = "exact"
+	ModeSurface = "surface"
+	ModeAuto    = "auto"
+)
+
+// mode resolves the serving mode ("" selects ModeExact), reporting unknown
+// names as a FieldIssue.
+func (o *SolveOptions) mode() (string, *FieldIssue) {
+	if o == nil {
+		return ModeExact, nil
+	}
+	switch o.Mode {
+	case "", ModeExact:
+		return ModeExact, nil
+	case ModeSurface, ModeAuto:
+		return o.Mode, nil
+	}
+	return "", &FieldIssue{Field: "options.mode",
+		Reason: fmt.Sprintf("unknown serving mode %q (exact, surface, auto)", o.Mode)}
 }
 
 // toCore maps the JSON option names onto core.Options, reporting unknown
@@ -146,13 +181,22 @@ func (o *SolveOptions) toCore() (core.Options, *FieldIssue) {
 type SolveResponse struct {
 	Model string `json:"model"`
 	// Cache reports how the solve was satisfied: "hit" (served from the
-	// LRU), "coalesced" (attached to an identical in-flight solve), or
-	// "miss" (computed here).
+	// LRU), "coalesced" (attached to an identical in-flight solve), "miss"
+	// (computed here), or "bypass" (interpolated from a surface — the solve
+	// cache was never consulted).
 	Cache     string `json:"cache"`
 	Saturated bool   `json:"saturated,omitempty"`
 	// Detail carries the saturation message when Saturated.
 	Detail string       `json:"detail,omitempty"`
 	Result *SolveResult `json:"result,omitempty"`
+	// Source reports where the numbers came from: "exact" (the solver) or
+	// "surface" (interpolated from a precomputed latency surface).
+	Source string `json:"source,omitempty"`
+	// SurfaceID and ErrorEstimate are set on surface-interpolated answers:
+	// the inventory id the answer came from and its relative
+	// interpolation-error estimate on the total latency.
+	SurfaceID     string  `json:"surface_id,omitempty"`
+	ErrorEstimate float64 `json:"error_estimate,omitempty"`
 }
 
 // SolveResult is the latency decomposition of a successful solve, mirroring
@@ -220,6 +264,12 @@ type BatchSolveItem struct {
 	Detail    string       `json:"detail,omitempty"`
 	Fields    []FieldIssue `json:"fields,omitempty"`
 	Result    *SolveResult `json:"result,omitempty"`
+	// Source, SurfaceID and ErrorEstimate mirror SolveResponse: per item,
+	// "surface" marks an interpolated answer and names the surface it came
+	// from; "exact" marks a solver answer (including mode-driven fallbacks).
+	Source        string  `json:"source,omitempty"`
+	SurfaceID     string  `json:"surface_id,omitempty"`
+	ErrorEstimate float64 `json:"error_estimate,omitempty"`
 }
 
 // toAPIResult maps a core solve result onto the JSON result shape shared by
@@ -298,6 +348,95 @@ type SweepPoint struct {
 	SimCI          float64  `json:"sim_ci95"`
 	SimSaturated   bool     `json:"sim_saturated"`
 	SimMeasured    int64    `json:"sim_measured"`
+}
+
+// SurfaceRequest is the POST /v1/surfaces body: build one latency surface
+// — a solved (λ, h) grid for one topology shape — as an async job. The
+// grid axes must be strictly ascending; λ axes may extend past the
+// saturation frontier (saturated cells are masked, not solved).
+type SurfaceRequest struct {
+	// Model is a registry name (core.Solvers); empty selects "hotspot-2d".
+	Model string `json:"model,omitempty"`
+	// K, Dims, V, Lm fix the topology shape (H and Lambda come from the
+	// grid axes instead).
+	K    int `json:"k,omitempty"`
+	Dims int `json:"dims,omitempty"`
+	V    int `json:"v,omitempty"`
+	Lm   int `json:"lm,omitempty"`
+	// Hs is the hot-spot-fraction axis (each in [0, 1), ascending).
+	Hs []float64 `json:"hs"`
+	// Lambdas is the offered-load axis (each > 0, ascending, ≥ 2 points).
+	Lambdas []float64 `json:"lambdas"`
+	// Options select the result-affecting model knobs baked into the
+	// surface, plus the fixed-point knobs used while building. Mode is
+	// meaningless here and rejected.
+	Options *SolveOptions `json:"options,omitempty"`
+}
+
+// SurfaceStatus is the build-job view returned by POST /v1/surfaces (202)
+// and GET /v1/surfaces/{id} for build-job ids.
+type SurfaceStatus struct {
+	ID string `json:"id"`
+	// Key is the surface shape key (model|k|dims|v|lm|options) the shard
+	// ring assigns ownership by.
+	Key   string `json:"key"`
+	Model string `json:"model"`
+	// State is "running", "done", "failed" or "cancelled".
+	State string `json:"state"`
+	// Done and Total count grid points solved (masked saturated cells
+	// count as done — the builder skips, not solves, them).
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// SurfaceID names the inventory entry once State is "done"; Path is
+	// where it was persisted (empty without -surface-dir).
+	SurfaceID string `json:"surface_id,omitempty"`
+	Path      string `json:"path,omitempty"`
+	Error     string `json:"error,omitempty"`
+	TraceID   string `json:"trace_id,omitempty"`
+}
+
+// SurfaceList is the GET /v1/surfaces body: the replica's surface
+// inventory plus its shard-ring membership (absent when unsharded).
+type SurfaceList struct {
+	Shard    *ShardInfo    `json:"shard,omitempty"`
+	Surfaces []SurfaceInfo `json:"surfaces"`
+}
+
+// ShardInfo describes the consistent-hash ring this replica serves in.
+type ShardInfo struct {
+	Self  string   `json:"self"`
+	Nodes []string `json:"nodes"`
+}
+
+// SurfaceInfo summarizes one stored surface.
+type SurfaceInfo struct {
+	ID    string `json:"id"`
+	Key   string `json:"key"`
+	Model string `json:"model"`
+	// HMin..HMax and LambdaMin..LambdaMax are the grid's query coverage.
+	HMin      float64 `json:"h_min"`
+	HMax      float64 `json:"h_max"`
+	LambdaMin float64 `json:"lambda_min"`
+	LambdaMax float64 `json:"lambda_max"`
+	// Points is the grid size; Saturated counts cells beyond the
+	// saturation frontier (masked, answered by exact-solve fallback).
+	Points    int    `json:"points"`
+	Saturated int    `json:"saturated"`
+	Path      string `json:"path,omitempty"`
+}
+
+// ModelsResponse is the GET /v1/models body: every registered solver with
+// its spec constraints, so clients can discover what a solve or surface
+// request may reference.
+type ModelsResponse struct {
+	Models []ModelInfo `json:"models"`
+}
+
+// ModelInfo is one registered solver variant. Constraints are harvested
+// from the variant's own validation metadata (core.Constraints).
+type ModelInfo struct {
+	Name        string            `json:"name"`
+	Constraints []core.Constraint `json:"constraints"`
 }
 
 // FieldIssue is one structured validation failure: the request field at

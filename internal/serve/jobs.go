@@ -20,34 +20,47 @@ const (
 	JobCancelled = "cancelled"
 )
 
+// Job kinds. The store hosts both async job families behind one cap and
+// one retention policy; kind routes ids, metrics, and API views.
+const (
+	jobKindSweep   = "sweep"
+	jobKindSurface = "surface"
+)
+
 var (
-	// errTooManySweeps sheds sweep submissions beyond the active-job cap.
-	errTooManySweeps = errors.New("serve: active sweep job limit reached")
+	// errTooManyJobs sheds submissions beyond the active-job cap (shared
+	// by sweeps and surface builds).
+	errTooManyJobs = errors.New("serve: active async job limit reached")
 	// errDraining rejects work while the server shuts down.
 	errDraining = errors.New("serve: server is draining")
 )
 
-// job is one async sweep: identity, live progress, and — once terminal —
-// the swept points or the failure. All mutable fields are guarded by mu;
-// finished closes exactly once when the job goroutine exits.
+// job is one async unit of work — a sweep or a surface build: identity,
+// live progress, and — once terminal — the results or the failure. All
+// mutable fields are guarded by mu; finished closes exactly once when the
+// job goroutine exits.
 type job struct {
 	id    string
-	panel string
+	kind  string
+	panel string // sweep jobs: the figure panel id
+	key   string // surface jobs: the shape key being built
 	model string
 
 	cancel   context.CancelFunc
 	finished chan struct{}
 
-	mu      sync.Mutex
-	state   string
-	done    int
-	total   int
-	points  []SweepPoint
-	errMsg  string
-	traceID string
+	mu        sync.Mutex
+	state     string
+	done      int
+	total     int
+	points    []SweepPoint
+	surfaceID string // surface jobs: inventory id once done
+	path      string // surface jobs: persistence path, when persisted
+	errMsg    string
+	traceID   string
 }
 
-// status snapshots the job for the API.
+// status snapshots a sweep job for the API.
 func (j *job) status() SweepStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -62,7 +75,19 @@ func (j *job) status() SweepStatus {
 	return st
 }
 
-// jobStore owns every sweep job: launch, lookup, cancellation, and the
+// surfaceStatus snapshots a surface-build job for the API.
+func (j *job) surfaceStatus() SurfaceStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return SurfaceStatus{
+		ID: j.id, Key: j.key, Model: j.model,
+		State: j.state, Done: j.done, Total: j.total,
+		SurfaceID: j.surfaceID, Path: j.path,
+		Error: j.errMsg, TraceID: j.traceID,
+	}
+}
+
+// jobStore owns every async job: launch, lookup, cancellation, and the
 // graceful-shutdown drain. Terminal jobs are retained (bounded by
 // maxStored, oldest-first pruning) so clients can fetch results after
 // completion.
@@ -74,12 +99,12 @@ type jobStore struct {
 	seq      int
 	jobs     map[string]*job
 	order    []string // insertion order, for pruning
-	active   int
+	active   map[string]int
 	draining bool
 	wg       sync.WaitGroup
 
-	jobsTotal  func(state string) *telemetry.Counter
-	activeJobs *telemetry.Gauge
+	jobsTotal  func(kind, state string) *telemetry.Counter
+	activeJobs func(kind string) *telemetry.Gauge
 	tracer     *span.Tracer
 	log        *slog.Logger
 }
@@ -89,21 +114,41 @@ func newJobStore(maxActive, maxStored int, reg *telemetry.Registry, tracer *span
 		maxActive: maxActive,
 		maxStored: maxStored,
 		jobs:      make(map[string]*job),
+		active:    make(map[string]int),
 		tracer:    tracer,
 		log:       log,
 	}
-	st.jobsTotal = func(state string) *telemetry.Counter {
+	st.jobsTotal = func(kind, state string) *telemetry.Counter {
+		if kind == jobKindSurface {
+			return reg.Counter("khs_serve_surface_jobs_total",
+				"surface build jobs by terminal state", telemetry.Labels{"state": state})
+		}
 		return reg.Counter("khs_serve_sweep_jobs_total",
 			"sweep jobs by terminal state", telemetry.Labels{"state": state})
 	}
-	st.activeJobs = reg.Gauge("khs_serve_active_sweeps", "sweep jobs currently running", nil)
+	st.activeJobs = func(kind string) *telemetry.Gauge {
+		if kind == jobKindSurface {
+			return reg.Gauge("khs_serve_active_surfaces", "surface build jobs currently running", nil)
+		}
+		return reg.Gauge("khs_serve_active_sweeps", "sweep jobs currently running", nil)
+	}
 	return st
 }
 
-// launch starts sw over panels as a new job under parent (the server's
-// lifetime context; per-job cancellation is layered on top). It fails fast
-// with errTooManySweeps or errDraining instead of queueing. link ties the
-// job's fresh trace back to the originating request's span.
+// idPrefix separates each kind's id namespace. Surface build jobs use
+// "build-" so their ids never collide with the surface inventory's
+// "surface-" ids in the shared GET /v1/surfaces/{id} route.
+func idPrefix(kind string) string {
+	if kind == jobKindSurface {
+		return "build"
+	}
+	return "sweep"
+}
+
+// launch starts sw over panels as a new sweep job under parent (the
+// server's lifetime context; per-job cancellation is layered on top). It
+// fails fast with errTooManyJobs or errDraining instead of queueing. link
+// ties the job's fresh trace back to the originating request's span.
 func (st *jobStore) launch(parent context.Context, sw experiments.Sweep, panels []experiments.Panel, model string, link span.Parent) (*job, error) {
 	reps := sw.Reps
 	if reps <= 0 {
@@ -113,66 +158,88 @@ func (st *jobStore) launch(parent context.Context, sw experiments.Sweep, panels 
 	for _, p := range panels {
 		total += len(p.Lambdas) * reps
 	}
+	j := &job{kind: jobKindSweep, panel: panels[0].ID, model: model, total: total}
+	return st.launchJob(parent, j, link, func(ctx context.Context, j *job) error {
+		sw.Progress = func(p experiments.SweepProgress) {
+			j.mu.Lock()
+			j.done = p.Done
+			j.total = p.Total
+			j.mu.Unlock()
+		}
+		res, err := sw.RunPanels(ctx, panels)
+		if err != nil {
+			return err
+		}
+		j.mu.Lock()
+		for _, pr := range res {
+			j.points = append(j.points, toSweepPoints(pr.Points)...)
+		}
+		j.mu.Unlock()
+		return nil
+	})
+}
 
+// launchJob registers j (its kind, labels and total already set), roots
+// the job's own linked trace, and runs run on a fresh goroutine under a
+// cancellable child of parent. run's error decides the terminal state:
+// nil → done, a cancellation error with the job context cancelled →
+// cancelled, anything else → failed. Every job outlives its originating
+// request, so it roots a fresh trace carrying a link back to the request
+// span; spans the work starts nest under it.
+func (st *jobStore) launchJob(parent context.Context, j *job, link span.Parent, run func(ctx context.Context, j *job) error) (*job, error) {
 	st.mu.Lock()
 	if st.draining {
 		st.mu.Unlock()
 		return nil, errDraining
 	}
-	if st.active >= st.maxActive {
+	totalActive := 0
+	for _, n := range st.active {
+		totalActive += n
+	}
+	if totalActive >= st.maxActive {
 		st.mu.Unlock()
-		return nil, errTooManySweeps
+		return nil, errTooManyJobs
 	}
 	st.seq++
 	ctx, cancel := context.WithCancel(parent)
-	j := &job{
-		id:       fmt.Sprintf("sweep-%06d", st.seq),
-		panel:    panels[0].ID,
-		model:    model,
-		cancel:   cancel,
-		finished: make(chan struct{}),
-		state:    JobRunning,
-		total:    total,
-	}
+	j.id = fmt.Sprintf("%s-%06d", idPrefix(j.kind), st.seq)
+	j.cancel = cancel
+	j.finished = make(chan struct{})
+	j.state = JobRunning
 	st.jobs[j.id] = j
 	st.order = append(st.order, j.id)
-	st.active++
-	st.activeJobs.Set(float64(st.active))
+	st.active[j.kind]++
+	st.activeJobs(j.kind).Set(float64(st.active[j.kind]))
 	st.wg.Add(1)
 	st.mu.Unlock()
 
-	sw.Progress = func(p experiments.SweepProgress) {
-		j.mu.Lock()
-		j.done = p.Done
-		j.total = p.Total
-		j.mu.Unlock()
+	// The subject attribute is the kind-specific identity: the swept
+	// panel, or the surface shape key being built.
+	subject := j.panel
+	subjectKey := "panel"
+	if j.kind == jobKindSurface {
+		subject, subjectKey = j.key, "key"
 	}
-
-	// The job outlives its originating request, so it roots a fresh trace
-	// carrying a link back to the request span; every (panel, λ, rep)
-	// simulation span the sweep engine starts nests under it.
-	jctx, jspan := st.tracer.StartLinked(ctx, "sweep.job", link,
-		span.String("sweep_id", j.id),
-		span.String("panel", j.panel),
-		span.String("model", model))
+	jctx, jspan := st.tracer.StartLinked(ctx, j.kind+".job", link,
+		span.String(j.kind+"_id", j.id),
+		span.String(subjectKey, subject),
+		span.String("model", j.model))
 	j.mu.Lock()
 	j.traceID = jspan.TraceID().String()
+	total := j.total
 	j.mu.Unlock()
-	st.log.Info("sweep job started",
-		"sweep_id", j.id, "panel", j.panel, "model", model, "total", total,
+	st.log.Info(j.kind+" job started",
+		j.kind+"_id", j.id, subjectKey, subject, "model", j.model, "total", total,
 		"trace_id", jspan.TraceID().String(), "span_id", jspan.SpanID().String())
 
 	go func() {
 		defer st.wg.Done()
-		res, err := sw.RunPanels(jctx, panels)
+		err := run(jctx, j)
 		j.mu.Lock()
 		switch {
 		case err == nil:
 			j.state = JobDone
 			j.done = j.total
-			for _, pr := range res {
-				j.points = append(j.points, toSweepPoints(pr.Points)...)
-			}
 		case isCancellation(err) && ctx.Err() != nil:
 			j.state = JobCancelled
 			j.errMsg = err.Error()
@@ -190,16 +257,16 @@ func (st *jobStore) launch(parent context.Context, sw experiments.Sweep, panels 
 			jspan.Keep("job-failed")
 		}
 		jspan.End()
-		st.log.Info("sweep job finished",
-			"sweep_id", j.id, "panel", j.panel, "model", model, "state", state,
+		st.log.Info(j.kind+" job finished",
+			j.kind+"_id", j.id, subjectKey, subject, "model", j.model, "state", state,
 			"trace_id", jspan.TraceID().String(), "span_id", jspan.SpanID().String())
 
 		st.mu.Lock()
-		st.active--
-		st.activeJobs.Set(float64(st.active))
+		st.active[j.kind]--
+		st.activeJobs(j.kind).Set(float64(st.active[j.kind]))
 		st.prune()
 		st.mu.Unlock()
-		st.jobsTotal(state).Inc()
+		st.jobsTotal(j.kind, state).Inc()
 	}()
 	return j, nil
 }

@@ -16,6 +16,9 @@ import (
 
 	"kncube/internal/core"
 	"kncube/internal/experiments"
+	"kncube/internal/stats"
+	"kncube/internal/surface"
+	"kncube/internal/surface/shard"
 	"kncube/internal/telemetry"
 	"kncube/internal/telemetry/span"
 )
@@ -36,12 +39,27 @@ type Config struct {
 	// SweepJobs is the default worker-pool size of each sweep job.
 	// Default NumCPU.
 	SweepJobs int
-	// MaxActiveSweeps bounds concurrently-running sweep jobs; submissions
-	// beyond it are shed with 429. Default 2.
+	// MaxActiveSweeps bounds concurrently-running async jobs (sweeps and
+	// surface builds share the cap); submissions beyond it are shed with
+	// 429. Default 2.
 	MaxActiveSweeps int
 	// MaxStoredSweeps bounds retained terminal jobs (oldest pruned).
 	// Default 256.
 	MaxStoredSweeps int
+	// SurfaceDir persists built latency surfaces and is loaded back by
+	// LoadSurfaces at startup. Empty keeps surfaces in memory only.
+	SurfaceDir string
+	// SurfaceMaxError is the auto-mode interpolation error-estimate
+	// threshold: auto-mode solves interpolate only when the surface's
+	// estimate is below it, else solve exactly. Default 0.01 (1%);
+	// negative disables the bound.
+	SurfaceMaxError float64
+	// ShardID and ShardPeers configure the consistent-hash surface ring:
+	// this replica's name and the full fleet membership. Surface builds
+	// for shapes another replica owns are refused with 421 and the owner's
+	// name. Empty ShardID (with no peers) owns every shape.
+	ShardID    string
+	ShardPeers []string
 	// Registry receives the khs_serve_* metric set and serves GET /metrics.
 	// Default: a fresh registry.
 	Registry *telemetry.Registry
@@ -85,6 +103,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxStoredSweeps == 0 {
 		c.MaxStoredSweeps = 256
 	}
+	if stats.IsZero(c.SurfaceMaxError) {
+		c.SurfaceMaxError = 0.01
+	}
 	if c.Registry == nil {
 		c.Registry = telemetry.NewRegistry()
 	}
@@ -111,6 +132,8 @@ type Server struct {
 	traces   *span.RingExporter
 	cache    *solveCache
 	jobs     *jobStore
+	surfaces *surface.Store
+	ring     *shard.Ring
 	slots    chan struct{}
 	inflight *telemetry.Gauge
 	draining atomic.Bool
@@ -142,6 +165,8 @@ func New(cfg Config) *Server {
 		},
 	})
 	s.jobs = newJobStore(cfg.MaxActiveSweeps, cfg.MaxStoredSweeps, cfg.Registry, s.tracer, s.log)
+	s.surfaces = surface.NewStore(cfg.Registry)
+	s.ring = shard.New(cfg.ShardID, cfg.ShardPeers, 0)
 	s.inflight = s.reg.Gauge("khs_serve_inflight_solves", "solves currently admitted", nil)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	registerBuildInfo(s.reg)
@@ -153,6 +178,10 @@ func New(cfg Config) *Server {
 	s.route("POST /v1/sweeps", s.handleSweepCreate)
 	s.route("GET /v1/sweeps/{id}", s.handleSweepGet)
 	s.route("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
+	s.route("POST /v1/surfaces", s.handleSurfaceCreate)
+	s.route("GET /v1/surfaces", s.handleSurfaceList)
+	s.route("GET /v1/surfaces/{id}", s.handleSurfaceGet)
+	s.route("GET /v1/models", s.handleModels)
 	s.route("GET /v1/traces/{id}", s.handleTraceGet)
 	s.route("GET /v1/version", s.handleVersion)
 	s.route("GET /healthz", s.handleHealthz)
@@ -268,6 +297,14 @@ func decodeStrict(r *http.Request, v any) error {
 // handleSolve is POST /v1/solve: validate (reusing Solver.Validate through
 // the registry factory), admit, and answer through the solve cache with
 // the request deadline plumbed into the fixed-point iteration.
+// countSolve records one answered /v1/solve outcome. It is the single
+// registration site for khs_serve_solves_total: exact solves and
+// interpolated surface hits both count here.
+func (s *Server) countSolve(model, outcome string) {
+	s.reg.Counter("khs_serve_solves_total", "solve requests by model and outcome",
+		telemetry.Labels{"model": model, "outcome": outcome}).Inc()
+}
+
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var req SolveRequest
 	if err := decodeStrict(r, &req); err != nil {
@@ -279,6 +316,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		model = experiments.DefaultModel
 	}
 	opts, issue := req.Options.toCore()
+	if issue != nil {
+		writeFieldIssues(w, *issue)
+		return
+	}
+	mode, issue := req.Options.mode()
 	if issue != nil {
 		writeFieldIssues(w, *issue)
 		return
@@ -298,6 +340,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if err := sol.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
+	}
+
+	// Surface modes try the interpolated path first — a hit answers in
+	// microseconds without an admission slot, a cache entry, or a solver
+	// iteration. A refusal (no surface, near-frontier, out-of-grid, or an
+	// estimate above threshold) falls through to the exact path below.
+	if mode != ModeExact {
+		if s.answerFromSurface(w, r, mode, model, spec, opts) {
+			return
+		}
 	}
 
 	if !s.admit(w, r) {
@@ -344,19 +396,18 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	case err != nil:
 		outcome = "error"
 	}
-	s.reg.Counter("khs_serve_solves_total", "solve requests by model and outcome",
-		telemetry.Labels{"model": model, "outcome": outcome}).Inc()
+	s.countSolve(model, outcome)
 
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, SolveResponse{
-			Model: model, Cache: how, Result: toAPIResult(res),
+			Model: model, Cache: how, Source: ModeExact, Result: toAPIResult(res),
 		})
 	case errors.Is(err, core.ErrSaturated):
 		// Saturation is the model's answer, not a failure: the configuration
 		// has no finite latency at this load.
 		writeJSON(w, http.StatusOK, SolveResponse{
-			Model: model, Cache: how, Saturated: true, Detail: err.Error(),
+			Model: model, Cache: how, Source: ModeExact, Saturated: true, Detail: err.Error(),
 		})
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout,
@@ -398,6 +449,11 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opts, issue := req.Options.toCore()
+	if issue != nil {
+		writeFieldIssues(w, *issue)
+		return
+	}
+	mode, issue := req.Options.mode()
 	if issue != nil {
 		writeFieldIssues(w, *issue)
 		return
@@ -461,11 +517,20 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 			itemOutcome("invalid")
 			continue
 		}
+		// Surface modes answer covered items by interpolation; refusals
+		// fall through to the exact path (except a surface-mode item whose
+		// shape has no surface at all, which is the item's error).
+		if mode != ModeExact {
+			if done := s.batchItemFromSurface(item, mode, model, spec, opts, itemOutcome); done {
+				continue
+			}
+		}
 		res, how, err := s.cache.do(ctx, solveKey(model, spec, opts),
 			func(ctx context.Context) (*core.SolveResult, error) {
 				return runner.solve(ctx, spec)
 			})
 		item.Cache = how
+		item.Source = ModeExact
 		switch {
 		case err == nil:
 			item.Status = "ok"
@@ -562,7 +627,7 @@ func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 	link := span.Parent{TraceID: rs.TraceID(), SpanID: rs.SpanID()}
 	j, err := s.jobs.launch(s.baseCtx, sw, []experiments.Panel{panel}, model, link)
 	switch {
-	case errors.Is(err, errTooManySweeps):
+	case errors.Is(err, errTooManyJobs):
 		s.shed(w, http.StatusTooManyRequests, "sweep-cap")
 		return
 	case errors.Is(err, errDraining):
@@ -576,10 +641,11 @@ func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, j.status())
 }
 
-// handleSweepGet is GET /v1/sweeps/{id}.
+// handleSweepGet is GET /v1/sweeps/{id}. Surface-build jobs live at
+// /v1/surfaces/{id}, so a non-sweep id is a 404 here.
 func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
-	if !ok {
+	if !ok || j.kind != jobKindSweep {
 		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown sweep job %q", r.PathValue("id")))
 		return
 	}
@@ -591,7 +657,7 @@ func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
 // current status.
 func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
-	if !ok {
+	if !ok || j.kind != jobKindSweep {
 		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown sweep job %q", r.PathValue("id")))
 		return
 	}

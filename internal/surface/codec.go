@@ -1,0 +1,227 @@
+package surface
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// On-disk format, version 1. All integers little-endian:
+//
+//	offset  size         field
+//	0       4            magic "KHSF"
+//	4       4            uint32 format version (currently 1)
+//	8       4            uint32 header length N
+//	12      N            JSON-encoded Def
+//	12+N    5·nh·nl·8    value grids (latency, regular, hot, source
+//	                     wait, vbar), row-major float64 bits
+//	...     nh·nl        saturation mask, one byte per cell (0 or 1)
+//	...     8            uint64 FNV-64a checksum of everything above
+//
+// Saturated cells hold the NaN bit pattern in the value grids; the mask
+// is authoritative. The checksum covers every preceding byte, so any
+// truncation or bit flip that survives the structural checks still
+// fails closed.
+
+var magic = [4]byte{'K', 'H', 'S', 'F'}
+
+// Version is the current surface file format version.
+const Version = 1
+
+// maxHeaderLen bounds the JSON header so a corrupt length field cannot
+// drive a huge allocation; real headers are a few hundred bytes.
+const maxHeaderLen = 1 << 20
+
+// maxGridCells bounds nh·nl for the same reason (a full grid of this
+// size is ~5 GiB of float64s — far beyond any sane surface).
+const maxGridCells = 1 << 27
+
+// Decoder error sentinels. Every decode failure wraps exactly one of
+// these — structured, never a panic, never silent garbage.
+var (
+	// ErrBadMagic: the file does not start with the KHSF magic.
+	ErrBadMagic = errors.New("surface: not a surface file (bad magic)")
+	// ErrVersionMismatch: the format version is not Version.
+	ErrVersionMismatch = errors.New("surface: unsupported surface file version")
+	// ErrTruncated: the file ends before the structure it declares.
+	ErrTruncated = errors.New("surface: truncated surface file")
+	// ErrChecksum: the trailing FNV-64a checksum does not match.
+	ErrChecksum = errors.New("surface: surface file checksum mismatch")
+	// ErrBadHeader: the JSON header is unparseable or describes an
+	// invalid definition.
+	ErrBadHeader = errors.New("surface: invalid surface file header")
+)
+
+// Encode serializes the surface to the version-1 binary format.
+func Encode(s *Surface) ([]byte, error) {
+	hdr, err := json.Marshal(s.Def)
+	if err != nil {
+		return nil, fmt.Errorf("surface: encoding header: %w", err)
+	}
+	nh, nl := len(s.Def.Hs), len(s.Def.Lambdas)
+	cells := nh * nl
+	buf := make([]byte, 0, 12+len(hdr)+numFields*cells*8+cells+8)
+	buf = append(buf, magic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, Version)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(hdr)))
+	buf = append(buf, hdr...)
+	for f := 0; f < numFields; f++ {
+		for _, v := range s.grid(f) {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	for _, sat := range s.Saturated {
+		if sat {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	sum := fnv.New64a()
+	sum.Write(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, sum.Sum64())
+	return buf, nil
+}
+
+// Decode parses a version-1 surface file. The returned surface is fully
+// prepared for lookups. The error, when non-nil, wraps one of the
+// sentinel errors above.
+func Decode(data []byte) (*Surface, error) {
+	if len(data) < 12 {
+		return nil, fmt.Errorf("%w: %d bytes, want at least the 12-byte preamble", ErrTruncated, len(data))
+	}
+	if [4]byte(data[:4]) != magic {
+		return nil, fmt.Errorf("%w: got % x", ErrBadMagic, data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != Version {
+		return nil, fmt.Errorf("%w: file version %d, this build reads %d", ErrVersionMismatch, v, Version)
+	}
+	hdrLen := binary.LittleEndian.Uint32(data[8:12])
+	if hdrLen > maxHeaderLen {
+		return nil, fmt.Errorf("%w: header length %d exceeds the %d cap", ErrBadHeader, hdrLen, maxHeaderLen)
+	}
+	if len(data) < 12+int(hdrLen) {
+		return nil, fmt.Errorf("%w: header length %d but only %d bytes follow the preamble", ErrTruncated, hdrLen, len(data)-12)
+	}
+	var d Def
+	dec := json.NewDecoder(bytes.NewReader(data[12 : 12+hdrLen]))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHeader, err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHeader, err)
+	}
+	nh, nl := len(d.Hs), len(d.Lambdas)
+	cells := nh * nl
+	if cells > maxGridCells {
+		return nil, fmt.Errorf("%w: %d grid cells exceed the %d cap", ErrBadHeader, cells, maxGridCells)
+	}
+	want := 12 + int(hdrLen) + numFields*cells*8 + cells + 8
+	if len(data) < want {
+		return nil, fmt.Errorf("%w: %d bytes, header describes %d", ErrTruncated, len(data), want)
+	}
+	if len(data) > want {
+		return nil, fmt.Errorf("%w: %d trailing bytes after the checksum", ErrBadHeader, len(data)-want)
+	}
+	sum := fnv.New64a()
+	sum.Write(data[:want-8])
+	if got := binary.LittleEndian.Uint64(data[want-8:]); got != sum.Sum64() {
+		return nil, fmt.Errorf("%w: stored %016x, computed %016x", ErrChecksum, got, sum.Sum64())
+	}
+	s := &Surface{
+		Def:        d,
+		Latency:    make([]float64, cells),
+		Regular:    make([]float64, cells),
+		Hot:        make([]float64, cells),
+		SourceWait: make([]float64, cells),
+		VBar:       make([]float64, cells),
+		Saturated:  make([]bool, cells),
+	}
+	off := 12 + int(hdrLen)
+	for f := 0; f < numFields; f++ {
+		g := s.grid(f)
+		for i := range g {
+			g[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+			off += 8
+		}
+	}
+	for i := range s.Saturated {
+		switch data[off] {
+		case 0:
+		case 1:
+			s.Saturated[i] = true
+		default:
+			return nil, fmt.Errorf("%w: saturation mask byte %d is %d, want 0 or 1", ErrBadHeader, i, data[off])
+		}
+		off++
+	}
+	// A value grid may hold non-finite numbers only where the mask says
+	// saturated — anything else is corruption the checksum cannot see
+	// (it was encoded faithfully from a corrupt writer).
+	for f := 0; f < numFields; f++ {
+		g := s.grid(f)
+		for i, v := range g {
+			if !s.Saturated[i] && (math.IsNaN(v) || math.IsInf(v, 0)) {
+				return nil, fmt.Errorf("%w: non-finite value in grid %d cell %d outside the saturation mask", ErrBadHeader, f, i)
+			}
+		}
+	}
+	s.prepare()
+	return s, nil
+}
+
+// FileExt is the surface file extension WriteFile uses and LoadDir
+// looks for.
+const FileExt = ".khsf"
+
+// WriteFile encodes the surface into dir, naming the file by the
+// encoded content's checksum so identical surfaces dedup naturally and
+// concurrent writers cannot interleave (the write goes through a
+// same-directory temp file and an atomic rename). It returns the final
+// path.
+func WriteFile(dir string, s *Surface) (string, error) {
+	data, err := Encode(s)
+	if err != nil {
+		return "", err
+	}
+	sum := binary.LittleEndian.Uint64(data[len(data)-8:])
+	path := filepath.Join(dir, fmt.Sprintf("khs-surface-%016x%s", sum, FileExt))
+	tmp, err := os.CreateTemp(dir, "khs-surface-*.tmp")
+	if err != nil {
+		return "", fmt.Errorf("surface: writing %s: %w", path, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("surface: writing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("surface: writing %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("surface: writing %s: %w", path, err)
+	}
+	return path, nil
+}
+
+// ReadFile decodes one surface file.
+func ReadFile(path string) (*Surface, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("surface: reading %s: %w", path, err)
+	}
+	s, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("surface: reading %s: %w", path, err)
+	}
+	return s, nil
+}

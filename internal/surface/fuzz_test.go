@@ -1,0 +1,70 @@
+package surface_test
+
+import (
+	"testing"
+
+	"kncube/internal/surface"
+)
+
+// FuzzDecode drives the surface file decoder with arbitrary bytes: it
+// must never panic, and whenever it does accept an input the resulting
+// surface must be structurally sound — grids sized to the definition
+// and every lookup-facing invariant intact (a malformed accepted file
+// would serve silent garbage, which is exactly what the structured
+// decode errors exist to prevent).
+func FuzzDecode(f *testing.F) {
+	// Seed with a valid file and a few near-valid mutants so the fuzzer
+	// starts inside the interesting part of the input space.
+	d := surface.Def{
+		Model: "hotspot-2d", K: 8, Dims: 2, V: 2, Lm: 16,
+		Hs:      []float64{0.1, 0.2},
+		Lambdas: []float64{5e-5, 1e-4, 1.5e-4, 2e-4},
+	}
+	s, err := surface.Build(d, surface.BuildOptions{})
+	if err != nil {
+		f.Fatalf("Build: %v", err)
+	}
+	valid, err := surface.Encode(s)
+	if err != nil {
+		f.Fatalf("Encode: %v", err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add(valid[:12])
+	f.Add([]byte("KHSF"))
+	f.Add([]byte{})
+	truncatedHeader := append([]byte(nil), valid[:20]...)
+	f.Add(truncatedHeader)
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0xFF
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := surface.Decode(data)
+		if err != nil {
+			if s != nil {
+				t.Fatalf("Decode returned both a surface and error %v", err)
+			}
+			return
+		}
+		cells := len(s.Def.Hs) * len(s.Def.Lambdas)
+		for _, g := range [][]float64{s.Latency, s.Regular, s.Hot, s.SourceWait, s.VBar} {
+			if len(g) != cells {
+				t.Fatalf("accepted surface has a %d-cell grid for a %d-cell definition", len(g), cells)
+			}
+		}
+		if len(s.Saturated) != cells {
+			t.Fatalf("accepted surface has a %d-cell mask for a %d-cell definition", len(s.Saturated), cells)
+		}
+		// Probing a few corners must not panic regardless of content.
+		hs, lams := s.Def.Hs, s.Def.Lambdas
+		corners := [][2]float64{
+			{hs[0], lams[0]},
+			{hs[len(hs)-1], lams[len(lams)-1]},
+			{0.5 * (hs[0] + hs[len(hs)-1]), 0.5 * (lams[0] + lams[len(lams)-1])},
+		}
+		for _, c := range corners {
+			s.Eval(c[0], c[1]) //nolint:errcheck // any structured outcome is fine; only a panic fails
+		}
+	})
+}

@@ -1,0 +1,241 @@
+package surface
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+var nan = math.NaN()
+
+// Interpolation over the solved grid: a Fritsch–Carlson monotone cubic
+// (PCHIP) along the λ axis of each bracketing h row, then a linear
+// blend between the two rows. The monotone cubic cannot overshoot —
+// the latency curves are monotone in λ and the scheme preserves that —
+// and the gap between the cubic and the plain linear interpolant on
+// the same interval serves as the error estimate: where the curve is
+// locally straight the two agree and the estimate is tiny, where the
+// curve bends hard (approaching saturation) they diverge and the
+// estimate grows, which is exactly when a caller should distrust the
+// lookup.
+
+// Fallback sentinels: a lookup that cannot be answered from the grid
+// reports why, so serving layers can route the query to the exact
+// solver (and account the fallback).
+var (
+	// ErrOutOfRange: the query point lies outside the grid axes.
+	ErrOutOfRange = errors.New("surface: query outside the grid")
+	// ErrNearSaturation: the query λ lands beyond the last safely
+	// interpolable cell of a saturating row — at, past, or within one
+	// grid cell of the saturation frontier, where the latency curve is
+	// too steep to trust an interpolant.
+	ErrNearSaturation = errors.New("surface: query too close to the saturation frontier")
+)
+
+// Lookup is an interpolated answer: the latency decomposition of
+// core.SolveResult, plus the relative error estimate on Latency.
+type Lookup struct {
+	Latency, Regular, Hot, SourceWait, VBar float64
+	// ErrEstimate is |cubic − linear| / cubic on the latency field — a
+	// local-curvature proxy for the true interpolation error.
+	ErrEstimate float64
+}
+
+// Covers reports whether the query point can be answered from the
+// grid — inside both axes and clear of the saturation frontier. It is
+// exactly the predicate under which Eval succeeds.
+func (s *Surface) Covers(h, lambda float64) bool {
+	_, err := s.Eval(h, lambda)
+	return err == nil
+}
+
+// Eval interpolates the surface at (h, λ). The error is nil, or wraps
+// ErrOutOfRange / ErrNearSaturation.
+func (s *Surface) Eval(h, lambda float64) (Lookup, error) {
+	hs, lams := s.Def.Hs, s.Def.Lambdas
+	if h < hs[0] || h > hs[len(hs)-1] {
+		return Lookup{}, fmt.Errorf("%w: h=%v outside [%v, %v]", ErrOutOfRange, h, hs[0], hs[len(hs)-1])
+	}
+	if lambda < lams[0] {
+		return Lookup{}, fmt.Errorf("%w: λ=%v below the axis start %v", ErrOutOfRange, lambda, lams[0])
+	}
+	lo, hi, w := s.hBracket(h)
+	rowLo, err := s.evalRow(lo, lambda)
+	if err != nil {
+		return Lookup{}, err
+	}
+	if hi == lo {
+		return rowLo, nil
+	}
+	rowHi, err := s.evalRow(hi, lambda)
+	if err != nil {
+		return Lookup{}, err
+	}
+	blend := func(a, b float64) float64 { return a + w*(b-a) }
+	return Lookup{
+		Latency:     blend(rowLo.Latency, rowHi.Latency),
+		Regular:     blend(rowLo.Regular, rowHi.Regular),
+		Hot:         blend(rowLo.Hot, rowHi.Hot),
+		SourceWait:  blend(rowLo.SourceWait, rowHi.SourceWait),
+		VBar:        blend(rowLo.VBar, rowHi.VBar),
+		ErrEstimate: math.Max(rowLo.ErrEstimate, rowHi.ErrEstimate),
+	}, nil
+}
+
+// hBracket finds the rows bracketing h and the linear weight of the
+// upper row. Queries at (or numerically at) a knot collapse to that
+// single row so the other row's saturation frontier cannot spuriously
+// reject them.
+func (s *Surface) hBracket(h float64) (lo, hi int, w float64) {
+	hs := s.Def.Hs
+	i := sort.SearchFloat64s(hs, h) // first index with hs[i] >= h
+	if i == len(hs) {
+		return len(hs) - 1, len(hs) - 1, 0
+	}
+	if !(hs[i] > h) { // exact knot hit
+		return i, i, 0
+	}
+	// hs[i-1] < h < hs[i]; i > 0 because h >= hs[0] was checked.
+	lo, hi = i-1, i
+	w = (h - hs[lo]) / (hs[hi] - hs[lo])
+	if w < 1e-12 {
+		return lo, lo, 0
+	}
+	if w > 1-1e-12 {
+		return hi, hi, 0
+	}
+	return lo, hi, w
+}
+
+// evalRow interpolates one h row at λ.
+func (s *Surface) evalRow(hi int, lambda float64) (Lookup, error) {
+	lams := s.Def.Lambdas
+	nl := len(lams)
+	sat := s.satIdx[hi]
+	// A saturating row keeps one guard cell before the frontier out of
+	// the usable range: the last solved interval hugs the asymptote,
+	// where even the monotone cubic is untrustworthy.
+	usableTop := sat - 1 // index of the last solved knot
+	if sat < nl {
+		usableTop = sat - 2
+	}
+	if usableTop < 1 {
+		return Lookup{}, fmt.Errorf("%w: row h=%v has no interpolable interval", ErrNearSaturation, s.Def.Hs[hi])
+	}
+	if lambda > lams[usableTop] {
+		if sat < nl {
+			return Lookup{}, fmt.Errorf("%w: λ=%v beyond %v in row h=%v (frontier at λ=%v)",
+				ErrNearSaturation, lambda, lams[usableTop], s.Def.Hs[hi], lams[sat])
+		}
+		return Lookup{}, fmt.Errorf("%w: λ=%v beyond the axis end %v", ErrOutOfRange, lambda, lams[nl-1])
+	}
+	// Bracketing interval [li, li+1] within the solved prefix.
+	li := sort.SearchFloat64s(lams[:usableTop+1], lambda)
+	if li > 0 {
+		li--
+	}
+	row := hi * nl
+	t := (lambda - lams[li]) / (lams[li+1] - lams[li])
+	var out [numFields]float64
+	var est float64
+	for f := 0; f < numFields; f++ {
+		g := s.grid(f)
+		y0, y1 := g[row+li], g[row+li+1]
+		d0, d1 := s.derivs[f][row+li], s.derivs[f][row+li+1]
+		hstep := lams[li+1] - lams[li]
+		cubic := hermite(y0, y1, d0*hstep, d1*hstep, t)
+		out[f] = cubic
+		if f == fieldLatency {
+			linear := y0 + t*(y1-y0)
+			denom := math.Abs(cubic)
+			if denom > 0 {
+				est = math.Abs(cubic-linear) / denom
+			}
+		}
+	}
+	return Lookup{
+		Latency: out[fieldLatency], Regular: out[fieldRegular], Hot: out[fieldHot],
+		SourceWait: out[fieldSourceWait], VBar: out[fieldVBar],
+		ErrEstimate: est,
+	}, nil
+}
+
+// hermite evaluates the cubic Hermite basis on [0, 1] with endpoint
+// values y0, y1 and endpoint derivatives m0, m1 already scaled by the
+// interval width.
+func hermite(y0, y1, m0, m1, t float64) float64 {
+	t2 := t * t
+	t3 := t2 * t
+	return (2*t3-3*t2+1)*y0 + (t3-2*t2+t)*m0 + (-2*t3+3*t2)*y1 + (t3-t2)*m1
+}
+
+// prepare derives the per-row saturation indices and the monotone-cubic
+// knot derivatives from the grids. Called once after Build or Decode.
+func (s *Surface) prepare() {
+	nh, nl := len(s.Def.Hs), len(s.Def.Lambdas)
+	s.satIdx = make([]int, nh)
+	for f := 0; f < numFields; f++ {
+		s.derivs[f] = make([]float64, nh*nl)
+	}
+	for hi := 0; hi < nh; hi++ {
+		sat := nl
+		for li := 0; li < nl; li++ {
+			if s.Saturated[hi*nl+li] {
+				sat = li
+				break
+			}
+		}
+		s.satIdx[hi] = sat
+		for f := 0; f < numFields; f++ {
+			row := hi * nl
+			pchipDerivs(s.Def.Lambdas[:sat], s.grid(f)[row:row+sat], s.derivs[f][row:row+sat])
+		}
+	}
+}
+
+// pchipDerivs fills m with the Fritsch–Carlson shape-preserving knot
+// derivatives for the data (x, y): harmonic-mean weighted secants at
+// interior knots (zero across local extrema), clamped one-sided
+// estimates at the ends. The resulting Hermite interpolant is monotone
+// wherever the data are.
+func pchipDerivs(x, y, m []float64) {
+	n := len(x)
+	switch n {
+	case 0:
+		return
+	case 1:
+		m[0] = 0
+		return
+	case 2:
+		d := (y[1] - y[0]) / (x[1] - x[0])
+		m[0], m[1] = d, d
+		return
+	}
+	for i := 1; i < n-1; i++ {
+		h0, h1 := x[i]-x[i-1], x[i+1]-x[i]
+		d0, d1 := (y[i]-y[i-1])/h0, (y[i+1]-y[i])/h1
+		if d0*d1 <= 0 {
+			m[i] = 0
+			continue
+		}
+		w0, w1 := 2*h1+h0, h1+2*h0
+		m[i] = (w0 + w1) / (w0/d0 + w1/d1)
+	}
+	m[0] = endpointDeriv(x[1]-x[0], x[2]-x[1], (y[1]-y[0])/(x[1]-x[0]), (y[2]-y[1])/(x[2]-x[1]))
+	m[n-1] = endpointDeriv(x[n-1]-x[n-2], x[n-2]-x[n-3],
+		(y[n-1]-y[n-2])/(x[n-1]-x[n-2]), (y[n-2]-y[n-3])/(x[n-2]-x[n-3]))
+}
+
+// endpointDeriv is the non-centred three-point endpoint formula with the
+// Fritsch–Carlson monotonicity clamps.
+func endpointDeriv(h0, h1, d0, d1 float64) float64 {
+	m := ((2*h0+h1)*d0 - h0*d1) / (h0 + h1)
+	if m*d0 <= 0 {
+		return 0
+	}
+	if d0*d1 < 0 && math.Abs(m) > 3*math.Abs(d0) {
+		return 3 * d0
+	}
+	return m
+}

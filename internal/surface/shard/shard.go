@@ -1,0 +1,136 @@
+// Package shard assigns surface shape keys to replicas with a
+// consistent-hash ring, so a fleet of khs-serve instances can each
+// build and hold a stable subset of the surface inventory instead of
+// every replica holding everything. Each node is hashed onto the ring
+// at many virtual points; a key belongs to the first node hash at or
+// after the key's own hash (wrapping). Adding or removing one node
+// then only remaps the keys adjacent to that node's points — roughly
+// 1/n of the keyspace — while every other assignment is untouched.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVirtualNodes is the per-node ring point count New uses when
+// given zero. 128 points keep the per-node share of a random keyspace
+// within a few percent of fair for small fleets.
+const DefaultVirtualNodes = 128
+
+// Ring is an immutable consistent-hash ring. The zero value (or a nil
+// *Ring) is a single-owner ring: it owns every key, the degenerate
+// single-replica deployment.
+type Ring struct {
+	self   string
+	nodes  []string
+	hashes []uint64 // sorted ring points
+	owner  []string // owner[i] is the node at hashes[i]
+}
+
+// New builds a ring over self plus peers, with vnodes virtual points
+// per node (DefaultVirtualNodes when <= 0). Duplicate names collapse
+// to one node; self may appear in peers. An empty peer set returns a
+// single-owner ring.
+func New(self string, peers []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	set := map[string]bool{self: true}
+	for _, p := range peers {
+		if p != "" {
+			set[p] = true
+		}
+	}
+	nodes := make([]string, 0, len(set))
+	for n := range set {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	r := &Ring{self: self, nodes: nodes}
+	if len(nodes) < 2 {
+		return r
+	}
+	r.hashes = make([]uint64, 0, len(nodes)*vnodes)
+	r.owner = make([]string, 0, len(nodes)*vnodes)
+	type point struct {
+		h    uint64
+		node string
+	}
+	points := make([]point, 0, len(nodes)*vnodes)
+	for _, n := range nodes {
+		for i := 0; i < vnodes; i++ {
+			points = append(points, point{hashKey(fmt.Sprintf("%s#%d", n, i)), n})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].h != points[j].h {
+			return points[i].h < points[j].h
+		}
+		// A full 64-bit collision between virtual points is vanishingly
+		// rare; break it by name so every replica builds the same ring.
+		return points[i].node < points[j].node
+	})
+	for _, p := range points {
+		r.hashes = append(r.hashes, p.h)
+		r.owner = append(r.owner, p.node)
+	}
+	return r
+}
+
+// Self returns this replica's node name ("" on the zero ring).
+func (r *Ring) Self() string {
+	if r == nil {
+		return ""
+	}
+	return r.self
+}
+
+// Nodes returns the ring membership, sorted. A single-owner ring
+// reports just itself.
+func (r *Ring) Nodes() []string {
+	if r == nil || len(r.nodes) == 0 {
+		return []string{""}
+	}
+	out := make([]string, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
+
+// Owner returns the node owning key.
+func (r *Ring) Owner(key string) string {
+	if r == nil || len(r.hashes) == 0 {
+		return r.Self()
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0 // wrap past the highest point
+	}
+	return r.owner[i]
+}
+
+// Owns reports whether this replica owns key.
+func (r *Ring) Owns(key string) bool {
+	if r == nil || len(r.hashes) == 0 {
+		return true
+	}
+	return r.Owner(key) == r.self
+}
+
+// hashKey is FNV-64a with a splitmix64-style finalizer. Raw FNV of
+// short, similar strings (node names, shape keys) leaves the high bits
+// poorly mixed, which skews ring shares badly; the finalizer's
+// avalanche fixes the spread without needing a crypto hash.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

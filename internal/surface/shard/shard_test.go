@@ -1,0 +1,116 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("hotspot-2d|%d|2|2|32|0|0|0|false", i+2)
+	}
+	return keys
+}
+
+// TestSingleOwnerRings: nil, zero, and peerless rings own everything.
+func TestSingleOwnerRings(t *testing.T) {
+	var nilRing *Ring
+	for name, r := range map[string]*Ring{
+		"nil":      nilRing,
+		"zero":     {},
+		"peerless": New("a", nil, 0),
+	} {
+		for _, key := range testKeys(10) {
+			if !r.Owns(key) {
+				t.Errorf("%s ring should own %q", name, key)
+			}
+			if got, want := r.Owner(key), r.Self(); got != want {
+				t.Errorf("%s ring: Owner(%q) = %q, want self %q", name, key, got, want)
+			}
+		}
+	}
+}
+
+// TestOwnershipIsDeterministicAndAgreed: every replica's ring assigns
+// every key to the same owner, and exactly one replica owns each key.
+func TestOwnershipIsDeterministicAndAgreed(t *testing.T) {
+	nodes := []string{"a", "b", "c"}
+	rings := map[string]*Ring{}
+	for _, n := range nodes {
+		rings[n] = New(n, nodes, 0)
+	}
+	for _, key := range testKeys(200) {
+		owner := rings["a"].Owner(key)
+		owners := 0
+		for _, n := range nodes {
+			if got := rings[n].Owner(key); got != owner {
+				t.Fatalf("replica %s assigns %q to %q, replica a to %q", n, key, got, owner)
+			}
+			if rings[n].Owns(key) {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Errorf("key %q owned by %d replicas, want exactly 1", key, owners)
+		}
+	}
+}
+
+// TestDistributionRoughlyBalanced: no node of a 3-node ring owns a
+// wildly disproportionate share of a synthetic keyspace.
+func TestDistributionRoughlyBalanced(t *testing.T) {
+	nodes := []string{"a", "b", "c"}
+	r := New("a", nodes, 0)
+	counts := map[string]int{}
+	keys := testKeys(3000)
+	for _, key := range keys {
+		counts[r.Owner(key)]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / float64(len(keys))
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("node %s owns %.1f%% of the keyspace (counts %v) — virtual nodes not spreading", n, 100*share, counts)
+		}
+	}
+}
+
+// TestRemovalOnlyRemapsTheRemovedNode: dropping one node moves only the
+// keys that node owned; every other assignment is untouched. This is
+// the property that makes the ring consistent rather than modular
+// (hash(key) % n would reshuffle nearly everything).
+func TestRemovalOnlyRemapsTheRemovedNode(t *testing.T) {
+	before := New("a", []string{"a", "b", "c"}, 0)
+	after := New("a", []string{"a", "b"}, 0)
+	moved, kept := 0, 0
+	for _, key := range testKeys(2000) {
+		was, is := before.Owner(key), after.Owner(key)
+		if was == "c" {
+			moved++
+			continue
+		}
+		if was != is {
+			t.Fatalf("key %q moved %q → %q although its owner did not leave", key, was, is)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate split moved=%d kept=%d — test keyspace too small", moved, kept)
+	}
+}
+
+// TestMembershipNormalization: duplicates and self-in-peers collapse,
+// and Nodes reports the sorted membership.
+func TestMembershipNormalization(t *testing.T) {
+	r := New("b", []string{"b", "a", "a", "", "c"}, 4)
+	got := r.Nodes()
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Nodes() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Nodes() = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package surface
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"kncube/internal/core"
+	"kncube/internal/telemetry"
+)
+
+// Store is the serving-side surface inventory: immutable surfaces keyed
+// by shape, answering interpolated lookups with full fallback
+// accounting. It is safe for concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	seq  int
+	byID map[string]*Entry
+	// byKey holds each shape's surfaces in insertion order; Lookup scans
+	// them for the first one covering the query point.
+	byKey map[string][]*Entry
+
+	lookups     func(outcome string) *telemetry.Counter
+	fallbacks   func(reason string) *telemetry.Counter
+	builds      func(state string) *telemetry.Counter
+	buildTime   *telemetry.Histogram
+	errEstimate *telemetry.Histogram
+	entries     *telemetry.Gauge
+}
+
+// Entry is one stored surface with its store-assigned id.
+type Entry struct {
+	ID      string
+	Surface *Surface
+	// Path is where the surface is persisted on disk, when it is.
+	Path string
+}
+
+// buildTimeBounds span the realistic build range: a toy grid solves in
+// milliseconds, a dense near-saturation grid can take minutes.
+var buildTimeBounds = []float64{0.01, 0.1, 0.5, 1, 5, 30, 120, 600}
+
+// errEstimateBounds resolve the interesting error-estimate decades
+// around typical auto-mode thresholds (0.1%–1%).
+var errEstimateBounds = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1}
+
+// NewStore builds an empty store registering its metrics on reg (a nil
+// reg gets a private throwaway registry, the pattern tests use).
+func NewStore(reg *telemetry.Registry) *Store {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	st := &Store{
+		byID:  make(map[string]*Entry),
+		byKey: make(map[string][]*Entry),
+	}
+	st.lookups = func(outcome string) *telemetry.Counter {
+		return reg.Counter("khs_surface_lookups_total",
+			"surface lookup attempts by outcome (hit, miss)", telemetry.Labels{"outcome": outcome})
+	}
+	st.fallbacks = func(reason string) *telemetry.Counter {
+		return reg.Counter("khs_surface_fallbacks_total",
+			"lookups refused back to the exact solver, by reason (saturation, range, estimate)",
+			telemetry.Labels{"reason": reason})
+	}
+	st.builds = func(state string) *telemetry.Counter {
+		return reg.Counter("khs_surface_builds_total",
+			"surface builds by terminal state (ok, error)", telemetry.Labels{"state": state})
+	}
+	st.buildTime = reg.Histogram("khs_surface_build_seconds",
+		"wall-clock time of surface grid builds", nil, buildTimeBounds)
+	st.errEstimate = reg.Histogram("khs_surface_error_ratio",
+		"relative interpolation-error estimate of served lookups", nil, errEstimateBounds)
+	st.entries = reg.Gauge("khs_surface_store_entries", "surfaces currently stored", nil)
+	return st
+}
+
+// Add stores a surface and returns its entry. path records where the
+// surface lives on disk ("" when unpersisted).
+func (st *Store) Add(s *Surface, path string) *Entry {
+	key := s.Def.Key()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.seq++
+	e := &Entry{ID: fmt.Sprintf("surface-%06d", st.seq), Surface: s, Path: path}
+	st.byID[e.ID] = e
+	st.byKey[key] = append(st.byKey[key], e)
+	st.entries.Set(float64(len(st.byID)))
+	return e
+}
+
+// Get returns the entry with the given id, or nil.
+func (st *Store) Get(id string) *Entry {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.byID[id]
+}
+
+// List returns all entries ordered by id.
+func (st *Store) List() []*Entry {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]*Entry, 0, len(st.byID))
+	for _, e := range st.byID {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Keys returns the distinct shape keys with at least one surface.
+func (st *Store) Keys() []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	keys := make([]string, 0, len(st.byKey))
+	for k := range st.byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ErrNoSurface: no stored surface covers the query's shape.
+var ErrNoSurface = errors.New("surface: no surface covers this shape")
+
+// ErrEstimateTooHigh: a surface covers the point but its interpolation
+// error estimate exceeds the caller's bound.
+var ErrEstimateTooHigh = errors.New("surface: interpolation error estimate above the caller's bound")
+
+// LookupOptions bound a Lookup.
+type LookupOptions struct {
+	// MaxErrEstimate rejects lookups whose error estimate exceeds it;
+	// zero or negative means no bound.
+	MaxErrEstimate float64
+}
+
+// Lookup answers (model, spec, opts) from a stored surface. On success
+// the entry the answer came from is returned alongside the interpolated
+// decomposition. Failures are structured for fallback routing:
+// ErrNoSurface when the shape has no covering surface, ErrOutOfRange /
+// ErrNearSaturation from the interpolator, ErrEstimateTooHigh against
+// o.MaxErrEstimate — each pre-counted in the store's own metrics.
+func (st *Store) Lookup(model string, spec core.Spec, copts core.Options, o LookupOptions) (Lookup, *Entry, error) {
+	key := ShapeKey(model, spec, copts)
+	st.mu.RLock()
+	entries := st.byKey[key]
+	st.mu.RUnlock()
+	if len(entries) == 0 {
+		st.lookups("miss").Inc()
+		return Lookup{}, nil, ErrNoSurface
+	}
+	var firstErr error
+	for _, e := range entries {
+		lk, err := e.Surface.Eval(spec.H, spec.Lambda)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if o.MaxErrEstimate > 0 && lk.ErrEstimate > o.MaxErrEstimate {
+			st.lookups("miss").Inc()
+			st.fallbacks("estimate").Inc()
+			return Lookup{}, nil, fmt.Errorf("%w: %.3g > %.3g", ErrEstimateTooHigh, lk.ErrEstimate, o.MaxErrEstimate)
+		}
+		st.lookups("hit").Inc()
+		st.errEstimate.Observe(lk.ErrEstimate)
+		return lk, e, nil
+	}
+	st.lookups("miss").Inc()
+	switch {
+	case errors.Is(firstErr, ErrNearSaturation):
+		st.fallbacks("saturation").Inc()
+	case errors.Is(firstErr, ErrOutOfRange):
+		st.fallbacks("range").Inc()
+	}
+	return Lookup{}, nil, firstErr
+}
+
+// ObserveBuild records one surface build's outcome and duration in the
+// store's build metrics.
+func (st *Store) ObserveBuild(d time.Duration, err error) {
+	if err != nil {
+		st.builds("error").Inc()
+	} else {
+		st.builds("ok").Inc()
+	}
+	st.buildTime.Observe(d.Seconds())
+}
+
+// LoadDir adds every surface file (FileExt) in dir to the store,
+// returning the loaded entries. A missing directory is empty, not an
+// error; an unreadable or corrupt file fails the load (a serving
+// replica must not silently drop part of its inventory).
+func (st *Store) LoadDir(dir string) ([]*Entry, error) {
+	names, err := surfaceFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]*Entry, 0, len(names))
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		s, err := ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, st.Add(s, path))
+	}
+	return entries, nil
+}
+
+func surfaceFiles(dir string) ([]string, error) {
+	dirents, err := os.ReadDir(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("surface: loading %s: %w", dir, err)
+	}
+	var names []string
+	for _, de := range dirents {
+		if !de.IsDir() && filepath.Ext(de.Name()) == FileExt {
+			names = append(names, de.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -35,6 +35,7 @@ import (
 	"kncube/internal/core"
 	"kncube/internal/fixpoint"
 	"kncube/internal/sim"
+	"kncube/internal/surface"
 	"kncube/internal/telemetry"
 	"kncube/internal/topology"
 	"kncube/internal/traffic"
@@ -84,6 +85,12 @@ const (
 	AccelAnderson = fixpoint.AccelAnderson
 	AccelAitken   = fixpoint.AccelAitken
 )
+
+// ParseAcceleration maps a scheme name ("", "none", "anderson", "aitken")
+// to its Acceleration value; the CLIs use it for their -accel flags.
+func ParseAcceleration(name string) (Acceleration, error) {
+	return fixpoint.ParseAcceleration(name)
+}
 
 // PreparedSolver is a validated, prepared model instance re-solvable for
 // many offered loads without repeating the spec-invariant setup. Not safe
@@ -208,6 +215,50 @@ func SolveHypercube(p HypercubeParams, o ModelOptions) (*HypercubeResult, error)
 // SaturationLambda bisects for the largest stable load of any solver.
 func SaturationLambda(solve func(lambda float64) error, lo, hi, relTol float64) (float64, error) {
 	return core.SaturationLambda(solve, lo, hi, relTol)
+}
+
+// --- Latency surfaces --------------------------------------------------------
+
+// SurfaceDef identifies a latency surface: a model variant, a topology
+// shape, the result-affecting options, and the ascending (λ, h) grid axes.
+type SurfaceDef = surface.Def
+
+// Surface is a precomputed latency surface: the full latency decomposition
+// solved on a (λ, h) grid with a saturation-frontier mask, answering
+// off-grid queries by interpolation (monotone cubic in λ, linear in h).
+type Surface = surface.Surface
+
+// SurfaceBuildOptions configure BuildSurface (iteration knobs, progress).
+type SurfaceBuildOptions = surface.BuildOptions
+
+// SurfaceLookup is one interpolated answer: the latency decomposition
+// plus a relative error estimate from the interpolant's curvature.
+type SurfaceLookup = surface.Lookup
+
+// Surface lookup refusals: the caller should fall back to Solve.
+var (
+	ErrSurfaceOutOfRange     = surface.ErrOutOfRange
+	ErrSurfaceNearSaturation = surface.ErrNearSaturation
+)
+
+// BuildSurface solves the definition's full (λ, h) grid — each h row one
+// prepared solver swept along λ with warm starts, stopping at the row's
+// saturation frontier — and returns the queryable surface. Persist it
+// with WriteSurfaceFile and load it back with ReadSurfaceFile.
+func BuildSurface(d SurfaceDef, o SurfaceBuildOptions) (*Surface, error) {
+	return surface.Build(d, o)
+}
+
+// WriteSurfaceFile encodes s into dir under a content-addressed name in
+// the compact checksummed binary format, returning the path.
+func WriteSurfaceFile(dir string, s *Surface) (string, error) {
+	return surface.WriteFile(dir, s)
+}
+
+// ReadSurfaceFile decodes a surface written by WriteSurfaceFile,
+// verifying its checksum and structure.
+func ReadSurfaceFile(path string) (*Surface, error) {
+	return surface.ReadFile(path)
 }
 
 // --- Simulator ---------------------------------------------------------------
